@@ -1,0 +1,139 @@
+// Command raidcli is the client for raidfsd: the user-level library of
+// §3.3 as a command-line tool.
+//
+//	raidcli [-addr host:port] put <path> <megabytes>
+//	raidcli [-addr host:port] get <path>
+//	raidcli [-addr host:port] ls [path]
+//	raidcli [-addr host:port] mkdir <path>
+//	raidcli [-addr host:port] rm <path>
+//	raidcli [-addr host:port] sync
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9941", "raidfsd address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("usage: raidcli [-addr ...] put|get|ls|mkdir|rm|sync ...")
+	}
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			log.Fatal("usage: put <path> <megabytes>")
+		}
+		mb, err := strconv.Atoi(args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf := make([]byte, 1<<20)
+		var simUS int64
+		for i := 0; i < mb; i++ {
+			fmt.Fprintf(w, "WRITE %s %d %d\n", args[1], i<<20, len(buf))
+			w.Write(buf)
+			w.Flush()
+			resp := expectOK(r)
+			us, _ := strconv.ParseInt(resp[0], 10, 64)
+			simUS += us
+		}
+		fmt.Fprintf(w, "SYNC\n")
+		w.Flush()
+		resp := expectOK(r)
+		us, _ := strconv.ParseInt(resp[0], 10, 64)
+		simUS += us
+		fmt.Printf("stored %d MB; simulated RAID-II time %.3fs (%.1f MB/s)\n",
+			mb, float64(simUS)/1e6, float64(mb)/(float64(simUS)/1e6))
+	case "get":
+		if len(args) != 2 {
+			log.Fatal("usage: get <path>")
+		}
+		fmt.Fprintf(w, "OPEN %s\n", args[1])
+		w.Flush()
+		resp := expectOK(r)
+		size, _ := strconv.ParseInt(resp[0], 10, 64)
+		var simUS int64
+		for off := int64(0); off < size; off += 1 << 20 {
+			n := int64(1 << 20)
+			if size-off < n {
+				n = size - off
+			}
+			fmt.Fprintf(w, "READ %s %d %d\n", args[1], off, n)
+			w.Flush()
+			resp := expectOK(r)
+			m, _ := strconv.ParseInt(resp[0], 10, 64)
+			us, _ := strconv.ParseInt(resp[1], 10, 64)
+			simUS += us
+			if _, err := io.CopyN(io.Discard, r, m); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("read %d bytes; simulated RAID-II time %.3fs (%.1f MB/s)\n",
+			size, float64(simUS)/1e6, float64(size)/1e6/(float64(simUS)/1e6))
+	case "ls":
+		path := "/"
+		if len(args) == 2 {
+			path = args[1]
+		}
+		fmt.Fprintf(w, "LS %s\n", path)
+		w.Flush()
+		resp := expectOK(r)
+		k, _ := strconv.Atoi(resp[0])
+		for i := 0; i < k; i++ {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(line)
+		}
+	case "mkdir", "rm":
+		if len(args) != 2 {
+			log.Fatalf("usage: %s <path>", args[0])
+		}
+		fmt.Fprintf(w, "%s %s\n", strings.ToUpper(args[0]), args[1])
+		w.Flush()
+		expectOK(r)
+		fmt.Println("ok")
+	case "sync":
+		fmt.Fprintf(w, "SYNC\n")
+		w.Flush()
+		resp := expectOK(r)
+		fmt.Printf("synced; simulated time %sus\n", resp[0])
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+// expectOK reads a response line, exiting on ERR, and returns the fields
+// after "OK".
+func expectOK(r *bufio.Reader) []string {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		log.Fatal(err)
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 || fields[0] != "OK" {
+		fmt.Fprintln(os.Stderr, strings.TrimSpace(line))
+		os.Exit(1)
+	}
+	return fields[1:]
+}

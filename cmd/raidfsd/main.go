@@ -1,0 +1,244 @@
+// Command raidfsd serves the simulated RAID-II file system over real TCP —
+// the library as an actual network file server.  The wire protocol is a
+// minimal line-oriented scheme in the spirit of the paper's raid_open /
+// raid_read / raid_write socket library:
+//
+//	CREATE <path>\n                     -> OK <simulated-us>\n
+//	OPEN <path>\n                       -> OK <size>\n
+//	WRITE <path> <off> <n>\n<n bytes>   -> OK <simulated-us>\n
+//	READ <path> <off> <n>\n             -> OK <m> <simulated-us>\n<m bytes>
+//	MKDIR <path>\n                      -> OK\n
+//	LS <path>\n                         -> OK <k>\n followed by k lines
+//	RM <path>\n                         -> OK\n
+//	SYNC\n                              -> OK <simulated-us>\n
+//	QUIT\n
+//
+// Every operation also reports the simulated time the RAID-II hardware
+// would have spent on it.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"raidii"
+)
+
+type serverState struct {
+	mu  sync.Mutex // the simulation engine is single-threaded
+	srv *raidii.Server
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9941", "listen address")
+	flag.Parse()
+
+	srv, err := raidii.NewServer(raidii.Fig8Geometry())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := srv.Simulate(func(t *raidii.Task) error { return t.FormatFS() }); err != nil {
+		log.Fatal(err)
+	}
+	st := &serverState{srv: srv}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("raidfsd: simulated RAID-II serving on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go st.serve(conn)
+	}
+}
+
+func (st *serverState) serve(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for {
+		w.Flush()
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			continue
+		}
+		cmd := strings.ToUpper(fields[0])
+		if cmd == "QUIT" {
+			fmt.Fprintf(w, "OK bye\n")
+			return
+		}
+		if err := st.dispatch(cmd, fields[1:], r, w); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+		}
+	}
+}
+
+func (st *serverState) dispatch(cmd string, args []string, r *bufio.Reader, w *bufio.Writer) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch cmd {
+	case "CREATE":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: CREATE <path>")
+		}
+		d, err := st.srv.Simulate(func(t *raidii.Task) error {
+			_, err := t.Create(args[0])
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "OK %d\n", d.Microseconds())
+	case "OPEN":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: OPEN <path>")
+		}
+		var size int64
+		_, err := st.srv.Simulate(func(t *raidii.Task) error {
+			f, err := t.Open(args[0])
+			if err != nil {
+				return err
+			}
+			size, err = f.Size()
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "OK %d\n", size)
+	case "WRITE":
+		var off int64
+		var n int
+		if len(args) != 3 {
+			return fmt.Errorf("usage: WRITE <path> <off> <n>")
+		}
+		fmt.Sscanf(args[1], "%d", &off)
+		fmt.Sscanf(args[2], "%d", &n)
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		d, err := st.srv.Simulate(func(t *raidii.Task) error {
+			f, err := t.Open(args[0])
+			if err != nil {
+				f, err = t.Create(args[0])
+				if err != nil {
+					return err
+				}
+			}
+			return f.Write(off, buf)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "OK %d\n", d.Microseconds())
+	case "READ":
+		var off int64
+		var n int
+		if len(args) != 3 {
+			return fmt.Errorf("usage: READ <path> <off> <n>")
+		}
+		fmt.Sscanf(args[1], "%d", &off)
+		fmt.Sscanf(args[2], "%d", &n)
+		var dur time.Duration
+		var m int64
+		_, err := st.srv.Simulate(func(t *raidii.Task) error {
+			f, err := t.Open(args[0])
+			if err != nil {
+				return err
+			}
+			size, err := f.Size()
+			if err != nil {
+				return err
+			}
+			m = size - off
+			if m > int64(n) {
+				m = int64(n)
+			}
+			if m < 0 {
+				m = 0
+			}
+			dur, err = f.Read(off, int(m))
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "OK %d %d\n", m, dur.Microseconds())
+		// The simulation models the data path; the wire carries zeros of
+		// the right length (contents live in the simulated store).
+		w.Write(make([]byte, m))
+	case "MKDIR":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: MKDIR <path>")
+		}
+		if _, err := st.srv.Simulate(func(t *raidii.Task) error { return t.Mkdir(args[0]) }); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "OK\n")
+	case "LS":
+		path := "/"
+		if len(args) == 1 {
+			path = args[0]
+		}
+		var lines []string
+		_, err := st.srv.Simulate(func(t *raidii.Task) error {
+			ents, err := t.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				fi, err := t.Stat(strings.TrimSuffix(path, "/") + "/" + e.Name)
+				if err != nil {
+					return err
+				}
+				kind := "f"
+				if fi.IsDir() {
+					kind = "d"
+				}
+				lines = append(lines, fmt.Sprintf("%s %10d %s", kind, fi.Size, e.Name))
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "OK %d\n", len(lines))
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	case "RM":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: RM <path>")
+		}
+		if _, err := st.srv.Simulate(func(t *raidii.Task) error { return t.Remove(args[0]) }); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "OK\n")
+	case "SYNC":
+		d, err := st.srv.Simulate(func(t *raidii.Task) error { return t.Sync() })
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "OK %d\n", d.Microseconds())
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Zebrastripe demonstrates §5.2: striping a client's file across several
+// RAID-II servers with Zebra-style parity, multiplying single-client
+// bandwidth and surviving the loss of a whole server.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"raidii"
+	"raidii/internal/hippi"
+	"raidii/internal/server"
+	"raidii/internal/sim"
+	"raidii/internal/zebra"
+)
+
+func main() {
+	// Five XBUS boards acting as five stripe servers ("striping
+	// high-bandwidth file accesses over multiple network connections, and
+	// therefore across multiple XBUS boards").
+	cfg := server.Fig8Config()
+	cfg.Boards = 5
+	sys, err := server.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Eng.Spawn("format", func(p *sim.Proc) {
+		for _, b := range sys.Boards {
+			if err := b.FormatFS(p); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	sys.Eng.Run()
+
+	nic := sim.NewLink(sys.Eng, "client-nic", 100, 0)
+	ep := &hippi.Endpoint{Name: "client", Out: nic, In: nic, Setup: 200 * time.Microsecond}
+	z, err := zebra.New(sys, ep, zebra.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const total = 32 << 20
+	var writeDur, readDur sim.Duration
+	sys.Eng.Spawn("client", func(p *sim.Proc) {
+		if err := z.Create(p, "dataset"); err != nil {
+			log.Fatal(err)
+		}
+		start := p.Now()
+		if err := z.Write(p, "dataset", 0, total); err != nil {
+			log.Fatal(err)
+		}
+		if err := z.SyncAll(p); err != nil {
+			log.Fatal(err)
+		}
+		writeDur = p.Now().Sub(start)
+
+		start = p.Now()
+		if err := z.Read(p, "dataset", 0, total); err != nil {
+			log.Fatal(err)
+		}
+		readDur = p.Now().Sub(start)
+	})
+	sys.Eng.Run()
+
+	fmt.Printf("striped over %d servers (4 data + 1 parity per stripe)\n", z.Width())
+	fmt.Printf("client write: %.1f MB in %v (%.1f MB/s)\n",
+		float64(total)/1e6, writeDur, float64(total)/writeDur.Seconds()/1e6)
+	fmt.Printf("client read : %.1f MB in %v (%.1f MB/s)\n",
+		float64(total)/1e6, readDur, float64(total)/readDur.Seconds()/1e6)
+
+	// Compare with a single server over the same network (the paper's
+	// single-XBUS bound).
+	one, err := raidii.Zebra([]int{2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("for reference, 2-server striping: %.1f MB/s client write\n", one.Series[0].At(2))
+}

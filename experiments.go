@@ -1,0 +1,1003 @@
+package raidii
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"raidii/internal/client"
+	"raidii/internal/disk"
+	"raidii/internal/hippi"
+	"raidii/internal/host"
+	"raidii/internal/lfs"
+	"raidii/internal/metrics"
+	"raidii/internal/scsi"
+	"raidii/internal/server"
+	"raidii/internal/sim"
+	"raidii/internal/ufs"
+	"raidii/internal/workload"
+	"raidii/internal/xbus"
+	"raidii/internal/zebra"
+)
+
+// This file contains one runner per table and figure of the paper's
+// evaluation, each reproducing the corresponding workload on the simulated
+// hardware and returning the measured series.  EXPERIMENTS.md records the
+// paper-reported values next to what these runners produce.
+
+// Figure re-exports the metrics figure type for callers.
+type Figure = metrics.Figure
+
+// outstanding is the number of concurrent requests the raw-hardware
+// benchmarks keep in flight, emulating the prototype driver's asynchronous
+// command queue.  The LFS measurements of Figure 8 use a single process,
+// exactly as §3.4 describes.
+const outstanding = 4
+
+// Fig5 reproduces Figure 5: hardware system-level random read and write
+// throughput versus request size, on the 24-disk RAID Level 5
+// configuration, data looping disk -> XBUS -> HIPPI -> XBUS.
+func Fig5(sizesKB []int) (*Figure, error) {
+	fig := metrics.NewFigure("Figure 5: hardware system-level random I/O", "request KB", "MB/s")
+	reads := fig.AddSeries("reads")
+	writes := fig.AddSeries("writes")
+	for _, kb := range sizesKB {
+		for _, wr := range []bool{false, true} {
+			sys, err := server.New(server.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			b := sys.Boards[0]
+			size := kb << 10
+			space := b.Array.Sectors()
+			total := 32 << 20
+			if total < 4*size {
+				total = 4 * size
+			}
+			wr := wr
+			res := workload.FixedOps(sys.Eng, outstanding, total/size, func(p *sim.Proc, _ int, rng *rand.Rand) int {
+				align := int64(size / 512)
+				off := workload.RandomAligned(rng, space-align, align)
+				if wr {
+					b.HardwareWrite(p, off, size)
+				} else {
+					b.HardwareRead(p, off, size)
+				}
+				return size
+			})
+			if wr {
+				writes.Add(float64(kb), res.MBps())
+			} else {
+				reads.Add(float64(kb), res.MBps())
+			}
+		}
+	}
+	return fig, nil
+}
+
+// Table1Result holds the peak sequential bandwidths of Table 1.
+type Table1Result struct {
+	ReadMBps  float64
+	WriteMBps float64
+}
+
+// Table1 reproduces Table 1: peak sequential read/write with the fifth
+// Cougar attached through the XBUS control-bus port and 1.6 MB requests.
+func Table1() (Table1Result, error) {
+	var out Table1Result
+	for _, wr := range []bool{false, true} {
+		cfg := server.DefaultConfig()
+		cfg.FifthCougar = true
+		sys, err := server.New(cfg)
+		if err != nil {
+			return out, err
+		}
+		b := sys.Boards[0]
+		const req = 1600 << 10
+		var cursor int64
+		wr := wr
+		res := workload.FixedOps(sys.Eng, outstanding, 48, func(p *sim.Proc, _ int, _ *rand.Rand) int {
+			off := cursor
+			cursor += int64(req / 512)
+			if wr {
+				b.HardwareWrite(p, off, req)
+			} else {
+				b.HardwareRead(p, off, req)
+			}
+			return req
+		})
+		if wr {
+			out.WriteMBps = res.MBps()
+		} else {
+			out.ReadMBps = res.MBps()
+		}
+	}
+	return out, nil
+}
+
+// Table2Result holds the small-I/O rates of Table 2.
+type Table2Result struct {
+	RAIDIOneDisk  float64
+	RAIDIFifteen  float64
+	RAIDIIOneDisk float64
+	RAIDIIFifteen float64
+	RAIDIPercent  float64 // fifteen-disk rate as % of 15x single disk
+	RAIDIIPercent float64
+}
+
+// Table2 reproduces Table 2: 4 KB random read I/O rates with one process
+// per active disk, on RAID-I (Wren IV, all data through host memory) and
+// RAID-II (IBM 0661, data stays on the XBUS board).
+func Table2() (Table2Result, error) {
+	var out Table2Result
+	horizon := sim.Time(4e9)
+
+	measure2 := func(disks int) (float64, error) {
+		sys, err := server.New(server.DefaultConfig())
+		if err != nil {
+			return 0, err
+		}
+		b := sys.Boards[0]
+		space := b.Disks[0].Sectors() - 8
+		res := workload.ClosedLoop(sys.Eng, disks, horizon, func(p *sim.Proc, w int, rng *rand.Rand) int {
+			b.SmallDiskRead(p, w, workload.RandomAligned(rng, space, 8), 4096)
+			return 4096
+		})
+		sys.Eng.Shutdown()
+		return res.IOPS(), nil
+	}
+	measure1 := func(disks int) (float64, error) {
+		r, err := server.NewRAIDI(server.DefaultRAIDIConfig())
+		if err != nil {
+			return 0, err
+		}
+		space := r.Disks[0].Sectors() - 8
+		res := workload.ClosedLoop(r.Eng, disks, horizon, func(p *sim.Proc, w int, rng *rand.Rand) int {
+			r.SmallDiskRead(p, w, workload.RandomAligned(rng, space, 8), 4096)
+			return 4096
+		})
+		r.Eng.Shutdown()
+		return res.IOPS(), nil
+	}
+
+	var err error
+	if out.RAIDIIOneDisk, err = measure2(1); err != nil {
+		return out, err
+	}
+	if out.RAIDIIFifteen, err = measure2(15); err != nil {
+		return out, err
+	}
+	if out.RAIDIOneDisk, err = measure1(1); err != nil {
+		return out, err
+	}
+	if out.RAIDIFifteen, err = measure1(15); err != nil {
+		return out, err
+	}
+	out.RAIDIPercent = out.RAIDIFifteen / (15 * out.RAIDIOneDisk) * 100
+	out.RAIDIIPercent = out.RAIDIIFifteen / (15 * out.RAIDIIOneDisk) * 100
+	return out, nil
+}
+
+// Fig6 reproduces Figure 6: HIPPI loopback throughput versus request size
+// (XBUS memory -> source board -> destination board -> XBUS memory).
+func Fig6(sizesKB []int) (*Figure, error) {
+	fig := metrics.NewFigure("Figure 6: HIPPI loopback", "request KB", "MB/s")
+	s := fig.AddSeries("loopback")
+	for _, kb := range sizesKB {
+		e := sim.New()
+		hcfg := hippi.DefaultConfig()
+		board := xbus.New(e, "xb", xbus.DefaultConfig())
+		ep := &hippi.Endpoint{Name: "xb", Out: board.HIPPIS.Out(), In: board.HIPPID.In(), Setup: hcfg.PacketSetup}
+		size := kb << 10
+		total := 32 << 20
+		if total < 8*size {
+			total = 8 * size
+		}
+		var end sim.Time
+		e.Spawn("loop", func(p *sim.Proc) {
+			for sent := 0; sent < total; sent += size {
+				hippi.Loopback(p, ep, hcfg, size)
+			}
+			end = p.Now()
+		})
+		e.Run()
+		s.Add(float64(kb), float64(total)/end.Seconds()/1e6)
+	}
+	return fig, nil
+}
+
+// Fig7 reproduces Figure 7: aggregate sequential read bandwidth versus the
+// number of disks on one SCSI string, against the linear-scaling ideal.
+func Fig7(diskCounts []int) (*Figure, error) {
+	fig := metrics.NewFigure("Figure 7: disks per SCSI string", "disks", "MB/s")
+	measured := fig.AddSeries("measured")
+	linear := fig.AddSeries("linear")
+	oneDisk := stringRigRate(1)
+	for _, n := range diskCounts {
+		measured.Add(float64(n), stringRigRate(n))
+		linear.Add(float64(n), oneDisk*float64(n))
+	}
+	return fig, nil
+}
+
+// stringRigRate measures n IBM 0661 drives streaming concurrently on one
+// SCSI string of a fresh Cougar controller.
+func stringRigRate(n int) float64 {
+	e := sim.New()
+	ctl := scsi.NewController(e, "fig7-cougar", scsi.DefaultConfig())
+	const perDisk = 4 << 20
+	g := sim.NewGroup(e)
+	for i := 0; i < n; i++ {
+		ad := ctl.Attach(disk.New(e, fmt.Sprintf("fig7-d%d", i), disk.IBM0661()), 0)
+		g.Go("rd", func(p *sim.Proc) {
+			lba := int64(0)
+			for read := 0; read < perDisk; read += 128 * 512 {
+				ad.Read(p, lba, 128, nil)
+				lba += 128
+			}
+		})
+	}
+	end := e.Run()
+	return float64(n*perDisk) / end.Seconds() / 1e6
+}
+
+// Fig8 reproduces Figure 8: LFS random read and write bandwidth versus
+// request size on the 16-disk configuration, a single process issuing
+// requests, data moving to/from network buffers in XBUS memory.
+func Fig8(sizesKB []int) (*Figure, error) {
+	fig := metrics.NewFigure("Figure 8: LFS on RAID-II", "request KB", "MB/s")
+	reads := fig.AddSeries("reads")
+	writes := fig.AddSeries("writes")
+
+	for _, kb := range sizesKB {
+		size := kb << 10
+
+		// Reads: pre-build a large file, then random reads of the given size.
+		{
+			sys, err := server.New(server.Fig8Config())
+			if err != nil {
+				return nil, err
+			}
+			b := sys.Boards[0]
+			const fileSize = 48 << 20
+			var f *server.FSFile
+			sys.Eng.Spawn("setup", func(p *sim.Proc) {
+				if err := b.FormatFS(p); err != nil {
+					panic(err)
+				}
+				f, err = b.CreateFS(p, "/big")
+				if err != nil {
+					panic(err)
+				}
+				buf := make([]byte, 1<<20)
+				for off := int64(0); off < fileSize; off += 1 << 20 {
+					if _, err := f.File.WriteAt(p, buf, off); err != nil {
+						panic(err)
+					}
+				}
+				if err := b.FS.Sync(p); err != nil {
+					panic(err)
+				}
+			})
+			sys.Eng.Run()
+
+			total := 24 << 20
+			if total < 2*size {
+				total = 2 * size
+			}
+			start := sys.Eng.Now()
+			res := workload.FixedOps(sys.Eng, 1, total/size, func(p *sim.Proc, _ int, rng *rand.Rand) int {
+				off := workload.RandomAligned(rng, fileSize-int64(size), int64(lfs.BlockSize))
+				if err := b.FSRead(p, f, off, size); err != nil {
+					panic(err)
+				}
+				return size
+			})
+			res.Elapsed = sim.Duration(sys.Eng.Now() - start)
+			reads.Add(float64(kb), res.MBps())
+		}
+
+		// Writes: random writes of the given size into a fresh file space.
+		{
+			sys, err := server.New(server.Fig8Config())
+			if err != nil {
+				return nil, err
+			}
+			b := sys.Boards[0]
+			var f *server.FSFile
+			sys.Eng.Spawn("setup", func(p *sim.Proc) {
+				if err := b.FormatFS(p); err != nil {
+					panic(err)
+				}
+				f, err = b.CreateFS(p, "/out")
+				if err != nil {
+					panic(err)
+				}
+			})
+			sys.Eng.Run()
+
+			const span = 48 << 20
+			total := 24 << 20
+			if total < 2*size {
+				total = 2 * size
+			}
+			buf := make([]byte, size)
+			start := sys.Eng.Now()
+			res := workload.FixedOps(sys.Eng, 1, total/size, func(p *sim.Proc, _ int, rng *rand.Rand) int {
+				off := workload.RandomAligned(rng, span-int64(size), int64(lfs.BlockSize))
+				if err := b.FSWrite(p, f, off, buf); err != nil {
+					panic(err)
+				}
+				return size
+			})
+			res.Elapsed = sim.Duration(sys.Eng.Now() - start)
+			writes.Add(float64(kb), res.MBps())
+		}
+	}
+	return fig, nil
+}
+
+// RAIDIResult holds the first-prototype baseline numbers of §1.
+type RAIDIResult struct {
+	UserReadMBps   float64 // large sequential reads to a user-level buffer
+	SingleDiskMBps float64 // one Wren IV streaming
+}
+
+// RAIDIBaseline reproduces the §1 motivation: RAID-I sustains ~2.3 MB/s to
+// a user-level application although a single disk manages 1.3 MB/s.
+func RAIDIBaseline() (RAIDIResult, error) {
+	var out RAIDIResult
+	r, err := server.NewRAIDI(server.DefaultRAIDIConfig())
+	if err != nil {
+		return out, err
+	}
+	var cursor int64
+	res := workload.FixedOps(r.Eng, 1, 16, func(p *sim.Proc, _ int, _ *rand.Rand) int {
+		const req = 1 << 20
+		r.UserRead(p, cursor, req)
+		cursor += int64(req / 512)
+		return req
+	})
+	out.UserReadMBps = res.MBps()
+
+	// One drive streaming without the host in the way.
+	r2, err := server.NewRAIDI(server.DefaultRAIDIConfig())
+	if err != nil {
+		return out, err
+	}
+	const n = 4 << 20
+	var end sim.Time
+	r2.Eng.Spawn("d", func(p *sim.Proc) {
+		lba := int64(0)
+		for read := 0; read < n; read += 128 * 512 {
+			r2.Disks[0].Read(p, lba, 128, nil)
+			lba += 128
+		}
+		end = p.Now()
+	})
+	r2.Eng.Run()
+	out.SingleDiskMBps = float64(n) / end.Seconds() / 1e6
+	return out, nil
+}
+
+// ClientResult holds the §3.4 network client measurements.
+type ClientResult struct {
+	ReadMBps    float64
+	WriteMBps   float64
+	HostCPUUtil float64
+}
+
+// ClientNetwork reproduces §3.4: a single SPARCstation 10/51 client
+// reading and writing over the Ultranet, limited by its own copies while
+// the server host stays nearly idle.
+func ClientNetwork() (ClientResult, error) {
+	var out ClientResult
+	sys, err := server.New(server.Fig8Config())
+	if err != nil {
+		return out, err
+	}
+	b := sys.Boards[0]
+	ws := client.NewWorkstation(sys, "ss10", host.SPARCstation10())
+	const n = 12 << 20
+	var readT, writeT sim.Duration
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		if err := b.FormatFS(p); err != nil {
+			panic(err)
+		}
+		f, err := ws.Create(p, 0, "/net")
+		if err != nil {
+			panic(err)
+		}
+		start := p.Now()
+		if err := f.Write(p, 0, n); err != nil {
+			panic(err)
+		}
+		writeT = p.Now().Sub(start)
+		b.FS.Sync(p)
+		start = p.Now()
+		if err := f.Read(p, 0, n); err != nil {
+			panic(err)
+		}
+		readT = p.Now().Sub(start)
+	})
+	sys.Eng.Run()
+	out.ReadMBps = float64(n) / readT.Seconds() / 1e6
+	out.WriteMBps = float64(n) / writeT.Seconds() / 1e6
+	out.HostCPUUtil = sys.Host.CPU.Utilization()
+	return out, nil
+}
+
+// RecoveryResult compares crash-recovery cost (§3.1).
+type RecoveryResult struct {
+	VolumeMB      int
+	LFSCheck      time.Duration // LFS mount incl. roll-forward + check
+	UFSFsck       time.Duration // full traditional fsck
+	LFSConsistent bool
+	FsckLeakage   int64
+}
+
+// Recovery reproduces the §3.1 comparison: recovering an LFS after a crash
+// takes seconds (process the log from the last checkpoint) while a
+// traditional fsck must traverse the whole volume.
+func Recovery(volumeMB int) (RecoveryResult, error) {
+	out := RecoveryResult{VolumeMB: volumeMB}
+
+	// LFS side: populate, crash, measure mount (roll-forward) plus check.
+	{
+		sys, err := server.New(server.Fig8Config())
+		if err != nil {
+			return out, err
+		}
+		b := sys.Boards[0]
+		var dur sim.Duration
+		sys.Eng.Spawn("t", func(p *sim.Proc) {
+			if err := b.FormatFS(p); err != nil {
+				panic(err)
+			}
+			buf := make([]byte, 1<<20)
+			nFiles := volumeMB / 4
+			for i := 0; i < nFiles; i++ {
+				f, err := b.FS.Create(p, fmt.Sprintf("/f%04d", i))
+				if err != nil {
+					panic(err)
+				}
+				for j := 0; j < 4; j++ {
+					f.WriteAt(p, buf, int64(j)<<20)
+				}
+				if i == nFiles/2 {
+					b.FS.Checkpoint(p) // half the log needs roll-forward
+				}
+			}
+			b.FS.Sync(p)
+			b.FS.Crash()
+			start := p.Now()
+			fs2, err := lfs.Mount(p, sys.Eng, b.Array)
+			if err != nil {
+				panic(err)
+			}
+			rep, err := fs2.Check(p)
+			if err != nil {
+				panic(err)
+			}
+			out.LFSConsistent = rep.OK()
+			dur = p.Now().Sub(start)
+		})
+		sys.Eng.Run()
+		out.LFSCheck = dur
+	}
+
+	// UFS side: same volume of data, then a full fsck.
+	{
+		sys, err := server.New(server.Fig8Config())
+		if err != nil {
+			return out, err
+		}
+		b := sys.Boards[0]
+		var dur sim.Duration
+		sys.Eng.Spawn("t", func(p *sim.Proc) {
+			fs, err := ufs.Format(p, sys.Eng, b.Array, 4096)
+			if err != nil {
+				panic(err)
+			}
+			buf := make([]byte, 1<<20)
+			for i := 1; i <= volumeMB/2; i++ {
+				if err := fs.Create(p, i); err != nil {
+					panic(err)
+				}
+				for j := 0; j < 2; j++ {
+					if _, err := fs.WriteAt(p, i, buf, int64(j)<<20); err != nil {
+						panic(err)
+					}
+				}
+			}
+			start := p.Now()
+			rep, err := fs.Fsck(p)
+			if err != nil {
+				panic(err)
+			}
+			out.FsckLeakage = rep.Leaked
+			dur = p.Now().Sub(start)
+		})
+		sys.Eng.Run()
+		out.UFSFsck = dur
+	}
+	return out, nil
+}
+
+// Scaling reproduces §2.1.2: aggregate hardware read bandwidth as XBUS
+// boards are added to one host.
+func Scaling(boardCounts []int) (*Figure, error) {
+	fig := metrics.NewFigure("XBUS board scaling", "boards", "MB/s")
+	s := fig.AddSeries("aggregate")
+	for _, n := range boardCounts {
+		cfg := server.DefaultConfig()
+		cfg.Boards = n
+		sys, err := server.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		const perBoard = 32 << 20
+		g := sim.NewGroup(sys.Eng)
+		for _, b := range sys.Boards {
+			b := b
+			for w := 0; w < outstanding; w++ {
+				w := w
+				g.Go("rd", func(p *sim.Proc) {
+					var cursor int64 = int64(w) * (perBoard / outstanding) / 512
+					for read := 0; read < perBoard/outstanding; read += 1600 << 10 {
+						// The host charges per-request control work, which
+						// eventually saturates as boards are added.
+						sys.Host.CPUWork(p, 2*time.Millisecond)
+						b.HardwareRead(p, cursor, 1600<<10)
+						cursor += (1600 << 10) / 512
+					}
+				})
+			}
+		}
+		end := sys.Eng.Run()
+		s.Add(float64(n), float64(n*perBoard)/end.Seconds()/1e6)
+	}
+	return fig, nil
+}
+
+// Zebra reproduces the §5.2 direction: a client's log striped with parity
+// across multiple boards, multiplying single-client bandwidth.
+func Zebra(serverCounts []int) (*Figure, error) {
+	fig := metrics.NewFigure("Zebra striping across servers", "servers", "client MB/s")
+	s := fig.AddSeries("striped write")
+	for _, n := range serverCounts {
+		cfg := server.Fig8Config()
+		cfg.Boards = n
+		sys, err := server.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sys.Eng.Spawn("fmt", func(p *sim.Proc) {
+			for _, b := range sys.Boards {
+				if err := b.FormatFS(p); err != nil {
+					panic(err)
+				}
+			}
+		})
+		sys.Eng.Run()
+		nic := sim.NewLink(sys.Eng, "client-nic", 100, 0)
+		ep := &hippi.Endpoint{Name: "client", Out: nic, In: nic, Setup: 200 * time.Microsecond}
+		zcfg := zebra.DefaultConfig()
+		zcfg.Parity = n >= 3
+		z, err := zebra.New(sys, ep, zcfg)
+		if err != nil {
+			return nil, err
+		}
+		const total = 24 << 20
+		var dur sim.Duration
+		sys.Eng.Spawn("t", func(p *sim.Proc) {
+			if err := z.Create(p, "stream"); err != nil {
+				panic(err)
+			}
+			start := p.Now()
+			if err := z.Write(p, "stream", 0, total); err != nil {
+				panic(err)
+			}
+			// The client's data is only stored once the servers' segment
+			// writes complete; include that drain (each server syncs
+			// independently, in parallel) in the measurement.
+			if err := z.SyncAll(p); err != nil {
+				panic(err)
+			}
+			dur = p.Now().Sub(start)
+		})
+		sys.Eng.Run()
+		s.Add(float64(n), float64(total)/dur.Seconds()/1e6)
+	}
+	return fig, nil
+}
+
+// AblationResult compares a design choice on/off.
+type AblationResult struct {
+	Name    string
+	With    float64
+	Without float64
+	Unit    string
+	Comment string
+}
+
+// AblationParityEngine compares the XBUS hardware parity engine against
+// computing parity on the host (RAID-I style) for sequential writes.
+func AblationParityEngine() (AblationResult, error) {
+	out := AblationResult{Name: "XBUS parity engine", Unit: "MB/s sequential write",
+		Comment: "host XOR drags every parity byte through the Sun 4/280 memory system"}
+	run := func(hostXOR bool) (float64, error) {
+		cfg := server.DefaultConfig()
+		sys, err := server.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		b := sys.Boards[0]
+		if hostXOR {
+			swapArrayXOR(sys, b)
+		}
+		const req = 1472 << 10 // one full stripe
+		var cursor int64
+		res := workload.FixedOps(sys.Eng, 2, 24, func(p *sim.Proc, _ int, _ *rand.Rand) int {
+			off := cursor
+			cursor += int64(req / 512)
+			b.HardwareWrite(p, off, req)
+			return req
+		})
+		return res.MBps(), nil
+	}
+	var err error
+	if out.With, err = run(false); err != nil {
+		return out, err
+	}
+	if out.Without, err = run(true); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// swapArrayXOR rebuilds the board's array with host-software XOR.
+func swapArrayXOR(sys *server.System, b *server.Board) {
+	b.Array.SetXOR(server.NewHostXOR(sys.Host))
+}
+
+// AblationLFSSmallWrites compares LFS against the update-in-place baseline
+// on small random writes — the reason RAID-II runs LFS at all.
+func AblationLFSSmallWrites() (AblationResult, error) {
+	out := AblationResult{Name: "LFS log batching", Unit: "4KB random write IOPS",
+		Comment: "update-in-place pays the RAID-5 four-access small-write penalty"}
+
+	// LFS.
+	{
+		sys, err := server.New(server.Fig8Config())
+		if err != nil {
+			return out, err
+		}
+		b := sys.Boards[0]
+		var f *server.FSFile
+		sys.Eng.Spawn("setup", func(p *sim.Proc) {
+			if err := b.FormatFS(p); err != nil {
+				panic(err)
+			}
+			f, err = b.CreateFS(p, "/small")
+			if err != nil {
+				panic(err)
+			}
+			if _, err := f.File.WriteAt(p, make([]byte, 2<<20), 0); err != nil {
+				panic(err)
+			}
+			b.FS.Sync(p)
+		})
+		sys.Eng.Run()
+		buf := make([]byte, 4096)
+		start := sys.Eng.Now()
+		res := workload.FixedOps(sys.Eng, 1, 400, func(p *sim.Proc, _ int, rng *rand.Rand) int {
+			off := workload.RandomAligned(rng, 2<<20-4096, 4096)
+			if err := b.FSWrite(p, f, off, buf); err != nil {
+				panic(err)
+			}
+			return 4096
+		})
+		res.Elapsed = sim.Duration(sys.Eng.Now() - start)
+		out.With = res.IOPS()
+	}
+	// UFS on the same array geometry.
+	{
+		sys, err := server.New(server.Fig8Config())
+		if err != nil {
+			return out, err
+		}
+		b := sys.Boards[0]
+		var fs *ufs.FS
+		sys.Eng.Spawn("setup", func(p *sim.Proc) {
+			fs, err = ufs.Format(p, sys.Eng, b.Array, 64)
+			if err != nil {
+				panic(err)
+			}
+			if err := fs.Create(p, 1); err != nil {
+				panic(err)
+			}
+			if _, err := fs.WriteAt(p, 1, make([]byte, 2<<20), 0); err != nil {
+				panic(err)
+			}
+		})
+		sys.Eng.Run()
+		buf := make([]byte, 4096)
+		start := sys.Eng.Now()
+		res := workload.FixedOps(sys.Eng, 1, 400, func(p *sim.Proc, _ int, rng *rand.Rand) int {
+			off := workload.RandomAligned(rng, 2<<20-4096, 4096)
+			sys.Host.CPUWork(p, 3*time.Millisecond)
+			if _, err := fs.WriteAt(p, 1, buf, off); err != nil {
+				panic(err)
+			}
+			return 4096
+		})
+		res.Elapsed = sim.Duration(sys.Eng.Now() - start)
+		out.Without = res.IOPS()
+	}
+	return out, nil
+}
+
+// AblationTwoPaths compares a large read over the high-bandwidth HIPPI
+// path against the same read forced through the host and Ethernet — the
+// architectural thesis of the paper.
+func AblationTwoPaths() (AblationResult, error) {
+	out := AblationResult{Name: "separate high-bandwidth data path", Unit: "MB/s large file read",
+		Comment: "standard mode drags data through the Sun 4/280 and 10 Mb/s Ethernet"}
+	sys, err := server.New(server.Fig8Config())
+	if err != nil {
+		return out, err
+	}
+	b := sys.Boards[0]
+	const n = 8 << 20
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		if err := b.FormatFS(p); err != nil {
+			panic(err)
+		}
+		f, err := b.CreateFS(p, "/big")
+		if err != nil {
+			panic(err)
+		}
+		if _, err := f.File.WriteAt(p, make([]byte, n), 0); err != nil {
+			panic(err)
+		}
+		b.FS.Sync(p)
+		start := p.Now()
+		if err := b.FSRead(p, f, 0, n); err != nil {
+			panic(err)
+		}
+		out.With = float64(n) / p.Now().Sub(start).Seconds() / 1e6
+		start = p.Now()
+		if err := b.EtherRead(p, f, 0, n); err != nil {
+			panic(err)
+		}
+		out.Without = float64(n) / p.Now().Sub(start).Seconds() / 1e6
+	})
+	sys.Eng.Run()
+	return out, nil
+}
+
+// AblationStripeUnit sweeps the striping unit for 1 MB hardware random
+// reads, one of the design parameters §2.2 fixes at 64 KB.
+func AblationStripeUnit(unitsKB []int) (*Figure, error) {
+	fig := metrics.NewFigure("Stripe unit sweep (1 MB random reads)", "unit KB", "MB/s")
+	s := fig.AddSeries("reads")
+	for _, kb := range unitsKB {
+		cfg := server.DefaultConfig()
+		cfg.StripeUnitSectors = kb * 2
+		sys, err := server.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		b := sys.Boards[0]
+		space := b.Array.Sectors()
+		const size = 1 << 20
+		res := workload.FixedOps(sys.Eng, outstanding, 24, func(p *sim.Proc, _ int, rng *rand.Rand) int {
+			align := int64(size / 512)
+			off := workload.RandomAligned(rng, space-align, align)
+			b.HardwareRead(p, off, size)
+			return size
+		})
+		s.Add(float64(kb), res.MBps())
+	}
+	return fig, nil
+}
+
+// RebuildResult holds the degraded-mode and reconstruction measurements.
+// The paper defers reliability analysis to its references, but the array
+// implements the machinery; this experiment quantifies it.
+type RebuildResult struct {
+	NormalReadMBps   float64
+	DegradedReadMBps float64
+	RebuildDuration  time.Duration
+	RebuildMBps      float64 // reconstruction rate onto the spare
+}
+
+// Rebuild measures large-read bandwidth on the healthy array, fails one
+// disk and measures degraded reads (every access to the lost column fans
+// out to all surviving disks plus parity), then reconstructs onto a spare
+// and reports the rebuild rate.
+func Rebuild() (RebuildResult, error) {
+	var out RebuildResult
+	sys, err := server.New(server.Fig8Config())
+	if err != nil {
+		return out, err
+	}
+	b := sys.Boards[0]
+	space := b.Array.Sectors()
+
+	measure := func() float64 {
+		start := sys.Eng.Now()
+		res := workload.FixedOps(sys.Eng, outstanding, 24, func(p *sim.Proc, _ int, rng *rand.Rand) int {
+			const size = 1 << 20
+			align := int64(size / 512)
+			off := workload.RandomAligned(rng, space-align, align)
+			b.HardwareRead(p, off, size)
+			return size
+		})
+		res.Elapsed = sim.Duration(sys.Eng.Now() - start)
+		return res.MBps()
+	}
+
+	out.NormalReadMBps = measure()
+	b.Array.FailDisk(3)
+	out.DegradedReadMBps = measure()
+
+	spare := b.AttachSpare(0, 0)
+	var stripes int64
+	start := sys.Eng.Now()
+	sys.Eng.Spawn("rebuild", func(p *sim.Proc) {
+		var err error
+		stripes, err = b.Array.Reconstruct(p, 3, spare)
+		if err != nil {
+			panic(err)
+		}
+	})
+	end := sys.Eng.Run()
+	out.RebuildDuration = time.Duration(end - start)
+	rebuilt := float64(stripes) * float64(b.Array.StripeUnitSectors()) * 512
+	out.RebuildMBps = rebuilt / out.RebuildDuration.Seconds() / 1e6
+	return out, nil
+}
+
+// AblationDiskScheduler compares actuator scheduling policies on the
+// Table 2 workload at higher per-disk queue depth (where policy matters).
+func AblationDiskScheduler() (AblationResult, error) {
+	out := AblationResult{Name: "SSTF disk scheduling", Unit: "4KB random read IOPS (4 disks, qdepth 4)",
+		Comment: "the 1993 drive firmware serviced FIFO; seek-aware scheduling helps queued small I/O"}
+	run := func(policy disk.SchedPolicy) (float64, error) {
+		cfg := server.DefaultConfig()
+		cfg.DiskSched = policy
+		sys, err := server.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		b := sys.Boards[0]
+		space := b.Disks[0].Sectors() - 8
+		// 16 workers over 4 disks: queue depth ~4 per actuator.
+		res := workload.ClosedLoop(sys.Eng, 16, sim.Time(3e9), func(p *sim.Proc, w int, rng *rand.Rand) int {
+			b.SmallDiskRead(p, w%4, workload.RandomAligned(rng, space, 8), 4096)
+			return 4096
+		})
+		sys.Eng.Shutdown()
+		return res.IOPS(), nil
+	}
+	var err error
+	if out.With, err = run(disk.SchedSSTF); err != nil {
+		return out, err
+	}
+	if out.Without, err = run(disk.SchedFIFO); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// FileServerResult summarizes the synthetic trace run.
+type FileServerResult struct {
+	Ops          uint64
+	Elapsed      time.Duration
+	OpsPerSec    float64
+	MeanReadMs   float64
+	MeanWriteMs  float64
+	SegsCleaned  uint64
+	FSConsistent bool
+}
+
+// FileServerTrace drives the assembled server with a Zipf-skewed
+// workstation file-server mix (reads dominate, small files dominate,
+// create/remove churn feeds the cleaner), the workload §4.1 contrasts
+// RAID-II against NFS boxes for.  It is an end-to-end integration
+// experiment rather than a figure from the paper.
+func FileServerTrace(ops int) (FileServerResult, error) {
+	var out FileServerResult
+	sys, err := server.New(server.Fig8Config())
+	if err != nil {
+		return out, err
+	}
+	b := sys.Boards[0]
+	tr := workload.NewTrace(workload.DefaultTraceConfig())
+
+	// Populate.
+	sys.Eng.Spawn("setup", func(p *sim.Proc) {
+		if err := b.FormatFS(p); err != nil {
+			panic(err)
+		}
+		if err := b.FS.Mkdir(p, "/srv"); err != nil {
+			panic(err)
+		}
+		for i := 0; i < tr.Files(); i++ {
+			f, err := b.FS.Create(p, tr.PathOf(i))
+			if err != nil {
+				panic(err)
+			}
+			if _, err := f.WriteAt(p, make([]byte, tr.SizeOf(i)), 0); err != nil {
+				panic(err)
+			}
+		}
+		if err := b.FS.Checkpoint(p); err != nil {
+			panic(err)
+		}
+	})
+	sys.Eng.Run()
+
+	var readLat, writeLat metrics.Latencies
+	start := sys.Eng.Now()
+	sys.Eng.Spawn("trace", func(p *sim.Proc) {
+		for i := 0; i < ops; i++ {
+			op := tr.Next()
+			t0 := p.Now()
+			switch op.Kind {
+			case "read":
+				f, err := b.OpenFS(p, op.Path)
+				if err != nil {
+					panic(err)
+				}
+				if err := b.FSRead(p, f, op.Off, op.Size); err != nil {
+					panic(err)
+				}
+				readLat.Add(p.Now().Sub(t0))
+			case "write":
+				f, err := b.OpenFS(p, op.Path)
+				if err != nil {
+					panic(err)
+				}
+				if err := b.FSWrite(p, f, op.Off, make([]byte, op.Size)); err != nil {
+					panic(err)
+				}
+				writeLat.Add(p.Now().Sub(t0))
+			case "create":
+				f, err := b.CreateFS(p, op.Path)
+				if err != nil {
+					panic(err)
+				}
+				if err := b.FSWrite(p, f, 0, make([]byte, op.Size)); err != nil {
+					panic(err)
+				}
+			case "remove":
+				if err := b.FS.Remove(p, op.Path); err != nil {
+					panic(err)
+				}
+			}
+			out.Ops++
+		}
+		if err := b.FS.Sync(p); err != nil {
+			panic(err)
+		}
+	})
+	end := sys.Eng.Run()
+	out.Elapsed = time.Duration(end - start)
+	out.OpsPerSec = float64(out.Ops) / out.Elapsed.Seconds()
+	out.MeanReadMs = float64(readLat.Mean().Microseconds()) / 1e3
+	out.MeanWriteMs = float64(writeLat.Mean().Microseconds()) / 1e3
+	out.SegsCleaned = b.FS.Stats().SegmentsCleaned
+
+	sys.Eng.Spawn("check", func(p *sim.Proc) {
+		rep, err := b.FS.Check(p)
+		if err != nil {
+			panic(err)
+		}
+		out.FSConsistent = rep.OK()
+	})
+	sys.Eng.Run()
+	return out, nil
+}

@@ -1,0 +1,3 @@
+module raidii
+
+go 1.22

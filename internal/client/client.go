@@ -1,0 +1,172 @@
+// Package client implements the RAID-II client side: the small library of
+// §3.3 that converts RAID file operations (raid_open, raid_read,
+// raid_write) into operations on an Ultranet socket — "The advantage of
+// this approach is that it doesn't require changes to the client operating
+// system" — plus the workstation models whose memory systems bound
+// single-client bandwidth (§3.4: a SPARCstation 10/51 reads 3.2 MB/s and
+// writes 3.1 MB/s because its "user-level network interface implementation
+// performs many copy operations").
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"raidii/internal/hippi"
+	"raidii/internal/host"
+	"raidii/internal/server"
+	"raidii/internal/sim"
+)
+
+// Workstation is a HIPPI-attached client machine.
+type Workstation struct {
+	sys  *server.System
+	Host *host.Host
+	NIC  *sim.Link
+	EP   *hippi.Endpoint
+}
+
+// NewWorkstation attaches a client of the given host model to the system's
+// Ultranet.
+func NewWorkstation(sys *server.System, name string, cfg host.Config) *Workstation {
+	h := host.New(sys.Eng, cfg)
+	nic := sim.NewLink(sys.Eng, name+":nic", 40, 0)
+	return &Workstation{
+		sys:  sys,
+		Host: h,
+		NIC:  nic,
+		EP:   &hippi.Endpoint{Name: name, Out: nic, In: nic, Setup: 300 * time.Microsecond},
+	}
+}
+
+// File is an open RAID file reached through the client library.
+type File struct {
+	ws    *Workstation
+	board *server.Board
+	f     *server.FSFile
+	path  string
+}
+
+// Open performs raid_open: the library opens a socket to the server, sends
+// the open command, and the RAID-II host performs the name lookup on the
+// low-bandwidth path.
+func (ws *Workstation) Open(p *sim.Proc, boardIdx int, path string) (*File, error) {
+	b := ws.sys.Boards[boardIdx]
+	// Command exchange: small control messages over the Ultranet, plus the
+	// host's name-resolution work.
+	ws.sys.Ultra.Send(p, ws.EP, b.HEP, 256)
+	ws.sys.Host.CPUWork(p, 2*time.Millisecond)
+	f, err := b.OpenFS(p, path)
+	if err != nil {
+		return nil, err
+	}
+	ws.sys.Ultra.Send(p, b.HEP, ws.EP, 128)
+	return &File{ws: ws, board: b, f: f, path: path}, nil
+}
+
+// Create performs raid_open with creation semantics.
+func (ws *Workstation) Create(p *sim.Proc, boardIdx int, path string) (*File, error) {
+	b := ws.sys.Boards[boardIdx]
+	ws.sys.Ultra.Send(p, ws.EP, b.HEP, 256)
+	ws.sys.Host.CPUWork(p, 3*time.Millisecond)
+	f, err := b.CreateFS(p, path)
+	if err != nil {
+		return nil, err
+	}
+	ws.sys.Ultra.Send(p, b.HEP, ws.EP, 128)
+	return &File{ws: ws, board: b, f: f, path: path}, nil
+}
+
+// Read performs raid_read: the server pipelines disk reads with network
+// sends while the client receives into application memory through its
+// copy-bound user-level library.
+func (fl *File) Read(p *sim.Proc, off int64, n int) error {
+	ws := fl.ws
+	sys := ws.sys
+	b := fl.board
+
+	// Read command (file position and length) to the server.
+	sys.Ultra.Send(p, ws.EP, b.HEP, 128)
+	sys.Host.CPUWork(p, sys.Cfg.FSReadOverhead)
+
+	// Server side: pipeline processes read blocks into XBUS buffers while
+	// the HIPPI source board sends completed blocks to the client; the
+	// client's socket-library copies bound its receive rate.
+	e := sys.Eng
+	type chunkState struct{ ready *sim.Event }
+	chunks := chunkSizes(n, sys.Cfg.PipelineChunk)
+	states := make([]chunkState, len(chunks))
+	cursor := off
+	for i, c := range chunks {
+		i, c := i, c
+		at := cursor
+		cursor += int64(c)
+		states[i].ready = sim.NewEvent(e)
+		b.XB.Buffers.Acquire(p, c)
+		e.Spawn("client-read-disk", func(q *sim.Proc) {
+			_, _ = fl.f.File.ReadAt(q, at, c)
+			states[i].ready.Signal()
+		})
+	}
+	for i, c := range chunks {
+		states[i].ready.Wait(p)
+		sys.Ultra.Send(p, b.HEP, ws.EP, c)
+		b.XB.Buffers.Release(c)
+		// Client-side copies out of the socket into application memory.
+		ws.Host.CopyAsync(p, c)
+	}
+	return nil
+}
+
+// Write performs raid_write: the client's copy-limited library pushes data
+// over the Ultranet; the server lands it in XBUS memory and appends it to
+// the LFS log.
+func (fl *File) Write(p *sim.Proc, off int64, n int) error {
+	ws := fl.ws
+	sys := ws.sys
+	b := fl.board
+	sys.Ultra.Send(p, ws.EP, b.HEP, 128)
+	sys.Host.CPUWork(p, sys.Cfg.FSWriteOverhead)
+
+	cursor := off
+	for _, c := range chunkSizes(n, sys.Cfg.PipelineChunk) {
+		// Client copies into socket buffers, then the wire transfer.
+		ws.Host.CopyAsync(p, c)
+		sys.Ultra.Send(p, ws.EP, b.HEP, c)
+		b.XB.Buffers.Acquire(p, c)
+		if err := writeChunk(p, fl, cursor, c); err != nil {
+			b.XB.Buffers.Release(c)
+			return err
+		}
+		b.XB.Buffers.Release(c)
+		cursor += int64(c)
+	}
+	return nil
+}
+
+func writeChunk(p *sim.Proc, fl *File, off int64, n int) error {
+	_, err := fl.f.File.WriteAt(p, make([]byte, n), off)
+	return err
+}
+
+// Size returns the file size as seen by the server.
+func (fl *File) Size(p *sim.Proc) (int64, error) { return fl.f.File.Size(p) }
+
+func chunkSizes(n, chunk int) []int {
+	if chunk <= 0 {
+		chunk = 256 << 10
+	}
+	var out []int
+	for n > 0 {
+		c := chunk
+		if c > n {
+			c = n
+		}
+		out = append(out, c)
+		n -= c
+	}
+	return out
+}
+
+// String describes the open file.
+func (fl *File) String() string { return fmt.Sprintf("raidfile(%s)", fl.path) }

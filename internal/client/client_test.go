@@ -1,0 +1,144 @@
+package client
+
+import (
+	"testing"
+
+	"raidii/internal/host"
+	"raidii/internal/server"
+	"raidii/internal/sim"
+)
+
+// newSystem builds a Fig8-style RAID-II with a formatted LFS and a file of
+// the given size.
+func newSystem(t *testing.T, fileMB int) (*server.System, string) {
+	t.Helper()
+	sys, err := server.New(server.Fig8Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sys.Boards[0]
+	sys.Eng.Spawn("setup", func(p *sim.Proc) {
+		if err := b.FormatFS(p); err != nil {
+			t.Fatal(err)
+		}
+		f, err := b.CreateFS(p, "/data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1<<20)
+		for i := 0; i < fileMB; i++ {
+			if _, err := f.File.WriteAt(p, buf, int64(i)<<20); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.FS.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	sys.Eng.Run()
+	return sys, "/data"
+}
+
+func TestSPARCstationReadAround3MBps(t *testing.T) {
+	// §3.4: "RAID-II read operations for a single SPARCstation client
+	// [reach] 3.2 megabytes/second" (client copy-bound).
+	sys, path := newSystem(t, 8)
+	ws := NewWorkstation(sys, "ss10", host.SPARCstation10())
+	var rate float64
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		f, err := ws.Open(p, 0, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := p.Now()
+		if err := f.Read(p, 0, 8<<20); err != nil {
+			t.Fatal(err)
+		}
+		rate = float64(8<<20) / p.Now().Sub(start).Seconds() / 1e6
+	})
+	sys.Eng.Run()
+	if rate < 2.6 || rate > 3.8 {
+		t.Fatalf("client read = %.2f MB/s, want ~3.2", rate)
+	}
+}
+
+func TestSPARCstationWriteAround3MBps(t *testing.T) {
+	sys, _ := newSystem(t, 1)
+	ws := NewWorkstation(sys, "ss10", host.SPARCstation10())
+	var rate float64
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		f, err := ws.Create(p, 0, "/upload")
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := p.Now()
+		if err := f.Write(p, 0, 8<<20); err != nil {
+			t.Fatal(err)
+		}
+		rate = float64(8<<20) / p.Now().Sub(start).Seconds() / 1e6
+	})
+	sys.Eng.Run()
+	if rate < 2.4 || rate > 3.8 {
+		t.Fatalf("client write = %.2f MB/s, want ~3.1", rate)
+	}
+}
+
+func TestHostNearlyIdleDuringClientTransfer(t *testing.T) {
+	// "utilization of the Sun4/280 workstation due to network operations
+	// is close to zero with the single SPARCstation client": the
+	// high-bandwidth path bypasses the host.
+	sys, path := newSystem(t, 8)
+	ws := NewWorkstation(sys, "ss10", host.SPARCstation10())
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		f, err := ws.Open(p, 0, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Read(p, 0, 8<<20); err != nil {
+			t.Fatal(err)
+		}
+	})
+	sys.Eng.Run()
+	if u := sys.Host.CPU.Utilization(); u > 0.05 {
+		t.Fatalf("host CPU utilization %.3f during client read, want ~0", u)
+	}
+}
+
+func TestFastClientNotCopyBound(t *testing.T) {
+	// A hypothetical client with a fast memory system should pull far more
+	// than the SPARCstation — "RAID-II is capable of scaling to much
+	// higher bandwidth".
+	sys, path := newSystem(t, 16)
+	fast := host.Config{
+		Name: "fast-client", MemBusMBps: 200, BackplaneMBps: 100,
+		PerIOOverhead: 100000, CopyCrossings: 1, DMACrossings: 1,
+	}
+	ws := NewWorkstation(sys, "fast", fast)
+	var rate float64
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		f, err := ws.Open(p, 0, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := p.Now()
+		if err := f.Read(p, 0, 16<<20); err != nil {
+			t.Fatal(err)
+		}
+		rate = float64(16<<20) / p.Now().Sub(start).Seconds() / 1e6
+	})
+	sys.Eng.Run()
+	if rate < 10 {
+		t.Fatalf("fast client read = %.2f MB/s, want >> 3.2", rate)
+	}
+}
+
+func TestOpenMissingFileFails(t *testing.T) {
+	sys, _ := newSystem(t, 1)
+	ws := NewWorkstation(sys, "ss10", host.SPARCstation10())
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		if _, err := ws.Open(p, 0, "/no-such-file"); err == nil {
+			t.Error("expected open of missing file to fail")
+		}
+	})
+	sys.Eng.Run()
+}

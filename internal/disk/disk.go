@@ -1,0 +1,372 @@
+package disk
+
+import (
+	"fmt"
+	"time"
+
+	"raidii/internal/sim"
+)
+
+// SchedPolicy selects how queued requests are admitted to the actuator.
+type SchedPolicy int
+
+const (
+	// SchedFIFO services requests in arrival order.
+	SchedFIFO SchedPolicy = iota
+	// SchedSSTF services the queued request with the shortest seek from
+	// the current cylinder; better throughput, can starve outliers.
+	SchedSSTF
+	// SchedSCAN sweeps the arm across the cylinders, servicing requests in
+	// passing (the elevator algorithm).
+	SchedSCAN
+)
+
+// Disk is a simulated drive: it stores real sector contents and charges
+// simulated time for command overhead, seeking, rotational latency, media
+// transfer and (optionally) the bus path the data traverses.
+//
+// Transfers are pipelined: during a read, a chunk of data leaves the drive
+// for the bus path as soon as the media has produced it, while the heads
+// keep reading; during a write, the media starts committing chunks as they
+// arrive from the bus.  A multi-hop path therefore runs at the bandwidth of
+// its slowest stage rather than the sum of stage times.
+type Disk struct {
+	spec     Spec
+	eng      *sim.Engine
+	curve    seekCurve
+	actuator *sim.ChooserServer
+	sched    SchedPolicy
+	scanUp   bool
+	store    *pagestore
+
+	curCyl  int
+	seqNext int64 // LBA that would continue the previous access; -1 if none
+
+	// mediaFront is the simulated time through which the media has
+	// produced data for the current sequential run.  During read-ahead the
+	// drive keeps reading into its track buffer while earlier data drains
+	// over the bus, so on a sequential hit the next request's data may
+	// already be buffered; the front may run ahead of consumption by at
+	// most the track buffer's worth of media time.
+	mediaFront sim.Time
+
+	stats Stats
+}
+
+// Stats accumulates per-drive counters.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	SeqHits      uint64 // reads serviced from the track read-ahead buffer
+	SeekTime     time.Duration
+	RotTime      time.Duration
+	MediaTime    time.Duration
+}
+
+// New creates a drive of the given spec attached to engine e.
+func New(e *sim.Engine, name string, spec Spec) *Disk {
+	d := &Disk{
+		spec:    spec,
+		eng:     e,
+		curve:   newSeekCurve(spec),
+		store:   newPagestore(spec.Capacity()),
+		seqNext: -1,
+		scanUp:  true,
+	}
+	d.actuator = sim.NewChooserServer(e, name+":actuator", d.chooseNext)
+	return d
+}
+
+// SetScheduler selects the actuator's request scheduling policy; the
+// default is FIFO, which is what the 1993 firmware did.
+func (d *Disk) SetScheduler(p SchedPolicy) { d.sched = p }
+
+// chooseNext implements the scheduling policy over the queued requests'
+// target cylinders.
+func (d *Disk) chooseNext(tags []int64) int {
+	switch d.sched {
+	case SchedSSTF:
+		best, bestDist := 0, int64(1)<<62
+		for i, cyl := range tags {
+			dist := cyl - int64(d.curCyl)
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist < bestDist {
+				best, bestDist = i, dist
+			}
+		}
+		return best
+	case SchedSCAN:
+		// Nearest request in the sweep direction; reverse at the edge.
+		pick := func(up bool) (int, bool) {
+			best, bestDist, found := 0, int64(1)<<62, false
+			for i, cyl := range tags {
+				d := cyl - int64(d.curCyl)
+				if !up {
+					d = -d
+				}
+				if d < 0 {
+					continue
+				}
+				if d < bestDist {
+					best, bestDist, found = i, d, true
+				}
+			}
+			return best, found
+		}
+		if i, ok := pick(d.scanUp); ok {
+			return i
+		}
+		d.scanUp = !d.scanUp
+		if i, ok := pick(d.scanUp); ok {
+			return i
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// Spec returns the drive's specification.
+func (d *Disk) Spec() Spec { return d.spec }
+
+// Sectors returns the number of addressable sectors.
+func (d *Disk) Sectors() int64 { return d.spec.Sectors() }
+
+// SectorSize returns the sector size in bytes.
+func (d *Disk) SectorSize() int { return d.spec.SectorSize }
+
+// Stats returns a copy of the drive's counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// Utilization reports the time-averaged busy fraction of the actuator.
+func (d *Disk) Utilization() float64 { return d.actuator.Utilization() }
+
+func (d *Disk) checkRange(lba int64, sectors int) {
+	if lba < 0 || sectors <= 0 || lba+int64(sectors) > d.spec.Sectors() {
+		panic(fmt.Sprintf("disk %s: access [%d,+%d) out of %d sectors",
+			d.spec.Name, lba, sectors, d.spec.Sectors()))
+	}
+}
+
+// cylOf maps an LBA to its cylinder.
+func (d *Disk) cylOf(lba int64) int {
+	perCyl := int64(d.spec.SectorsPerTrack * d.spec.Heads)
+	return int(lba / perCyl)
+}
+
+// rotationalLatency returns the wait for the platter to bring the start
+// sector under the head, given the current simulated time.  The platter
+// phase is derived deterministically from the clock.
+func (d *Disk) rotationalLatency(now sim.Time, lba int64) time.Duration {
+	rev := int64(d.spec.Revolution())
+	secT := int64(d.spec.SectorTime())
+	startSector := lba % int64(d.spec.SectorsPerTrack)
+	phase := int64(now) % rev
+	target := startSector * secT
+	lat := target - phase
+	if lat < 0 {
+		lat += rev
+	}
+	return time.Duration(lat)
+}
+
+// mediaTime returns the time for n consecutive sectors to pass under the
+// heads starting at lba, including head switches and track-to-track seeks
+// at track and cylinder boundaries (formatting skew is assumed to hide
+// rotational resynchronization).
+func (d *Disk) mediaTime(lba int64, n int) time.Duration {
+	spt := int64(d.spec.SectorsPerTrack)
+	perCyl := spt * int64(d.spec.Heads)
+	t := time.Duration(n) * d.spec.SectorTime()
+	last := lba + int64(n) - 1
+	trackCross := int(last/spt - lba/spt)
+	cylCross := int(last/perCyl - lba/perCyl)
+	t += time.Duration(trackCross-cylCross) * d.spec.HeadSwitch
+	for i := 0; i < cylCross; i++ {
+		t += d.curve.time(1)
+	}
+	return t
+}
+
+// seqHit reports whether a read at lba would be serviced by the drive's
+// read-ahead buffer (it exactly continues the previous access).
+func (d *Disk) seqHit(lba int64) bool {
+	return d.spec.TrackBufferSize > 0 && lba == d.seqNext
+}
+
+// position charges command overhead, seek and rotational latency for an
+// access beginning at lba, or only command overhead when hit is true (the
+// access continues the previous one out of the read-ahead buffer).  It
+// returns with the heads on the target cylinder.
+func (d *Disk) position(p *sim.Proc, lba int64, hit bool) {
+	p.Wait(d.spec.CmdOverhead)
+	if hit {
+		d.stats.SeqHits++
+		return
+	}
+	cyl := d.cylOf(lba)
+	dist := cyl - d.curCyl
+	if dist < 0 {
+		dist = -dist
+	}
+	st := d.curve.time(dist)
+	d.stats.SeekTime += st
+	p.Wait(st)
+	d.curCyl = cyl
+	rl := d.rotationalLatency(p.Now(), lba)
+	d.stats.RotTime += rl
+	p.Wait(rl)
+}
+
+// Read reads sectors [lba, lba+n) into a fresh buffer.  If path is
+// non-empty, each chunk of data traverses the path as the media produces
+// it; Read returns when the last chunk has been delivered at the far end.
+func (d *Disk) Read(p *sim.Proc, lba int64, n int, path sim.Path) []byte {
+	d.checkRange(lba, n)
+	d.actuator.Acquire(p, int64(d.cylOf(lba)))
+	hit := d.seqHit(lba)
+	d.position(p, lba, hit)
+
+	if hit {
+		// The media kept streaming ahead during the previous request's
+		// bus drain, but only a track buffer's worth may be banked.
+		aheadLimit := p.Now().Add(-d.bufferMediaTime())
+		if d.mediaFront < aheadLimit {
+			d.mediaFront = aheadLimit
+		}
+	} else {
+		d.mediaFront = p.Now()
+	}
+
+	g := sim.NewGroup(d.eng)
+	d.streamChunks(p, lba, n, func(cp *sim.Proc, bytes int) {
+		g.Go("diskread-chunk", func(q *sim.Proc) {
+			path.Send(q, bytes, 0)
+		})
+		_ = cp
+	})
+	d.curCyl = d.cylOf(lba + int64(n) - 1)
+	d.seqNext = lba + int64(n)
+	d.stats.Reads++
+	d.stats.BytesRead += uint64(n * d.spec.SectorSize)
+	d.actuator.Release()
+	g.Wait(p) // last chunk delivered downstream
+
+	buf := make([]byte, n*d.spec.SectorSize)
+	d.store.ReadAt(buf, lba*int64(d.spec.SectorSize))
+	return buf
+}
+
+// Write stores data (whose length must be a whole number of sectors) at
+// lba.  If path is non-empty the data first traverses the path toward the
+// drive, overlapped with head positioning; media writing of each chunk
+// begins once the chunk has arrived and the previous chunk has committed.
+func (d *Disk) Write(p *sim.Proc, lba int64, data []byte, path sim.Path) {
+	if len(data)%d.spec.SectorSize != 0 {
+		panic("disk: write length not a whole number of sectors")
+	}
+	n := len(data) / d.spec.SectorSize
+	d.checkRange(lba, n)
+	d.actuator.Acquire(p, int64(d.cylOf(lba)))
+
+	// Position while the first chunks are in flight on the bus.
+	posDone := sim.NewEvent(d.eng)
+	d.eng.Spawn("diskwrite-pos", func(q *sim.Proc) {
+		d.position(q, lba, false)
+		posDone.Signal()
+	})
+
+	// mediaFree tracks when the media is free to accept the next chunk.
+	// Chunk processes complete the path in FIFO order, so they observe and
+	// update it sequentially.
+	var mediaFree sim.Time
+	g := sim.NewGroup(d.eng)
+	remaining := n * d.spec.SectorSize
+	cursor := lba
+	for remaining > 0 {
+		bytes := sim.DefaultChunk
+		if bytes > remaining {
+			bytes = remaining
+		}
+		remaining -= bytes
+		secs := bytes / d.spec.SectorSize
+		if secs == 0 {
+			secs = 1
+		}
+		chunkLBA := cursor
+		cursor += int64(secs)
+		g.Go("diskwrite-chunk", func(q *sim.Proc) {
+			path.Send(q, bytes, 0)
+			posDone.Wait(q)
+			start := q.Now()
+			if mediaFree > start {
+				start = mediaFree
+			}
+			mt := d.mediaTime(chunkLBA, secs)
+			d.stats.MediaTime += mt
+			mediaFree = start.Add(mt)
+			q.WaitUntil(mediaFree)
+		})
+	}
+	g.Wait(p)
+
+	d.curCyl = d.cylOf(lba + int64(n) - 1)
+	d.seqNext = -1 // writing invalidates the read-ahead window
+	d.stats.Writes++
+	d.stats.BytesWritten += uint64(len(data))
+	d.store.WriteAt(data, lba*int64(d.spec.SectorSize))
+	d.actuator.Release()
+}
+
+// bufferMediaTime is how much media time the track buffer can bank.
+func (d *Disk) bufferMediaTime() time.Duration {
+	return sim.BytesDuration(d.spec.TrackBufferSize, d.spec.MediaRate()/1e6)
+}
+
+// streamChunks models the media producing the request's sectors in order:
+// each chunk becomes available when the media front passes it (which may
+// already have happened, for buffered read-ahead data), at which point
+// deliver is invoked to start downstream work.  Used by Read.
+func (d *Disk) streamChunks(p *sim.Proc, lba int64, n int, deliver func(*sim.Proc, int)) {
+	remaining := n * d.spec.SectorSize
+	cursor := lba
+	for remaining > 0 {
+		bytes := sim.DefaultChunk
+		if bytes > remaining {
+			bytes = remaining
+		}
+		remaining -= bytes
+		secs := bytes / d.spec.SectorSize
+		if secs == 0 {
+			secs = 1
+		}
+		mt := d.mediaTime(cursor, secs)
+		d.stats.MediaTime += mt
+		d.mediaFront = d.mediaFront.Add(mt)
+		p.WaitUntil(d.mediaFront)
+		deliver(p, bytes)
+		cursor += int64(secs)
+	}
+}
+
+// ReadData returns sector contents without charging any simulated time.
+// It exists for verification in tests and for metadata bootstrapping.
+func (d *Disk) ReadData(lba int64, n int) []byte {
+	d.checkRange(lba, n)
+	buf := make([]byte, n*d.spec.SectorSize)
+	d.store.ReadAt(buf, lba*int64(d.spec.SectorSize))
+	return buf
+}
+
+// WriteData stores sector contents without charging any simulated time.
+func (d *Disk) WriteData(lba int64, data []byte) {
+	if len(data)%d.spec.SectorSize != 0 {
+		panic("disk: write length not a whole number of sectors")
+	}
+	d.checkRange(lba, len(data)/d.spec.SectorSize)
+	d.store.WriteAt(data, lba*int64(d.spec.SectorSize))
+}

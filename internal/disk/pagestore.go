@@ -1,0 +1,66 @@
+package disk
+
+// pagestore holds the disk's contents sparsely: 64 KB pages are allocated
+// only when written, so a simulation can address tens of gigabytes of array
+// capacity while touching far less host memory.  Unwritten bytes read as
+// zero, matching a freshly-formatted drive.
+type pagestore struct {
+	size  int64
+	pages map[int64][]byte
+}
+
+const pageBytes = 64 * 1024
+
+func newPagestore(size int64) *pagestore {
+	return &pagestore{size: size, pages: make(map[int64][]byte)}
+}
+
+// ReadAt fills buf with the contents at off.
+func (ps *pagestore) ReadAt(buf []byte, off int64) {
+	if off < 0 || off+int64(len(buf)) > ps.size {
+		panic("disk: read out of range")
+	}
+	for len(buf) > 0 {
+		pg := off / pageBytes
+		po := off % pageBytes
+		n := pageBytes - po
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		if page, ok := ps.pages[pg]; ok {
+			copy(buf[:n], page[po:po+n])
+		} else {
+			for i := int64(0); i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		buf = buf[n:]
+		off += n
+	}
+}
+
+// WriteAt stores buf at off.
+func (ps *pagestore) WriteAt(buf []byte, off int64) {
+	if off < 0 || off+int64(len(buf)) > ps.size {
+		panic("disk: write out of range")
+	}
+	for len(buf) > 0 {
+		pg := off / pageBytes
+		po := off % pageBytes
+		n := pageBytes - po
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		page, ok := ps.pages[pg]
+		if !ok {
+			page = make([]byte, pageBytes)
+			ps.pages[pg] = page
+		}
+		copy(page[po:po+n], buf[:n])
+		buf = buf[n:]
+		off += n
+	}
+}
+
+// PagesAllocated reports how many 64 KB pages have been materialized.
+func (ps *pagestore) PagesAllocated() int { return len(ps.pages) }

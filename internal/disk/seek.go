@@ -1,0 +1,73 @@
+package disk
+
+import (
+	"math"
+	"time"
+)
+
+// seekCurve converts a seek distance in cylinders into a seek time using the
+// standard two-regime fit t(d) = a + b*sqrt(d) + c*d, calibrated so that the
+// curve passes through the drive's track-to-track, average and maximum seek
+// times.  Short seeks are dominated by the sqrt term (acceleration-limited);
+// long seeks by the linear term (coast at max arm velocity).
+type seekCurve struct {
+	a, b, c float64 // seconds
+	maxDist float64
+}
+
+// newSeekCurve fits the curve through three points: (1, t2t),
+// (cyls/3, avg) — the mean seek distance on a uniformly-used disk is close
+// to one third of the cylinders — and (cyls-1, max).
+func newSeekCurve(s Spec) seekCurve {
+	x1, y1 := 1.0, s.SeekTrackToTrack.Seconds()
+	x2, y2 := float64(s.Cylinders)/3, s.SeekAverage.Seconds()
+	x3, y3 := float64(s.Cylinders-1), s.SeekMax.Seconds()
+	// Solve the 3x3 linear system
+	//   a + b*sqrt(xi) + c*xi = yi
+	// by Cramer's rule.
+	r1 := [4]float64{1, math.Sqrt(x1), x1, y1}
+	r2 := [4]float64{1, math.Sqrt(x2), x2, y2}
+	r3 := [4]float64{1, math.Sqrt(x3), x3, y3}
+	det := func(m [3][3]float64) float64 {
+		return m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+			m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+			m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+	}
+	d := det([3][3]float64{
+		{r1[0], r1[1], r1[2]},
+		{r2[0], r2[1], r2[2]},
+		{r3[0], r3[1], r3[2]},
+	})
+	da := det([3][3]float64{
+		{r1[3], r1[1], r1[2]},
+		{r2[3], r2[1], r2[2]},
+		{r3[3], r3[1], r3[2]},
+	})
+	db := det([3][3]float64{
+		{r1[0], r1[3], r1[2]},
+		{r2[0], r2[3], r2[2]},
+		{r3[0], r3[3], r3[2]},
+	})
+	dc := det([3][3]float64{
+		{r1[0], r1[1], r1[3]},
+		{r2[0], r2[1], r2[3]},
+		{r3[0], r3[1], r3[3]},
+	})
+	return seekCurve{a: da / d, b: db / d, c: dc / d, maxDist: x3}
+}
+
+// time returns the seek time for a move of dist cylinders (0 means no seek).
+func (c seekCurve) time(dist int) time.Duration {
+	if dist <= 0 {
+		return 0
+	}
+	d := float64(dist)
+	if d > c.maxDist {
+		d = c.maxDist
+	}
+	sec := c.a + c.b*math.Sqrt(d) + c.c*d
+	if sec < 0 {
+		sec = 0
+	}
+	return time.Duration(sec * 1e9)
+}

@@ -1,0 +1,55 @@
+// Package ether models the 10 megabit/second Ethernet attached to the host
+// workstation: RAID-II's low-bandwidth client path ("we maximize
+// utilization and performance of the high-bandwidth data path if smaller
+// requests use the Ethernet network and larger requests use the HIPPI
+// network").
+package ether
+
+import (
+	"time"
+
+	"raidii/internal/sim"
+)
+
+// Config carries the Ethernet parameters.
+type Config struct {
+	MbitPerS  float64       // raw wire rate
+	PerPacket time.Duration // protocol/driver overhead per packet
+	MTU       int
+}
+
+// DefaultConfig returns the paper's 10 Mb/s Ethernet; the paper notes an
+// Ethernet packet takes about half a millisecond end to end.
+func DefaultConfig() Config {
+	return Config{MbitPerS: 10, PerPacket: 300 * time.Microsecond, MTU: 1500}
+}
+
+// Segment is one shared Ethernet cable.
+type Segment struct {
+	wire *sim.Link
+	cfg  Config
+}
+
+// New creates a segment on engine e.
+func New(e *sim.Engine, name string, cfg Config) *Segment {
+	// The wire is a serial medium: one frame at a time, with the
+	// per-packet overhead folded into link latency.
+	return &Segment{
+		wire: sim.NewLink(e, name, cfg.MbitPerS/8, cfg.PerPacket),
+		cfg:  cfg,
+	}
+}
+
+// Send transmits n bytes as MTU-sized frames; concurrent senders contend
+// frame by frame.  It returns when the final frame has been received.
+func (s *Segment) Send(p *sim.Proc, n int) {
+	sim.Path{s.wire}.Send(p, n, s.cfg.MTU)
+}
+
+// PacketTime reports the duration one full frame occupies the wire.
+func (s *Segment) PacketTime() time.Duration {
+	return s.wire.XferTime(s.cfg.MTU)
+}
+
+// Utilization reports the wire's busy fraction.
+func (s *Segment) Utilization() float64 { return s.wire.Utilization() }

@@ -1,0 +1,47 @@
+package ether
+
+import (
+	"testing"
+
+	"raidii/internal/sim"
+)
+
+func TestThroughputAroundOneMBps(t *testing.T) {
+	e := sim.New()
+	seg := New(e, "eth0", DefaultConfig())
+	const n = 1 << 20
+	var end sim.Time
+	e.Spawn("p", func(p *sim.Proc) { seg.Send(p, n) })
+	end = e.Run()
+	rate := float64(n) / end.Seconds() / 1e6
+	if rate < 0.7 || rate > 1.25 {
+		t.Fatalf("ethernet rate = %.2f MB/s, want ~1 (10 Mb/s wire)", rate)
+	}
+}
+
+func TestPacketTimeAboutHalfMillisecond(t *testing.T) {
+	// The paper: "an Ethernet packet takes approximately 0.5 millisecond".
+	e := sim.New()
+	seg := New(e, "eth0", DefaultConfig())
+	pt := seg.PacketTime()
+	if pt < sim.Duration(4e5) || pt > sim.Duration(2e6) {
+		t.Fatalf("packet time = %v, want roughly 0.5-1.5 ms", pt)
+	}
+}
+
+func TestSharedWireContention(t *testing.T) {
+	e := sim.New()
+	seg := New(e, "eth0", DefaultConfig())
+	g := sim.NewGroup(e)
+	for i := 0; i < 3; i++ {
+		g.Go("s", func(p *sim.Proc) { seg.Send(p, 300<<10) })
+	}
+	end := e.Run()
+	rate := float64(900<<10) / end.Seconds() / 1e6
+	if rate > 1.25 {
+		t.Fatalf("aggregate %.2f exceeds wire rate", rate)
+	}
+	if seg.Utilization() < 0.9 {
+		t.Fatalf("wire utilization %.2f should be ~1 under load", seg.Utilization())
+	}
+}

@@ -1,0 +1,101 @@
+// Package hippi models the high-bandwidth network attachment of RAID-II:
+// the Thinking Machines HIPPI source/destination board pair on each XBUS
+// board, and the Ultra Network Technologies ring that connects the file
+// server to supercomputers and client workstations.
+//
+// The dominant cost the paper measures is the fixed ~1.1 ms of overhead to
+// set up the HIPPI and XBUS control registers across the slow VME link for
+// every packet, which makes small transfers slow while large transfers
+// approach the 40 MB/s port bandwidth (38.5 MB/s measured in loopback,
+// Figure 6).
+package hippi
+
+import (
+	"time"
+
+	"raidii/internal/sim"
+)
+
+// Config carries the calibrated HIPPI parameters.
+type Config struct {
+	// PacketSetup is the per-packet control overhead (host register
+	// accesses across the VME link).
+	PacketSetup time.Duration
+	// RingMBps is the Ultranet ring bandwidth (the paper's "100
+	// megabytes/second HIPPI network").
+	RingMBps float64
+	// MaxPacket bounds the bytes moved per HIPPI packet; requests larger
+	// than this pay additional per-packet setups.
+	MaxPacket int
+}
+
+// DefaultConfig returns the paper-calibrated parameters.
+func DefaultConfig() Config {
+	return Config{
+		PacketSetup: 1100 * time.Microsecond,
+		RingMBps:    100,
+		MaxPacket:   2 << 20,
+	}
+}
+
+// Endpoint is a HIPPI-attached party: an XBUS board (via its HIPPI
+// source/destination ports) or a client workstation (via its NIC model).
+type Endpoint struct {
+	Name  string
+	Out   sim.Hop       // endpoint memory -> network direction
+	In    sim.Hop       // network -> endpoint memory direction
+	Setup time.Duration // per-packet sender-side setup cost
+}
+
+// Ultranet is the shared ring network.
+type Ultranet struct {
+	Ring *sim.Link
+	cfg  Config
+}
+
+// NewUltranet creates the ring.
+func NewUltranet(e *sim.Engine, cfg Config) *Ultranet {
+	return &Ultranet{
+		Ring: sim.NewLink(e, "ultranet", cfg.RingMBps, 0),
+		cfg:  cfg,
+	}
+}
+
+// Send moves n bytes from one endpoint to another across the ring,
+// packetized at MaxPacket with per-packet sender setup.  It returns when
+// the last byte lands in the receiver's memory.
+func (u *Ultranet) Send(p *sim.Proc, from, to *Endpoint, n int) {
+	for n > 0 {
+		pkt := n
+		if u.cfg.MaxPacket > 0 && pkt > u.cfg.MaxPacket {
+			pkt = u.cfg.MaxPacket
+		}
+		n -= pkt
+		p.Wait(from.Setup)
+		path := sim.Path{}
+		if from.Out != nil {
+			path = append(path, from.Out)
+		}
+		path = append(path, u.Ring)
+		if to.In != nil {
+			path = append(path, to.In)
+		}
+		path.Send(p, pkt, 0)
+	}
+}
+
+// Loopback moves n bytes out of an endpoint and straight back into it (the
+// Figure 6 configuration: XBUS memory -> HIPPI source board -> HIPPI
+// destination board -> XBUS memory, with "minimal network protocol
+// overhead").
+func Loopback(p *sim.Proc, ep *Endpoint, cfg Config, n int) {
+	for n > 0 {
+		pkt := n
+		if cfg.MaxPacket > 0 && pkt > cfg.MaxPacket {
+			pkt = cfg.MaxPacket
+		}
+		n -= pkt
+		p.Wait(ep.Setup)
+		sim.Path{ep.Out, ep.In}.Send(p, pkt, 0)
+	}
+}

@@ -1,0 +1,145 @@
+package hippi
+
+import (
+	"testing"
+	"time"
+
+	"raidii/internal/sim"
+	"raidii/internal/xbus"
+)
+
+func boardEndpoint(b *xbus.Board, cfg Config) *Endpoint {
+	return &Endpoint{Name: "xb", Out: b.HIPPIS.Out(), In: b.HIPPID.In(), Setup: cfg.PacketSetup}
+}
+
+// loopbackRate measures Figure 6's experiment at one request size.
+func loopbackRate(reqBytes int) float64 {
+	e := sim.New()
+	cfg := DefaultConfig()
+	b := xbus.New(e, "xb", xbus.DefaultConfig())
+	ep := boardEndpoint(b, cfg)
+	const total = 16 << 20
+	var end sim.Time
+	e.Spawn("p", func(p *sim.Proc) {
+		for sent := 0; sent < total; sent += reqBytes {
+			Loopback(p, ep, cfg, reqBytes)
+		}
+		end = p.Now()
+	})
+	e.Run()
+	return float64(total) / end.Seconds() / 1e6
+}
+
+func TestLoopbackLargeRequestsNear38MBps(t *testing.T) {
+	r := loopbackRate(1 << 20)
+	if r < 36 || r > 40 {
+		t.Fatalf("1 MB loopback = %.1f MB/s, want ~38.5", r)
+	}
+}
+
+func TestLoopbackSmallRequestsSetupDominated(t *testing.T) {
+	// A 16 KB packet: 1.1 ms setup vs ~0.4 ms of wire time; throughput
+	// collapses, exactly the left side of Figure 6.
+	r := loopbackRate(16 << 10)
+	if r > 12 {
+		t.Fatalf("16 KB loopback = %.1f MB/s, want setup-dominated (<12)", r)
+	}
+	big := loopbackRate(1 << 20)
+	if big < 3*r {
+		t.Fatalf("large requests (%.1f) should dwarf small (%.1f)", big, r)
+	}
+}
+
+func TestLoopbackBothDirectionsSimultaneously(t *testing.T) {
+	// "the XBUS and HIPPI boards support 38 megabytes/second in both
+	// directions": the loop stream keeps the source (out) and destination
+	// (in) ports busy at the same time, each carrying the full data rate —
+	// chunks pipeline through the two ports rather than serializing.
+	e := sim.New()
+	cfg := DefaultConfig()
+	b := xbus.New(e, "xb", xbus.DefaultConfig())
+	ep := boardEndpoint(b, cfg)
+	const total = 16 << 20
+	e.Spawn("loop", func(p *sim.Proc) {
+		for sent := 0; sent < total; sent += 1 << 20 {
+			Loopback(p, ep, cfg, 1<<20)
+		}
+	})
+	end := e.Run()
+	rate := float64(total) / end.Seconds() / 1e6
+	if rate < 36 {
+		t.Fatalf("loop rate = %.1f MB/s, want ~38.5", rate)
+	}
+	if b.HIPPIS.BytesMoved() != total || b.HIPPID.BytesMoved() != total {
+		t.Fatalf("each direction should carry all bytes: out=%d in=%d",
+			b.HIPPIS.BytesMoved(), b.HIPPID.BytesMoved())
+	}
+	// Both ports busy most of the time implies concurrent directions.
+	if b.HIPPIS.Utilization() < 0.85 || b.HIPPID.Utilization() < 0.85 {
+		t.Fatalf("port utilizations out=%.2f in=%.2f; directions not concurrent",
+			b.HIPPIS.Utilization(), b.HIPPID.Utilization())
+	}
+}
+
+func TestUltranetSendBetweenEndpoints(t *testing.T) {
+	e := sim.New()
+	cfg := DefaultConfig()
+	u := NewUltranet(e, cfg)
+	b := xbus.New(e, "xb", xbus.DefaultConfig())
+	server := boardEndpoint(b, cfg)
+	clientNIC := sim.NewLink(e, "client-nic", 80, 0)
+	client := &Endpoint{Name: "client", Out: clientNIC, In: clientNIC, Setup: 200 * time.Microsecond}
+	const n = 8 << 20
+	var end sim.Time
+	e.Spawn("p", func(p *sim.Proc) {
+		u.Send(p, server, client, n)
+		end = p.Now()
+	})
+	e.Run()
+	rate := float64(n) / end.Seconds() / 1e6
+	// Limited by the server's 40 MB/s HIPPI source port.
+	if rate < 34 || rate > 41 {
+		t.Fatalf("ultranet transfer = %.1f MB/s, want ~38", rate)
+	}
+}
+
+func TestUltranetPacketization(t *testing.T) {
+	e := sim.New()
+	cfg := DefaultConfig()
+	cfg.MaxPacket = 1 << 20
+	u := NewUltranet(e, cfg)
+	nic := sim.NewLink(e, "nic", 100, 0)
+	a := &Endpoint{Name: "a", Out: nic, In: nic, Setup: cfg.PacketSetup}
+	bEp := &Endpoint{Name: "b", Out: nic, In: nic, Setup: cfg.PacketSetup}
+	var end sim.Time
+	e.Spawn("p", func(p *sim.Proc) {
+		u.Send(p, a, bEp, 4<<20) // 4 packets -> 4 setups
+		end = p.Now()
+	})
+	e.Run()
+	if end < sim.Time(4*int64(cfg.PacketSetup)) {
+		t.Fatalf("end %v should include 4 packet setups", end)
+	}
+}
+
+func TestRingIsShared(t *testing.T) {
+	// Two transfers between distinct endpoint pairs share the ring.
+	e := sim.New()
+	cfg := DefaultConfig()
+	cfg.RingMBps = 10 // make the ring the bottleneck
+	u := NewUltranet(e, cfg)
+	mk := func(name string) *Endpoint {
+		l := sim.NewLink(e, name, 100, 0)
+		return &Endpoint{Name: name, Out: l, In: l}
+	}
+	g := sim.NewGroup(e)
+	for i := 0; i < 2; i++ {
+		from, to := mk("f"), mk("t")
+		g.Go("xfer", func(p *sim.Proc) { u.Send(p, from, to, 5<<20) })
+	}
+	end := e.Run()
+	rate := float64(10<<20) / end.Seconds() / 1e6
+	if rate > 10.5 {
+		t.Fatalf("aggregate %.1f exceeds shared 10 MB/s ring", rate)
+	}
+}

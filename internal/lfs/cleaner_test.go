@@ -1,0 +1,167 @@
+package lfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"raidii/internal/sim"
+)
+
+func TestCleanerReclaimsDeadSegments(t *testing.T) {
+	e, fs := newFS(t, 64, 8)
+	run(e, func(p *sim.Proc) {
+		// Fill, delete, and verify space comes back.
+		for i := 0; i < 10; i++ {
+			f, err := fs.Create(p, fmt.Sprintf("/junk%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.WriteAt(p, make([]byte, 200<<10), 0)
+		}
+		fs.Sync(p)
+		for i := 0; i < 10; i++ {
+			fs.Remove(p, fmt.Sprintf("/junk%d", i))
+		}
+		fs.Sync(p)
+		before := fs.FreeSegments()
+		n, err := fs.Clean(p, before+5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatal("cleaner reclaimed nothing")
+		}
+		if fs.FreeSegments() <= before {
+			t.Fatalf("free segments %d -> %d", before, fs.FreeSegments())
+		}
+	})
+	if fs.Stats().SegmentsCleaned == 0 {
+		t.Fatal("stats not updated")
+	}
+}
+
+func TestCleanerPreservesLiveData(t *testing.T) {
+	e, fs := newFS(t, 64, 8)
+	keep := make([]byte, 300<<10)
+	for i := range keep {
+		keep[i] = byte(i * 13)
+	}
+	run(e, func(p *sim.Proc) {
+		f, _ := fs.Create(p, "/keep")
+		f.WriteAt(p, keep, 0)
+		// Interleave junk that then dies, fragmenting segments.
+		for i := 0; i < 8; i++ {
+			g, _ := fs.Create(p, fmt.Sprintf("/junk%d", i))
+			g.WriteAt(p, make([]byte, 100<<10), 0)
+		}
+		fs.Sync(p)
+		for i := 0; i < 8; i++ {
+			fs.Remove(p, fmt.Sprintf("/junk%d", i))
+		}
+		fs.Sync(p)
+		// Ask for more space than the dead blocks can yield: the cleaner
+		// must reclaim what exists and stop (ErrNoSpace), never corrupt.
+		if _, err := fs.Clean(p, fs.FreeSegments()+6); err != nil && err != ErrNoSpace {
+			t.Fatal(err)
+		}
+		got, err := f.ReadAt(p, 0, len(keep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, keep) {
+			t.Fatal("cleaner corrupted live data")
+		}
+		r, err := fs.Check(p)
+		if err != nil || !r.OK() {
+			t.Fatalf("check after clean: %v %+v", err, r)
+		}
+		if fs.Stats().BlocksMoved == 0 {
+			t.Fatal("cleaner moved no blocks despite live data")
+		}
+	})
+}
+
+func TestCleanerSurvivesCheckpointAndRemount(t *testing.T) {
+	e := sim.New()
+	dev := newDevice(e, 8)
+	run(e, func(p *sim.Proc) {
+		fs, _ := Format(p, e, dev, Config{SegBytes: 64 << 10, MaxInodes: 1024, CleanReserve: 3})
+		f, _ := fs.Create(p, "/live")
+		payload := bytes.Repeat([]byte("z"), 150<<10)
+		f.WriteAt(p, payload, 0)
+		for i := 0; i < 6; i++ {
+			g, _ := fs.Create(p, fmt.Sprintf("/dead%d", i))
+			g.WriteAt(p, make([]byte, 80<<10), 0)
+		}
+		fs.Sync(p)
+		for i := 0; i < 6; i++ {
+			fs.Remove(p, fmt.Sprintf("/dead%d", i))
+		}
+		if _, err := fs.Clean(p, fs.FreeSegments()+4); err != nil && err != ErrNoSpace {
+			t.Fatal(err)
+		}
+		fs.Checkpoint(p)
+		fs.Crash()
+
+		fs2, err := Mount(p, e, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := fs2.Open(p, "/live")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := g.ReadAt(p, 0, len(payload))
+		if !bytes.Equal(got, payload) {
+			t.Fatal("moved data lost after remount")
+		}
+	})
+}
+
+func TestAutoCleanUnderSpacePressure(t *testing.T) {
+	// A file system near capacity with lots of dead data should keep
+	// accepting writes because appendBlock triggers cleaning.
+	// 4 data disks x 2 MB = 8 MB usable: ~125 segments of 64 KB.
+	e, fs := newFS(t, 64, 2)
+	run(e, func(p *sim.Proc) {
+		// Repeatedly rewrite the same file; old blocks die each time.
+		f, err := fs.Create(p, "/churn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 256<<10)
+		for i := 0; i < 50; i++ {
+			for j := range buf {
+				buf[j] = byte(i + j)
+			}
+			if _, err := f.WriteAt(p, buf, 0); err != nil {
+				t.Fatalf("rewrite %d: %v", i, err)
+			}
+			fs.Sync(p)
+		}
+		got, _ := f.ReadAt(p, 0, len(buf))
+		if !bytes.Equal(got, buf) {
+			t.Fatal("content wrong after churn")
+		}
+	})
+	if fs.Stats().SegmentsCleaned == 0 {
+		t.Fatal("auto-clean never ran despite churn on a small volume")
+	}
+}
+
+func TestCleanScorePrefersColdEmptySegments(t *testing.T) {
+	e, fs := newFS(t, 64, 8)
+	_ = e
+	// Synthesize usage: segment 5 mostly dead and old; segment 6 full and
+	// young.
+	fs.free[5], fs.free[6] = false, false
+	fs.usageLive[5] = int32(fs.segDataBlks * BlockSize / 10)
+	fs.usageSeq[5] = 1
+	fs.usageLive[6] = int32(fs.segDataBlks * BlockSize)
+	fs.usageSeq[6] = fs.segSeq
+	if fs.cleanScore(5) <= fs.cleanScore(6) {
+		t.Fatalf("cost-benefit should prefer cold empty segment: %f vs %f",
+			fs.cleanScore(5), fs.cleanScore(6))
+	}
+}

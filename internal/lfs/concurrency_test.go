@@ -1,0 +1,172 @@
+package lfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"raidii/internal/sim"
+)
+
+// TestConcurrentWritersDistinctFiles drives several simulated processes
+// writing different files at once; the global metadata lock must keep
+// structures coherent.
+func TestConcurrentWritersDistinctFiles(t *testing.T) {
+	e, fs := newFS(t, 64, 16)
+	const writers = 6
+	const perFile = 300 << 10
+	g := sim.NewGroup(e)
+	for w := 0; w < writers; w++ {
+		w := w
+		g.Go("writer", func(p *sim.Proc) {
+			f, err := fs.Create(p, fmt.Sprintf("/w%d", w))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			payload := bytes.Repeat([]byte{byte('a' + w)}, perFile)
+			if _, err := f.WriteAt(p, payload, 0); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	e.Run()
+	run(e, func(p *sim.Proc) {
+		if err := fs.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < writers; w++ {
+			f, err := fs.Open(p, fmt.Sprintf("/w%d", w))
+			if err != nil {
+				t.Fatalf("writer %d file missing: %v", w, err)
+			}
+			got, err := f.ReadAt(p, 0, perFile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bytes.Repeat([]byte{byte('a' + w)}, perFile)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("writer %d content corrupted", w)
+			}
+		}
+		rep, err := fs.Check(p)
+		if err != nil || !rep.OK() {
+			t.Fatalf("check: %v %+v", err, rep)
+		}
+	})
+}
+
+// TestConcurrentReadersShareFile checks that parallel readers of one file
+// all see the same bytes while a writer appends.
+func TestConcurrentReadersShareFile(t *testing.T) {
+	e, fs := newFS(t, 64, 16)
+	const size = 1 << 20
+	base := bytes.Repeat([]byte{0x5a}, size)
+	run(e, func(p *sim.Proc) {
+		f, _ := fs.Create(p, "/shared")
+		f.WriteAt(p, base, 0)
+		fs.Sync(p)
+	})
+	g := sim.NewGroup(e)
+	for r := 0; r < 4; r++ {
+		g.Go("reader", func(p *sim.Proc) {
+			f, err := fs.Open(p, "/shared")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := f.ReadAt(p, 0, size)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(got, base) {
+				t.Error("reader saw wrong data")
+			}
+		})
+	}
+	g.Go("appender", func(p *sim.Proc) {
+		f, _ := fs.Open(p, "/shared")
+		f.WriteAt(p, []byte("tail"), size)
+	})
+	e.Run()
+}
+
+// TestFileSyncDurability checks fsync semantics: a per-file Sync survives
+// a crash even though the global state was never checkpointed or synced.
+func TestFileSyncDurability(t *testing.T) {
+	e := sim.New()
+	dev := newDevice(e, 8)
+	run(e, func(p *sim.Proc) {
+		fs, err := Format(p, e, dev, Config{SegBytes: 64 << 10, MaxInodes: 1024, CleanReserve: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _ := fs.Create(p, "/fsynced")
+		f.WriteAt(p, []byte("must survive"), 0)
+		fs.Checkpoint(p) // persist the directory entry
+		f.WriteAt(p, []byte("MUST SURVIVE"), 0)
+		if err := f.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		fs.Crash()
+		fs2, err := Mount(p, e, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := fs2.Open(p, "/fsynced")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := g.ReadAt(p, 0, 12)
+		if string(got) != "MUST SURVIVE" {
+			t.Fatalf("got %q after crash, want fsynced content", got)
+		}
+	})
+}
+
+// TestOutOfSpaceSurfacesError fills a tiny volume with live data until
+// writes must fail with ErrNoSpace, then verifies existing data is intact.
+func TestOutOfSpaceSurfacesError(t *testing.T) {
+	// 4 data disks x 1 MB = 4 MB usable, minus metadata.
+	e, fs := newFS(t, 64, 1)
+	run(e, func(p *sim.Proc) {
+		var firstErr error
+		var written int
+		for i := 0; firstErr == nil && i < 100; i++ {
+			f, err := fs.Create(p, fmt.Sprintf("/fill%02d", i))
+			if err != nil {
+				firstErr = err
+				break
+			}
+			if _, err := f.WriteAt(p, bytes.Repeat([]byte{byte(i)}, 128<<10), 0); err != nil {
+				firstErr = err
+				break
+			}
+			if err := fs.Sync(p); err != nil {
+				firstErr = err
+				break
+			}
+			written = i
+		}
+		if firstErr == nil {
+			t.Fatal("tiny volume never filled")
+		}
+		// Everything written before the failure must still read back.
+		for i := 0; i < written; i++ {
+			f, err := fs.Open(p, fmt.Sprintf("/fill%02d", i))
+			if err != nil {
+				t.Fatalf("file %d lost after ENOSPC: %v", i, err)
+			}
+			got, err := f.ReadAt(p, 0, 128<<10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range got {
+				if b != byte(i) {
+					t.Fatalf("file %d corrupted after ENOSPC", i)
+				}
+			}
+		}
+	})
+}

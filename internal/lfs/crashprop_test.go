@@ -1,0 +1,157 @@
+package lfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"raidii/internal/sim"
+)
+
+// TestCrashConsistencyProperty runs rounds of randomized file operations,
+// checkpoints, crashes and remounts, holding the file system to a shadow
+// model: after every recovery, every checkpointed file must match the
+// shadow exactly and the structural check must pass.
+func TestCrashConsistencyProperty(t *testing.T) {
+	e := sim.New()
+	dev := newDevice(e, 16)
+	shadow := make(map[string][]byte)
+	rng := rand.New(rand.NewSource(20260704))
+
+	var fs *FS
+	run(e, func(p *sim.Proc) {
+		var err error
+		fs, err = Format(p, e, dev, Config{SegBytes: 64 << 10, MaxInodes: 2048, CleanReserve: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	names := func() []string {
+		var out []string
+		for n := range shadow {
+			out = append(out, n)
+		}
+		// Deterministic ordering for reproducibility.
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j] < out[j-1]; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		return out
+	}
+
+	for round := 0; round < 6; round++ {
+		round := round
+		run(e, func(p *sim.Proc) {
+			for op := 0; op < 25; op++ {
+				switch r := rng.Intn(10); {
+				case r < 4: // create or overwrite-extend a file
+					name := fmt.Sprintf("/f%d", rng.Intn(20))
+					size := 1 + rng.Intn(100<<10)
+					data := make([]byte, size)
+					rng.Read(data)
+					f, err := fs.Open(p, name)
+					if err == ErrNotExist {
+						if f, err = fs.Create(p, name); err != nil {
+							t.Fatalf("round %d create: %v", round, err)
+						}
+						shadow[name] = nil
+					} else if err != nil {
+						t.Fatal(err)
+					}
+					off := int64(0)
+					if old := shadow[name]; len(old) > 0 {
+						off = rng.Int63n(int64(len(old)))
+					}
+					if _, err := f.WriteAt(p, data, off); err != nil {
+						t.Fatalf("round %d write: %v", round, err)
+					}
+					cur := shadow[name]
+					if int(off)+size > len(cur) {
+						grown := make([]byte, int(off)+size)
+						copy(grown, cur)
+						cur = grown
+					}
+					copy(cur[off:], data)
+					shadow[name] = cur
+				case r < 5: // remove
+					ns := names()
+					if len(ns) == 0 {
+						continue
+					}
+					name := ns[rng.Intn(len(ns))]
+					if err := fs.Remove(p, name); err != nil {
+						t.Fatalf("round %d remove: %v", round, err)
+					}
+					delete(shadow, name)
+				case r < 6: // clean some segments
+					_, _ = fs.Clean(p, fs.FreeSegments()+2)
+				default: // read-verify a random file
+					ns := names()
+					if len(ns) == 0 {
+						continue
+					}
+					name := ns[rng.Intn(len(ns))]
+					f, err := fs.Open(p, name)
+					if err != nil {
+						t.Fatalf("round %d open %s: %v", round, name, err)
+					}
+					got, err := f.ReadAt(p, 0, len(shadow[name]))
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := shadow[name]
+					if len(got) != len(want) || !bytes.Equal(got, want) {
+						t.Fatalf("round %d: %s diverged before crash", round, name)
+					}
+				}
+			}
+			// Make everything durable, then pull the plug.
+			if err := fs.Checkpoint(p); err != nil {
+				t.Fatalf("round %d checkpoint: %v", round, err)
+			}
+		})
+
+		fs.Crash()
+		run(e, func(p *sim.Proc) {
+			var err error
+			fs, err = Mount(p, e, dev)
+			if err != nil {
+				t.Fatalf("round %d mount: %v", round, err)
+			}
+			// Every checkpointed file matches the shadow byte for byte.
+			for _, name := range names() {
+				f, err := fs.Open(p, name)
+				if err != nil {
+					t.Fatalf("round %d: %s lost in crash: %v", round, name, err)
+				}
+				want := shadow[name]
+				sz, _ := f.Size(p)
+				if sz != int64(len(want)) {
+					t.Fatalf("round %d: %s size %d, want %d", round, name, sz, len(want))
+				}
+				got, err := f.ReadAt(p, 0, len(want))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("round %d: %s corrupted by crash/recovery", round, name)
+				}
+			}
+			// And no files exist that the shadow does not know about.
+			ents, err := fs.ReadDir(p, "/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ents) != len(shadow) {
+				t.Fatalf("round %d: %d files on disk, shadow has %d", round, len(ents), len(shadow))
+			}
+			rep, err := fs.Check(p)
+			if err != nil || !rep.OK() {
+				t.Fatalf("round %d: structural check failed: %v %+v", round, err, rep)
+			}
+		})
+	}
+}

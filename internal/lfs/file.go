@@ -1,0 +1,313 @@
+package lfs
+
+import (
+	"raidii/internal/sim"
+)
+
+// File is an open handle.
+type File struct {
+	fs   *FS
+	inum uint32
+
+	// Sequential read-ahead state (§3.2: "We are also experimenting with
+	// prefetching techniques so small sequential reads can also benefit
+	// from overlapping disk and network operations").
+	readAhead bool
+	seqNext   int64
+	pre       *prefetch
+}
+
+// prefetch is an in-flight or completed background read.
+type prefetch struct {
+	off  int64
+	data []byte
+	done *sim.Event
+	gen  uint64 // write generation when issued; stale if it moved on
+}
+
+// SetReadAhead enables sequential prefetching on this handle: when a read
+// continues the previous one, the next range is fetched in the background
+// so the following read is served from the prefetch buffer.
+func (f *File) SetReadAhead(on bool) {
+	f.readAhead = on
+	if !on {
+		f.pre = nil
+	}
+}
+
+// Inum returns the file's inode number.
+func (f *File) Inum() uint32 { return f.inum }
+
+// Size returns the file's current size.
+func (f *File) Size(p *sim.Proc) (int64, error) {
+	f.fs.mu.Acquire(p)
+	defer f.fs.mu.Release()
+	in, err := f.fs.loadInode(p, f.inum)
+	if err != nil {
+		return 0, err
+	}
+	return in.Size, nil
+}
+
+// WriteAt writes data at offset off, extending the file as needed.  All
+// data lands in the current in-memory segment; call Sync or Checkpoint for
+// durability.
+func (f *File) WriteAt(p *sim.Proc, data []byte, off int64) (int, error) {
+	f.fs.mu.Acquire(p)
+	defer f.fs.mu.Release()
+	in, err := f.fs.loadInode(p, f.inum)
+	if err != nil {
+		return 0, err
+	}
+	if in.Mode == ModeDir {
+		return 0, ErrIsDir
+	}
+	n, err := f.fs.writeAtLocked(p, in, data, off)
+	f.fs.stats.WriteOps++
+	f.fs.stats.BytesWritten += uint64(n)
+	f.fs.writeGen++
+	return n, err
+}
+
+func (fs *FS) writeAtLocked(p *sim.Proc, in *inode, data []byte, off int64) (int, error) {
+	written := 0
+	for written < len(data) {
+		fb := (off + int64(written)) / BlockSize
+		bo := int((off + int64(written)) % BlockSize)
+		n := BlockSize - bo
+		if n > len(data)-written {
+			n = len(data) - written
+		}
+		chunk := data[written : written+n]
+
+		addr, err := fs.getBlockAddr(p, in, fb)
+		if err != nil {
+			return written, err
+		}
+		var blockBuf []byte
+		if bo == 0 && n == BlockSize {
+			blockBuf = chunk
+		} else {
+			if addr != 0 {
+				blockBuf = fs.readBlock(p, addr)
+			} else {
+				blockBuf = make([]byte, BlockSize)
+			}
+			copy(blockBuf[bo:], chunk)
+		}
+
+		if addr != 0 && fs.isStaged(addr) {
+			fs.updateStaged(addr, blockBuf)
+		} else {
+			newAddr, err := fs.appendBlock(p, kindData, in.Inum, uint32(fb), blockBuf)
+			if err != nil {
+				return written, err
+			}
+			fs.killBlock(addr)
+			if err := fs.setBlockAddr(p, in, fb, newAddr); err != nil {
+				return written, err
+			}
+		}
+		written += n
+	}
+	if off+int64(len(data)) > in.Size {
+		in.Size = off + int64(len(data))
+	}
+	in.MTime = int64(p.Now())
+	fs.dirtyInode(in)
+	return written, nil
+}
+
+// ReadAt reads up to n bytes at offset off; short reads happen only at end
+// of file.  Block addresses are resolved under the file system lock, but
+// the device reads themselves run outside it, so large reads from several
+// client processes proceed in parallel.  Blocks that are contiguous in the
+// log coalesce into single large device reads — this is what lets LFS
+// deliver array bandwidth on big files laid out segment-at-a-time.
+func (f *File) ReadAt(p *sim.Proc, off int64, n int) ([]byte, error) {
+	if f.readAhead {
+		return f.readAtWithPrefetch(p, off, n)
+	}
+	return f.readAtRaw(p, off, n)
+}
+
+// readAtWithPrefetch serves sequential reads from the prefetch buffer when
+// possible and keeps one read-ahead range in flight.
+func (f *File) readAtWithPrefetch(p *sim.Proc, off int64, n int) ([]byte, error) {
+	fs := f.fs
+	var out []byte
+	var err error
+	// Serve from the completed/in-flight prefetch if it covers the range
+	// and nothing has been written since it was issued.
+	if pr := f.pre; pr != nil && pr.gen == fs.writeGen && off == pr.off {
+		pr.done.Wait(p)
+		if pr.data != nil && n <= len(pr.data) {
+			out = pr.data[:n]
+		}
+		f.pre = nil
+	}
+	if out == nil {
+		if out, err = f.readAtRaw(p, off, n); err != nil {
+			return nil, err
+		}
+	}
+	// Sequentiality detection and next-range prefetch.
+	if off == f.seqNext || f.seqNext == 0 {
+		next := off + int64(n)
+		pr := &prefetch{off: next, done: sim.NewEvent(fs.eng), gen: fs.writeGen}
+		f.pre = pr
+		fs.eng.Spawn("lfs-prefetch", func(q *sim.Proc) {
+			data, rerr := f.readAtRaw(q, next, n)
+			if rerr == nil {
+				pr.data = data
+			}
+			pr.done.Signal()
+		})
+	} else {
+		f.pre = nil
+	}
+	f.seqNext = off + int64(n)
+	return out, nil
+}
+
+// readAtRaw is the unprefetched read path.
+func (f *File) readAtRaw(p *sim.Proc, off int64, n int) ([]byte, error) {
+	fs := f.fs
+	fs.mu.Acquire(p)
+	in, err := fs.loadInode(p, f.inum)
+	if err != nil {
+		fs.mu.Release()
+		return nil, err
+	}
+	if in.Mode == ModeDir {
+		fs.mu.Release()
+		return nil, ErrIsDir
+	}
+	if off >= in.Size {
+		fs.mu.Release()
+		return nil, nil
+	}
+	if int64(n) > in.Size-off {
+		n = int(in.Size - off)
+	}
+
+	type piece struct {
+		bufOff int
+		addr   int64 // 0 = hole
+		off    int   // offset within block
+		n      int
+		staged []byte // snapshot if the block was staged
+	}
+	var pieces []piece
+	got := 0
+	for got < n {
+		fb := (off + int64(got)) / BlockSize
+		bo := int((off + int64(got)) % BlockSize)
+		l := BlockSize - bo
+		if l > n-got {
+			l = n - got
+		}
+		addr, err := fs.getBlockAddr(p, in, fb)
+		if err != nil {
+			fs.mu.Release()
+			return nil, err
+		}
+		pc := piece{bufOff: got, addr: addr, off: bo, n: l}
+		// Serve from the pending map when present: it covers both the
+		// current segment and sealed segments whose device writes are
+		// still in flight.
+		if b, ok := fs.pending[addr]; addr != 0 && ok {
+			snap := make([]byte, BlockSize)
+			copy(snap, b)
+			pc.staged = snap
+		}
+		pieces = append(pieces, pc)
+		got += l
+	}
+	fs.mu.Release()
+
+	out := make([]byte, n)
+	// Coalesce contiguous on-disk pieces into runs and read them in
+	// parallel.
+	type run struct {
+		addr    int64
+		blocks  int
+		members []int // piece indexes
+	}
+	var runs []run
+	for i, pc := range pieces {
+		if pc.addr == 0 || pc.staged != nil {
+			continue
+		}
+		if len(runs) > 0 {
+			last := &runs[len(runs)-1]
+			lastPiece := pieces[last.members[len(last.members)-1]]
+			if last.addr+int64(last.blocks) == pc.addr && lastPiece.off+lastPiece.n == BlockSize && pc.off == 0 {
+				last.blocks++
+				last.members = append(last.members, i)
+				continue
+			}
+		}
+		runs = append(runs, run{addr: pc.addr, blocks: 1, members: []int{i}})
+	}
+	g := sim.NewGroup(fs.eng)
+	for _, r := range runs {
+		r := r
+		g.Go("lfs-read-run", func(q *sim.Proc) {
+			data := fs.dev.Read(q, r.addr*int64(fs.blockSectors), r.blocks*fs.blockSectors)
+			for j, pi := range r.members {
+				pc := pieces[pi]
+				copy(out[pc.bufOff:pc.bufOff+pc.n], data[j*BlockSize+pc.off:])
+			}
+		})
+	}
+	g.Wait(p)
+	// Staged and hole pieces.
+	for _, pc := range pieces {
+		if pc.staged != nil {
+			copy(out[pc.bufOff:pc.bufOff+pc.n], pc.staged[pc.off:])
+		}
+		// holes stay zero
+	}
+	fs.stats.ReadOps++
+	fs.stats.BytesRead += uint64(n)
+	return out, nil
+}
+
+// Truncate discards the file's contents beyond size zero.  (Partial
+// truncation is not needed by any workload in the paper.)
+func (f *File) Truncate(p *sim.Proc) error {
+	f.fs.mu.Acquire(p)
+	defer f.fs.mu.Release()
+	in, err := f.fs.loadInode(p, f.inum)
+	if err != nil {
+		return err
+	}
+	if in.Mode == ModeDir {
+		return ErrIsDir
+	}
+	f.fs.freeInodeBlocks(p, in)
+	in.MTime = int64(p.Now())
+	f.fs.dirtyInode(in)
+	return nil
+}
+
+// Sync makes this file durable: its data blocks and inode are flushed to
+// the log and the segment is sealed (fsync semantics).  Other files'
+// dirty state rides along only if it shares the sealed segment.
+func (f *File) Sync(p *sim.Proc) error {
+	fs := f.fs
+	fs.mu.Acquire(p)
+	defer fs.mu.Release()
+	if fs.idirty[f.inum] {
+		if err := fs.appendInode(p, fs.icache[f.inum]); err != nil {
+			return err
+		}
+		delete(fs.idirty, f.inum)
+	}
+	if err := fs.sealSegment(p); err != nil {
+		return err
+	}
+	fs.seals.Wait(p)
+	return nil
+}

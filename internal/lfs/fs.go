@@ -1,0 +1,769 @@
+package lfs
+
+import (
+	"errors"
+	"fmt"
+
+	"raidii/internal/sim"
+)
+
+// Device is the block store the log lives on — normally a raid.Array, but
+// anything sector-addressable works.
+type Device interface {
+	Read(p *sim.Proc, lba int64, n int) []byte
+	Write(p *sim.Proc, lba int64, data []byte)
+	Sectors() int64
+	SectorSize() int
+}
+
+// Config selects file system geometry.
+type Config struct {
+	// SegBytes is the segment size.  RAID-II uses 960 KB segments so that
+	// one segment is exactly one full stripe of a 16-disk array with 64 KB
+	// striping ("The log is written to the disk array in units or segments
+	// of 960 kilobytes").
+	SegBytes int
+	// MaxInodes bounds the inode map.
+	MaxInodes int
+	// CleanReserve is the number of free segments below which appends
+	// trigger the cleaner.
+	CleanReserve int
+}
+
+// DefaultConfig returns the paper's file system geometry.
+func DefaultConfig() Config {
+	return Config{
+		SegBytes:     960 << 10,
+		MaxInodes:    1 << 16,
+		CleanReserve: 4,
+	}
+}
+
+// Stats counts file system activity.
+type Stats struct {
+	SegmentsWritten uint64
+	PartialSegSeals uint64
+	BlocksAppended  uint64
+	BlocksKilled    uint64
+	Checkpoints     uint64
+	SegmentsCleaned uint64
+	BlocksMoved     uint64
+	RollForwardSegs uint64
+	ReadOps         uint64
+	WriteOps        uint64
+	BytesRead       uint64
+	BytesWritten    uint64
+}
+
+// FS is a mounted log-structured file system.
+type FS struct {
+	eng *sim.Engine
+	dev Device
+	cfg Config
+	sb  superblock
+
+	blockSectors int
+	segDataBlks  int // data blocks per segment (SegBlocks - 1 summary)
+
+	mu *sim.Server // global metadata lock
+
+	imap      []int64
+	imapAddrs []int64 // log address of each imap chunk
+	imapDirty map[int]bool
+
+	usageLive  []int32
+	usageSeq   []uint64
+	usageAddrs []int64
+	usageDirty map[int]bool
+
+	nextInum uint32
+	cpSeq    uint64
+	cpNext   int // which checkpoint region to write next
+
+	// Current (in-memory) segment.
+	curSeg     int64 // block address of the segment's first block
+	segSeq     uint64
+	segEntries []summaryEntry
+	segStaged  [][]byte // staged blocks, index 0 == segment block 1
+	pending    map[int64][]byte
+
+	free      []bool
+	allocHint int
+
+	icache   map[uint32]*inode
+	idirty   map[uint32]bool
+	cleaning bool
+	writeGen uint64 // bumped on every write; invalidates prefetches
+
+	// metaCache holds recently read metadata blocks (indirect blocks,
+	// directory data) keyed by log address.  Log addresses are write-once
+	// until their segment is cleaned and reused, so address-keyed caching
+	// is safe as long as entries are dropped when a segment is resealed or
+	// a block dies.  This plays the role of the prototype's host metadata
+	// cache ("The host memory cache contains metadata...  managed with a
+	// simple Least Recently Used replacement policy").
+	metaCache map[int64][]byte
+	metaOrder []int64 // FIFO eviction, deterministic
+
+	// In-flight asynchronous segment writes: "full LFS segments are
+	// written to disk while newer segments are being filled with data."
+	seals        *sim.Group
+	sealsPending map[int]bool
+
+	stats Stats
+}
+
+// Format initializes an empty file system on dev and returns it mounted.
+func Format(p *sim.Proc, e *sim.Engine, dev Device, cfg Config) (*FS, error) {
+	if cfg.SegBytes == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.SegBytes%BlockSize != 0 || cfg.SegBytes < 4*BlockSize {
+		return nil, errors.New("lfs: segment size must be a multiple of the block size and at least 4 blocks")
+	}
+	if dev.SectorSize() > BlockSize || BlockSize%dev.SectorSize() != 0 {
+		return nil, errors.New("lfs: block size must be a multiple of the sector size")
+	}
+	blockSectors := BlockSize / dev.SectorSize()
+	devBlks := dev.Sectors() / int64(blockSectors)
+	segBlocks := cfg.SegBytes / BlockSize
+
+	const cpBlocks = 8
+	metaBlks := int64(1 + 2*cpBlocks)
+	// Align the segment area to a segment-size boundary so that segments
+	// land on whole stripes of the underlying array.
+	segStart := ((metaBlks + int64(segBlocks) - 1) / int64(segBlocks)) * int64(segBlocks)
+	nSegs := (devBlks - segStart) / int64(segBlocks)
+	if nSegs < 8 {
+		return nil, errors.New("lfs: device too small")
+	}
+
+	sb := superblock{
+		Magic:      superMagic,
+		BlockSize:  BlockSize,
+		SegBlocks:  uint32(segBlocks),
+		NSegs:      uint32(nSegs),
+		SegStart:   segStart,
+		CPAddr:     [2]int64{1, 1 + cpBlocks},
+		CPBlocks:   cpBlocks,
+		MaxInodes:  uint32(cfg.MaxInodes),
+		DeviceBlks: devBlks,
+	}
+	dev.Write(p, 0, sb.marshal())
+
+	fs := &FS{eng: e, dev: dev, cfg: cfg, sb: sb}
+	fs.initState()
+	// Bootstrap: segment 0 is the first log segment.
+	fs.curSeg = fs.segAddr(0)
+	fs.segSeq = 1
+	fs.free[0] = false
+	fs.resetSegment()
+
+	// Create the root directory.
+	root := &inode{Inum: RootInum, Mode: ModeDir, Nlink: 2, MTime: int64(p.Now())}
+	fs.icache[RootInum] = root
+	fs.idirty[RootInum] = true
+	fs.nextInum = RootInum + 1
+	if err := fs.writeDir(p, root, nil); err != nil {
+		return nil, err
+	}
+	if err := fs.Checkpoint(p); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Mount loads an existing file system from dev, performing roll-forward
+// recovery from the most recent valid checkpoint.
+func Mount(p *sim.Proc, e *sim.Engine, dev Device) (*FS, error) {
+	blockSectors0 := BlockSize / dev.SectorSize()
+	raw := dev.Read(p, 0, blockSectors0)
+	var sb superblock
+	if err := sb.unmarshal(raw); err != nil {
+		return nil, err
+	}
+	fs := &FS{
+		eng: e, dev: dev,
+		cfg: Config{SegBytes: int(sb.SegBlocks) * BlockSize, MaxInodes: int(sb.MaxInodes), CleanReserve: 4},
+		sb:  sb,
+	}
+	fs.initState()
+	if err := fs.recover(p); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// initState allocates the in-memory tables.
+func (fs *FS) initState() {
+	fs.blockSectors = BlockSize / fs.dev.SectorSize()
+	fs.segDataBlks = int(fs.sb.SegBlocks) - 1
+	fs.mu = sim.NewServer(fs.eng, "lfs:mu", 1)
+	fs.imap = make([]int64, fs.sb.MaxInodes)
+	fs.imapAddrs = make([]int64, (int(fs.sb.MaxInodes)+imapChunkEntries-1)/imapChunkEntries)
+	fs.imapDirty = make(map[int]bool)
+	fs.usageLive = make([]int32, fs.sb.NSegs)
+	fs.usageSeq = make([]uint64, fs.sb.NSegs)
+	fs.usageAddrs = make([]int64, (int(fs.sb.NSegs)+usageChunkEntries-1)/usageChunkEntries)
+	fs.usageDirty = make(map[int]bool)
+	fs.pending = make(map[int64][]byte)
+	fs.free = make([]bool, fs.sb.NSegs)
+	for i := range fs.free {
+		fs.free[i] = true
+	}
+	fs.icache = make(map[uint32]*inode)
+	fs.idirty = make(map[uint32]bool)
+	fs.seals = sim.NewGroup(fs.eng)
+	fs.sealsPending = make(map[int]bool)
+	fs.metaCache = make(map[int64][]byte)
+}
+
+// Stats returns a copy of the counters.
+func (fs *FS) Stats() Stats { return fs.stats }
+
+// SegmentBytes returns the configured segment size.
+func (fs *FS) SegmentBytes() int { return int(fs.sb.SegBlocks) * BlockSize }
+
+// FreeSegments reports the number of free segments.
+func (fs *FS) FreeSegments() int {
+	n := 0
+	for _, f := range fs.free {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// segAddr returns the block address of segment idx.
+func (fs *FS) segAddr(idx int) int64 {
+	return fs.sb.SegStart + int64(idx)*int64(fs.sb.SegBlocks)
+}
+
+// segOf returns the segment index containing block addr (-1 outside log).
+func (fs *FS) segOf(addr int64) int {
+	if addr < fs.sb.SegStart {
+		return -1
+	}
+	return int((addr - fs.sb.SegStart) / int64(fs.sb.SegBlocks))
+}
+
+// readBlock returns the contents of block addr, consulting the staged
+// (unflushed) segment first.
+func (fs *FS) readBlock(p *sim.Proc, addr int64) []byte {
+	if b, ok := fs.pending[addr]; ok {
+		out := make([]byte, BlockSize)
+		copy(out, b)
+		return out
+	}
+	return fs.dev.Read(p, addr*int64(fs.blockSectors), fs.blockSectors)
+}
+
+// metaCacheCap bounds the metadata cache (in blocks).
+const metaCacheCap = 4096
+
+// readMeta is readBlock with caching, for metadata (indirect blocks,
+// directory contents) that pointer walks touch repeatedly.
+func (fs *FS) readMeta(p *sim.Proc, addr int64) []byte {
+	if b, ok := fs.pending[addr]; ok {
+		out := make([]byte, BlockSize)
+		copy(out, b)
+		return out
+	}
+	if b, ok := fs.metaCache[addr]; ok {
+		out := make([]byte, BlockSize)
+		copy(out, b)
+		return out
+	}
+	b := fs.dev.Read(p, addr*int64(fs.blockSectors), fs.blockSectors)
+	fs.cacheMeta(addr, b)
+	out := make([]byte, BlockSize)
+	copy(out, b)
+	return out
+}
+
+// cacheMeta inserts a block with FIFO eviction.
+func (fs *FS) cacheMeta(addr int64, b []byte) {
+	if _, ok := fs.metaCache[addr]; ok {
+		return
+	}
+	for len(fs.metaCache) >= metaCacheCap {
+		old := fs.metaOrder[0]
+		fs.metaOrder = fs.metaOrder[1:]
+		delete(fs.metaCache, old)
+	}
+	cp := make([]byte, BlockSize)
+	copy(cp, b)
+	fs.metaCache[addr] = cp
+	fs.metaOrder = append(fs.metaOrder, addr)
+}
+
+// dropMeta invalidates one cached address.
+func (fs *FS) dropMeta(addr int64) {
+	delete(fs.metaCache, addr)
+}
+
+// resetSegment clears the staging area for the current segment.
+func (fs *FS) resetSegment() {
+	fs.segEntries = fs.segEntries[:0]
+	fs.segStaged = fs.segStaged[:0]
+}
+
+// appendBlock stages content as the next block of the current segment and
+// returns its (final) block address.  The segment seals automatically when
+// full.  Content must be exactly one block.
+func (fs *FS) appendBlock(p *sim.Proc, kind uint32, a1, a2 uint32, content []byte) (int64, error) {
+	if len(content) != BlockSize {
+		panic("lfs: appendBlock needs exactly one block")
+	}
+	if !fs.cleaning && fs.FreeSegments() < fs.cfg.CleanReserve {
+		// Try to stay ahead of log exhaustion.  Failure to find cleanable
+		// segments is not fatal here; the seal path reports ErrNoSpace.
+		_ = fs.cleanSome(p, fs.cfg.CleanReserve)
+	}
+	if len(fs.segStaged) >= fs.segDataBlks {
+		if err := fs.sealSegment(p); err != nil {
+			return 0, err
+		}
+	}
+	addr := fs.curSeg + 1 + int64(len(fs.segStaged))
+	staged := make([]byte, BlockSize)
+	copy(staged, content)
+	fs.segStaged = append(fs.segStaged, staged)
+	fs.segEntries = append(fs.segEntries, summaryEntry{Kind: kind, Arg1: a1, Arg2: a2})
+	fs.pending[addr] = staged
+	seg := fs.segOf(addr)
+	fs.usageLive[seg] += BlockSize
+	fs.markUsageDirty(seg)
+	fs.stats.BlocksAppended++
+	return addr, nil
+}
+
+// updateStaged overwrites a block that is still in the current (not yet
+// sealed) segment.  Blocks of sealed segments whose device writes are still
+// in flight remain readable through the pending map but must NOT be
+// patched: the seal snapshot already fixed their on-disk contents.
+func (fs *FS) updateStaged(addr int64, content []byte) bool {
+	if !fs.isStaged(addr) {
+		return false
+	}
+	copy(fs.pending[addr], content)
+	return true
+}
+
+// isStaged reports whether addr is in the current, unsealed segment.
+func (fs *FS) isStaged(addr int64) bool {
+	return addr > fs.curSeg && addr <= fs.curSeg+int64(len(fs.segStaged))
+}
+
+// killBlock marks the block at addr dead for space accounting.
+func (fs *FS) killBlock(addr int64) {
+	if addr == 0 {
+		return
+	}
+	seg := fs.segOf(addr)
+	if seg < 0 || seg >= int(fs.sb.NSegs) {
+		return
+	}
+	fs.usageLive[seg] -= BlockSize
+	if fs.usageLive[seg] < 0 {
+		fs.usageLive[seg] = 0
+	}
+	fs.markUsageDirty(seg)
+	fs.dropMeta(addr)
+	fs.stats.BlocksKilled++
+}
+
+func (fs *FS) markUsageDirty(seg int) { fs.usageDirty[seg/usageChunkEntries] = true }
+
+// pickFreeSegment chooses the next segment for the log, round-robin from
+// the allocation hint, excluding the current segment.
+func (fs *FS) pickFreeSegment() (int, error) {
+	n := int(fs.sb.NSegs)
+	for i := 0; i < n; i++ {
+		idx := (fs.allocHint + i) % n
+		if fs.free[idx] && fs.segAddr(idx) != fs.curSeg {
+			fs.allocHint = (idx + 1) % n
+			return idx, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// sealSegment writes the current segment (summary + staged blocks, padded
+// to full length) to the device as one large sequential write — a full
+// stripe on the paper's configuration — and opens the next free segment.
+func (fs *FS) sealSegment(p *sim.Proc) error {
+	if len(fs.segStaged) == 0 {
+		return nil
+	}
+	nextIdx, err := fs.pickFreeSegment()
+	if err != nil {
+		return err
+	}
+	nextAddr := fs.segAddr(nextIdx)
+
+	sum := summary{
+		Seq:     fs.segSeq,
+		Time:    int64(fs.eng.Now()),
+		NextSeg: nextAddr,
+		Entries: fs.segEntries,
+	}
+	segBytes := int(fs.sb.SegBlocks) * BlockSize
+	buf := make([]byte, segBytes)
+	copy(buf, sum.marshal())
+	for i, b := range fs.segStaged {
+		copy(buf[(i+1)*BlockSize:], b)
+	}
+
+	curIdx := fs.segOf(fs.curSeg)
+	fs.free[curIdx] = false
+	fs.usageSeq[curIdx] = fs.segSeq
+	fs.markUsageDirty(curIdx)
+	if len(fs.segStaged) < fs.segDataBlks {
+		fs.stats.PartialSegSeals++
+	}
+	fs.stats.SegmentsWritten++
+
+	// Write the segment asynchronously: newer segments fill while this one
+	// streams to the array.  Staged blocks stay readable from the pending
+	// map until the device write completes.
+	sealSeg := fs.curSeg
+	nStaged := len(fs.segStaged)
+	fs.sealsPending[curIdx] = true
+	fs.seals.Go("lfs-seal", func(q *sim.Proc) {
+		fs.dev.Write(q, sealSeg*int64(fs.blockSectors), buf)
+		for i := 0; i < nStaged; i++ {
+			delete(fs.pending, sealSeg+1+int64(i))
+		}
+		delete(fs.sealsPending, fs.segOf(sealSeg))
+	})
+	fs.curSeg = nextAddr
+	fs.free[nextIdx] = false
+	fs.usageLive[nextIdx] = 0
+	fs.segSeq++
+	fs.resetSegment()
+	return nil
+}
+
+// flushInodes appends every dirty inode to the log.
+func (fs *FS) flushInodes(p *sim.Proc) error {
+	// Deterministic order.
+	for inum := uint32(0); inum < fs.sb.MaxInodes && len(fs.idirty) > 0; inum++ {
+		if !fs.idirty[inum] {
+			continue
+		}
+		if err := fs.appendInode(p, fs.icache[inum]); err != nil {
+			return err
+		}
+		delete(fs.idirty, inum)
+	}
+	return nil
+}
+
+// appendInode writes an inode block to the log and updates the inode map.
+func (fs *FS) appendInode(p *sim.Proc, in *inode) error {
+	buf := make([]byte, BlockSize)
+	in.marshal(buf)
+	old := fs.imap[in.Inum]
+	if old != 0 && fs.isStaged(old) {
+		fs.updateStaged(old, buf)
+		return nil
+	}
+	addr, err := fs.appendBlock(p, kindInode, in.Inum, 0, buf)
+	if err != nil {
+		return err
+	}
+	fs.killBlock(old)
+	fs.imap[in.Inum] = addr
+	fs.imapDirty[int(in.Inum)/imapChunkEntries] = true
+	return nil
+}
+
+// Sync flushes dirty inodes and seals the current segment, making all
+// completed operations durable.
+func (fs *FS) Sync(p *sim.Proc) error {
+	fs.mu.Acquire(p)
+	defer fs.mu.Release()
+	return fs.syncLocked(p)
+}
+
+func (fs *FS) syncLocked(p *sim.Proc) error {
+	if err := fs.flushInodes(p); err != nil {
+		return err
+	}
+	if err := fs.sealSegment(p); err != nil {
+		return err
+	}
+	fs.seals.Wait(p)
+	return nil
+}
+
+// Checkpoint makes the file system state recoverable without roll-forward:
+// it flushes inodes, writes dirty inode-map and segment-usage chunks to the
+// log, seals the segment, and writes the alternate checkpoint region.  The
+// two regions alternate so a crash during checkpointing leaves the previous
+// one intact.
+func (fs *FS) Checkpoint(p *sim.Proc) error {
+	fs.mu.Acquire(p)
+	defer fs.mu.Release()
+	return fs.checkpointLocked(p)
+}
+
+func (fs *FS) checkpointLocked(p *sim.Proc) error {
+	if err := fs.flushInodes(p); err != nil {
+		return err
+	}
+	// Imap chunks: exact, since inodes no longer move.
+	for chunk := 0; chunk < len(fs.imapAddrs); chunk++ {
+		if !fs.imapDirty[chunk] {
+			continue
+		}
+		buf := make([]byte, BlockSize)
+		base := chunk * imapChunkEntries
+		for i := 0; i < imapChunkEntries && base+i < len(fs.imap); i++ {
+			putI64(buf[i*8:], fs.imap[base+i])
+		}
+		old := fs.imapAddrs[chunk]
+		if old != 0 && fs.isStaged(old) {
+			fs.updateStaged(old, buf)
+		} else {
+			addr, err := fs.appendBlock(p, kindImap, uint32(chunk), 0, buf)
+			if err != nil {
+				return err
+			}
+			fs.killBlock(old)
+			fs.imapAddrs[chunk] = addr
+		}
+		delete(fs.imapDirty, chunk)
+	}
+	// Usage chunks: best-effort (the appends below this point perturb the
+	// live counts slightly; the cleaner re-verifies liveness anyway).
+	for chunk := 0; chunk < len(fs.usageAddrs); chunk++ {
+		if !fs.usageDirty[chunk] {
+			continue
+		}
+		buf := fs.marshalUsageChunk(chunk)
+		old := fs.usageAddrs[chunk]
+		if old != 0 && fs.isStaged(old) {
+			fs.updateStaged(old, buf)
+		} else {
+			addr, err := fs.appendBlock(p, kindSegUsage, uint32(chunk), 0, buf)
+			if err != nil {
+				return err
+			}
+			fs.killBlock(old)
+			fs.usageAddrs[chunk] = addr
+		}
+		delete(fs.usageDirty, chunk)
+	}
+	if err := fs.sealSegment(p); err != nil {
+		return err
+	}
+	fs.seals.Wait(p)
+
+	fs.cpSeq++
+	cp := checkpoint{
+		Seq:        fs.cpSeq,
+		Time:       int64(fs.eng.Now()),
+		NextSeg:    fs.curSeg,
+		NextSegSeq: fs.segSeq,
+		NextInum:   fs.nextInum,
+		ImapAddrs:  fs.imapAddrs,
+		UsageAddrs: fs.usageAddrs,
+	}
+	raw, err := cp.marshal(int(fs.sb.CPBlocks) * BlockSize)
+	if err != nil {
+		return err
+	}
+	fs.dev.Write(p, fs.sb.CPAddr[fs.cpNext]*int64(fs.blockSectors), raw)
+	fs.cpNext = 1 - fs.cpNext
+	fs.stats.Checkpoints++
+	return nil
+}
+
+func (fs *FS) marshalUsageChunk(chunk int) []byte {
+	buf := make([]byte, BlockSize)
+	base := chunk * usageChunkEntries
+	for i := 0; i < usageChunkEntries && base+i < len(fs.usageLive); i++ {
+		putU32(buf[i*16:], uint32(fs.usageLive[base+i]))
+		putU64(buf[i*16+4:], fs.usageSeq[base+i])
+		if fs.free[base+i] {
+			buf[i*16+12] = 1
+		}
+	}
+	return buf
+}
+
+func (fs *FS) unmarshalUsageChunk(chunk int, buf []byte) {
+	base := chunk * usageChunkEntries
+	for i := 0; i < usageChunkEntries && base+i < len(fs.usageLive); i++ {
+		fs.usageLive[base+i] = int32(getU32(buf[i*16:]))
+		fs.usageSeq[base+i] = getU64(buf[i*16+4:])
+		fs.free[base+i] = buf[i*16+12] == 1
+	}
+}
+
+// recover loads the newest valid checkpoint and rolls the log forward.
+func (fs *FS) recover(p *sim.Proc) error {
+	var best *checkpoint
+	var bestIdx int
+	for i := 0; i < 2; i++ {
+		raw := fs.dev.Read(p, fs.sb.CPAddr[i]*int64(fs.blockSectors), int(fs.sb.CPBlocks)*fs.blockSectors)
+		var cp checkpoint
+		if err := cp.unmarshal(raw); err != nil {
+			continue
+		}
+		if best == nil || cp.Seq > best.Seq {
+			c := cp
+			best = &c
+			bestIdx = i
+		}
+	}
+	if best == nil {
+		return ErrCorrupt
+	}
+	fs.cpSeq = best.Seq
+	fs.cpNext = 1 - bestIdx
+	fs.nextInum = best.NextInum
+	copy(fs.imapAddrs, best.ImapAddrs)
+	copy(fs.usageAddrs, best.UsageAddrs)
+
+	// Load the usage table first (it also carries the free map), then imap.
+	for chunk, addr := range fs.usageAddrs {
+		if addr == 0 {
+			continue
+		}
+		fs.unmarshalUsageChunk(chunk, fs.readBlock(p, addr))
+	}
+	for chunk, addr := range fs.imapAddrs {
+		if addr == 0 {
+			continue
+		}
+		buf := fs.readBlock(p, addr)
+		base := chunk * imapChunkEntries
+		for i := 0; i < imapChunkEntries && base+i < len(fs.imap); i++ {
+			fs.imap[base+i] = getI64(buf[i*8:])
+		}
+	}
+
+	// Roll forward through segments written after the checkpoint.
+	segAddr := best.NextSeg
+	expect := best.NextSegSeq
+	for {
+		idx := fs.segOf(segAddr)
+		if idx < 0 || idx >= int(fs.sb.NSegs) {
+			break
+		}
+		raw := fs.dev.Read(p, segAddr*int64(fs.blockSectors), fs.blockSectors)
+		var sum summary
+		if err := sum.unmarshal(raw); err != nil || sum.Seq != expect {
+			break
+		}
+		fs.applyRolledSegment(p, segAddr, &sum)
+		fs.stats.RollForwardSegs++
+		segAddr = sum.NextSeg
+		expect++
+	}
+
+	// The log continues in the first unwritten segment of the chain.
+	fs.curSeg = segAddr
+	fs.segSeq = expect
+	idx := fs.segOf(segAddr)
+	if idx < 0 || idx >= int(fs.sb.NSegs) || (!fs.free[idx] && fs.usageLive[idx] > 0) {
+		// The designated next segment is unusable; pick a fresh one.
+		fs.curSeg = -1
+		ni, err := fs.pickFreeSegment()
+		if err != nil {
+			return err
+		}
+		fs.curSeg = fs.segAddr(ni)
+		idx = ni
+	}
+	fs.free[idx] = false
+	fs.resetSegment()
+
+	// Settle recovered state into a fresh checkpoint.
+	return fs.checkpointLocked(p)
+}
+
+// applyRolledSegment re-applies a post-checkpoint segment's metadata
+// effects: inode locations and imap/usage chunk locations.  Data blocks
+// need no action — the inode written later in the log references them.
+// Usage accounting for rolled segments is conservative (every described
+// block counted live); the cleaner verifies real liveness before moving
+// anything.
+func (fs *FS) applyRolledSegment(p *sim.Proc, segAddr int64, sum *summary) {
+	idx := fs.segOf(segAddr)
+	fs.free[idx] = false
+	fs.usageLive[idx] = int32(len(sum.Entries)) * BlockSize
+	fs.usageSeq[idx] = sum.Seq
+	fs.markUsageDirty(idx)
+	for i, e := range sum.Entries {
+		addr := segAddr + 1 + int64(i)
+		switch e.Kind {
+		case kindInode:
+			if int(e.Arg1) < len(fs.imap) {
+				fs.imap[e.Arg1] = addr
+				fs.imapDirty[int(e.Arg1)/imapChunkEntries] = true
+				delete(fs.icache, e.Arg1) // force reload from log
+			}
+		case kindImap:
+			if int(e.Arg1) < len(fs.imapAddrs) {
+				fs.imapAddrs[e.Arg1] = addr
+				buf := fs.readBlock(p, addr)
+				base := int(e.Arg1) * imapChunkEntries
+				for j := 0; j < imapChunkEntries && base+j < len(fs.imap); j++ {
+					fs.imap[base+j] = getI64(buf[j*8:])
+				}
+			}
+		case kindSegUsage:
+			if int(e.Arg1) < len(fs.usageAddrs) {
+				fs.usageAddrs[e.Arg1] = addr
+				// Note: do not reload the chunk; in-memory accounting from
+				// the roll-forward is at least as current.
+			}
+		}
+	}
+}
+
+// Crash discards all in-memory state, simulating a power failure.  The FS
+// is unusable afterwards; Mount the device again to recover.
+func (fs *FS) Crash() {
+	fs.pending = nil
+	fs.icache = nil
+	fs.imap = nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+func putI64(b []byte, v int64) { putU64(b, uint64(v)) }
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+func getI64(b []byte) int64 { return int64(getU64(b)) }
+
+// String describes the file system geometry.
+func (fs *FS) String() string {
+	return fmt.Sprintf("lfs(%d segs x %d KB, %d free)",
+		fs.sb.NSegs, fs.SegmentBytes()/1024, fs.FreeSegments())
+}
+
+// Pending exposes the staged/in-flight block map size for diagnostics.
+func (fs *FS) Pending() map[int64][]byte { return fs.pending }

@@ -1,0 +1,161 @@
+package lfs
+
+import (
+	"bytes"
+	"testing"
+
+	"raidii/internal/sim"
+)
+
+// timedFS builds an LFS over real simulated disks so reads cost time.
+func timedFS(t *testing.T) (*sim.Engine, *FS) {
+	t.Helper()
+	e := sim.New()
+	dev := newDevice(e, 8)
+	var fs *FS
+	var err error
+	run(e, func(p *sim.Proc) {
+		fs, err = Format(p, e, dev, Config{SegBytes: 256 << 10, MaxInodes: 1024, CleanReserve: 3})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, fs
+}
+
+func TestPrefetchSpeedsUpSmallSequentialReads(t *testing.T) {
+	// The §3.2 claim: with prefetching, small sequential reads overlap
+	// disk work with the consumer, so the stream runs faster.
+	runStream := func(readAhead bool) sim.Duration {
+		e := sim.New()
+		devs := make([]devIface, 0)
+		_ = devs
+		dev := newSlowishDevice(e)
+		var fs *FS
+		var err error
+		run(e, func(p *sim.Proc) {
+			fs, err = Format(p, e, dev, Config{SegBytes: 256 << 10, MaxInodes: 256, CleanReserve: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, _ := fs.Create(p, "/stream")
+			f.WriteAt(p, make([]byte, 2<<20), 0)
+			fs.Sync(p)
+		})
+		var dur sim.Duration
+		run(e, func(p *sim.Proc) {
+			f, _ := fs.Open(p, "/stream")
+			f.SetReadAhead(readAhead)
+			start := p.Now()
+			for off := int64(0); off < 2<<20; off += 64 << 10 {
+				if _, err := f.ReadAt(p, off, 64<<10); err != nil {
+					t.Fatal(err)
+				}
+				// The consumer does other work per chunk (e.g. a network
+				// send); prefetching hides the next disk read behind it.
+				p.Wait(sim.Duration(20e6))
+			}
+			dur = p.Now().Sub(start)
+		})
+		return dur
+	}
+	plain := runStream(false)
+	ahead := runStream(true)
+	if ahead >= plain {
+		t.Fatalf("read-ahead (%v) should beat plain (%v)", ahead, plain)
+	}
+}
+
+func TestPrefetchReturnsCorrectData(t *testing.T) {
+	e, fs := timedFS(t)
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	run(e, func(p *sim.Proc) {
+		f, _ := fs.Create(p, "/data")
+		f.WriteAt(p, payload, 0)
+		fs.Sync(p)
+		g, _ := fs.Open(p, "/data")
+		g.SetReadAhead(true)
+		var got []byte
+		for off := int64(0); off < 1<<20; off += 128 << 10 {
+			chunk, err := g.ReadAt(p, off, 128<<10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, chunk...)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("prefetched stream returned wrong bytes")
+		}
+	})
+}
+
+func TestPrefetchInvalidatedByWrite(t *testing.T) {
+	e, fs := timedFS(t)
+	run(e, func(p *sim.Proc) {
+		f, _ := fs.Create(p, "/mut")
+		f.WriteAt(p, bytes.Repeat([]byte{1}, 256<<10), 0)
+		fs.Sync(p)
+		g, _ := fs.Open(p, "/mut")
+		g.SetReadAhead(true)
+		// Prime the prefetcher: read [0,64K) so [64K,128K) is in flight.
+		if _, err := g.ReadAt(p, 0, 64<<10); err != nil {
+			t.Fatal(err)
+		}
+		// Overwrite the prefetched range.
+		if _, err := f.WriteAt(p, bytes.Repeat([]byte{2}, 64<<10), 64<<10); err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.ReadAt(p, 64<<10, 64<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range got {
+			if b != 2 {
+				t.Fatal("stale prefetch served after overwrite")
+			}
+		}
+	})
+}
+
+func TestPrefetchRandomReadsUnaffected(t *testing.T) {
+	e, fs := timedFS(t)
+	run(e, func(p *sim.Proc) {
+		f, _ := fs.Create(p, "/rand")
+		f.WriteAt(p, bytes.Repeat([]byte{9}, 512<<10), 0)
+		fs.Sync(p)
+		g, _ := fs.Open(p, "/rand")
+		g.SetReadAhead(true)
+		for _, off := range []int64{256 << 10, 0, 384 << 10, 128 << 10} {
+			got, err := g.ReadAt(p, off, 32<<10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range got {
+				if b != 9 {
+					t.Fatal("random read wrong under read-ahead")
+				}
+			}
+		}
+	})
+}
+
+// devIface and newSlowishDevice give the prefetch benchmark a device with
+// visible, uniform latency.
+type devIface = Device
+
+type slowishDevice struct {
+	Device
+	eng *sim.Engine
+}
+
+func newSlowishDevice(e *sim.Engine) Device {
+	return &slowishDevice{Device: newDevice(e, 8), eng: e}
+}
+
+func (s *slowishDevice) Read(p *sim.Proc, lba int64, n int) []byte {
+	p.Wait(sim.Duration(15e6)) // 15 ms fixed access latency
+	return s.Device.Read(p, lba, n)
+}

@@ -1,0 +1,146 @@
+// Package metrics provides the small statistics toolkit the benchmark
+// harness uses: latency collectors with percentiles, and throughput series
+// keyed by a swept parameter (request size, disk count) for regenerating
+// the paper's figures.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"raidii/internal/sim"
+)
+
+// Latencies collects per-operation durations.
+type Latencies struct {
+	samples []time.Duration
+}
+
+// Add records one sample.
+func (l *Latencies) Add(d time.Duration) { l.samples = append(l.samples, d) }
+
+// N returns the sample count.
+func (l *Latencies) N() int { return len(l.samples) }
+
+// Mean returns the average latency.
+func (l *Latencies) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Percentile returns the q-th percentile (q in [0,100]).
+func (l *Latencies) Percentile(q float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), l.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Point is one (x, y) sample of a figure's series.
+type Point struct {
+	X float64 // swept parameter (request KB, number of disks, ...)
+	Y float64 // measured value (MB/s, IOPS, ...)
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Max returns the largest Y value.
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, pt := range s.Points {
+		if pt.Y > m {
+			m = pt.Y
+		}
+	}
+	return m
+}
+
+// At returns the Y value at the given X (or 0).
+func (s *Series) At(x float64) float64 {
+	for _, pt := range s.Points {
+		if pt.X == x {
+			return pt.Y
+		}
+	}
+	return 0
+}
+
+// Figure is a set of series sharing an X axis, renderable as the text
+// analogue of one of the paper's plots.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries creates and registers a named series.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Render prints the figure as an aligned table with one row per X value.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "%14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %16s", s.Name)
+	}
+	fmt.Fprintf(&b, "    (%s)\n", f.YLabel)
+
+	// Union of X values, ordered.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, pt := range s.Points {
+			if !seen[pt.X] {
+				seen[pt.X] = true
+				xs = append(xs, pt.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%14.0f", x)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, " %16.2f", s.At(x))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Rate converts (bytes, elapsed) to decimal MB/s.
+func Rate(bytes uint64, elapsed sim.Duration) float64 {
+	s := elapsed.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(bytes) / s / 1e6
+}

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"raidii/internal/sim"
+)
+
+func TestLatenciesStats(t *testing.T) {
+	var l Latencies
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i) * time.Millisecond)
+	}
+	if l.N() != 100 {
+		t.Fatalf("N = %d", l.N())
+	}
+	if m := l.Mean(); m != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", m)
+	}
+	if p := l.Percentile(50); p < 49*time.Millisecond || p > 52*time.Millisecond {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := l.Percentile(100); p != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := l.Percentile(0); p != 1*time.Millisecond {
+		t.Fatalf("p0 = %v", p)
+	}
+}
+
+func TestLatenciesEmpty(t *testing.T) {
+	var l Latencies
+	if l.Mean() != 0 || l.Percentile(50) != 0 || l.N() != 0 {
+		t.Fatal("empty collector should report zeros")
+	}
+}
+
+func TestSeriesAccessors(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Add(1, 10)
+	s.Add(2, 30)
+	s.Add(3, 20)
+	if s.Max() != 30 {
+		t.Fatalf("max = %f", s.Max())
+	}
+	if s.At(2) != 30 {
+		t.Fatalf("At(2) = %f", s.At(2))
+	}
+	if s.At(99) != 0 {
+		t.Fatalf("At(missing) = %f", s.At(99))
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := NewFigure("My Figure", "x", "MB/s")
+	a := f.AddSeries("alpha")
+	b := f.AddSeries("beta")
+	a.Add(1, 1.5)
+	a.Add(2, 2.5)
+	b.Add(2, 7.25)
+	out := f.Render()
+	for _, want := range []string{"My Figure", "alpha", "beta", "1.50", "7.25", "MB/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// X values should be ordered and unioned: rows for 1 and 2.
+	if strings.Index(out, "\n             1") > strings.Index(out, "\n             2") {
+		t.Fatalf("x values out of order:\n%s", out)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if r := Rate(10_000_000, sim.Duration(2e9)); r != 5 {
+		t.Fatalf("rate = %f", r)
+	}
+	if r := Rate(1, 0); r != 0 {
+		t.Fatalf("zero-elapsed rate = %f", r)
+	}
+}

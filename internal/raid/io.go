@@ -1,0 +1,553 @@
+package raid
+
+import (
+	"fmt"
+
+	"raidii/internal/sim"
+)
+
+// Read reads sectors [lba, lba+n) from the logical address space.  Extents
+// on different devices are issued in parallel; extents on a failed device
+// are reconstructed from the surviving columns and parity.
+func (a *Array) Read(p *sim.Proc, lba int64, n int) []byte {
+	a.checkRange(lba, n)
+	if a.arrayLock != nil {
+		a.arrayLock.Acquire(p)
+		defer a.arrayLock.Release()
+	}
+	buf := make([]byte, n*a.secSize)
+	g := sim.NewGroup(a.eng)
+	for _, ext := range a.extents(lba, n) {
+		ext := ext
+		g.Go("raid-read", func(q *sim.Proc) {
+			data := a.readExtent(q, ext)
+			copy(buf[ext.bufOff:], data)
+		})
+	}
+	g.Wait(p)
+	a.stats.Reads++
+	return buf
+}
+
+// readExtent reads one run within a single stripe unit.
+func (a *Array) readExtent(p *sim.Proc, ext extent) []byte {
+	devIdx, base := a.loc(ext.stripe, ext.pos)
+	physLBA := base + int64(ext.secOff)
+	if !a.failed[devIdx] {
+		a.stats.DiskReads++
+		return a.devs[devIdx].Read(p, physLBA, ext.secs)
+	}
+	switch a.cfg.Level {
+	case Level1:
+		a.stats.DegradedReads++
+		a.stats.DiskReads++
+		return a.devs[devIdx+1].Read(p, physLBA, ext.secs) // mirror copy
+	case Level3, Level5:
+		return a.reconstructRange(p, ext.stripe, devIdx, int64(ext.secOff), ext.secs)
+	}
+	panic("raid: read from failed device at redundancy-free level")
+}
+
+// reconstructRange rebuilds the contents device devIdx holds in the given
+// sector range of a stripe by XOR-ing every surviving column (data and
+// parity) over that range.  All surviving columns are read in parallel.
+func (a *Array) reconstructRange(p *sim.Proc, stripe int64, devIdx int, secOff int64, secs int) []byte {
+	a.stats.DegradedReads++
+	base := stripe * int64(a.unitSecs)
+	phys := base + secOff
+	cols := make([][]byte, 0, len(a.devs)-1)
+	g := sim.NewGroup(a.eng)
+	for i := range a.devs {
+		if i == devIdx {
+			continue
+		}
+		if a.failed[i] {
+			panic("raid: double failure is unrecoverable at this level")
+		}
+		i := i
+		idx := len(cols)
+		cols = append(cols, nil)
+		g.Go("raid-reconstruct", func(q *sim.Proc) {
+			a.stats.DiskReads++
+			cols[idx] = a.devs[i].Read(q, phys, secs)
+		})
+	}
+	g.Wait(p)
+	return a.xor.XOR(p, cols...)
+}
+
+// Write writes data (a whole number of sectors) at logical lba.  Stripes
+// fully covered by the request take the efficient full-stripe path (parity
+// computed from the new data alone, all columns written in parallel);
+// partial stripes pay the Level 5 small-write penalty: read old data and
+// parity, compute the delta, write new data and parity — the "four disk
+// accesses" the paper cites as the weakness LFS exists to avoid.
+func (a *Array) Write(p *sim.Proc, lba int64, data []byte) {
+	if len(data)%a.secSize != 0 {
+		panic("raid: write length not a whole number of sectors")
+	}
+	n := len(data) / a.secSize
+	a.checkRange(lba, n)
+	if a.arrayLock != nil {
+		a.arrayLock.Acquire(p)
+		defer a.arrayLock.Release()
+	}
+
+	// Group extents by stripe.
+	groups := make(map[int64][]extent)
+	var order []int64
+	for _, ext := range a.extents(lba, n) {
+		if _, ok := groups[ext.stripe]; !ok {
+			order = append(order, ext.stripe)
+		}
+		groups[ext.stripe] = append(groups[ext.stripe], ext)
+	}
+
+	g := sim.NewGroup(a.eng)
+	for _, stripe := range order {
+		stripe, exts := stripe, groups[stripe]
+		g.Go("raid-write-stripe", func(q *sim.Proc) {
+			a.writeStripe(q, stripe, exts, data)
+		})
+	}
+	g.Wait(p)
+	a.stats.Writes++
+}
+
+// fullStripe reports whether the extents cover every data column entirely.
+func (a *Array) fullStripe(exts []extent) bool {
+	if len(exts) != a.dataDisks() {
+		return false
+	}
+	for _, e := range exts {
+		if e.secOff != 0 || e.secs != a.unitSecs {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Array) writeStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) {
+	switch a.cfg.Level {
+	case Level0:
+		g := sim.NewGroup(a.eng)
+		for _, ext := range exts {
+			ext := ext
+			g.Go("w", func(q *sim.Proc) { a.writeExtentRaw(q, ext, data) })
+		}
+		g.Wait(p)
+	case Level1:
+		g := sim.NewGroup(a.eng)
+		for _, ext := range exts {
+			ext := ext
+			devIdx, base := a.loc(ext.stripe, ext.pos)
+			phys := base + int64(ext.secOff)
+			chunk := data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
+			for _, d := range []int{devIdx, devIdx + 1} {
+				d := d
+				if a.failed[d] {
+					continue
+				}
+				g.Go("w", func(q *sim.Proc) {
+					a.stats.DiskWrites++
+					a.devs[d].Write(q, phys, chunk)
+				})
+			}
+		}
+		g.Wait(p)
+	case Level3, Level5:
+		lk := a.lock(stripe)
+		lk.Acquire(p)
+		if a.fullStripe(exts) {
+			a.writeFullStripe(p, stripe, exts, data)
+		} else {
+			a.writePartialStripe(p, stripe, exts, data)
+		}
+		lk.Release()
+	}
+}
+
+// writeExtentRaw writes one extent with no redundancy bookkeeping.
+func (a *Array) writeExtentRaw(p *sim.Proc, ext extent, data []byte) {
+	devIdx, base := a.loc(ext.stripe, ext.pos)
+	phys := base + int64(ext.secOff)
+	chunk := data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
+	if a.failed[devIdx] {
+		return // lost: level 0 has no redundancy
+	}
+	a.stats.DiskWrites++
+	a.devs[devIdx].Write(p, phys, chunk)
+}
+
+// writeFullStripe computes parity from the new data alone and writes all
+// columns in parallel: "large write operations in disk arrays are
+// efficient since they don't require the reading of old data or parity".
+func (a *Array) writeFullStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) {
+	a.stats.FullStripeWrites++
+	cols := make([][]byte, a.dataDisks())
+	for _, ext := range exts {
+		cols[ext.pos] = data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
+	}
+	pdev, pbase := a.parityLoc(stripe)
+
+	// Data writes start immediately; the parity engine computes while they
+	// stream, and the parity column is written as soon as it is ready.
+	g := sim.NewGroup(a.eng)
+	for pos, col := range cols {
+		devIdx, base := a.loc(stripe, pos)
+		if a.failed[devIdx] {
+			continue
+		}
+		devIdx, base, col := devIdx, base, col
+		g.Go("w", func(q *sim.Proc) {
+			a.stats.DiskWrites++
+			a.devs[devIdx].Write(q, base, col)
+		})
+	}
+	g.Go("wp", func(q *sim.Proc) {
+		parity := a.xor.XOR(q, cols...)
+		if a.failed[pdev] {
+			return
+		}
+		a.stats.DiskWrites++
+		a.devs[pdev].Write(q, pbase, parity)
+	})
+	g.Wait(p)
+}
+
+// writeReconstructStripe handles a partial-stripe write that covers more
+// than half the data columns: read every unit that is not fully
+// overwritten (in parallel), overlay the new data, compute parity over the
+// whole stripe, and write the new ranges plus parity in parallel.
+func (a *Array) writeReconstructStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) {
+	a.stats.ReconstructWrites++
+	nd := a.dataDisks()
+	unitBytes := a.unitSecs * a.secSize
+	cols := make([][]byte, nd)
+	full := make([]bool, nd) // fully covered by new data
+	for _, ext := range exts {
+		if ext.secOff == 0 && ext.secs == a.unitSecs {
+			full[ext.pos] = true
+		}
+	}
+	// Read phase: every unit not fully overwritten.
+	rg := sim.NewGroup(a.eng)
+	for pos := 0; pos < nd; pos++ {
+		if full[pos] {
+			continue
+		}
+		pos := pos
+		devIdx, base := a.loc(stripe, pos)
+		rg.Go("rw-read", func(q *sim.Proc) {
+			a.stats.DiskReads++
+			cols[pos] = a.devs[devIdx].Read(q, base, a.unitSecs)
+		})
+	}
+	rg.Wait(p)
+	// Overlay the new data.
+	for _, ext := range exts {
+		chunk := data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
+		if full[ext.pos] {
+			cols[ext.pos] = chunk
+			continue
+		}
+		copy(cols[ext.pos][ext.secOff*a.secSize:], chunk)
+	}
+	for pos := 0; pos < nd; pos++ {
+		if cols[pos] == nil {
+			cols[pos] = make([]byte, unitBytes)
+		}
+	}
+	parity := a.xor.XOR(p, cols...)
+	pdev, pbase := a.parityLoc(stripe)
+
+	wg := sim.NewGroup(a.eng)
+	for _, ext := range exts {
+		ext := ext
+		devIdx, base := a.loc(stripe, ext.pos)
+		if a.failed[devIdx] {
+			continue
+		}
+		chunk := data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
+		wg.Go("rw-write", func(q *sim.Proc) {
+			a.stats.DiskWrites++
+			a.devs[devIdx].Write(q, base+int64(ext.secOff), chunk)
+		})
+	}
+	if !a.failed[pdev] {
+		wg.Go("rw-parity", func(q *sim.Proc) {
+			a.stats.DiskWrites++
+			a.devs[pdev].Write(q, pbase, parity)
+		})
+	}
+	wg.Wait(p)
+}
+
+// reconstructWriteApplies reports whether reconstruct-write beats
+// read-modify-write for these extents: more than half the data columns are
+// (at least partially) written and no device is failed.
+func (a *Array) reconstructWriteApplies(exts []extent, stripe int64) bool {
+	if len(a.failed) > 0 {
+		return false
+	}
+	return 2*len(exts) > a.dataDisks()
+}
+
+// writeRMWBatched performs one combined read-modify-write for all extents
+// of a stripe: old data (per extent) and old parity (over the union range)
+// are read in parallel, the parity deltas are folded in, and new data and
+// parity are written in parallel — four parallel disk phases total, rather
+// than four serialized accesses per extent.
+func (a *Array) writeRMWBatched(p *sim.Proc, stripe int64, exts []extent, data []byte) {
+	a.stats.SmallWrites++
+	pdev, pbase := a.parityLoc(stripe)
+
+	// Union of sector ranges across extents.
+	lo, hi := exts[0].secOff, exts[0].secOff+exts[0].secs
+	for _, e := range exts[1:] {
+		if e.secOff < lo {
+			lo = e.secOff
+		}
+		if e.secOff+e.secs > hi {
+			hi = e.secOff + e.secs
+		}
+	}
+
+	oldD := make([][]byte, len(exts))
+	var oldP []byte
+	rg := sim.NewGroup(a.eng)
+	for i, ext := range exts {
+		i, ext := i, ext
+		devIdx, base := a.loc(ext.stripe, ext.pos)
+		if a.failed[devIdx] {
+			continue
+		}
+		rg.Go("rmw-rd", func(q *sim.Proc) {
+			a.stats.DiskReads++
+			oldD[i] = a.devs[devIdx].Read(q, base+int64(ext.secOff), ext.secs)
+		})
+	}
+	parityLost := a.failed[pdev]
+	if !parityLost {
+		rg.Go("rmw-rp", func(q *sim.Proc) {
+			a.stats.DiskReads++
+			oldP = a.devs[pdev].Read(q, pbase+int64(lo), hi-lo)
+		})
+	}
+	rg.Wait(p)
+
+	// Fold every extent's delta into the parity union buffer.
+	if !parityLost {
+		for i, ext := range exts {
+			newD := data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
+			devIdx, _ := a.loc(ext.stripe, ext.pos)
+			off := (ext.secOff - lo) * a.secSize
+			if a.failed[devIdx] {
+				// Lost column: rebuild its contribution from peers.
+				content := a.reconstructRange(p, stripe, devIdx, int64(ext.secOff), ext.secs)
+				delta := a.xor.XOR(p, content, newD)
+				a.xor.XORInto(p, oldP[off:off+len(delta)], delta)
+				continue
+			}
+			delta := a.xor.XOR(p, oldD[i], newD)
+			a.xor.XORInto(p, oldP[off:off+len(delta)], delta)
+		}
+	}
+
+	wg := sim.NewGroup(a.eng)
+	for _, ext := range exts {
+		ext := ext
+		devIdx, base := a.loc(ext.stripe, ext.pos)
+		if a.failed[devIdx] {
+			continue
+		}
+		newD := data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
+		wg.Go("rmw-wd", func(q *sim.Proc) {
+			a.stats.DiskWrites++
+			a.devs[devIdx].Write(q, base+int64(ext.secOff), newD)
+		})
+	}
+	if !parityLost {
+		wg.Go("rmw-wp", func(q *sim.Proc) {
+			a.stats.DiskWrites++
+			a.devs[pdev].Write(q, pbase+int64(lo), oldP)
+		})
+	}
+	wg.Wait(p)
+}
+
+// writePartialStripe updates a stripe that the request only partially
+// covers.  When most of the stripe is being rewritten, reconstruct-write
+// wins; otherwise a single batched read-modify-write updates data and
+// parity — "each small write requires four disk accesses: reads of the old
+// data and parity blocks and writes of the new data and parity blocks".
+func (a *Array) writePartialStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) {
+	if a.reconstructWriteApplies(exts, stripe) {
+		a.writeReconstructStripe(p, stripe, exts, data)
+		return
+	}
+	a.writeRMWBatched(p, stripe, exts, data)
+}
+
+// Reconstruct rebuilds failed device devIdx onto spare, stripe by stripe,
+// then swaps the spare in and clears the failure.  It returns the number of
+// stripes rebuilt.
+func (a *Array) Reconstruct(p *sim.Proc, devIdx int, spare Dev) (int64, error) {
+	if !a.failed[devIdx] {
+		return 0, fmt.Errorf("raid: device %d is not failed", devIdx)
+	}
+	if spare.Sectors() < a.stripes*int64(a.unitSecs) || spare.SectorSize() != a.secSize {
+		return 0, fmt.Errorf("raid: spare geometry mismatch")
+	}
+	if a.cfg.Level == Level0 {
+		return 0, fmt.Errorf("raid: cannot reconstruct at %v", a.cfg.Level)
+	}
+	// Rebuild a window of stripes concurrently: the reads fan out over all
+	// surviving disks, so pipelining stripes keeps every spindle busy
+	// instead of paying per-stripe latency serially.
+	const window = 4
+	sem := sim.NewServer(a.eng, "rebuild-window", window)
+	g := sim.NewGroup(a.eng)
+	var firstErr error
+	for s := int64(0); s < a.stripes; s++ {
+		s := s
+		sem.Acquire(p)
+		g.Go("rebuild-stripe", func(q *sim.Proc) {
+			defer sem.Release()
+			var content []byte
+			switch a.cfg.Level {
+			case Level1:
+				// The surviving member of the pair holds the data.
+				peer := devIdx ^ 1
+				a.stats.DiskReads++
+				content = a.devs[peer].Read(q, s*int64(a.unitSecs), a.unitSecs)
+			case Level3, Level5:
+				content = a.reconstructRange(q, s, devIdx, 0, a.unitSecs)
+			default:
+				if firstErr == nil {
+					firstErr = fmt.Errorf("raid: cannot reconstruct at %v", a.cfg.Level)
+				}
+				return
+			}
+			a.stats.DiskWrites++
+			spare.Write(q, s*int64(a.unitSecs), content)
+		})
+	}
+	g.Wait(p)
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	a.devs[devIdx] = spare
+	a.RepairDisk(devIdx)
+	return a.stripes, nil
+}
+
+// CheckParity scans every stripe and verifies that parity equals the XOR of
+// the data columns; it returns the number of inconsistent stripes.  Only
+// meaningful for levels 3 and 5.
+func (a *Array) CheckParity(p *sim.Proc) int64 {
+	if a.cfg.Level != Level3 && a.cfg.Level != Level5 {
+		return 0
+	}
+	var bad int64
+	for s := int64(0); s < a.stripes; s++ {
+		cols := make([][]byte, a.dataDisks())
+		for pos := range cols {
+			devIdx, base := a.loc(s, pos)
+			cols[pos] = a.devs[devIdx].Read(p, base, a.unitSecs)
+		}
+		want := a.xor.XOR(p, cols...)
+		pdev, pbase := a.parityLoc(s)
+		got := a.devs[pdev].Read(p, pbase, a.unitSecs)
+		for i := range want {
+			if want[i] != got[i] {
+				bad++
+				break
+			}
+		}
+	}
+	return bad
+}
+
+// WriteStreaming is the raw-hardware benchmark write mode, reproducing the
+// paper's Figure 5 / Table 1 write experiment: data and parity stream to
+// the disks with parity computed over the written columns only, and no old
+// data or parity is ever read.  Stripes the request only partially covers
+// are left with parity that does not protect their untouched columns, so
+// this mode is only for raw bandwidth measurements on scratch regions —
+// the file system always uses Write.
+func (a *Array) WriteStreaming(p *sim.Proc, lba int64, data []byte) {
+	if len(data)%a.secSize != 0 {
+		panic("raid: write length not a whole number of sectors")
+	}
+	n := len(data) / a.secSize
+	a.checkRange(lba, n)
+
+	groups := make(map[int64][]extent)
+	var order []int64
+	for _, ext := range a.extents(lba, n) {
+		if _, ok := groups[ext.stripe]; !ok {
+			order = append(order, ext.stripe)
+		}
+		groups[ext.stripe] = append(groups[ext.stripe], ext)
+	}
+	g := sim.NewGroup(a.eng)
+	for _, stripe := range order {
+		stripe, exts := stripe, groups[stripe]
+		g.Go("raid-stream-stripe", func(q *sim.Proc) {
+			a.streamStripe(q, stripe, exts, data)
+		})
+	}
+	g.Wait(p)
+	a.stats.Writes++
+}
+
+// streamStripe writes the extents and a parity column computed from them,
+// with the data writes overlapping the parity computation.
+func (a *Array) streamStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) {
+	if a.fullStripe(exts) {
+		a.writeFullStripe(p, stripe, exts, data)
+		return
+	}
+	a.stats.StreamingWrites++
+	g := sim.NewGroup(a.eng)
+	lo, hi := exts[0].secOff, exts[0].secOff+exts[0].secs
+	for _, ext := range exts {
+		ext := ext
+		if ext.secOff < lo {
+			lo = ext.secOff
+		}
+		if ext.secOff+ext.secs > hi {
+			hi = ext.secOff + ext.secs
+		}
+		devIdx, base := a.loc(stripe, ext.pos)
+		if a.failed[devIdx] {
+			continue
+		}
+		chunk := data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
+		g.Go("stream-w", func(q *sim.Proc) {
+			a.stats.DiskWrites++
+			a.devs[devIdx].Write(q, base+int64(ext.secOff), chunk)
+		})
+	}
+	// Parity over the written columns' union range, in parallel with the
+	// data writes.
+	g.Go("stream-p", func(q *sim.Proc) {
+		span := (hi - lo) * a.secSize
+		cols := make([][]byte, 0, len(exts))
+		for _, ext := range exts {
+			col := make([]byte, span)
+			chunk := data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
+			copy(col[(ext.secOff-lo)*a.secSize:], chunk)
+			cols = append(cols, col)
+		}
+		parity := a.xor.XOR(q, cols...)
+		pdev, pbase := a.parityLoc(stripe)
+		if a.failed[pdev] {
+			return
+		}
+		a.stats.DiskWrites++
+		a.devs[pdev].Write(q, pbase+int64(lo), parity)
+	})
+	g.Wait(p)
+}

@@ -1,0 +1,130 @@
+// Package scsi models the disk attachment hardware between the drives and
+// the XBUS board: SCSI strings (shared buses) and the Interphase Cougar
+// dual-string VME disk controllers.  The paper measures a Cougar at about 3
+// megabytes/second per string — less than three streaming drives — which is
+// one of the two hardware limits (with the VME disk ports) that hold
+// RAID-II below its 40 MB/s design target; Figure 7 quantifies the string
+// ceiling.
+package scsi
+
+import (
+	"fmt"
+	"time"
+
+	"raidii/internal/disk"
+	"raidii/internal/sim"
+)
+
+// Config carries the calibrated Cougar/SCSI parameters.
+type Config struct {
+	// StringMBps is the usable bandwidth of one SCSI string through the
+	// Cougar ("the Cougar disk controller ... only supports about 3
+	// megabytes/second on each of two SCSI strings").
+	StringMBps float64
+	// ControllerMBps is the Cougar's aggregate ceiling ("The Cougar disk
+	// controllers can transfer data at 8 megabytes/second").
+	ControllerMBps float64
+	// CmdOverhead is per-command controller firmware time.
+	CmdOverhead time.Duration
+}
+
+// DefaultConfig returns the paper-calibrated parameters.
+func DefaultConfig() Config {
+	return Config{
+		StringMBps:     3.2,
+		ControllerMBps: 8.0,
+		CmdOverhead:    400 * time.Microsecond,
+	}
+}
+
+// String is one SCSI bus: drives on the same string share its bandwidth.
+type String struct {
+	Bus   *sim.Link
+	disks []*Disk
+}
+
+// Controller is an Interphase Cougar: two SCSI strings behind a shared
+// controller data path and a command processor.
+type Controller struct {
+	name    string
+	cfg     Config
+	Strings [2]*String
+	ctlBus  *sim.Link
+	cmd     *sim.Server
+}
+
+// NewController creates a Cougar with two empty strings.
+func NewController(e *sim.Engine, name string, cfg Config) *Controller {
+	c := &Controller{
+		name:   name,
+		cfg:    cfg,
+		ctlBus: sim.NewLink(e, name+":ctl", cfg.ControllerMBps, 0),
+		cmd:    sim.NewServer(e, name+":cmd", 1),
+	}
+	for i := range c.Strings {
+		c.Strings[i] = &String{
+			Bus: sim.NewLink(e, fmt.Sprintf("%s:string%d", name, i), cfg.StringMBps, 0),
+		}
+	}
+	return c
+}
+
+// Attach places drive d on string s of the controller and returns the
+// addressable attached disk.
+func (c *Controller) Attach(d *disk.Disk, s int) *Disk {
+	ad := &Disk{Drive: d, ctl: c, str: c.Strings[s]}
+	c.Strings[s].disks = append(c.Strings[s].disks, ad)
+	return ad
+}
+
+// Disks returns every disk attached to the controller, string 0 first.
+func (c *Controller) Disks() []*Disk {
+	var out []*Disk
+	for _, s := range c.Strings {
+		out = append(out, s.disks...)
+	}
+	return out
+}
+
+// Disk is a drive as seen through its string and controller: every data
+// transfer traverses the string bus and the controller's internal bus
+// before reaching whatever upstream path (VME port, XBUS memory) the caller
+// supplies.
+type Disk struct {
+	Drive *disk.Disk
+	ctl   *Controller
+	str   *String
+}
+
+// path builds the bus path from the drive toward the XBUS.
+func (ad *Disk) path(upstream sim.Path) sim.Path {
+	p := sim.Path{ad.str.Bus, ad.ctl.ctlBus}
+	return append(p, upstream...)
+}
+
+// Read reads n sectors at lba; data flows drive -> string -> controller ->
+// upstream, pipelined per chunk.
+func (ad *Disk) Read(p *sim.Proc, lba int64, n int, upstream sim.Path) []byte {
+	ad.ctl.cmd.Use(p, ad.ctl.cfg.CmdOverhead)
+	return ad.Drive.Read(p, lba, n, ad.path(upstream))
+}
+
+// Write writes data at lba; data flows upstream -> controller -> string ->
+// drive.  (The simulated Path is direction-agnostic: each hop is a
+// half-duplex resource the chunk occupies in order.)
+func (ad *Disk) Write(p *sim.Proc, lba int64, data []byte, upstream sim.Path) {
+	ad.ctl.cmd.Use(p, ad.ctl.cfg.CmdOverhead)
+	rev := make(sim.Path, 0, len(upstream)+2)
+	rev = append(rev, upstream...)
+	rev = append(rev, ad.ctl.ctlBus, ad.str.Bus)
+	ad.Drive.Write(p, lba, data, rev)
+}
+
+// Sectors returns the drive's sector count.
+func (ad *Disk) Sectors() int64 { return ad.Drive.Sectors() }
+
+// SectorSize returns the drive's sector size.
+func (ad *Disk) SectorSize() int { return ad.Drive.SectorSize() }
+
+// StringUtilization reports the busy fraction of the disk's string bus.
+func (ad *Disk) StringUtilization() float64 { return ad.str.Bus.Utilization() }

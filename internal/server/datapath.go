@@ -1,0 +1,227 @@
+package server
+
+import (
+	"raidii/internal/sim"
+)
+
+// This file implements the board's data movement operations.
+//
+// High-bandwidth-path transfers pipeline the disk array against the HIPPI
+// network through XBUS memory buffers: "For read operations, while one
+// block of data is being sent across the network, the next blocks are
+// being read off the disk."
+
+// chunks splits size into pipeline-chunk work items.
+func (b *Board) chunks(size int) []int {
+	c := b.sys.Cfg.PipelineChunk
+	if c <= 0 {
+		c = 256 << 10
+	}
+	var out []int
+	for size > 0 {
+		n := c
+		if n > size {
+			n = size
+		}
+		out = append(out, n)
+		size -= n
+	}
+	return out
+}
+
+// stripeAligned splits [offSectors, offSectors+sizeSecs) into pieces that
+// do not straddle stripe boundaries unnecessarily: whole stripes become
+// single pieces, so the array's full-stripe write path applies wherever
+// possible.
+func (b *Board) stripeAligned(offSectors int64, sizeSecs int) []int {
+	rowSecs := b.Array.StripeUnitSectors() * b.Array.DataDisks()
+	var out []int
+	for sizeSecs > 0 {
+		inRow := int(int64(rowSecs) - offSectors%int64(rowSecs))
+		n := inRow
+		if n > sizeSecs {
+			n = sizeSecs
+		}
+		out = append(out, n)
+		offSectors += int64(n)
+		sizeSecs -= n
+	}
+	return out
+}
+
+// HardwareRead performs the Figure 5 hardware system-level read: data are
+// read from the disk array into XBUS memory, sent over the HIPPI source
+// board, looped back through the HIPPI destination board, and land in XBUS
+// memory again.  All of the request's disk reads are issued at once
+// (bounded by XBUS buffer memory); the HIPPI transmits each chunk as soon
+// as it and all earlier chunks have arrived in memory.
+func (b *Board) HardwareRead(p *sim.Proc, offSectors int64, size int) {
+	e := b.sys.Eng
+	secSize := b.Array.SectorSize()
+	chunks := b.chunks(size)
+	ready := make([]*sim.Event, len(chunks))
+	cursor := offSectors
+	for i, n := range chunks {
+		i, n := i, n
+		secs := (n + secSize - 1) / secSize
+		at := cursor
+		cursor += int64(secs)
+		ready[i] = sim.NewEvent(e)
+		b.XB.Buffers.Acquire(p, n)
+		e.Spawn("hw-read-disk", func(q *sim.Proc) {
+			b.Array.Read(q, at, secs)
+			ready[i].Signal()
+		})
+	}
+	// Network side: one HIPPI packet for the request, chunks in order.
+	p.Wait(b.HEP.Setup)
+	for i, n := range chunks {
+		ready[i].Wait(p)
+		sim.Path{b.HEP.Out, b.HEP.In}.Send(p, n, 0)
+		b.XB.Buffers.Release(n)
+	}
+}
+
+// HardwareWrite performs the Figure 5 write: data originate in XBUS
+// memory, loop over the HIPPI, return to XBUS memory, then parity is
+// computed and data and parity are written to the array.  Disk writes are
+// issued stripe-aligned as their data arrive, so whole stripes take the
+// full-stripe parity path while the HIPPI keeps streaming.
+func (b *Board) HardwareWrite(p *sim.Proc, offSectors int64, size int) {
+	e := b.sys.Eng
+	secSize := b.Array.SectorSize()
+	g := sim.NewGroup(e)
+
+	p.Wait(b.HEP.Setup)
+	cursor := offSectors
+	for _, secs := range b.stripeAligned(offSectors, (size+secSize-1)/secSize) {
+		n := secs * secSize
+		at := cursor
+		cursor += int64(secs)
+		b.XB.Buffers.Acquire(p, n)
+		sim.Path{b.HEP.Out, b.HEP.In}.Send(p, n, 0)
+		secs := secs
+		g.Go("hw-write-disk", func(q *sim.Proc) {
+			b.Array.WriteStreaming(q, at, make([]byte, secs*secSize))
+			b.XB.Buffers.Release(n)
+		})
+	}
+	g.Wait(p)
+}
+
+// FSRead is the Figure 8 LFS read: file system overhead on the host CPU,
+// then the file's blocks stream from the array into HIPPI network buffers
+// in XBUS memory (no network send — matching the paper's measurement).
+// Reads are pipelined chunk by chunk.
+func (b *Board) FSRead(p *sim.Proc, f *FSFile, off int64, size int) error {
+	b.sys.Host.CPUWork(p, b.sys.Cfg.FSReadOverhead)
+	e := b.sys.Eng
+	g := sim.NewGroup(e)
+	sem := sim.NewServer(e, "fsread-pipe", maxInt(1, b.sys.Cfg.PipelineDepth))
+	var firstErr error
+	cursor := off
+	for _, n := range b.chunks(size) {
+		n := n
+		at := cursor
+		cursor += int64(n)
+		sem.Acquire(p)
+		g.Go("fsread-chunk", func(q *sim.Proc) {
+			defer sem.Release()
+			b.XB.Buffers.Acquire(q, n)
+			_, err := f.File.ReadAt(q, at, n)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			// Hand the buffer to the "network buffer" pool: one crossbar
+			// memory pass.
+			b.XB.Memory.Transfer(q, n)
+			b.XB.Buffers.Release(n)
+		})
+	}
+	g.Wait(p)
+	return firstErr
+}
+
+// FSWrite is the Figure 8 LFS write: file system overhead on the host
+// CPU, then the data move from XBUS network buffers into the LFS write
+// buffers and eventually to the array as full segments.
+func (b *Board) FSWrite(p *sim.Proc, f *FSFile, off int64, data []byte) error {
+	b.sys.Host.CPUWork(p, b.sys.Cfg.FSWriteOverhead)
+	// One crossbar pass from network buffer to LFS segment buffer.
+	b.XB.Memory.Transfer(p, len(data))
+	_, err := f.File.WriteAt(p, data, off)
+	return err
+}
+
+// FSFile pairs an LFS handle with its board.
+type FSFile struct {
+	Board *Board
+	File  interface {
+		ReadAt(p *sim.Proc, off int64, n int) ([]byte, error)
+		WriteAt(p *sim.Proc, data []byte, off int64) (int, error)
+		Size(p *sim.Proc) (int64, error)
+	}
+}
+
+// OpenFS opens path on the board's file system.
+func (b *Board) OpenFS(p *sim.Proc, path string) (*FSFile, error) {
+	f, err := b.FS.Open(p, path)
+	if err != nil {
+		return nil, err
+	}
+	return &FSFile{Board: b, File: f}, nil
+}
+
+// CreateFS creates path on the board's file system.
+func (b *Board) CreateFS(p *sim.Proc, path string) (*FSFile, error) {
+	f, err := b.FS.Create(p, path)
+	if err != nil {
+		return nil, err
+	}
+	return &FSFile{Board: b, File: f}, nil
+}
+
+// SmallDiskRead is the Table 2 unit of work: one 4 KB read from a specific
+// disk (no striping, as in the paper's test program), plus the host's
+// per-I/O completion cost.  RAID-II's completions carry no data through
+// host memory.
+func (b *Board) SmallDiskRead(p *sim.Proc, diskIdx int, lba int64, bytes int) {
+	ad := b.Disks[diskIdx]
+	port := (diskIdx / (2 * b.sys.Cfg.DisksPerString)) % len(b.XB.VME)
+	secs := (bytes + ad.SectorSize() - 1) / ad.SectorSize()
+	ad.Read(p, lba, secs, b.XB.DiskReadPath(port))
+	b.sys.Host.PerIO(p)
+}
+
+// EtherRead services a client read in standard mode: the host commands the
+// XBUS board over the VME link, data cross from XBUS memory into host
+// memory, the host packages them into Ethernet packets.
+func (b *Board) EtherRead(p *sim.Proc, f *FSFile, off int64, size int) error {
+	h := b.sys.Host
+	h.CPUWork(p, b.sys.Cfg.FSReadOverhead)
+	if _, err := f.File.ReadAt(p, off, size); err != nil {
+		return err
+	}
+	// Low-bandwidth path: XBUS -> host VME port -> host memory -> copy ->
+	// Ethernet, pipelined at chunk granularity.
+	g := sim.NewGroup(b.sys.Eng)
+	for _, n := range b.chunks(size) {
+		n := n
+		g.Go("ether-chunk", func(q *sim.Proc) {
+			b.XB.HostTransfer(q, n, true)
+			h.DMAIn(q, n)
+			h.CopyAsync(q, n)
+			b.sys.Ether.Send(q, n)
+		})
+	}
+	g.Wait(p)
+	h.PerIO(p)
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,39 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"raidii/internal/sim"
+	"raidii/internal/workload"
+)
+
+func TestArraySequentialDiagnostics(t *testing.T) {
+	// Pure array sequential read, no HIPPI: with four request streams the
+	// SCSI strings should run near saturation, matching Table 1's ceiling.
+	cfg := DefaultConfig()
+	cfg.FifthCougar = true
+	sys, _ := New(cfg)
+	b := sys.Boards[0]
+	var cursor int64
+	res := workload.FixedOps(sys.Eng, 4, 48, func(p *sim.Proc, _ int, _ *rand.Rand) int {
+		const req = 1600 << 10
+		b.Array.Read(p, cursor, req/512)
+		cursor += int64(req / 512)
+		return req
+	})
+	if r := res.MBps(); r < 27 || r > 33 {
+		t.Errorf("pure array sequential read = %.1f MB/s, want ~30", r)
+	}
+	fmt.Printf("array seq read: %.1f MB/s\n", res.MBps())
+	for i, c := range b.Cougars {
+		fmt.Printf("cougar%d strings util: %.2f %.2f\n", i, c.Strings[0].Bus.Utilization(), c.Strings[1].Bus.Utilization())
+	}
+	for i, v := range b.XB.VME {
+		fmt.Printf("vme%d util %.2f moved %d\n", i, v.Utilization(), v.BytesMoved())
+	}
+	fmt.Printf("hostport util %.2f moved %d\n", b.XB.Host.Utilization(), b.XB.Host.BytesMoved())
+	st := b.Disks[0].Drive.Stats()
+	fmt.Printf("disk0 stats: %+v util %.2f\n", st, b.Disks[0].Drive.Utilization())
+}

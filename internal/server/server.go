@@ -1,0 +1,249 @@
+// Package server assembles the RAID-II storage server: XBUS boards with
+// their Cougar controllers, SCSI strings and disks, the RAID Level 5 array
+// on each board, the LFS file system, the HIPPI attachment, and the host
+// workstation with its Ethernet — plus the RAID-I first-prototype baseline
+// for comparison.
+//
+// The architecture's defining property is its two data paths.  The
+// high-bandwidth path moves data directly between the disks and the HIPPI
+// network through XBUS memory, never touching the host; the host only
+// performs control operations (name lookup, metadata, register pokes over
+// its slow VME link).  The low-bandwidth path carries metadata and small
+// transfers through host memory for Ethernet clients, exactly like RAID-I
+// — and hits the same 2.3 MB/s wall, which is why it is reserved for small
+// requests.
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"raidii/internal/disk"
+	"raidii/internal/ether"
+	"raidii/internal/hippi"
+	"raidii/internal/host"
+	"raidii/internal/lfs"
+	"raidii/internal/raid"
+	"raidii/internal/scsi"
+	"raidii/internal/sim"
+	"raidii/internal/xbus"
+)
+
+// Config assembles a RAID-II system.
+type Config struct {
+	Boards int // number of XBUS boards
+
+	// Per-board disk attachment: Cougars x strings x disks per string.
+	Cougars        int
+	DisksPerString int
+	// FifthCougar attaches an extra Cougar (two more strings) through the
+	// XBUS control-bus port, the Table 1 peak-sequential configuration.
+	FifthCougar bool
+
+	DiskSpec disk.Spec
+	// DiskSched selects the drives' actuator scheduling policy.  The 1993
+	// firmware was FIFO; SSTF/SCAN are ablation options.
+	DiskSched disk.SchedPolicy
+
+	RAIDLevel         raid.Level
+	StripeUnitSectors int
+
+	XBus  xbus.Config
+	SCSI  scsi.Config
+	HIPPI hippi.Config
+	Host  host.Config
+
+	LFS lfs.Config
+	// FSReadOverhead/FSWriteOverhead are the host CPU cost of one file
+	// system operation (§3.4: ~4 ms of file system overhead per read,
+	// ~3 ms of network and file system overhead per small write).
+	FSReadOverhead  time.Duration
+	FSWriteOverhead time.Duration
+
+	// PipelineDepth is the number of in-flight buffers between the disk
+	// array and the HIPPI network on the high-bandwidth path ("LFS may
+	// have several pipeline processes issuing read requests").
+	PipelineDepth int
+	// PipelineChunk is the buffer granularity of that pipeline.
+	PipelineChunk int
+}
+
+// DefaultConfig is the paper's measured configuration: one XBUS board,
+// four Cougars, two strings each, three IBM 0661 disks per string (24
+// disks), RAID Level 5, 64 KB stripe unit.
+func DefaultConfig() Config {
+	return Config{
+		Boards:            1,
+		Cougars:           4,
+		DisksPerString:    3,
+		DiskSpec:          disk.IBM0661(),
+		RAIDLevel:         raid.Level5,
+		StripeUnitSectors: (64 << 10) / 512,
+		XBus:              xbus.DefaultConfig(),
+		SCSI:              scsi.DefaultConfig(),
+		HIPPI:             hippi.DefaultConfig(),
+		Host:              host.Sun4280RAIDII(),
+		LFS:               lfs.DefaultConfig(),
+		FSReadOverhead:    4 * time.Millisecond,
+		FSWriteOverhead:   3 * time.Millisecond,
+		PipelineDepth:     8,
+		PipelineChunk:     256 << 10,
+	}
+}
+
+// Fig8Config is the LFS measurement configuration of §3.4: a single XBUS
+// board with 16 disks, 64 KB striping, 960 KB segments.
+func Fig8Config() Config {
+	c := DefaultConfig()
+	c.DisksPerString = 2 // 4 cougars x 2 strings x 2 disks = 16
+	return c
+}
+
+// System is an assembled RAID-II server.
+type System struct {
+	Eng    *sim.Engine
+	Cfg    Config
+	Host   *host.Host
+	Ether  *ether.Segment
+	Ultra  *hippi.Ultranet
+	Boards []*Board
+}
+
+// Board is one XBUS board with its disks, array, and (optionally) file
+// system.
+type Board struct {
+	sys     *System
+	Index   int
+	XB      *xbus.Board
+	Cougars []*scsi.Controller
+	Disks   []*scsi.Disk
+	Array   *raid.Array
+	FS      *lfs.FS
+	HEP     *hippi.Endpoint // HIPPI endpoint of this board
+}
+
+// boundDisk adapts a SCSI-attached disk plus its VME port path into a
+// raid.Dev: every transfer traverses string -> Cougar -> VME port -> XBUS
+// memory.
+type boundDisk struct {
+	ad   *scsi.Disk
+	xb   *xbus.Board
+	port int // VME disk port index; -1 means the host control port
+}
+
+func (bd *boundDisk) paths() (read, write sim.Path) {
+	if bd.port < 0 {
+		return sim.Path{bd.xb.Host.In()}, sim.Path{bd.xb.Host.Out()}
+	}
+	return bd.xb.DiskReadPath(bd.port), bd.xb.DiskWritePath(bd.port)
+}
+
+func (bd *boundDisk) Read(p *sim.Proc, lba int64, n int) []byte {
+	rp, _ := bd.paths()
+	return bd.ad.Read(p, lba, n, rp)
+}
+
+func (bd *boundDisk) Write(p *sim.Proc, lba int64, data []byte) {
+	_, wp := bd.paths()
+	bd.ad.Write(p, lba, data, wp)
+}
+
+func (bd *boundDisk) Sectors() int64  { return bd.ad.Sectors() }
+func (bd *boundDisk) SectorSize() int { return bd.ad.SectorSize() }
+
+// New assembles a system on a fresh engine.
+func New(cfg Config) (*System, error) {
+	e := sim.New()
+	sys := &System{
+		Eng:   e,
+		Cfg:   cfg,
+		Host:  host.New(e, cfg.Host),
+		Ether: ether.New(e, "ether0", ether.DefaultConfig()),
+		Ultra: hippi.NewUltranet(e, cfg.HIPPI),
+	}
+	for b := 0; b < cfg.Boards; b++ {
+		board, err := sys.newBoard(b)
+		if err != nil {
+			return nil, err
+		}
+		sys.Boards = append(sys.Boards, board)
+	}
+	return sys, nil
+}
+
+func (sys *System) newBoard(idx int) (*Board, error) {
+	e := sys.Eng
+	cfg := sys.Cfg
+	xb := xbus.New(e, fmt.Sprintf("xbus%d", idx), cfg.XBus)
+	b := &Board{sys: sys, Index: idx, XB: xb}
+	b.HEP = &hippi.Endpoint{
+		Name:  fmt.Sprintf("xbus%d", idx),
+		Out:   xb.HIPPIS.Out(),
+		In:    xb.HIPPID.In(),
+		Setup: cfg.HIPPI.PacketSetup,
+	}
+
+	var devs []raid.Dev
+	nCougars := cfg.Cougars
+	if cfg.FifthCougar {
+		nCougars++
+	}
+	diskNo := 0
+	for c := 0; c < nCougars; c++ {
+		ctl := scsi.NewController(e, fmt.Sprintf("xb%d-cougar%d", idx, c), cfg.SCSI)
+		b.Cougars = append(b.Cougars, ctl)
+		port := c
+		if c >= cfg.Cougars {
+			port = -1 // fifth Cougar rides the host control port
+		} else if port >= cfg.XBus.VMEDiskPorts {
+			return nil, fmt.Errorf("server: cougar %d has no VME port", c)
+		}
+		for s := 0; s < 2; s++ {
+			for d := 0; d < cfg.DisksPerString; d++ {
+				dr := disk.New(e, fmt.Sprintf("xb%d-d%d", idx, diskNo), cfg.DiskSpec)
+				dr.SetScheduler(cfg.DiskSched)
+				ad := ctl.Attach(dr, s)
+				b.Disks = append(b.Disks, ad)
+				devs = append(devs, &boundDisk{ad: ad, xb: xb, port: port})
+				diskNo++
+			}
+		}
+	}
+	arr, err := raid.New(e, devs, raid.Config{
+		Level:             cfg.RAIDLevel,
+		StripeUnitSectors: cfg.StripeUnitSectors,
+	}, xb)
+	if err != nil {
+		return nil, err
+	}
+	b.Array = arr
+	return b, nil
+}
+
+// FormatFS creates the LFS on board b.
+func (b *Board) FormatFS(p *sim.Proc) error {
+	fs, err := lfs.Format(p, b.sys.Eng, b.Array, b.sys.Cfg.LFS)
+	if err != nil {
+		return err
+	}
+	b.FS = fs
+	return nil
+}
+
+// NumDisks returns the number of disks on the board.
+func (b *Board) NumDisks() int { return len(b.Disks) }
+
+// AttachSpare creates a replacement drive on the given Cougar and string,
+// bound through the board's VME port path — ready to hand to
+// Array.Reconstruct when a member disk fails.
+func (b *Board) AttachSpare(cougar, str int) raid.Dev {
+	dr := disk.New(b.sys.Eng, fmt.Sprintf("xb%d-spare", b.Index), b.sys.Cfg.DiskSpec)
+	dr.SetScheduler(b.sys.Cfg.DiskSched)
+	ad := b.Cougars[cougar].Attach(dr, str)
+	b.Disks = append(b.Disks, ad)
+	port := cougar
+	if port >= len(b.XB.VME) {
+		port = -1
+	}
+	return &boundDisk{ad: ad, xb: b.XB, port: port}
+}

@@ -1,0 +1,92 @@
+package sim
+
+// ChooserServer is a single-slot resource whose admission order is decided
+// by a caller-supplied policy rather than FIFO: the disk model uses it to
+// implement seek-aware request scheduling (SSTF, SCAN) at the actuator.
+//
+// Each waiter carries an int64 tag (for a disk, the target cylinder).  On
+// Release, the choose function inspects the tags of all queued waiters and
+// returns the index to admit next.  A nil choose function degenerates to
+// FIFO.
+type ChooserServer struct {
+	eng    *Engine
+	name   string
+	busy   bool
+	choose func(tags []int64) int
+	queue  []chooserWaiter
+
+	busyInt Time
+	lastAdj Time
+}
+
+type chooserWaiter struct {
+	proc *Proc
+	tag  int64
+}
+
+// NewChooserServer creates the resource.
+func NewChooserServer(e *Engine, name string, choose func(tags []int64) int) *ChooserServer {
+	return &ChooserServer{eng: e, name: name, choose: choose}
+}
+
+// Acquire obtains the slot, parking until the policy admits this waiter.
+func (s *ChooserServer) Acquire(p *Proc, tag int64) {
+	if !s.busy {
+		s.account()
+		s.busy = true
+		return
+	}
+	s.queue = append(s.queue, chooserWaiter{proc: p, tag: tag})
+	p.park()
+}
+
+// Release frees the slot and admits the policy's pick.
+func (s *ChooserServer) Release() {
+	if !s.busy {
+		panic("sim: release of idle chooser server " + s.name)
+	}
+	if len(s.queue) == 0 {
+		s.account()
+		s.busy = false
+		return
+	}
+	idx := 0
+	if s.choose != nil {
+		tags := make([]int64, len(s.queue))
+		for i, w := range s.queue {
+			tags[i] = w.tag
+		}
+		idx = s.choose(tags)
+		if idx < 0 || idx >= len(s.queue) {
+			idx = 0
+		}
+	}
+	w := s.queue[idx]
+	s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+	s.eng.schedule(w.proc, s.eng.now)
+}
+
+func (s *ChooserServer) account() {
+	if s.busy {
+		s.busyInt += s.eng.now - s.lastAdj
+	}
+	s.lastAdj = s.eng.now
+}
+
+// Utilization reports the time-averaged busy fraction.
+func (s *ChooserServer) Utilization() float64 {
+	if s.eng.now == 0 {
+		return 0
+	}
+	integral := s.busyInt
+	if s.busy {
+		integral += s.eng.now - s.lastAdj
+	}
+	return float64(integral) / float64(s.eng.now)
+}
+
+// QueueLen reports the number of parked waiters.
+func (s *ChooserServer) QueueLen() int { return len(s.queue) }
+
+// Busy reports whether the slot is held.
+func (s *ChooserServer) Busy() bool { return s.busy }

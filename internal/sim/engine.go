@@ -1,0 +1,281 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation engine.  It is the substrate on which every hardware component
+// of the RAID-II reproduction (disks, SCSI strings, the XBUS crossbar, HIPPI
+// and Ethernet networks, the host workstation) is modelled.
+//
+// The engine runs simulated processes as goroutines, but only one process
+// executes at a time: the scheduler dispatches the earliest pending event,
+// resumes the process that owns it, and waits for that process to block
+// again (on a timer, a resource, or an event) or to finish.  Events with
+// equal timestamps fire in the order they were scheduled, so runs are fully
+// deterministic.
+//
+// All engine methods must be called either before Run/RunUntil begins, or
+// from within a currently-running simulated process.  The engine is not
+// safe for concurrent use from arbitrary goroutines; this single-threaded
+// discipline is what makes simulations reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an absolute simulated time in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration re-exports time.Duration for convenience so that model code can
+// write sim.Duration in signatures without importing time.
+type Duration = time.Duration
+
+// Seconds converts an absolute simulated time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled resumption of a process.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among equal timestamps
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event simulation scheduler.
+// The zero value is not usable; create engines with New.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	yield   chan struct{} // running process -> engine: "I have blocked or finished"
+	dead    chan struct{} // closed on Shutdown; unblocks all parked processes
+	live    int           // processes started but not finished
+	blocked int           // processes parked on a resource or event (not a timer)
+	stopped bool
+}
+
+// New creates an empty simulation engine at time zero.
+func New() *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		dead:  make(chan struct{}),
+	}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Live reports the number of processes that have been spawned and have not
+// yet finished.  After Run returns, a nonzero Live count means processes are
+// parked on resources or events that will never be signalled (a deadlock in
+// the modelled system).
+func (e *Engine) Live() int { return e.live }
+
+// schedule enqueues a resumption of p at time at.
+func (e *Engine) schedule(p *Proc, at Time) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: %v < %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+}
+
+// Run executes events until no more are pending.  It returns the final
+// simulated time.  Processes left parked on resources or events are not an
+// error here (workload generators often outlive the measurement window);
+// call Shutdown to reap them.
+func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes events with timestamps <= deadline and returns the
+// simulated time of the last event executed (or deadline if the event queue
+// drained earlier than the deadline and the engine advanced past it).
+func (e *Engine) RunUntil(deadline Time) Time {
+	if e.stopped {
+		panic("sim: engine already shut down")
+	}
+	for len(e.events) > 0 {
+		if e.events[0].at > deadline {
+			break
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		e.dispatch(ev.proc)
+	}
+	return e.now
+}
+
+// Step executes exactly one pending event, if any, and reports whether one
+// was executed.  Useful in tests that assert on intermediate states.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.dispatch(ev.proc)
+	return true
+}
+
+// dispatch resumes process p and waits for it to park again or finish.
+func (e *Engine) dispatch(p *Proc) {
+	if p.finished {
+		return // stale wake-up for a process terminated by Shutdown
+	}
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// Shutdown terminates all parked processes and marks the engine unusable.
+// It must be called from outside any simulated process, after Run/RunUntil
+// has returned.  It is the caller's tool for reclaiming goroutines spawned
+// for processes that never finish on their own (e.g. open-loop workload
+// generators).
+func (e *Engine) Shutdown() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	close(e.dead)
+	// Each parked process observes e.dead, panics with killSentinel, is
+	// recovered by its wrapper, and signals the yield channel one final time.
+	for e.live > 0 {
+		<-e.yield
+		e.live--
+	}
+	// Note: live is decremented here rather than in the wrapper so the
+	// loop's termination condition is race-free (only this goroutine reads
+	// and writes live once dead is closed).
+}
+
+// killSentinel is the panic value used to unwind processes during Shutdown.
+type killSentinel struct{}
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// deterministically by the engine.  Model code receives a *Proc and uses it
+// to wait for simulated time to pass and to interact with resources.
+type Proc struct {
+	eng      *Engine
+	name     string
+	resume   chan struct{}
+	finished bool
+}
+
+// Spawn starts a new simulated process executing fn.  The process begins at
+// the current simulated time (after the caller next yields).  The name is
+// used only for diagnostics.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	if e.stopped {
+		panic("sim: Spawn after Shutdown")
+	}
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.live++
+	go func() {
+		// The deferred handler is the only exit path that hands control
+		// back to the engine.  It covers normal returns, Shutdown kills
+		// (killSentinel panics), and runtime.Goexit (e.g. t.Fatal inside a
+		// simulated process) — without it any of those would leave the
+		// engine blocked forever waiting for a yield.
+		defer func() {
+			r := recover()
+			killed := false
+			if r != nil {
+				if _, ok := r.(killSentinel); !ok {
+					panic(r) // real bug in model code: propagate
+				}
+				killed = true
+			}
+			if p.finished {
+				return
+			}
+			p.finished = true
+			if !killed {
+				e.live-- // Shutdown's reap loop accounts for killed procs
+			}
+			e.yield <- struct{}{}
+		}()
+		<-p.resume // wait for first dispatch
+		fn(p)
+		p.finished = true
+		e.live--
+		e.yield <- struct{}{}
+	}()
+	e.schedule(p, e.now)
+	return p
+}
+
+// At schedules fn to run as a new process at absolute simulated time at.
+func (e *Engine) At(at Time, name string, fn func(*Proc)) {
+	e.Spawn(name, func(p *Proc) {
+		if at > p.eng.now {
+			p.Wait(Duration(at - p.eng.now))
+		}
+		fn(p)
+	})
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// park hands control back to the engine and blocks until resumed.
+// Wake-ups must have been arranged beforehand (a scheduled event, or
+// registration on a resource queue).
+func (p *Proc) park() {
+	p.eng.yield <- struct{}{}
+	select {
+	case <-p.resume:
+	case <-p.eng.dead:
+		panic(killSentinel{})
+	}
+}
+
+// Wait advances the process by the simulated duration d.  Negative or zero
+// durations yield the processor to other events at the same timestamp.
+func (p *Proc) Wait(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.schedule(p, p.eng.now.Add(d))
+	p.park()
+}
+
+// WaitUntil advances the process to absolute time at (a no-op if at is in
+// the past).
+func (p *Proc) WaitUntil(at Time) {
+	if at <= p.eng.now {
+		return
+	}
+	p.eng.schedule(p, at)
+	p.park()
+}

@@ -1,0 +1,453 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWaitAdvancesClock(t *testing.T) {
+	e := New()
+	var at Time
+	e.Spawn("w", func(p *Proc) {
+		p.Wait(5 * time.Millisecond)
+		at = p.Now()
+	})
+	e.Run()
+	if at != Time(5*time.Millisecond) {
+		t.Fatalf("got %v, want 5ms", at)
+	}
+}
+
+func TestFIFOAtSameTimestamp(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			p.Wait(time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order not FIFO: %v", order)
+		}
+	}
+}
+
+func TestWaitUntilPastIsNoop(t *testing.T) {
+	e := New()
+	e.Spawn("p", func(p *Proc) {
+		p.Wait(time.Second)
+		p.WaitUntil(Time(time.Millisecond)) // already past
+		if p.Now() != Time(time.Second) {
+			t.Errorf("WaitUntil moved clock backwards: %v", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestAtSchedulesAbsolute(t *testing.T) {
+	e := New()
+	var at Time
+	e.At(Time(42*time.Millisecond), "late", func(p *Proc) { at = p.Now() })
+	e.Run()
+	if at != Time(42*time.Millisecond) {
+		t.Fatalf("got %v, want 42ms", at)
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := New()
+	ticks := 0
+	e.Spawn("ticker", func(p *Proc) {
+		for {
+			p.Wait(time.Second)
+			ticks++
+		}
+	})
+	e.RunUntil(Time(5500 * time.Millisecond))
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	e.Shutdown()
+}
+
+func TestShutdownReapsParkedProcesses(t *testing.T) {
+	e := New()
+	srv := NewServer(e, "s", 1)
+	for i := 0; i < 5; i++ {
+		e.Spawn("p", func(p *Proc) {
+			srv.Acquire(p)
+			p.Wait(time.Hour) // holds forever within the horizon
+			srv.Release()
+		})
+	}
+	e.RunUntil(Time(time.Minute))
+	if e.Live() != 5 {
+		t.Fatalf("live = %d, want 5", e.Live())
+	}
+	e.Shutdown()
+	if e.Live() != 0 {
+		t.Fatalf("live after shutdown = %d, want 0", e.Live())
+	}
+}
+
+func TestServerFIFOAndCapacity(t *testing.T) {
+	e := New()
+	srv := NewServer(e, "s", 2)
+	var done []int
+	for i := 0; i < 6; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			srv.Use(p, 10*time.Millisecond)
+			done = append(done, i)
+		})
+	}
+	end := e.Run()
+	// 6 jobs, 2 slots, 10ms each -> 30ms.
+	if end != Time(30*time.Millisecond) {
+		t.Fatalf("end = %v, want 30ms", end)
+	}
+	for i, v := range done {
+		if v != i {
+			t.Fatalf("completion order not FIFO: %v", done)
+		}
+	}
+}
+
+func TestServerUtilization(t *testing.T) {
+	e := New()
+	srv := NewServer(e, "s", 1)
+	e.Spawn("p", func(p *Proc) {
+		srv.Use(p, 500*time.Millisecond)
+		p.Wait(500 * time.Millisecond)
+	})
+	e.Run()
+	u := srv.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	e := New()
+	srv := NewServer(e, "s", 1)
+	e.Spawn("p", func(p *Proc) {
+		if !srv.TryAcquire() {
+			t.Error("first TryAcquire should succeed")
+		}
+		if srv.TryAcquire() {
+			t.Error("second TryAcquire should fail")
+		}
+		srv.Release()
+		if !srv.TryAcquire() {
+			t.Error("TryAcquire after release should succeed")
+		}
+		srv.Release()
+	})
+	e.Run()
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := New()
+	NewServer(e, "s", 1).Release()
+}
+
+func TestLinkTransferTime(t *testing.T) {
+	e := New()
+	l := NewLink(e, "l", 10, time.Millisecond) // 10 MB/s + 1 ms
+	var end Time
+	e.Spawn("p", func(p *Proc) {
+		l.Transfer(p, 1_000_000) // 100 ms + 1 ms
+		end = p.Now()
+	})
+	e.Run()
+	want := Time(101 * time.Millisecond)
+	if end != want {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+	if l.BytesMoved() != 1_000_000 {
+		t.Fatalf("moved = %d", l.BytesMoved())
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	e := New()
+	l := NewLink(e, "l", 1, 0) // 1 MB/s
+	g := NewGroup(e)
+	for i := 0; i < 3; i++ {
+		g.Go("p", func(p *Proc) { l.Transfer(p, 1_000_000) })
+	}
+	var end Time
+	e.Spawn("join", func(p *Proc) {
+		g.Wait(p)
+		end = p.Now()
+	})
+	e.Run()
+	if end != Time(3*time.Second) {
+		t.Fatalf("end = %v, want 3s", end)
+	}
+}
+
+func TestPathPipelines(t *testing.T) {
+	e := New()
+	// Two 10 MB/s hops; pipelined chunks should approach 10 MB/s, not 5.
+	path := Path{NewLink(e, "a", 10, 0), NewLink(e, "b", 10, 0)}
+	var end Time
+	e.Spawn("p", func(p *Proc) {
+		path.Send(p, 10_000_000, 64*1024)
+		end = p.Now()
+	})
+	e.Run()
+	sec := end.Seconds()
+	if sec < 1.0 || sec > 1.1 {
+		t.Fatalf("pipelined 10 MB over 2x10MB/s hops took %.3fs, want ~1.0s", sec)
+	}
+}
+
+func TestPathBottleneck(t *testing.T) {
+	e := New()
+	path := Path{NewLink(e, "fast", 100, 0), NewLink(e, "slow", 5, 0), NewLink(e, "fast2", 100, 0)}
+	var end Time
+	e.Spawn("p", func(p *Proc) {
+		path.Send(p, 5_000_000, 32*1024)
+		end = p.Now()
+	})
+	e.Run()
+	sec := end.Seconds()
+	if sec < 1.0 || sec > 1.15 {
+		t.Fatalf("5 MB over 5 MB/s bottleneck took %.3fs, want ~1.0s", sec)
+	}
+}
+
+func TestPathSingleChunkFallback(t *testing.T) {
+	e := New()
+	path := Path{NewLink(e, "a", 1, 0), NewLink(e, "b", 1, 0)}
+	var end Time
+	e.Spawn("p", func(p *Proc) {
+		path.Send(p, 1000, 4096) // single chunk: hops serialize
+		end = p.Now()
+	})
+	e.Run()
+	if end != Time(2*time.Millisecond) {
+		t.Fatalf("end = %v, want 2ms", end)
+	}
+}
+
+func TestEventSignalWakesAll(t *testing.T) {
+	e := New()
+	ev := NewEvent(e)
+	woke := 0
+	for i := 0; i < 4; i++ {
+		e.Spawn("w", func(p *Proc) {
+			ev.Wait(p)
+			woke++
+		})
+	}
+	e.Spawn("sig", func(p *Proc) {
+		p.Wait(time.Millisecond)
+		ev.Signal()
+	})
+	e.Run()
+	if woke != 4 {
+		t.Fatalf("woke = %d, want 4", woke)
+	}
+	if !ev.Fired() {
+		t.Fatal("event should be fired")
+	}
+}
+
+func TestEventWaitAfterSignalReturnsImmediately(t *testing.T) {
+	e := New()
+	ev := NewEvent(e)
+	ev.Signal()
+	var at Time
+	e.Spawn("w", func(p *Proc) {
+		p.Wait(time.Second)
+		ev.Wait(p)
+		at = p.Now()
+	})
+	e.Run()
+	if at != Time(time.Second) {
+		t.Fatalf("at = %v, want 1s", at)
+	}
+}
+
+func TestGroupJoin(t *testing.T) {
+	e := New()
+	g := NewGroup(e)
+	for i := 1; i <= 3; i++ {
+		d := time.Duration(i) * time.Second
+		g.Go("w", func(p *Proc) { p.Wait(d) })
+	}
+	var end Time
+	e.Spawn("join", func(p *Proc) {
+		g.Wait(p)
+		end = p.Now()
+	})
+	e.Run()
+	if end != Time(3*time.Second) {
+		t.Fatalf("end = %v, want 3s", end)
+	}
+}
+
+func TestGroupReuse(t *testing.T) {
+	e := New()
+	g := NewGroup(e)
+	var first, second Time
+	e.Spawn("driver", func(p *Proc) {
+		g.Go("a", func(q *Proc) { q.Wait(time.Second) })
+		g.Wait(p)
+		first = p.Now()
+		g.Go("b", func(q *Proc) { q.Wait(time.Second) })
+		g.Wait(p)
+		second = p.Now()
+	})
+	e.Run()
+	if first != Time(time.Second) || second != Time(2*time.Second) {
+		t.Fatalf("first=%v second=%v", first, second)
+	}
+}
+
+func TestStoreProducerConsumer(t *testing.T) {
+	e := New()
+	st := NewStore[int](e, 2)
+	var got []int
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Wait(time.Millisecond)
+			st.Put(p, i)
+		}
+		st.Close()
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for {
+			v, ok := st.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+			p.Wait(3 * time.Millisecond) // slower than producer
+		}
+	})
+	e.Run()
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestStoreBoundedBlocksProducer(t *testing.T) {
+	e := New()
+	st := NewStore[int](e, 1)
+	var prodDone Time
+	e.Spawn("producer", func(p *Proc) {
+		st.Put(p, 1)
+		st.Put(p, 2) // blocks until consumer takes item 1
+		prodDone = p.Now()
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		p.Wait(time.Second)
+		if v, ok := st.Get(p); !ok || v != 1 {
+			t.Errorf("got %v %v", v, ok)
+		}
+	})
+	e.Run()
+	if prodDone != Time(time.Second) {
+		t.Fatalf("producer finished at %v, want 1s", prodDone)
+	}
+}
+
+func TestStoreCloseWakesGetter(t *testing.T) {
+	e := New()
+	st := NewStore[int](e, 0)
+	var ok = true
+	e.Spawn("getter", func(p *Proc) {
+		_, ok = st.Get(p)
+	})
+	e.Spawn("closer", func(p *Proc) {
+		p.Wait(time.Millisecond)
+		st.Close()
+	})
+	e.Run()
+	if ok {
+		t.Fatal("Get on closed empty store should report !ok")
+	}
+}
+
+func TestBytesDuration(t *testing.T) {
+	if d := BytesDuration(1_000_000, 1); d != time.Second {
+		t.Fatalf("1MB @ 1MB/s = %v, want 1s", d)
+	}
+	if d := BytesDuration(40_000_000, 40); d != time.Second {
+		t.Fatalf("40MB @ 40MB/s = %v, want 1s", d)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for negative schedule")
+			}
+			// re-panic not needed; proc ends normally after recover
+		}()
+		e.schedule(p, Time(-1))
+	})
+	// The proc recovers its own panic; engine proceeds.
+	e.Run()
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(1500 * time.Millisecond)
+	if tm.Seconds() != 1.5 {
+		t.Fatalf("Seconds = %v", tm.Seconds())
+	}
+	if tm.Add(500*time.Millisecond) != Time(2*time.Second) {
+		t.Fatal("Add")
+	}
+	if tm.Sub(Time(time.Second)) != 500*time.Millisecond {
+		t.Fatal("Sub")
+	}
+	if tm.String() != "1.5s" {
+		t.Fatalf("String = %q", tm.String())
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	e := New()
+	depth := 0
+	var spawnDeep func(p *Proc, d int)
+	spawnDeep = func(p *Proc, d int) {
+		if d > depth {
+			depth = d
+		}
+		if d == 5 {
+			return
+		}
+		done := NewEvent(e)
+		e.Spawn("child", func(c *Proc) {
+			c.Wait(time.Millisecond)
+			spawnDeep(c, d+1)
+			done.Signal()
+		})
+		done.Wait(p)
+	}
+	e.Spawn("root", func(p *Proc) { spawnDeep(p, 0) })
+	e.Run()
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+}

@@ -1,0 +1,7 @@
+package sim
+
+import "runtime"
+
+// panicFreeGoexit terminates the calling goroutine the way testing.T.Fatal
+// does, running deferred functions without a panic value.
+func panicFreeGoexit() { runtime.Goexit() }

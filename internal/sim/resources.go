@@ -1,0 +1,463 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Server is a FIFO resource with a fixed number of identical service slots.
+// Processes Acquire a slot (blocking in arrival order when all slots are
+// busy) and Release it when done.  A Server with capacity 1 is a mutex with
+// a fair queue; capacity N models N parallel service stations with a shared
+// queue.
+type Server struct {
+	eng   *Engine
+	name  string
+	cap   int
+	busy  int
+	queue []*Proc
+
+	// Utilization accounting.
+	busyInt  Time // integral of busy slots over time
+	lastAdj  Time
+	acquires uint64
+}
+
+// NewServer creates a FIFO server with the given capacity.
+func NewServer(e *Engine, name string, capacity int) *Server {
+	if capacity < 1 {
+		panic("sim: server capacity must be >= 1")
+	}
+	return &Server{eng: e, name: name, cap: capacity}
+}
+
+func (s *Server) account() {
+	s.busyInt += Time(s.busy) * (s.eng.now - s.lastAdj)
+	s.lastAdj = s.eng.now
+}
+
+// Acquire obtains a service slot, blocking in FIFO order if none is free.
+func (s *Server) Acquire(p *Proc) {
+	s.acquires++
+	if s.busy < s.cap {
+		s.account()
+		s.busy++
+		return
+	}
+	s.queue = append(s.queue, p)
+	p.park()
+	// The releasing process performed the accounting and slot hand-off;
+	// nothing further to do here.
+}
+
+// TryAcquire obtains a slot only if one is immediately free.
+func (s *Server) TryAcquire() bool {
+	if s.busy < s.cap {
+		s.acquires++
+		s.account()
+		s.busy++
+		return true
+	}
+	return false
+}
+
+// Release frees a slot.  If processes are queued, the slot passes directly
+// to the head of the queue (which resumes at the current simulated time).
+func (s *Server) Release() {
+	if s.busy == 0 {
+		panic(fmt.Sprintf("sim: release of idle server %q", s.name))
+	}
+	if len(s.queue) > 0 {
+		head := s.queue[0]
+		s.queue = s.queue[1:]
+		// busy count unchanged: the slot transfers to head.
+		s.eng.schedule(head, s.eng.now)
+		return
+	}
+	s.account()
+	s.busy--
+}
+
+// Use acquires a slot, holds it for the simulated duration d, and releases it.
+func (s *Server) Use(p *Proc, d Duration) {
+	s.Acquire(p)
+	p.Wait(d)
+	s.Release()
+}
+
+// QueueLen reports the number of processes waiting for a slot.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Busy reports the number of slots currently in use.
+func (s *Server) Busy() int { return s.busy }
+
+// Utilization reports the time-averaged fraction of slots in use since the
+// start of the simulation.
+func (s *Server) Utilization() float64 {
+	if s.eng.now == 0 {
+		return 0
+	}
+	integral := s.busyInt + Time(s.busy)*(s.eng.now-s.lastAdj)
+	return float64(integral) / float64(int64(s.eng.now)*int64(s.cap))
+}
+
+// Acquires reports the total number of Acquire/TryAcquire successes requested.
+func (s *Server) Acquires() uint64 { return s.acquires }
+
+// Link models a store-and-forward transmission resource: a bus, a network
+// hop, a memory port.  A transfer of n bytes holds the link for
+// latency + n/bandwidth.  Links are FIFO; concurrent transfers queue.
+//
+// Long transfers should be chunked (see Path.Send) so that several streams
+// time-share a link at fine granularity the way real bus arbitration does,
+// and so that multi-hop paths pipeline instead of serializing.
+type Link struct {
+	srv       *Server
+	name      string
+	bytesPerS float64
+	latency   Duration
+	moved     uint64 // total bytes transferred
+}
+
+// NewLink creates a link with the given bandwidth in megabytes per second
+// (decimal: 1 MB = 1e6 bytes, the convention the paper uses) and a fixed
+// per-transfer latency.
+func NewLink(e *Engine, name string, mbPerS float64, latency Duration) *Link {
+	if mbPerS <= 0 {
+		panic("sim: link bandwidth must be positive")
+	}
+	return &Link{
+		srv:       NewServer(e, name, 1),
+		name:      name,
+		bytesPerS: mbPerS * 1e6,
+		latency:   latency,
+	}
+}
+
+// XferTime reports how long n bytes occupy the link, excluding queueing.
+func (l *Link) XferTime(n int) Duration {
+	return l.latency + Duration(math.Ceil(float64(n)/l.bytesPerS*1e9))
+}
+
+// Transfer moves n bytes across the link, queueing behind earlier transfers.
+func (l *Link) Transfer(p *Proc, n int) {
+	l.srv.Acquire(p)
+	p.Wait(l.XferTime(n))
+	l.srv.Release()
+	l.moved += uint64(n)
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// BytesMoved reports the total bytes transferred over the link.
+func (l *Link) BytesMoved() uint64 { return l.moved }
+
+// Utilization reports the time-averaged busy fraction of the link.
+func (l *Link) Utilization() float64 { return l.srv.Utilization() }
+
+// BytesPerSecond reports the link's configured bandwidth.
+func (l *Link) BytesPerSecond() float64 { return l.bytesPerS }
+
+// Hop is one stage of a data path: anything that can be occupied for the
+// duration of a chunk transfer.  *Link is the common implementation; the
+// XBUS package supplies direction-dependent port hops.
+type Hop interface {
+	Transfer(p *Proc, n int)
+}
+
+// Path is an ordered sequence of hops that data traverses, e.g.
+// disk -> SCSI string -> Cougar controller -> VME port -> XBUS memory.
+type Path []Hop
+
+// DefaultChunk is the granularity at which Path.Send pipelines transfers.
+// 32 KB matches the HIPPI FIFO depth on the XBUS board and keeps event
+// counts manageable.
+const DefaultChunk = 32 * 1024
+
+// Send moves n bytes through every link of the path in order, pipelined at
+// chunk granularity: chunk i+1 may occupy hop k while chunk i occupies hop
+// k+1.  It returns when the final chunk has left the last hop.  A zero or
+// negative chunk selects DefaultChunk.  The effective bandwidth of a long
+// transfer approaches the bandwidth of the slowest hop.
+func (path Path) Send(p *Proc, n, chunk int) {
+	if n <= 0 || len(path) == 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	nchunks := (n + chunk - 1) / chunk
+	if nchunks == 1 {
+		for _, l := range path {
+			l.Transfer(p, n)
+		}
+		return
+	}
+	e := p.eng
+	g := NewGroup(e)
+	remaining := n
+	for i := 0; i < nchunks; i++ {
+		sz := chunk
+		if sz > remaining {
+			sz = remaining
+		}
+		remaining -= sz
+		g.Add(1)
+		// Chunks are spawned in order; FIFO link queues preserve that
+		// order at every hop, so arrival order is deterministic.
+		e.Spawn("chunk", func(cp *Proc) {
+			defer g.Done()
+			for _, l := range path {
+				l.Transfer(cp, sz)
+			}
+		})
+	}
+	g.Wait(p)
+}
+
+// Event is a one-shot condition that processes can wait on.  Once signalled
+// it stays signalled; later waiters return immediately.
+type Event struct {
+	eng     *Engine
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent creates an unsignalled event.
+func NewEvent(e *Engine) *Event { return &Event{eng: e} }
+
+// Fired reports whether the event has been signalled.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Signal fires the event, waking all current waiters at the current time.
+func (ev *Event) Signal() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, w := range ev.waiters {
+		ev.eng.schedule(w, ev.eng.now)
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks p until the event fires (returns immediately if already fired).
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.park()
+}
+
+// Group is a completion counter analogous to sync.WaitGroup, for forking
+// parallel simulated work (e.g. one process per disk of a stripe) and
+// joining on it.
+type Group struct {
+	eng *Engine
+	n   int
+	ev  *Event
+}
+
+// NewGroup creates an empty group.
+func NewGroup(e *Engine) *Group { return &Group{eng: e, ev: NewEvent(e)} }
+
+// Add registers delta additional units of outstanding work.
+func (g *Group) Add(delta int) { g.n += delta }
+
+// Done marks one unit of work complete.
+func (g *Group) Done() {
+	g.n--
+	if g.n < 0 {
+		panic("sim: Group.Done without matching Add")
+	}
+	if g.n == 0 {
+		g.ev.Signal()
+		g.ev = NewEvent(g.eng) // allow group reuse
+	}
+}
+
+// Wait blocks p until the outstanding count reaches zero.  A group with no
+// outstanding work returns immediately.
+func (g *Group) Wait(p *Proc) {
+	if g.n == 0 {
+		return
+	}
+	g.ev.Wait(p)
+}
+
+// Go spawns fn as a child process tracked by the group.
+func (g *Group) Go(name string, fn func(*Proc)) {
+	g.Add(1)
+	g.eng.Spawn(name, func(p *Proc) {
+		defer g.Done()
+		fn(p)
+	})
+}
+
+// Store is a bounded FIFO buffer of items passed between simulated
+// processes: the basis for producer/consumer pipelines such as the LFS
+// prefetcher filling XBUS memory buffers while the HIPPI sender drains them.
+type Store[T any] struct {
+	eng      *Engine
+	capacity int
+	items    []T
+	getters  []storeGetter[T]
+	putters  []storePutter[T]
+	closed   bool
+}
+
+type storeGetter[T any] struct {
+	proc *Proc
+	dst  *T
+	ok   *bool
+}
+
+type storePutter[T any] struct {
+	proc *Proc
+	item T
+}
+
+// NewStore creates a bounded buffer holding at most capacity items.
+// Capacity 0 means unbounded.
+func NewStore[T any](e *Engine, capacity int) *Store[T] {
+	return &Store[T]{eng: e, capacity: capacity}
+}
+
+// Len reports the number of buffered items.
+func (s *Store[T]) Len() int { return len(s.items) }
+
+// Put inserts an item, blocking while the buffer is full.
+func (s *Store[T]) Put(p *Proc, item T) {
+	if s.closed {
+		panic("sim: Put on closed Store")
+	}
+	// Hand directly to a waiting getter if any.
+	if len(s.getters) > 0 {
+		g := s.getters[0]
+		s.getters = s.getters[1:]
+		*g.dst = item
+		*g.ok = true
+		s.eng.schedule(g.proc, s.eng.now)
+		return
+	}
+	if s.capacity > 0 && len(s.items) >= s.capacity {
+		s.putters = append(s.putters, storePutter[T]{proc: p, item: item})
+		p.park()
+		if s.closed {
+			panic("sim: Store closed while Put blocked")
+		}
+		return // the getter that woke us consumed our item directly
+	}
+	s.items = append(s.items, item)
+}
+
+// Get removes and returns the oldest item, blocking while the buffer is
+// empty.  ok is false if the store was closed and drained.
+func (s *Store[T]) Get(p *Proc) (item T, ok bool) {
+	for {
+		if len(s.items) > 0 {
+			item = s.items[0]
+			s.items = s.items[1:]
+			// Admit a blocked putter, if any.
+			if len(s.putters) > 0 {
+				put := s.putters[0]
+				s.putters = s.putters[1:]
+				s.items = append(s.items, put.item)
+				s.eng.schedule(put.proc, s.eng.now)
+			}
+			return item, true
+		}
+		if s.closed {
+			return item, false
+		}
+		var got T
+		var okFlag bool
+		s.getters = append(s.getters, storeGetter[T]{proc: p, dst: &got, ok: &okFlag})
+		p.park()
+		if okFlag {
+			return got, true
+		}
+		// Woken by Close with nothing delivered: loop to return !ok.
+	}
+}
+
+// Close marks the store as producing no further items.  Blocked getters wake
+// and observe ok=false once the buffer drains.
+func (s *Store[T]) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, g := range s.getters {
+		s.eng.schedule(g.proc, s.eng.now)
+	}
+	s.getters = nil
+}
+
+// BytesDuration returns the time n bytes take at rate mbPerS (decimal
+// megabytes per second), a convenience for model calibration code.
+func BytesDuration(n int, mbPerS float64) Duration {
+	return Duration(math.Ceil(float64(n) / (mbPerS * 1e6) * 1e9))
+}
+
+// Tokens is a counting resource with FIFO admission: processes acquire k
+// units (blocking until available, in arrival order) and release them
+// later, possibly from a different process.  It models byte-counted buffer
+// memory such as the XBUS board's DRAM.
+type Tokens struct {
+	eng   *Engine
+	name  string
+	total int
+	avail int
+	queue []tokenWaiter
+}
+
+type tokenWaiter struct {
+	proc *Proc
+	n    int
+}
+
+// NewTokens creates a pool with the given total units.
+func NewTokens(e *Engine, name string, total int) *Tokens {
+	if total <= 0 {
+		panic("sim: token pool must be positive")
+	}
+	return &Tokens{eng: e, name: name, total: total, avail: total}
+}
+
+// Acquire obtains n units, blocking FIFO until they are available.
+// Requests larger than the pool panic (they could never be satisfied).
+func (tk *Tokens) Acquire(p *Proc, n int) {
+	if n > tk.total {
+		panic(fmt.Sprintf("sim: token request %d exceeds pool %q size %d", n, tk.name, tk.total))
+	}
+	if len(tk.queue) == 0 && tk.avail >= n {
+		tk.avail -= n
+		return
+	}
+	tk.queue = append(tk.queue, tokenWaiter{proc: p, n: n})
+	p.park()
+	// Woken by Release once our allocation was carved out.
+}
+
+// Release returns n units to the pool and admits queued waiters in order.
+func (tk *Tokens) Release(n int) {
+	tk.avail += n
+	if tk.avail > tk.total {
+		panic(fmt.Sprintf("sim: token pool %q over-released", tk.name))
+	}
+	for len(tk.queue) > 0 && tk.avail >= tk.queue[0].n {
+		w := tk.queue[0]
+		tk.queue = tk.queue[1:]
+		tk.avail -= w.n
+		tk.eng.schedule(w.proc, tk.eng.now)
+	}
+}
+
+// Available reports the currently free units.
+func (tk *Tokens) Available() int { return tk.avail }
+
+// InUse reports the units currently held.
+func (tk *Tokens) InUse() int { return tk.total - tk.avail }

@@ -1,0 +1,32 @@
+package ufs
+
+import (
+	"testing"
+
+	"raidii/internal/raid"
+	"raidii/internal/sim"
+)
+
+type raidDev = raid.Dev
+
+func newMem(devMB int) raid.Dev { return raid.NewMemDev(int64(devMB)<<20/512, 512) }
+
+func newArr(t *testing.T, e *sim.Engine, devs []raid.Dev) *raid.Array {
+	t.Helper()
+	arr, err := raid.New(e, devs, raid.Config{Level: raid.Level5, StripeUnitSectors: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+// countingDev counts the bytes read through a device.
+type countingDev struct {
+	raid.Dev
+	bytesRead uint64
+}
+
+func (c *countingDev) Read(p *sim.Proc, lba int64, n int) []byte {
+	c.bytesRead += uint64(n) * uint64(c.Dev.SectorSize())
+	return c.Dev.Read(p, lba, n)
+}

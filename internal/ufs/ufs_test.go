@@ -1,0 +1,166 @@
+package ufs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"raidii/internal/raid"
+	"raidii/internal/sim"
+)
+
+func newUFS(t *testing.T) (*sim.Engine, *FS, *raid.Array) {
+	t.Helper()
+	e := sim.New()
+	devs := make([]raid.Dev, 5)
+	for i := range devs {
+		devs[i] = raid.NewMemDev(8<<20/512, 512)
+	}
+	arr, err := raid.New(e, devs, raid.Config{Level: raid.Level5, StripeUnitSectors: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs *FS
+	e.Spawn("mkfs", func(p *sim.Proc) { fs, err = Format(p, e, arr, 256) })
+	e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, fs, arr
+}
+
+func run(e *sim.Engine, fn func(*sim.Proc)) {
+	e.Spawn("t", fn)
+	e.Run()
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	e, fs, _ := newUFS(t)
+	data := make([]byte, 100<<10)
+	rand.New(rand.NewSource(1)).Read(data)
+	var got []byte
+	run(e, func(p *sim.Proc) {
+		if err := fs.Create(p, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.WriteAt(p, 1, data, 0); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		got, err = fs.ReadAt(p, 1, 0, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	e, fs, _ := newUFS(t)
+	run(e, func(p *sim.Proc) {
+		fs.Create(p, 1)
+		if err := fs.Create(p, 1); err != ErrExist {
+			t.Fatalf("dup: %v", err)
+		}
+		if err := fs.Create(p, 9999); err != ErrNotExist {
+			t.Fatalf("oob: %v", err)
+		}
+		if _, err := fs.ReadAt(p, 2, 0, 10); err != ErrNotExist {
+			t.Fatalf("read missing: %v", err)
+		}
+	})
+}
+
+func TestOverwriteInPlaceCausesSmallWrites(t *testing.T) {
+	// The point of this baseline: random 4 KB overwrites hit the RAID-5
+	// read-modify-write path instead of batching into full stripes.
+	e, fs, arr := newUFS(t)
+	run(e, func(p *sim.Proc) {
+		fs.Create(p, 1)
+		fs.WriteAt(p, 1, make([]byte, 1<<20), 0)
+		before := arr.Stats().SmallWrites
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 20; i++ {
+			off := rng.Int63n(1<<20 - 4096)
+			off -= off % 4096
+			fs.WriteAt(p, 1, make([]byte, 4096), off)
+		}
+		if arr.Stats().SmallWrites-before < 15 {
+			t.Fatalf("expected RMW small writes, got %d", arr.Stats().SmallWrites-before)
+		}
+	})
+}
+
+func TestMountPersists(t *testing.T) {
+	e, fs, arr := newUFS(t)
+	run(e, func(p *sim.Proc) {
+		fs.Create(p, 3)
+		fs.WriteAt(p, 3, []byte("persistent"), 0)
+		fs2, err := Mount(p, e, arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs2.ReadAt(p, 3, 0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "persistent" {
+			t.Fatalf("got %q", got)
+		}
+	})
+}
+
+func TestFsckCleanVolume(t *testing.T) {
+	e, fs, _ := newUFS(t)
+	run(e, func(p *sim.Proc) {
+		for i := 1; i <= 10; i++ {
+			fs.Create(p, i)
+			fs.WriteAt(p, i, make([]byte, 50<<10), 0)
+		}
+		r, err := fs.Fsck(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.UsedInodes != 10 {
+			t.Fatalf("used inodes = %d", r.UsedInodes)
+		}
+		if r.Leaked != 0 || r.CrossReference != 0 {
+			t.Fatalf("clean volume flagged: %+v", r)
+		}
+		if r.BlocksScanned == 0 {
+			t.Fatal("fsck scanned nothing")
+		}
+	})
+}
+
+func TestSparseRead(t *testing.T) {
+	e, fs, _ := newUFS(t)
+	run(e, func(p *sim.Proc) {
+		fs.Create(p, 1)
+		fs.WriteAt(p, 1, []byte("tail"), 200<<10)
+		got, _ := fs.ReadAt(p, 1, 100<<10, 8)
+		for _, b := range got {
+			if b != 0 {
+				t.Fatal("hole not zero")
+			}
+		}
+	})
+}
+
+func TestIndirectBlocks(t *testing.T) {
+	e, fs, _ := newUFS(t)
+	// > 12 direct blocks: 200 KB spans into the indirect range.
+	data := make([]byte, 200<<10)
+	rand.New(rand.NewSource(5)).Read(data)
+	var got []byte
+	run(e, func(p *sim.Proc) {
+		fs.Create(p, 1)
+		fs.WriteAt(p, 1, data, 0)
+		got, _ = fs.ReadAt(p, 1, 0, len(data))
+	})
+	if !bytes.Equal(got, data) {
+		t.Fatal("indirect round trip failed")
+	}
+}

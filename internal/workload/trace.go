@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TraceOp is one operation of a synthetic file-server trace.
+type TraceOp struct {
+	Kind string // "open", "read", "write", "create", "remove"
+	Path string
+	Off  int64
+	Size int
+}
+
+// TraceConfig shapes the synthetic trace: a file population with
+// Zipf-distributed popularity and a log-normal-ish size mix, and an
+// operation mix typical of a workstation file server (§4.1's NFS world).
+type TraceConfig struct {
+	Files     int
+	SmallSize int     // size of the small-file class
+	LargeSize int     // size of the large-file class
+	LargeFrac float64 // fraction of files that are large
+	ReadFrac  float64 // fraction of ops that are reads
+	WriteFrac float64 // fraction of ops that are writes (rest: create/remove churn)
+	ZipfS     float64 // Zipf skew (>1)
+	Seed      int64
+}
+
+// DefaultTraceConfig is a small-file-dominated server mix.
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{
+		Files:     200,
+		SmallSize: 8 << 10,
+		LargeSize: 1 << 20,
+		LargeFrac: 0.05,
+		ReadFrac:  0.7,
+		WriteFrac: 0.25,
+		ZipfS:     1.2,
+		Seed:      1,
+	}
+}
+
+// Trace generates ops lazily.
+type Trace struct {
+	cfg   TraceConfig
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	sizes []int
+	churn int // counter for create/remove names
+}
+
+// NewTrace builds a trace generator.
+func NewTrace(cfg TraceConfig) *Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{
+		cfg:  cfg,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Files-1)),
+	}
+	tr.sizes = make([]int, cfg.Files)
+	for i := range tr.sizes {
+		if rng.Float64() < cfg.LargeFrac {
+			tr.sizes[i] = cfg.LargeSize
+		} else {
+			tr.sizes[i] = cfg.SmallSize
+		}
+	}
+	return tr
+}
+
+// PathOf names file i.
+func (tr *Trace) PathOf(i int) string { return fmt.Sprintf("/srv/file%04d", i) }
+
+// SizeOf returns file i's nominal size.
+func (tr *Trace) SizeOf(i int) int { return tr.sizes[i] }
+
+// Files returns the population size.
+func (tr *Trace) Files() int { return tr.cfg.Files }
+
+// Next produces the next operation.  Reads and writes pick files by Zipf
+// popularity; a small tail of operations churns short-lived files, the
+// pattern that generates dead segments for the LFS cleaner.
+func (tr *Trace) Next() TraceOp {
+	r := tr.rng.Float64()
+	switch {
+	case r < tr.cfg.ReadFrac:
+		i := int(tr.zipf.Uint64())
+		size := tr.sizes[i]
+		n := size
+		if size > tr.cfg.SmallSize {
+			// Large files are read in pieces.
+			n = 64 << 10
+		}
+		off := int64(0)
+		if size > n {
+			off = tr.rng.Int63n(int64(size - n))
+		}
+		return TraceOp{Kind: "read", Path: tr.PathOf(i), Off: off, Size: n}
+	case r < tr.cfg.ReadFrac+tr.cfg.WriteFrac:
+		i := int(tr.zipf.Uint64())
+		size := tr.sizes[i]
+		n := minInt(size, 16<<10)
+		off := int64(0)
+		if size > n {
+			off = tr.rng.Int63n(int64(size - n))
+		}
+		return TraceOp{Kind: "write", Path: tr.PathOf(i), Off: off, Size: n}
+	default:
+		tr.churn++
+		if tr.churn%2 == 1 {
+			return TraceOp{Kind: "create", Path: tr.tmpName(tr.churn / 2), Size: tr.cfg.SmallSize}
+		}
+		return TraceOp{Kind: "remove", Path: tr.tmpName(tr.churn/2 - 1)}
+	}
+}
+
+func (tr *Trace) tmpName(i int) string { return fmt.Sprintf("/srv/tmp%05d", i) }
+
+// ZipfSanity reports the fraction of draws landing on the hottest 10% of
+// files over n samples — a quick skew check for tests.
+func (tr *Trace) ZipfSanity(n int) float64 {
+	hot := int(math.Ceil(float64(tr.cfg.Files) / 10))
+	cnt := 0
+	z := rand.NewZipf(rand.New(rand.NewSource(tr.cfg.Seed+7)), tr.cfg.ZipfS, 1, uint64(tr.cfg.Files-1))
+	for i := 0; i < n; i++ {
+		if int(z.Uint64()) < hot {
+			cnt++
+		}
+	}
+	return float64(cnt) / float64(n)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

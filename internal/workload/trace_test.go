@@ -1,0 +1,65 @@
+package workload
+
+import "testing"
+
+func TestTraceDeterministic(t *testing.T) {
+	a, b := NewTrace(DefaultTraceConfig()), NewTrace(DefaultTraceConfig())
+	for i := 0; i < 500; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("trace diverged at op %d", i)
+		}
+	}
+}
+
+func TestTraceOpMix(t *testing.T) {
+	tr := NewTrace(DefaultTraceConfig())
+	counts := map[string]int{}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		op := tr.Next()
+		counts[op.Kind]++
+		switch op.Kind {
+		case "read", "write":
+			if op.Size <= 0 || op.Off < 0 {
+				t.Fatalf("bad op %+v", op)
+			}
+		}
+	}
+	rf := float64(counts["read"]) / n
+	if rf < 0.65 || rf > 0.75 {
+		t.Fatalf("read fraction = %.2f, want ~0.7", rf)
+	}
+	if counts["create"] == 0 || counts["remove"] == 0 {
+		t.Fatal("no churn ops generated")
+	}
+	// Creates stay ahead of removes, so removes always have a target.
+	if counts["remove"] > counts["create"] {
+		t.Fatalf("removes (%d) exceed creates (%d)", counts["remove"], counts["create"])
+	}
+}
+
+func TestTraceZipfSkew(t *testing.T) {
+	tr := NewTrace(DefaultTraceConfig())
+	frac := tr.ZipfSanity(20000)
+	if frac < 0.5 {
+		t.Fatalf("hottest 10%% of files drew only %.2f of accesses; Zipf not skewed", frac)
+	}
+}
+
+func TestTraceSizesClassed(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	tr := NewTrace(cfg)
+	large := 0
+	for i := 0; i < tr.Files(); i++ {
+		switch tr.SizeOf(i) {
+		case cfg.SmallSize:
+		case cfg.LargeSize:
+			large++
+		default:
+			t.Fatalf("file %d has unexpected size %d", i, tr.SizeOf(i))
+		}
+	}
+	if large == 0 || large > tr.Files()/2 {
+		t.Fatalf("large-file count %d implausible", large)
+	}
+}

@@ -1,0 +1,109 @@
+// Package workload provides the request generators the experiments use:
+// closed-loop process swarms (one process per disk for Table 2), fixed-size
+// random request streams (Figures 5 and 8), and sequential streams
+// (Table 1, Figure 7).
+package workload
+
+import (
+	"math/rand"
+
+	"raidii/internal/sim"
+)
+
+// Result summarizes a measured run.
+type Result struct {
+	Ops      uint64
+	Bytes    uint64
+	Elapsed  sim.Duration
+	LatTotal sim.Duration
+}
+
+// MBps returns the decimal-megabytes-per-second throughput the paper's
+// plots use.
+func (r Result) MBps() float64 {
+	s := r.Elapsed.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(r.Bytes) / s / 1e6
+}
+
+// IOPS returns operations per second.
+func (r Result) IOPS() float64 {
+	s := r.Elapsed.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(r.Ops) / s
+}
+
+// MeanLatency returns the average per-operation latency.
+func (r Result) MeanLatency() sim.Duration {
+	if r.Ops == 0 {
+		return 0
+	}
+	return r.LatTotal / sim.Duration(r.Ops)
+}
+
+// Op performs one operation and returns the bytes it moved.  worker
+// identifies the issuing process, rng is that worker's private random
+// stream.
+type Op func(p *sim.Proc, worker int, rng *rand.Rand) int
+
+// ClosedLoop runs nWorkers processes, each issuing op back-to-back until
+// the horizon, on a fresh footing: the engine is run until all in-flight
+// operations at the horizon complete, but only operations *started* before
+// the horizon are counted.
+func ClosedLoop(e *sim.Engine, nWorkers int, horizon sim.Time, op Op) Result {
+	var res Result
+	for w := 0; w < nWorkers; w++ {
+		w := w
+		rng := rand.New(rand.NewSource(int64(9973*w + 1)))
+		e.Spawn("worker", func(p *sim.Proc) {
+			for p.Now() < horizon {
+				start := p.Now()
+				n := op(p, w, rng)
+				res.Ops++
+				res.Bytes += uint64(n)
+				res.LatTotal += p.Now().Sub(start)
+			}
+		})
+	}
+	end := e.Run()
+	res.Elapsed = sim.Duration(end)
+	return res
+}
+
+// FixedOps runs nWorkers processes issuing a total of totalOps operations
+// (split evenly), then reports the elapsed simulated time.
+func FixedOps(e *sim.Engine, nWorkers, totalOps int, op Op) Result {
+	var res Result
+	per := totalOps / nWorkers
+	g := sim.NewGroup(e)
+	for w := 0; w < nWorkers; w++ {
+		w := w
+		rng := rand.New(rand.NewSource(int64(7919*w + 3)))
+		g.Go("worker", func(p *sim.Proc) {
+			for i := 0; i < per; i++ {
+				start := p.Now()
+				n := op(p, w, rng)
+				res.Ops++
+				res.Bytes += uint64(n)
+				res.LatTotal += p.Now().Sub(start)
+			}
+		})
+	}
+	end := e.Run()
+	res.Elapsed = sim.Duration(end)
+	return res
+}
+
+// RandomAligned returns a uniformly random offset in [0, space), aligned
+// to align.  space and align are in the caller's units (sectors, bytes).
+func RandomAligned(rng *rand.Rand, space, align int64) int64 {
+	if space <= align {
+		return 0
+	}
+	n := space / align
+	return rng.Int63n(n) * align
+}

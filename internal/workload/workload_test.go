@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"raidii/internal/sim"
+)
+
+func TestClosedLoopCountsOnlyWindowOps(t *testing.T) {
+	e := sim.New()
+	srv := sim.NewServer(e, "dev", 1)
+	horizon := sim.Time(time.Second)
+	res := ClosedLoop(e, 2, horizon, func(p *sim.Proc, w int, _ *rand.Rand) int {
+		srv.Use(p, 100*time.Millisecond)
+		return 1000
+	})
+	// Two workers on a single 100 ms server: 10 ops/s aggregate.  Workers
+	// only start ops before the horizon.
+	if res.Ops < 9 || res.Ops > 12 {
+		t.Fatalf("ops = %d, want ~10", res.Ops)
+	}
+	if iops := res.IOPS(); iops < 8 || iops > 12 {
+		t.Fatalf("IOPS = %f", iops)
+	}
+	if res.Bytes != res.Ops*1000 {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+}
+
+func TestFixedOpsSplitsWork(t *testing.T) {
+	e := sim.New()
+	var perWorker [4]int
+	res := FixedOps(e, 4, 40, func(p *sim.Proc, w int, _ *rand.Rand) int {
+		perWorker[w]++
+		p.Wait(time.Millisecond)
+		return 10
+	})
+	if res.Ops != 40 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	for w, n := range perWorker {
+		if n != 10 {
+			t.Fatalf("worker %d did %d ops", w, n)
+		}
+	}
+	// 10 sequential 1 ms ops per worker, in parallel: 10 ms.
+	if res.Elapsed != 10*time.Millisecond {
+		t.Fatalf("elapsed = %v", res.Elapsed)
+	}
+}
+
+func TestMeanLatency(t *testing.T) {
+	e := sim.New()
+	res := FixedOps(e, 1, 5, func(p *sim.Proc, _ int, _ *rand.Rand) int {
+		p.Wait(20 * time.Millisecond)
+		return 1
+	})
+	if m := res.MeanLatency(); m != 20*time.Millisecond {
+		t.Fatalf("mean latency = %v", m)
+	}
+}
+
+func TestMBps(t *testing.T) {
+	r := Result{Bytes: 5_000_000, Elapsed: time.Second}
+	if r.MBps() != 5 {
+		t.Fatalf("MBps = %f", r.MBps())
+	}
+	var zero Result
+	if zero.MBps() != 0 || zero.IOPS() != 0 || zero.MeanLatency() != 0 {
+		t.Fatal("zero result should report zeros")
+	}
+}
+
+func TestRandomAligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := RandomAligned(rng, 1000, 8)
+		if v%8 != 0 || v < 0 || v >= 1000 {
+			t.Fatalf("misaligned or out of range: %d", v)
+		}
+	}
+	if v := RandomAligned(rng, 4, 8); v != 0 {
+		t.Fatalf("tiny space should return 0, got %d", v)
+	}
+}
+
+func TestWorkersHaveIndependentStreams(t *testing.T) {
+	e := sim.New()
+	seen := map[int]int64{}
+	FixedOps(e, 2, 2, func(p *sim.Proc, w int, rng *rand.Rand) int {
+		seen[w] = rng.Int63()
+		p.Wait(time.Millisecond)
+		return 0
+	})
+	if seen[0] == seen[1] {
+		t.Fatal("workers shared a random stream")
+	}
+}

@@ -1,0 +1,211 @@
+// Package xbus models the custom crossbar disk-array controller board at
+// the heart of RAID-II.  The board implements a 4x8, 32-bit crossbar (the
+// XBUS) connecting four interleaved memory modules to eight ports: two
+// HIPPI network interfaces (source and destination), four VME interfaces to
+// Cougar disk controller boards, a parity computation engine, and a VME
+// link to the host workstation.  Each port was designed for 40 MB/s (80 ns
+// cycles, 32 bits) for 160 MB/s of aggregate crossbar bandwidth; the VME
+// disk ports achieve only 6.9 MB/s reading and 5.9 MB/s writing, which the
+// paper identifies (with the Cougar strings) as the hardware bottleneck.
+package xbus
+
+import (
+	"time"
+
+	"raidii/internal/sim"
+)
+
+// Config carries the calibrated XBUS board parameters.
+type Config struct {
+	PortMBps       float64 // crossbar port bandwidth (HIPPI, parity ports)
+	MemoryModules  int
+	ModuleMBps     float64 // per memory module
+	MemoryBytes    int     // total board DRAM
+	VMEDiskPorts   int
+	VMEReadMBps    float64 // disk port, disk -> memory direction
+	VMEWriteMBps   float64 // disk port, memory -> disk direction
+	HostVMEMBps    float64 // control link to the host workstation
+	HostVMELatency time.Duration
+	RegisterAccess time.Duration // host access to board control registers
+}
+
+// DefaultConfig returns the paper-calibrated board.
+func DefaultConfig() Config {
+	return Config{
+		PortMBps:       40,
+		MemoryModules:  4,
+		ModuleMBps:     40,
+		MemoryBytes:    32 << 20, // 4 x 8 MB DRAM
+		VMEDiskPorts:   4,
+		VMEReadMBps:    6.9,
+		VMEWriteMBps:   5.9,
+		HostVMEMBps:    8,
+		HostVMELatency: 50 * time.Microsecond,
+		RegisterAccess: 20 * time.Microsecond,
+	}
+}
+
+// Port is one crossbar port with possibly direction-dependent bandwidth.
+// The port is half-duplex: transfers in either direction contend for it in
+// FIFO order.  Every port transfer also crosses the memory system.
+type Port struct {
+	name   string
+	srv    *sim.Server
+	inBps  float64 // toward XBUS memory
+	outBps float64 // away from XBUS memory
+	mem    *sim.Link
+	moved  uint64
+}
+
+type portDir struct {
+	port *Port
+	in   bool
+}
+
+// Transfer implements sim.Hop: the chunk occupies the port and then the
+// memory system.
+func (pd portDir) Transfer(p *sim.Proc, n int) {
+	pt := pd.port
+	bps := pt.outBps
+	if pd.in {
+		bps = pt.inBps
+	}
+	pt.srv.Acquire(p)
+	p.Wait(sim.BytesDuration(n, bps/1e6))
+	pt.srv.Release()
+	pt.mem.Transfer(p, n)
+	pt.moved += uint64(n)
+}
+
+// In returns the hop for data flowing into XBUS memory through this port.
+func (pt *Port) In() sim.Hop { return portDir{port: pt, in: true} }
+
+// Out returns the hop for data flowing out of XBUS memory through this port.
+func (pt *Port) Out() sim.Hop { return portDir{port: pt, in: false} }
+
+// Utilization reports the port's time-averaged busy fraction.
+func (pt *Port) Utilization() float64 { return pt.srv.Utilization() }
+
+// BytesMoved reports the total bytes through the port.
+func (pt *Port) BytesMoved() uint64 { return pt.moved }
+
+// Board is one XBUS controller board.
+type Board struct {
+	Cfg Config
+
+	// Memory is the crossbar/memory system: four modules interleaved in
+	// sixteen-word blocks, modelled as an aggregate link since the fine
+	// interleave spreads every transfer across all modules evenly.
+	Memory *sim.Link
+
+	HIPPIS *Port // to the HIPPI source board (memory -> network)
+	HIPPID *Port // from the HIPPI destination board (network -> memory)
+	Parity *Port // parity computation engine
+	VME    []*Port
+	Host   *Port // control/metadata link to the host workstation
+
+	// Buffers is the board DRAM as an allocatable pool: prefetch buffers,
+	// pipelining buffers, HIPPI network buffers and LFS write buffers all
+	// come from here.
+	Buffers *sim.Tokens
+
+	parityOps uint64
+}
+
+// New creates a board attached to engine e.
+func New(e *sim.Engine, name string, cfg Config) *Board {
+	mem := sim.NewLink(e, name+":mem", cfg.ModuleMBps*float64(cfg.MemoryModules), 0)
+	port := func(pn string, in, out float64) *Port {
+		return &Port{
+			name:  name + ":" + pn,
+			srv:   sim.NewServer(e, name+":"+pn, 1),
+			inBps: in * 1e6, outBps: out * 1e6,
+			mem: mem,
+		}
+	}
+	b := &Board{
+		Cfg:     cfg,
+		Memory:  mem,
+		HIPPIS:  port("hippis", cfg.PortMBps, cfg.PortMBps),
+		HIPPID:  port("hippid", cfg.PortMBps, cfg.PortMBps),
+		Parity:  port("xor", cfg.PortMBps, cfg.PortMBps),
+		Host:    port("host", cfg.HostVMEMBps, cfg.HostVMEMBps),
+		Buffers: sim.NewTokens(e, name+":dram", cfg.MemoryBytes),
+	}
+	for i := 0; i < cfg.VMEDiskPorts; i++ {
+		b.VME = append(b.VME, port("vme", cfg.VMEReadMBps, cfg.VMEWriteMBps))
+	}
+	return b
+}
+
+// DiskReadPath returns the upstream path for data arriving from a Cougar on
+// VME disk port i into XBUS memory.
+func (b *Board) DiskReadPath(i int) sim.Path { return sim.Path{b.VME[i].In()} }
+
+// DiskWritePath returns the upstream path for data leaving XBUS memory
+// toward a Cougar on VME disk port i.
+func (b *Board) DiskWritePath(i int) sim.Path { return sim.Path{b.VME[i].Out()} }
+
+// XOR computes the bytewise parity of the sources into a new buffer, using
+// the board's parity engine: every source byte streams from memory through
+// the XOR port, and the result streams back.  All sources must be the same
+// length.
+func (b *Board) XOR(p *sim.Proc, srcs ...[]byte) []byte {
+	if len(srcs) == 0 {
+		return nil
+	}
+	n := len(srcs[0])
+	for _, s := range srcs {
+		if len(s) != n {
+			panic("xbus: XOR sources of unequal length")
+		}
+	}
+	out := make([]byte, n)
+	for _, s := range srcs {
+		// Stream this source through the parity engine.
+		sim.Path{b.Parity.In()}.Send(p, n, 0)
+		for i, v := range s {
+			out[i] ^= v
+		}
+	}
+	// Result writes back to memory.
+	sim.Path{b.Parity.Out()}.Send(p, n, 0)
+	b.parityOps++
+	return out
+}
+
+// XORInto accumulates src into dst (dst ^= src) with parity-engine timing.
+func (b *Board) XORInto(p *sim.Proc, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("xbus: XORInto length mismatch")
+	}
+	sim.Path{b.Parity.In()}.Send(p, len(src), 0)
+	for i, v := range src {
+		dst[i] ^= v
+	}
+	b.parityOps++
+}
+
+// ParityOps reports how many parity computations the engine has run.
+func (b *Board) ParityOps() uint64 { return b.parityOps }
+
+// HostRegisterAccess charges the time for the host to touch board control
+// registers over the slow VME link ("the overhead of sending a HIPPI packet
+// is about 1.1 milliseconds, mostly due to setting up the HIPPI and XBUS
+// control registers across the slow VME link").
+func (b *Board) HostRegisterAccess(p *sim.Proc, accesses int) {
+	p.Wait(time.Duration(accesses) * b.Cfg.RegisterAccess)
+}
+
+// HostTransfer moves n bytes between XBUS memory and host memory over the
+// board's host VME port (the low-bandwidth data path).  The caller layers
+// host-side memory costs on top.
+func (b *Board) HostTransfer(p *sim.Proc, n int, toHost bool) {
+	var hop sim.Hop
+	if toHost {
+		hop = b.Host.Out()
+	} else {
+		hop = b.Host.In()
+	}
+	sim.Path{hop}.Send(p, n, 0)
+}

@@ -1,0 +1,234 @@
+// Package zebra implements the §5.2 future-work direction: Zebra-style
+// striping of a client's log across multiple RAID-II servers.  "Its use
+// with RAID-II would provide a mechanism for striping high-bandwidth file
+// accesses over multiple network connections, and therefore across
+// multiple XBUS boards."  Following Hartman & Ousterhout's design, the
+// client batches its writes into log segments, stripes each segment's
+// fragments across the servers, and stores a parity fragment so any single
+// server loss is survivable; servers "perform very simple operations,
+// merely storing blocks of the logical log".
+package zebra
+
+import (
+	"errors"
+	"fmt"
+
+	"raidii/internal/hippi"
+	"raidii/internal/server"
+	"raidii/internal/sim"
+)
+
+// Config selects the striping geometry.
+type Config struct {
+	// FragmentBytes is the size of one stripe fragment (per server).
+	FragmentBytes int
+	// Parity enables one parity fragment per stripe.
+	Parity bool
+}
+
+// DefaultConfig stripes 256 KB fragments with parity.
+func DefaultConfig() Config {
+	return Config{FragmentBytes: 256 << 10, Parity: true}
+}
+
+// Store is a Zebra client log striped over several RAID-II systems'
+// boards.  All servers must live on the same simulation engine; use
+// server.Config.Boards > 1 and stripe over the boards, which is exactly
+// the "multiple XBUS boards" scaling of §2.1.2.
+type Store struct {
+	cfg     Config
+	sys     *server.System
+	boards  []*server.Board
+	files   map[string][]*server.FSFile // per-board backing files
+	ep      *hippi.Endpoint
+	nextSeg int
+}
+
+// New creates a Zebra store over the system's boards, which must each have
+// a formatted file system.
+func New(sys *server.System, clientEP *hippi.Endpoint, cfg Config) (*Store, error) {
+	if len(sys.Boards) < 2 {
+		return nil, errors.New("zebra: need at least two boards/servers")
+	}
+	if cfg.Parity && len(sys.Boards) < 3 {
+		return nil, errors.New("zebra: parity striping needs at least three servers")
+	}
+	for _, b := range sys.Boards {
+		if b.FS == nil {
+			return nil, errors.New("zebra: all boards need a formatted file system")
+		}
+	}
+	return &Store{
+		cfg:    cfg,
+		sys:    sys,
+		boards: sys.Boards,
+		files:  make(map[string][]*server.FSFile),
+		ep:     clientEP,
+	}, nil
+}
+
+// dataWidth is the number of data fragments per stripe.
+func (z *Store) dataWidth() int {
+	if z.cfg.Parity {
+		return len(z.boards) - 1
+	}
+	return len(z.boards)
+}
+
+// Create opens per-server backing files for a striped file.
+func (z *Store) Create(p *sim.Proc, name string) error {
+	if _, ok := z.files[name]; ok {
+		return errors.New("zebra: file exists")
+	}
+	var files []*server.FSFile
+	for i, b := range z.boards {
+		f, err := b.CreateFS(p, fmt.Sprintf("/zebra-%s-frag%d", name, i))
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+	}
+	z.files[name] = files
+	return nil
+}
+
+// Write appends n bytes of the client's log for the named file: the data
+// are cut into fragments, one parity fragment is computed client-side, and
+// all fragments travel to their servers in parallel over the network —
+// aggregate bandwidth multiplies with the number of servers.
+func (z *Store) Write(p *sim.Proc, name string, off int64, n int) error {
+	files, ok := z.files[name]
+	if !ok {
+		return errors.New("zebra: no such file")
+	}
+	e := z.sys.Eng
+	nd := z.dataWidth()
+	stripeBytes := nd * z.cfg.FragmentBytes
+
+	for n > 0 {
+		sz := stripeBytes
+		if sz > n {
+			sz = n
+		}
+		n -= sz
+		frag := (sz + nd - 1) / nd
+		stripeOff := off
+		off += int64(sz)
+
+		g := sim.NewGroup(e)
+		// The stripe's data fragments go to rotating servers; parity (same
+		// size as one fragment) to the remaining one.
+		pIdx := z.nextSeg % len(z.boards)
+		z.nextSeg++
+		fi := 0
+		for sIdx, b := range z.boards {
+			if z.cfg.Parity && sIdx == pIdx {
+				b := b
+				g.Go("zebra-parity", func(q *sim.Proc) {
+					z.sendFragment(q, b, files[sIdx], stripeOff, frag)
+				})
+				continue
+			}
+			if fi*z.cfg.FragmentBytes >= sz {
+				break
+			}
+			fsz := frag
+			if rem := sz - fi*z.cfg.FragmentBytes; fsz > rem {
+				fsz = rem
+			}
+			b, sIdx, fsz := b, sIdx, fsz
+			fo := stripeOff + int64(fi)*int64(z.cfg.FragmentBytes)
+			g.Go("zebra-frag", func(q *sim.Proc) {
+				z.sendFragment(q, b, files[sIdx], fo, fsz)
+			})
+			fi++
+		}
+		g.Wait(p)
+	}
+	return nil
+}
+
+// sendFragment ships one fragment over the Ultranet and appends it to the
+// server's LFS-backed fragment file.
+func (z *Store) sendFragment(p *sim.Proc, b *server.Board, f *server.FSFile, off int64, n int) {
+	z.sys.Ultra.Send(p, z.ep, b.HEP, n)
+	_, _ = f.File.WriteAt(p, make([]byte, n), off)
+}
+
+// Read fetches n bytes of the named file.  Fragments arrive from all
+// servers in parallel and several stripes are kept in flight, so the
+// client drains the servers' aggregate bandwidth rather than paying
+// per-stripe latency serially.
+func (z *Store) Read(p *sim.Proc, name string, off int64, n int) error {
+	files, ok := z.files[name]
+	if !ok {
+		return errors.New("zebra: no such file")
+	}
+	e := z.sys.Eng
+	nd := z.dataWidth()
+	stripeBytes := nd * z.cfg.FragmentBytes
+
+	window := sim.NewServer(e, "zebra-read-window", 4)
+	g := sim.NewGroup(e)
+	for n > 0 {
+		sz := stripeBytes
+		if sz > n {
+			sz = n
+		}
+		n -= sz
+		frag := (sz + nd - 1) / nd
+		stripeOff := off
+		off += int64(sz)
+		pIdx := z.nextSeg % len(z.boards)
+
+		window.Acquire(p)
+		g.Go("zebra-read-stripe", func(q *sim.Proc) {
+			defer window.Release()
+			sg := sim.NewGroup(e)
+			fi := 0
+			for sIdx, b := range z.boards {
+				if z.cfg.Parity && sIdx == pIdx {
+					continue
+				}
+				if fi*z.cfg.FragmentBytes >= sz {
+					break
+				}
+				fsz := frag
+				if rem := sz - fi*z.cfg.FragmentBytes; fsz > rem {
+					fsz = rem
+				}
+				b, sIdx, fsz := b, sIdx, fsz
+				fo := stripeOff + int64(fi)*int64(z.cfg.FragmentBytes)
+				sg.Go("zebra-read", func(r *sim.Proc) {
+					_, _ = files[sIdx].File.ReadAt(r, fo, fsz)
+					z.sys.Ultra.Send(r, b.HEP, z.ep, fsz)
+				})
+				fi++
+			}
+			sg.Wait(q)
+		})
+	}
+	g.Wait(p)
+	return nil
+}
+
+// Width returns the number of servers in the stripe group.
+func (z *Store) Width() int { return len(z.boards) }
+
+// SyncAll flushes every server's file system in parallel, making all
+// striped data durable; the client's write is complete only after this.
+func (z *Store) SyncAll(p *sim.Proc) error {
+	g := sim.NewGroup(z.sys.Eng)
+	errs := make([]error, len(z.boards))
+	for i, b := range z.boards {
+		i, b := i, b
+		g.Go("zebra-sync", func(q *sim.Proc) { errs[i] = b.FS.Sync(q) })
+	}
+	g.Wait(p)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package zebra
+
+import (
+	"testing"
+	"time"
+
+	"raidii/internal/hippi"
+	"raidii/internal/server"
+	"raidii/internal/sim"
+)
+
+// newStriped builds a multi-board RAID-II with formatted file systems and
+// a client endpoint.
+func newStriped(t *testing.T, boards int) (*server.System, *Store) {
+	t.Helper()
+	cfg := server.Fig8Config()
+	cfg.Boards = boards
+	sys, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Eng.Spawn("fmt", func(p *sim.Proc) {
+		for _, b := range sys.Boards {
+			if err := b.FormatFS(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	sys.Eng.Run()
+	nic := sim.NewLink(sys.Eng, "client-nic", 100, 0)
+	ep := &hippi.Endpoint{Name: "client", Out: nic, In: nic, Setup: 200 * time.Microsecond}
+	z, err := New(sys, ep, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, z
+}
+
+func TestStripedWriteReadRoundTrip(t *testing.T) {
+	sys, z := newStriped(t, 3)
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		if err := z.Create(p, "video"); err != nil {
+			t.Fatal(err)
+		}
+		if err := z.Write(p, "video", 0, 4<<20); err != nil {
+			t.Fatal(err)
+		}
+		if err := z.Read(p, "video", 0, 4<<20); err != nil {
+			t.Fatal(err)
+		}
+	})
+	sys.Eng.Run()
+}
+
+func TestMoreServersMoreBandwidth(t *testing.T) {
+	rate := func(boards int) float64 {
+		sys, z := newStriped(t, boards)
+		var r float64
+		sys.Eng.Spawn("t", func(p *sim.Proc) {
+			if err := z.Create(p, "f"); err != nil {
+				t.Fatal(err)
+			}
+			start := p.Now()
+			if err := z.Write(p, "f", 0, 16<<20); err != nil {
+				t.Fatal(err)
+			}
+			if err := z.SyncAll(p); err != nil {
+				t.Fatal(err)
+			}
+			r = float64(16<<20) / p.Now().Sub(start).Seconds() / 1e6
+		})
+		sys.Eng.Run()
+		return r
+	}
+	three, five := rate(3), rate(5)
+	if five <= three*1.3 {
+		t.Fatalf("5 servers (%.1f MB/s) should clearly beat 3 (%.1f MB/s)", five, three)
+	}
+}
+
+func TestParityNeedsThreeServers(t *testing.T) {
+	cfg := server.Fig8Config()
+	cfg.Boards = 2
+	sys, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Eng.Spawn("fmt", func(p *sim.Proc) {
+		for _, b := range sys.Boards {
+			b.FormatFS(p)
+		}
+	})
+	sys.Eng.Run()
+	nic := sim.NewLink(sys.Eng, "nic", 100, 0)
+	ep := &hippi.Endpoint{Name: "c", Out: nic, In: nic}
+	if _, err := New(sys, ep, DefaultConfig()); err == nil {
+		t.Fatal("parity striping over two servers should be rejected")
+	}
+	if _, err := New(sys, ep, Config{FragmentBytes: 256 << 10, Parity: false}); err != nil {
+		t.Fatalf("non-parity striping over two servers should work: %v", err)
+	}
+}
+
+func TestErrorsOnUnknownFile(t *testing.T) {
+	sys, z := newStriped(t, 3)
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		if err := z.Write(p, "ghost", 0, 1024); err == nil {
+			t.Error("write to unknown file should fail")
+		}
+		if err := z.Read(p, "ghost", 0, 1024); err == nil {
+			t.Error("read of unknown file should fail")
+		}
+		if err := z.Create(p, "dup"); err != nil {
+			t.Fatal(err)
+		}
+		if err := z.Create(p, "dup"); err == nil {
+			t.Error("duplicate create should fail")
+		}
+	})
+	sys.Eng.Run()
+}

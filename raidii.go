@@ -1,0 +1,287 @@
+// Package raidii is a Go reproduction of RAID-II, the Berkeley
+// high-bandwidth network file server (Drapeau et al., 1994).  It assembles
+// the complete system in simulation — IBM 0661 disks on SCSI strings
+// behind Interphase Cougar controllers, the custom XBUS crossbar board
+// with its parity engine and HIPPI source/destination ports, the Sun 4/280
+// host with its slow memory system, a RAID Level 5 array, and the
+// Log-Structured File System — and exposes the paper's workloads and
+// experiments through a small API.
+//
+// Everything is functional as well as temporal: files really are stored
+// through LFS segments onto parity-protected striped disks, while a
+// deterministic discrete-event simulation accounts the time every byte
+// spends on strings, buses, ports and platters.  Throughput numbers are
+// simulated megabytes/second (decimal, as in the paper).
+//
+// Quick start:
+//
+//	srv, _ := raidii.NewServer()
+//	srv.Simulate(func(t *raidii.Task) error {
+//		t.FormatFS()
+//		f, _ := t.Create("/data/video.raw")
+//		f.Write(0, make([]byte, 8<<20))
+//		t.Sync()
+//		_, err := f.Read(0, 8<<20)
+//		return err
+//	})
+package raidii
+
+import (
+	"time"
+
+	"raidii/internal/disk"
+	"raidii/internal/host"
+	"raidii/internal/lfs"
+	"raidii/internal/raid"
+	"raidii/internal/server"
+	"raidii/internal/sim"
+)
+
+// Option customizes the server assembly.
+type Option func(*server.Config)
+
+// WithBoards sets the number of XBUS controller boards (§2.1.2: "The
+// bandwidth of the RAID-II storage server can be scaled by adding XBUS
+// controller boards").
+func WithBoards(n int) Option { return func(c *server.Config) { c.Boards = n } }
+
+// WithDisksPerString sets the drives per SCSI string (3 in the paper's 24
+// disk hardware configuration, 2 in the 16-disk LFS configuration).
+func WithDisksPerString(n int) Option {
+	return func(c *server.Config) { c.DisksPerString = n }
+}
+
+// WithFifthCougar attaches the extra disk controller through the XBUS
+// control-bus port, as in the Table 1 peak-bandwidth experiment.
+func WithFifthCougar() Option { return func(c *server.Config) { c.FifthCougar = true } }
+
+// WithRAIDLevel selects the array organization (default Level 5).
+func WithRAIDLevel(l int) Option {
+	return func(c *server.Config) { c.RAIDLevel = raid.Level(l) }
+}
+
+// WithStripeUnitKB sets the striping unit (default 64 KB).
+func WithStripeUnitKB(kb int) Option {
+	return func(c *server.Config) { c.StripeUnitSectors = kb * 1024 / 512 }
+}
+
+// WithSegmentKB sets the LFS segment size (default 960 KB).
+func WithSegmentKB(kb int) Option {
+	return func(c *server.Config) { c.LFS.SegBytes = kb << 10 }
+}
+
+// WithWrenDisks swaps in the older Wren IV drives of RAID-I.
+func WithWrenDisks() Option {
+	return func(c *server.Config) { c.DiskSpec = disk.WrenIV() }
+}
+
+// Fig8Geometry selects the paper's LFS measurement configuration: 16 disks,
+// 64 KB striping, 960 KB segments.
+func Fig8Geometry() Option {
+	return func(c *server.Config) { *c = server.Fig8Config() }
+}
+
+// Server is an assembled RAID-II system plus its simulation engine.
+type Server struct {
+	sys *server.System
+}
+
+// NewServer assembles a RAID-II server.  With no options this is the
+// paper's measured machine: one XBUS board, four Cougars, 24 IBM 0661
+// disks as one RAID Level 5 group with 64 KB striping.
+func NewServer(opts ...Option) (*Server, error) {
+	cfg := server.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	sys, err := server.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{sys: sys}, nil
+}
+
+// Sys exposes the underlying assembly for advanced use (and for the
+// benchmark harness).
+func (s *Server) Sys() *server.System { return s.sys }
+
+// Simulate runs fn as a simulated process, drives the simulation until all
+// resulting activity completes, and returns the simulated time consumed.
+// It may be called repeatedly; simulated time accumulates.
+func (s *Server) Simulate(fn func(t *Task) error) (time.Duration, error) {
+	start := s.sys.Eng.Now()
+	var err error
+	s.sys.Eng.Spawn("task", func(p *sim.Proc) {
+		err = fn(&Task{p: p, srv: s})
+	})
+	end := s.sys.Eng.Run()
+	return end.Sub(start), err
+}
+
+// Now returns the current simulated time.
+func (s *Server) Now() time.Duration { return time.Duration(s.sys.Eng.Now()) }
+
+// Task is the handle model code uses inside Simulate: all file system and
+// data path operations charge simulated time to the calling process.
+type Task struct {
+	p   *sim.Proc
+	srv *Server
+}
+
+// Board selects an XBUS board (0 unless WithBoards was used).
+func (t *Task) board(i int) *server.Board { return t.srv.sys.Boards[i] }
+
+// FormatFS creates the LFS on every board.
+func (t *Task) FormatFS() error {
+	for _, b := range t.srv.sys.Boards {
+		if err := b.FormatFS(t.p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Create makes a new file on board 0 and returns a handle.
+func (t *Task) Create(path string) (*File, error) { return t.CreateOn(0, path) }
+
+// CreateOn makes a new file on the given board.
+func (t *Task) CreateOn(board int, path string) (*File, error) {
+	f, err := t.board(board).CreateFS(t.p, path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{t: t, f: f}, nil
+}
+
+// Open opens an existing file on board 0.
+func (t *Task) Open(path string) (*File, error) { return t.OpenOn(0, path) }
+
+// OpenOn opens an existing file on the given board.
+func (t *Task) OpenOn(board int, path string) (*File, error) {
+	f, err := t.board(board).OpenFS(t.p, path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{t: t, f: f}, nil
+}
+
+// Mkdir creates a directory on board 0's file system.
+func (t *Task) Mkdir(path string) error { return t.board(0).FS.Mkdir(t.p, path) }
+
+// Remove unlinks a file or empty directory on board 0.
+func (t *Task) Remove(path string) error { return t.board(0).FS.Remove(t.p, path) }
+
+// ReadDir lists a directory on board 0.
+func (t *Task) ReadDir(path string) ([]lfs.DirEntry, error) {
+	return t.board(0).FS.ReadDir(t.p, path)
+}
+
+// Stat describes a path on board 0.
+func (t *Task) Stat(path string) (lfs.FileInfo, error) {
+	return t.board(0).FS.Stat(t.p, path)
+}
+
+// Sync makes all completed operations durable on every board.
+func (t *Task) Sync() error {
+	for _, b := range t.srv.sys.Boards {
+		if b.FS == nil {
+			continue
+		}
+		if err := b.FS.Sync(t.p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint writes an LFS checkpoint on every board.
+func (t *Task) Checkpoint() error {
+	for _, b := range t.srv.sys.Boards {
+		if b.FS == nil {
+			continue
+		}
+		if err := b.FS.Checkpoint(t.p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clean runs the segment cleaner on board 0 until target free segments.
+func (t *Task) Clean(target int) (int, error) {
+	return t.board(0).FS.Clean(t.p, target)
+}
+
+// Wait advances simulated time.
+func (t *Task) Wait(d time.Duration) { t.p.Wait(d) }
+
+// Elapsed returns simulated time since the start of the simulation.
+func (t *Task) Elapsed() time.Duration { return time.Duration(t.p.Now()) }
+
+// HardwareRead performs the raw high-bandwidth-path read of §2.3 (array ->
+// XBUS memory -> HIPPI loop) without any file system, as in Figure 5.
+func (t *Task) HardwareRead(offsetBytes int64, size int) {
+	t.board(0).HardwareRead(t.p, offsetBytes/512, size)
+}
+
+// HardwareWrite performs the raw high-bandwidth-path write of §2.3.
+func (t *Task) HardwareWrite(offsetBytes int64, size int) {
+	t.board(0).HardwareWrite(t.p, offsetBytes/512, size)
+}
+
+// ArrayCapacity returns the logical capacity in bytes of board 0's array.
+func (t *Task) ArrayCapacity() int64 {
+	return t.board(0).Array.Sectors() * int64(t.board(0).Array.SectorSize())
+}
+
+// File is an open file on the server, accessed over the high-bandwidth
+// path (reads stream from the array into HIPPI network buffers in XBUS
+// memory, writes land in LFS segment buffers).
+type File struct {
+	t *Task
+	f *server.FSFile
+}
+
+// Write stores data at off through the LFS write path.
+func (f *File) Write(off int64, data []byte) error {
+	return f.f.Board.FSWrite(f.t.p, f.f, off, data)
+}
+
+// Read moves n bytes at off through the high-bandwidth read path and
+// returns the simulated duration of the transfer.
+func (f *File) Read(off int64, n int) (time.Duration, error) {
+	start := f.t.p.Now()
+	err := f.f.Board.FSRead(f.t.p, f.f, off, n)
+	return f.t.p.Now().Sub(start), err
+}
+
+// ReadEthernet moves n bytes over the low-bandwidth standard-mode path
+// (XBUS -> host memory -> Ethernet).
+func (f *File) ReadEthernet(off int64, n int) (time.Duration, error) {
+	start := f.t.p.Now()
+	err := f.f.Board.EtherRead(f.t.p, f.f, off, n)
+	return f.t.p.Now().Sub(start), err
+}
+
+// Size returns the file's size.
+func (f *File) Size() (int64, error) { return f.f.File.Size(f.t.p) }
+
+// NewSPARCClient attaches a SPARCstation 10/51 client workstation to the
+// server's Ultranet, as in the §3.4 network measurements.
+func (s *Server) NewSPARCClient(name string) *Client {
+	return &Client{srv: s, cfg: host.SPARCstation10(), name: name}
+}
+
+// Client is a HIPPI-attached client workstation (see package
+// internal/client for the underlying model).
+type Client struct {
+	srv  *Server
+	cfg  host.Config
+	name string
+}
+
+// HostConfig returns the client's workstation model.
+func (c *Client) HostConfig() host.Config { return c.cfg }
+
+// Name returns the client's name.
+func (c *Client) Name() string { return c.name }
