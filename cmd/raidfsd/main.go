@@ -59,6 +59,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		//lint:allow rawgo real network daemon, not simulation code; each connection is serialized onto the engine inside serve
 		go st.serve(conn)
 	}
 }

@@ -1,0 +1,36 @@
+// Command raidvet runs the repository's simulation-determinism lint
+// suite over the named packages (default ./...).  It exits nonzero if
+// any check fires, so it slots directly into CI next to go vet.
+//
+// Usage:
+//
+//	raidvet [packages]
+//
+// Checks: simtime (no wall-clock time), detrand (no global math/rand),
+// rawgo (no goroutines outside internal/sim), maporder (no sim calls
+// under range-over-map), simpanic (no panics in internal library code).
+// Individual lines are exempted with "//lint:allow <check> <reason>".
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"raidii/internal/analysis/raidvet"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := raidvet.Run(".", patterns, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "raidvet: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "raidvet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

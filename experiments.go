@@ -212,9 +212,16 @@ func Fig7(diskCounts []int) (*Figure, error) {
 	fig := metrics.NewFigure("Figure 7: disks per SCSI string", "disks", "MB/s")
 	measured := fig.AddSeries("measured")
 	linear := fig.AddSeries("linear")
-	oneDisk := stringRigRate(1)
+	oneDisk, err := stringRigRate(1)
+	if err != nil {
+		return nil, err
+	}
 	for _, n := range diskCounts {
-		measured.Add(float64(n), stringRigRate(n))
+		rate, err := stringRigRate(n)
+		if err != nil {
+			return nil, err
+		}
+		measured.Add(float64(n), rate)
 		linear.Add(float64(n), oneDisk*float64(n))
 	}
 	return fig, nil
@@ -222,13 +229,17 @@ func Fig7(diskCounts []int) (*Figure, error) {
 
 // stringRigRate measures n IBM 0661 drives streaming concurrently on one
 // SCSI string of a fresh Cougar controller.
-func stringRigRate(n int) float64 {
+func stringRigRate(n int) (float64, error) {
 	e := sim.New()
 	ctl := scsi.NewController(e, "fig7-cougar", scsi.DefaultConfig())
 	const perDisk = 4 << 20
 	g := sim.NewGroup(e)
 	for i := 0; i < n; i++ {
-		ad := ctl.Attach(disk.New(e, fmt.Sprintf("fig7-d%d", i), disk.IBM0661()), 0)
+		dr, err := disk.New(e, fmt.Sprintf("fig7-d%d", i), disk.IBM0661())
+		if err != nil {
+			return 0, err
+		}
+		ad := ctl.Attach(dr, 0)
 		g.Go("rd", func(p *sim.Proc) {
 			lba := int64(0)
 			for read := 0; read < perDisk; read += 128 * 512 {
@@ -238,7 +249,7 @@ func stringRigRate(n int) float64 {
 		})
 	}
 	end := e.Run()
-	return float64(n*perDisk) / end.Seconds() / 1e6
+	return float64(n*perDisk) / end.Seconds() / 1e6, nil
 }
 
 // Fig8 reproduces Figure 8: LFS random read and write bandwidth versus
@@ -840,10 +851,15 @@ func Rebuild() (RebuildResult, error) {
 	}
 
 	out.NormalReadMBps = measure()
-	b.Array.FailDisk(3)
+	if err := b.Array.FailDisk(3); err != nil {
+		return out, err
+	}
 	out.DegradedReadMBps = measure()
 
-	spare := b.AttachSpare(0, 0)
+	spare, err := b.AttachSpare(0, 0)
+	if err != nil {
+		return out, err
+	}
 	var stripes int64
 	start := sys.Eng.Now()
 	sys.Eng.Spawn("rebuild", func(p *sim.Proc) {

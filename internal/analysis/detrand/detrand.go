@@ -1,0 +1,64 @@
+// Package detrand defines the raidvet check forbidding the global
+// math/rand source.  The package-level functions (rand.Intn, rand.Perm,
+// ...) draw from a process-global generator whose state is shared by
+// everything in the binary, so the sequence a workload sees depends on
+// what else has run — and, seeded or not, results stop being a function
+// of the experiment's own seed.  Deterministic code constructs a
+// *rand.Rand from an explicit seed (rand.New(rand.NewSource(seed))) and
+// threads it to where randomness is consumed.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"raidii/internal/analysis/framework"
+)
+
+// constructors are the math/rand functions that build explicit
+// generators rather than consuming the global one.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// Analyzer flags package-level math/rand functions.
+var Analyzer = &framework.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand top-level functions; thread a *rand.Rand built from an explicit seed instead",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn := pass.PkgFuncOf(id)
+		if pn == nil {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		obj := pass.ObjectOf(sel.Sel)
+		if _, isFunc := obj.(*types.Func); !isFunc {
+			return true // types (rand.Rand, rand.Source) are fine
+		}
+		if constructors[sel.Sel.Name] {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "global rand.%s draws from the shared process-wide source; use a *rand.Rand seeded explicitly (rand.New(rand.NewSource(seed)))", sel.Sel.Name)
+		return true
+	})
+	return nil
+}

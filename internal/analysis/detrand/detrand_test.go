@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"raidii/internal/analysis/analysistest"
+	"raidii/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "a")
+}

@@ -1,0 +1,24 @@
+// Package a is a detrand fixture: global-source draws are flagged,
+// explicitly seeded generators are not.
+package a
+
+import "math/rand"
+
+func bad() int {
+	rand.Seed(42)       // want `global rand\.Seed`
+	n := rand.Intn(10)  // want `global rand\.Intn`
+	f := rand.Float64() // want `global rand\.Float64`
+	p := rand.Perm(4)   // want `global rand\.Perm`
+	return n + int(f) + p[0]
+}
+
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // explicit seed: fine
+	var r *rand.Rand = rng                // the type is fine
+	z := rand.NewZipf(rng, 1.1, 1, 100)   // constructor taking a source: fine
+	return r.Intn(10) + int(z.Uint64())
+}
+
+func suppressed() int {
+	return rand.Int() //lint:allow detrand fixture demonstrates suppression
+}

@@ -1,0 +1,80 @@
+// Package framework is a minimal reimplementation of the
+// golang.org/x/tools/go/analysis Analyzer/Pass model on top of the
+// standard library's go/ast and go/types.  The repository vendors no
+// third-party modules, so raidvet's checkers are written against this
+// API instead; it is shaped so that migrating to x/tools later is a
+// mechanical rename.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the check in diagnostics and in
+	// "//lint:allow <name> <reason>" suppression comments.
+	Name string
+
+	// Doc is a short description of what the check enforces and why.
+	Doc string
+
+	// Run applies the check to one package and reports diagnostics
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Inspect walks every file of the pass in depth-first order, calling fn
+// for each node; fn returning false prunes the subtree.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// PkgFuncOf resolves an identifier to the package-level object it uses,
+// returning the *types.PkgName if the identifier names an imported
+// package (e.g. the "time" in time.Now), or nil otherwise.
+func (p *Pass) PkgFuncOf(id *ast.Ident) *types.PkgName {
+	if obj, ok := p.TypesInfo.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn
+		}
+	}
+	return nil
+}
+
+// ObjectOf returns the object an identifier denotes (uses first, then
+// definitions), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.TypesInfo.Defs[id]
+}

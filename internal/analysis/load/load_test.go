@@ -1,0 +1,55 @@
+package load
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// repoRoot walks up from this file to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+func TestLoadPackage(t *testing.T) {
+	root := repoRoot(t)
+	ld := NewLoader()
+	pkgs, err := ld.Load(root, "./internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "raidii/internal/sim" {
+		t.Errorf("ImportPath = %q", p.ImportPath)
+	}
+	if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+		t.Fatalf("incomplete package: %+v", p)
+	}
+	if p.Types.Scope().Lookup("Engine") == nil {
+		t.Error("type-checked sim package should export Engine")
+	}
+	for _, f := range p.Files {
+		name := filepath.Base(ld.Fset().Position(f.Pos()).Filename)
+		if len(name) > len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go" {
+			t.Errorf("test file %s must not be loaded", name)
+		}
+	}
+}
+
+func TestModulePath(t *testing.T) {
+	mod, err := ModulePath(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod != "raidii" {
+		t.Errorf("module path = %q, want raidii", mod)
+	}
+}

@@ -1,0 +1,64 @@
+// Package maporder defines the raidvet check forbidding sim-advancing
+// calls inside a range over a map.  Go randomizes map iteration order,
+// so if the loop body schedules events, advances simulated time, or
+// touches any other sim.Engine state, the event timeline — and with it
+// every measured number — changes from run to run.  Iterate a sorted
+// key slice instead, or move the sim interaction out of the loop.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"raidii/internal/analysis/framework"
+)
+
+// simPkgPath is the package whose calls make iteration order visible in
+// the event timeline.
+const simPkgPath = "raidii/internal/sim"
+
+// Analyzer flags map-range loops whose bodies call into internal/sim.
+var Analyzer = &framework.Analyzer{
+	Name: "maporder",
+	Doc:  "forbid sim-advancing or scheduling calls inside range-over-map loops; map iteration order would perturb the event timeline",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var callee *ast.Ident
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				callee = fun
+			case *ast.SelectorExpr:
+				callee = fun.Sel
+			default:
+				return true
+			}
+			fn, ok := pass.ObjectOf(callee).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != simPkgPath {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "range over map calls sim method %s.%s in its body; map iteration order would perturb the event timeline — iterate sorted keys instead", fn.Pkg().Name(), fn.Name())
+			return false // one report per offending call chain is enough
+		})
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package a is a maporder fixture: sim calls under a range over a map
+// are flagged; slice ranges and pure map ranges are not.
+package a
+
+import "raidii/internal/sim"
+
+func bad(p *sim.Proc, waits map[string]sim.Duration) {
+	for _, d := range waits { // want `range over map calls sim method`
+		p.Wait(d)
+	}
+}
+
+func badSpawn(e *sim.Engine, names map[int]string) {
+	for _, name := range names { // want `range over map calls sim method`
+		e.Spawn(name, func(q *sim.Proc) {})
+	}
+}
+
+func good(p *sim.Proc, ds []sim.Duration, m map[string]int) {
+	for _, d := range ds { // slice range: fine
+		p.Wait(d)
+	}
+	total := 0
+	for _, v := range m { // no sim calls in body: fine
+		total += v
+	}
+	if total > 0 {
+		p.Wait(sim.Duration(total))
+	}
+}
+
+func suppressed(p *sim.Proc, waits map[string]sim.Duration) {
+	for _, d := range waits { //lint:allow maporder fixture demonstrates suppression
+		p.Wait(d)
+	}
+}

@@ -1,0 +1,91 @@
+// Package raidvet is the driver behind cmd/raidvet: it loads the
+// packages named on the command line, runs every registered
+// determinism check on each package in its configured scope, filters
+// //lint:allow suppressions, and renders the surviving diagnostics.
+package raidvet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"raidii/internal/analysis/config"
+	"raidii/internal/analysis/detrand"
+	"raidii/internal/analysis/framework"
+	"raidii/internal/analysis/load"
+	"raidii/internal/analysis/maporder"
+	"raidii/internal/analysis/rawgo"
+	"raidii/internal/analysis/simpanic"
+	"raidii/internal/analysis/simtime"
+)
+
+// Analyzers returns the full check suite in a stable order.
+func Analyzers() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		simtime.Analyzer,
+		detrand.Analyzer,
+		rawgo.Analyzer,
+		maporder.Analyzer,
+		simpanic.Analyzer,
+	}
+}
+
+// finding pairs a diagnostic with the check that produced it.
+type finding struct {
+	check string
+	diag  framework.Diagnostic
+}
+
+// Run analyzes the packages matched by patterns under dir and writes
+// one line per finding to out.  It returns the number of findings.
+func Run(dir string, patterns []string, out io.Writer) (int, error) {
+	ld := load.NewLoader()
+	modPath, err := load.ModulePath(dir)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := ld.Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	scopes := config.DefaultScopes()
+	count := 0
+	for _, pkg := range pkgs {
+		rel := config.RelPath(modPath, pkg.ImportPath)
+		sups := config.CollectSuppressions(ld.Fset(), pkg.Files)
+		var findings []finding
+		for _, a := range Analyzers() {
+			scope, ok := scopes[a.Name]
+			if !ok || !scope.Applies(rel) {
+				continue
+			}
+			name := a.Name
+			pass := &framework.Pass{
+				Analyzer:  a,
+				Fset:      ld.Fset(),
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report: func(d framework.Diagnostic) {
+					if !sups.Suppressed(name, ld.Fset(), d.Pos) {
+						findings = append(findings, finding{check: name, diag: d})
+					}
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return count, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+		sort.Slice(findings, func(i, j int) bool { return findings[i].diag.Pos < findings[j].diag.Pos })
+		for _, f := range findings {
+			pos := ld.Fset().Position(f.diag.Pos)
+			fmt.Fprintf(out, "%s: %s [%s]\n", pos, f.diag.Message, f.check)
+			count++
+		}
+		for _, m := range sups.Malformed() {
+			fmt.Fprintf(out, "%s:%d: malformed //lint:allow comment: need \"//lint:allow <check> <reason>\" [lintallow]\n", m.File, m.Line)
+			count++
+		}
+	}
+	return count, nil
+}

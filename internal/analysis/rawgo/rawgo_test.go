@@ -1,0 +1,12 @@
+package rawgo_test
+
+import (
+	"testing"
+
+	"raidii/internal/analysis/analysistest"
+	"raidii/internal/analysis/rawgo"
+)
+
+func TestRawgo(t *testing.T) {
+	analysistest.Run(t, "testdata", rawgo.Analyzer, "a")
+}

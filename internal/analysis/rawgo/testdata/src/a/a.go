@@ -1,0 +1,21 @@
+// Package a is a rawgo fixture: raw goroutines are flagged wherever
+// they appear; ordinary calls and deferred calls are not.
+package a
+
+func work() {}
+
+func bad(ch chan int) {
+	go work()   // want `raw go statement`
+	go func() { // want `raw go statement`
+		ch <- 1
+	}()
+}
+
+func good() {
+	work()       // plain call: fine
+	defer work() // defer: fine
+}
+
+func suppressed() {
+	go work() //lint:allow rawgo fixture demonstrates suppression
+}

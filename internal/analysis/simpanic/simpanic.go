@@ -1,0 +1,42 @@
+// Package simpanic defines the raidvet check steering internal library
+// code away from panic.  A panic inside a simulated process unwinds
+// through the engine's dispatch machinery and takes the whole
+// experiment harness down with a goroutine dump instead of a usable
+// error; configuration mistakes in particular (bad geometry, wrong
+// level) should surface as returned errors the caller can report.
+// Genuine can't-happen invariant violations may keep their panic with a
+// documented "//lint:allow simpanic <reason>" comment.
+package simpanic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"raidii/internal/analysis/framework"
+)
+
+// Analyzer flags calls to the panic builtin.
+var Analyzer = &framework.Analyzer{
+	Name: "simpanic",
+	Doc:  "flag panic(...) in internal library code; return errors for config validation, and document surviving invariant panics with //lint:allow",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); !isBuiltin {
+			return true // a local function shadowing the builtin
+		}
+		pass.Reportf(call.Pos(), "panic in library code; return an error (or document the invariant with //lint:allow simpanic <reason>)")
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,12 @@
+package simpanic_test
+
+import (
+	"testing"
+
+	"raidii/internal/analysis/analysistest"
+	"raidii/internal/analysis/simpanic"
+)
+
+func TestSimpanic(t *testing.T) {
+	analysistest.Run(t, "testdata", simpanic.Analyzer, "a")
+}

@@ -1,0 +1,30 @@
+// Package a is a simpanic fixture: builtin panics are flagged, errors
+// and shadowed panic functions are not.
+package a
+
+import "errors"
+
+func Bad(n int) {
+	if n < 0 {
+		panic("negative count") // want `panic in library code`
+	}
+}
+
+func Good(n int) error {
+	if n < 0 {
+		return errors.New("negative count")
+	}
+	return nil
+}
+
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin") // a shadowing function: fine
+}
+
+func invariant(held bool) {
+	if !held {
+		//lint:allow simpanic fixture demonstrates a documented invariant
+		panic("invariant violated")
+	}
+}

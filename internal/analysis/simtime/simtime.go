@@ -1,0 +1,57 @@
+// Package simtime defines the raidvet check forbidding wall-clock time
+// in simulation code.  Every number this repository reproduces is
+// *simulated* time accounted by sim.Engine; a stray time.Now or
+// time.Sleep couples results to host scheduling and silently turns a
+// calibrated measurement into noise.  time.Duration and the time
+// package's constants remain fine — only the functions that read or
+// wait on the host clock are banned.
+package simtime
+
+import (
+	"go/ast"
+
+	"raidii/internal/analysis/framework"
+)
+
+// banned lists the time-package functions that observe or depend on the
+// host clock.
+var banned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// Analyzer flags uses of wall-clock time functions.
+var Analyzer = &framework.Analyzer{
+	Name: "simtime",
+	Doc:  "forbid wall-clock time functions (time.Now, time.Sleep, ...) in simulation code; all time must flow through sim.Engine's clock",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn := pass.PkgFuncOf(id)
+		if pn == nil || pn.Imported().Path() != "time" {
+			return true
+		}
+		if banned[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(), "wall-clock time.%s in simulation code; use the sim.Engine clock (sim.Proc.Now/Wait)", sel.Sel.Name)
+		}
+		return true
+	})
+	return nil
+}

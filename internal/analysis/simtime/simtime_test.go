@@ -1,0 +1,12 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"raidii/internal/analysis/analysistest"
+	"raidii/internal/analysis/simtime"
+)
+
+func TestSimtime(t *testing.T) {
+	analysistest.Run(t, "testdata", simtime.Analyzer, "a")
+}

@@ -1,0 +1,25 @@
+// Package a is a simtime fixture: wall-clock reads are flagged,
+// duration arithmetic and suppressed lines are not.
+package a
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now()              // want `wall-clock time\.Now`
+	time.Sleep(5 * time.Millisecond) // want `wall-clock time\.Sleep`
+	if time.Since(start) > 0 {       // want `wall-clock time\.Since`
+		<-time.After(time.Second) // want `wall-clock time\.After`
+	}
+	return time.Since(start) // want `wall-clock time\.Since`
+}
+
+func good() time.Duration {
+	d := 3 * time.Millisecond // durations and constants are fine
+	var t time.Time           // the type itself is fine
+	_ = t
+	return d + time.Second
+}
+
+func suppressed() {
+	_ = time.Now() //lint:allow simtime fixture demonstrates suppression
+}

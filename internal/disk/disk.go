@@ -65,8 +65,14 @@ type Stats struct {
 	MediaTime    time.Duration
 }
 
-// New creates a drive of the given spec attached to engine e.
-func New(e *sim.Engine, name string, spec Spec) *Disk {
+// New creates a drive of the given spec attached to engine e.  The spec
+// is validated (see Spec.Validate): a malformed geometry used to panic
+// deep inside the seek-curve fit; now it surfaces as an error the
+// assembly code can report.
+func New(e *sim.Engine, name string, spec Spec) (*Disk, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	d := &Disk{
 		spec:    spec,
 		eng:     e,
@@ -76,7 +82,7 @@ func New(e *sim.Engine, name string, spec Spec) *Disk {
 		scanUp:  true,
 	}
 	d.actuator = sim.NewChooserServer(e, name+":actuator", d.chooseNext)
-	return d
+	return d, nil
 }
 
 // SetScheduler selects the actuator's request scheduling policy; the
@@ -147,6 +153,7 @@ func (d *Disk) Utilization() float64 { return d.actuator.Utilization() }
 
 func (d *Disk) checkRange(lba int64, sectors int) {
 	if lba < 0 || sectors <= 0 || lba+int64(sectors) > d.spec.Sectors() {
+		//lint:allow simpanic out-of-range access is caller corruption, equivalent to indexing past a slice
 		panic(fmt.Sprintf("disk %s: access [%d,+%d) out of %d sectors",
 			d.spec.Name, lba, sectors, d.spec.Sectors()))
 	}
@@ -267,6 +274,7 @@ func (d *Disk) Read(p *sim.Proc, lba int64, n int, path sim.Path) []byte {
 // begins once the chunk has arrived and the previous chunk has committed.
 func (d *Disk) Write(p *sim.Proc, lba int64, data []byte, path sim.Path) {
 	if len(data)%d.spec.SectorSize != 0 {
+		//lint:allow simpanic misaligned buffer is caller corruption; the array layer always writes whole sectors
 		panic("disk: write length not a whole number of sectors")
 	}
 	n := len(data) / d.spec.SectorSize
@@ -365,6 +373,7 @@ func (d *Disk) ReadData(lba int64, n int) []byte {
 // WriteData stores sector contents without charging any simulated time.
 func (d *Disk) WriteData(lba int64, data []byte) {
 	if len(data)%d.spec.SectorSize != 0 {
+		//lint:allow simpanic misaligned buffer is caller corruption; the array layer always writes whole sectors
 		panic("disk: write length not a whole number of sectors")
 	}
 	d.checkRange(lba, len(data)/d.spec.SectorSize)

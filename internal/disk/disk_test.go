@@ -70,7 +70,7 @@ func TestSeekCurveMonotone(t *testing.T) {
 
 func TestReadWriteRoundTrip(t *testing.T) {
 	e := sim.New()
-	d := New(e, "d0", IBM0661())
+	d := mustNew(t, e, "d0", IBM0661())
 	data := make([]byte, 16*512)
 	for i := range data {
 		data[i] = byte(i * 7)
@@ -92,7 +92,7 @@ func TestReadWriteRoundTrip(t *testing.T) {
 
 func TestUnwrittenSectorsReadZero(t *testing.T) {
 	e := sim.New()
-	d := New(e, "d0", IBM0661())
+	d := mustNew(t, e, "d0", IBM0661())
 	var got []byte
 	e.Spawn("t", func(p *sim.Proc) { got = d.Read(p, 5000, 4, nil) })
 	e.Run()
@@ -107,7 +107,7 @@ func TestRandomReadLatency(t *testing.T) {
 	// A 4 KB random read on the IBM 0661 should take roughly
 	// overhead + avg seek + half rotation + transfer: about 20-30 ms.
 	e := sim.New()
-	d := New(e, "d0", IBM0661())
+	d := mustNew(t, e, "d0", IBM0661())
 	rng := rand.New(rand.NewSource(1))
 	var total sim.Duration
 	const ops = 50
@@ -129,7 +129,7 @@ func TestRandomReadLatency(t *testing.T) {
 func TestWrenSlowerThanIBM(t *testing.T) {
 	latency := func(spec Spec) sim.Duration {
 		e := sim.New()
-		d := New(e, "d", spec)
+		d := mustNew(t, e, "d", spec)
 		rng := rand.New(rand.NewSource(2))
 		var total sim.Duration
 		const ops = 50
@@ -152,7 +152,7 @@ func TestWrenSlowerThanIBM(t *testing.T) {
 
 func TestSequentialReadApproachesMediaRate(t *testing.T) {
 	e := sim.New()
-	d := New(e, "d0", IBM0661())
+	d := mustNew(t, e, "d0", IBM0661())
 	const total = 4 << 20 // 4 MB
 	var end sim.Time
 	e.Spawn("t", func(p *sim.Proc) {
@@ -179,7 +179,7 @@ func TestSequentialWriteSlowerThanRead(t *testing.T) {
 	// sustained sequential writes are slower than reads on the same drive.
 	run := func(write bool) float64 {
 		e := sim.New()
-		d := New(e, "d0", IBM0661())
+		d := mustNew(t, e, "d0", IBM0661())
 		const total = 2 << 20
 		buf := make([]byte, 256*512)
 		var end sim.Time
@@ -209,7 +209,7 @@ func TestWrenStreamsSlowerThanIBM(t *testing.T) {
 	// Wren's slower spindle keeps it near the paper's 1.3 MB/s.
 	rate := func(spec Spec) float64 {
 		e := sim.New()
-		d := New(e, "d0", spec)
+		d := mustNew(t, e, "d0", spec)
 		const total = 2 << 20
 		var end sim.Time
 		e.Spawn("t", func(p *sim.Proc) {
@@ -234,7 +234,7 @@ func TestWrenStreamsSlowerThanIBM(t *testing.T) {
 
 func TestActuatorSerializesRequests(t *testing.T) {
 	e := sim.New()
-	d := New(e, "d0", IBM0661())
+	d := mustNew(t, e, "d0", IBM0661())
 	g := sim.NewGroup(e)
 	var latencies []sim.Duration
 	for i := 0; i < 4; i++ {
@@ -258,7 +258,7 @@ func TestReadThroughPathIsBusLimited(t *testing.T) {
 	// A 1 MB/s bus below the ~1.77 MB/s media rate must become the
 	// bottleneck for a large read.
 	e := sim.New()
-	d := New(e, "d0", IBM0661())
+	d := mustNew(t, e, "d0", IBM0661())
 	bus := sim.NewLink(e, "bus", 1.0, 0)
 	const n = 2048 // sectors = 1 MB
 	var end sim.Time
@@ -278,7 +278,7 @@ func TestWriteThroughPathOverlapsMedia(t *testing.T) {
 	// at roughly media rate (bus and media overlap), not the serialized
 	// 1/(1/3+1/1.77) ~ 1.1 MB/s.
 	e := sim.New()
-	d := New(e, "d0", IBM0661())
+	d := mustNew(t, e, "d0", IBM0661())
 	bus := sim.NewLink(e, "bus", 3.0, 0)
 	data := make([]byte, 1<<20)
 	var end sim.Time
@@ -335,7 +335,7 @@ func TestPagestoreOutOfRangePanics(t *testing.T) {
 // range reads back identically, and leaves neighbouring bytes zero.
 func TestQuickRoundTrip(t *testing.T) {
 	e := sim.New()
-	d := New(e, "d0", IBM0661())
+	d := mustNew(t, e, "d0", IBM0661())
 	f := func(lbaRaw uint32, seed int64, nSectors uint8) bool {
 		n := int(nSectors%32) + 1
 		lba := int64(lbaRaw) % (d.Sectors() - int64(n))
@@ -352,7 +352,7 @@ func TestQuickRoundTrip(t *testing.T) {
 
 func TestRotationalLatencyBounded(t *testing.T) {
 	e := sim.New()
-	d := New(e, "d0", IBM0661())
+	d := mustNew(t, e, "d0", IBM0661())
 	rev := d.Spec().Revolution()
 	for _, now := range []sim.Time{0, 1000, sim.Time(rev / 2), sim.Time(3 * rev)} {
 		for _, lba := range []int64{0, 10, 47, 48, 1000} {
@@ -366,7 +366,7 @@ func TestRotationalLatencyBounded(t *testing.T) {
 
 func TestMediaTimeIncludesSwitches(t *testing.T) {
 	e := sim.New()
-	d := New(e, "d0", IBM0661())
+	d := mustNew(t, e, "d0", IBM0661())
 	spt := d.Spec().SectorsPerTrack
 	within := d.mediaTime(0, spt)     // one full track, no crossing
 	crossing := d.mediaTime(0, spt+1) // crosses into next track
@@ -377,5 +377,29 @@ func TestMediaTimeIncludesSwitches(t *testing.T) {
 	cylCross := d.mediaTime(int64(perCyl-1), 2)
 	if cylCross <= 2*d.Spec().SectorTime() {
 		t.Fatal("cylinder crossing should add track-to-track seek")
+	}
+}
+
+// mustNew builds a disk from a spec the test knows is valid.
+func mustNew(tb testing.TB, e *sim.Engine, name string, spec Spec) *Disk {
+	tb.Helper()
+	d, err := New(e, name, spec)
+	if err != nil {
+		tb.Fatalf("New(%s): %v", name, err)
+	}
+	return d
+}
+
+func TestNewRejectsBadSpec(t *testing.T) {
+	e := sim.New()
+	bad := IBM0661()
+	bad.Cylinders = 0
+	if _, err := New(e, "d0", bad); err == nil {
+		t.Fatal("New accepted a spec with zero cylinders")
+	}
+	rev := IBM0661()
+	rev.SeekMax = rev.SeekTrackToTrack / 2
+	if _, err := New(e, "d0", rev); err == nil {
+		t.Fatal("New accepted a spec with max seek below track-to-track seek")
 	}
 }

@@ -18,6 +18,7 @@ func newPagestore(size int64) *pagestore {
 // ReadAt fills buf with the contents at off.
 func (ps *pagestore) ReadAt(buf []byte, off int64) {
 	if off < 0 || off+int64(len(buf)) > ps.size {
+		//lint:allow simpanic unreachable: Disk.checkRange bounds every access before it reaches the store
 		panic("disk: read out of range")
 	}
 	for len(buf) > 0 {
@@ -42,6 +43,7 @@ func (ps *pagestore) ReadAt(buf []byte, off int64) {
 // WriteAt stores buf at off.
 func (ps *pagestore) WriteAt(buf []byte, off int64) {
 	if off < 0 || off+int64(len(buf)) > ps.size {
+		//lint:allow simpanic unreachable: Disk.checkRange bounds every access before it reaches the store
 		panic("disk: write out of range")
 	}
 	for len(buf) > 0 {

@@ -12,7 +12,7 @@ import (
 func schedIOPS(t *testing.T, policy SchedPolicy, qdepth int) float64 {
 	t.Helper()
 	e := sim.New()
-	d := New(e, "d0", IBM0661())
+	d := mustNew(t, e, "d0", IBM0661())
 	d.SetScheduler(policy)
 	const opsPer = 60
 	g := sim.NewGroup(e)
@@ -57,7 +57,7 @@ func TestPoliciesEquivalentWithoutQueueing(t *testing.T) {
 
 func TestSchedulerPreservesData(t *testing.T) {
 	e := sim.New()
-	d := New(e, "d0", IBM0661())
+	d := mustNew(t, e, "d0", IBM0661())
 	d.SetScheduler(SchedSSTF)
 	rng := rand.New(rand.NewSource(9))
 	type frag struct {

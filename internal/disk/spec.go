@@ -7,6 +7,7 @@
 package disk
 
 import (
+	"fmt"
 	"time"
 )
 
@@ -40,6 +41,30 @@ type Spec struct {
 	// ("sequential reads benefit from the read-ahead performed into track
 	// buffers on the disks; writes have no such advantage").
 	TrackBufferSize int
+}
+
+// Validate checks that the spec describes a physically plausible drive;
+// New refuses specs that fail it.
+func (s Spec) Validate() error {
+	switch {
+	case s.Cylinders <= 0:
+		return fmt.Errorf("disk %s: cylinders must be positive, got %d", s.Name, s.Cylinders)
+	case s.Heads <= 0:
+		return fmt.Errorf("disk %s: heads must be positive, got %d", s.Name, s.Heads)
+	case s.SectorsPerTrack <= 0:
+		return fmt.Errorf("disk %s: sectors per track must be positive, got %d", s.Name, s.SectorsPerTrack)
+	case s.SectorSize <= 0:
+		return fmt.Errorf("disk %s: sector size must be positive, got %d", s.Name, s.SectorSize)
+	case s.RPM <= 0:
+		return fmt.Errorf("disk %s: RPM must be positive, got %g", s.Name, s.RPM)
+	case s.SeekTrackToTrack < 0 || s.SeekAverage < 0 || s.SeekMax < 0:
+		return fmt.Errorf("disk %s: seek times must be non-negative", s.Name)
+	case s.SeekTrackToTrack > s.SeekAverage || s.SeekAverage > s.SeekMax:
+		return fmt.Errorf("disk %s: seek times must be ordered track-to-track <= average <= max", s.Name)
+	case s.TrackBufferSize < 0:
+		return fmt.Errorf("disk %s: track buffer size must be non-negative, got %d", s.Name, s.TrackBufferSize)
+	}
+	return nil
 }
 
 // Capacity returns the drive's capacity in bytes.

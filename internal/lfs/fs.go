@@ -314,6 +314,7 @@ func (fs *FS) resetSegment() {
 // full.  Content must be exactly one block.
 func (fs *FS) appendBlock(p *sim.Proc, kind uint32, a1, a2 uint32, content []byte) (int64, error) {
 	if len(content) != BlockSize {
+		//lint:allow simpanic internal log-append contract; every caller pads to BlockSize before staging
 		panic("lfs: appendBlock needs exactly one block")
 	}
 	if !fs.cleaning && fs.FreeSegments() < fs.cfg.CleanReserve {

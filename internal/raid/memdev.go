@@ -26,6 +26,7 @@ func (m *MemDev) Read(_ *sim.Proc, lba int64, n int) []byte {
 // Write stores data at lba.
 func (m *MemDev) Write(_ *sim.Proc, lba int64, data []byte) {
 	if len(data)%m.secSize != 0 {
+		//lint:allow simpanic misaligned buffer is caller corruption; mirrors the real disk path's contract
 		panic("raid: memdev write not sector aligned")
 	}
 	copy(m.data[lba*int64(m.secSize):], data)

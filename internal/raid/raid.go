@@ -64,6 +64,7 @@ func (SoftXOR) XOR(_ *sim.Proc, srcs ...[]byte) []byte {
 	out := make([]byte, len(srcs[0]))
 	for _, s := range srcs {
 		if len(s) != len(out) {
+			//lint:allow simpanic stripe geometry guarantees equal-length columns; unequal lengths mean a corrupted extent computation
 			panic("raid: XOR sources of unequal length")
 		}
 		for i, v := range s {
@@ -76,6 +77,7 @@ func (SoftXOR) XOR(_ *sim.Proc, srcs ...[]byte) []byte {
 // XORInto accumulates src into dst.
 func (SoftXOR) XORInto(_ *sim.Proc, dst, src []byte) {
 	if len(dst) != len(src) {
+		//lint:allow simpanic stripe geometry guarantees equal-length columns; unequal lengths mean a corrupted extent computation
 		panic("raid: XORInto length mismatch")
 	}
 	for i, v := range src {
@@ -124,6 +126,11 @@ type Stats struct {
 func New(e *sim.Engine, devs []Dev, cfg Config, xor XOREngine) (*Array, error) {
 	if len(devs) < 2 {
 		return nil, errors.New("raid: need at least two devices")
+	}
+	switch cfg.Level {
+	case Level0, Level1, Level3, Level5:
+	default:
+		return nil, fmt.Errorf("raid: unknown level %d", int(cfg.Level))
 	}
 	if xor == nil {
 		xor = SoftXOR{}
@@ -174,6 +181,7 @@ func (a *Array) dataDisks() int {
 	case Level3, Level5:
 		return len(a.devs) - 1
 	}
+	//lint:allow simpanic New rejects unknown levels, so this switch is exhaustive
 	panic("raid: unknown level")
 }
 
@@ -201,12 +209,17 @@ func (a *Array) Level() Level { return a.cfg.Level }
 func (a *Array) Stats() Stats { return a.stats }
 
 // FailDisk marks device i failed: reads reconstruct from parity, writes
-// update surviving columns only.
-func (a *Array) FailDisk(i int) {
+// update surviving columns only.  It refuses configurations that cannot
+// survive the failure instead of corrupting later reads.
+func (a *Array) FailDisk(i int) error {
 	if a.cfg.Level == Level0 {
-		panic("raid: level 0 cannot survive a failure")
+		return errors.New("raid: level 0 cannot survive a failure")
+	}
+	if i < 0 || i >= len(a.devs) {
+		return fmt.Errorf("raid: no device %d in a %d-wide array", i, len(a.devs))
 	}
 	a.failed[i] = true
+	return nil
 }
 
 // RepairDisk clears the failed mark after reconstruction.
@@ -234,6 +247,7 @@ func (a *Array) loc(stripe int64, pos int) (devIdx int, lba int64) {
 		pdisk := n - 1 - int(stripe%int64(n))
 		return (pdisk + 1 + pos) % n, off
 	}
+	//lint:allow simpanic New rejects unknown levels, so this switch is exhaustive
 	panic("raid: unknown level")
 }
 
@@ -246,6 +260,7 @@ func (a *Array) parityLoc(stripe int64) (devIdx int, lba int64) {
 	case Level5:
 		return len(a.devs) - 1 - int(stripe%int64(len(a.devs))), off
 	}
+	//lint:allow simpanic callers only consult parity locations at levels 3 and 5
 	panic("raid: no parity at this level")
 }
 
@@ -261,6 +276,7 @@ func (a *Array) lock(stripe int64) *sim.Server {
 
 func (a *Array) checkRange(lba int64, sectors int) {
 	if lba < 0 || sectors <= 0 || lba+int64(sectors) > a.Sectors() {
+		//lint:allow simpanic out-of-range access is caller corruption, equivalent to indexing past a slice
 		panic(fmt.Sprintf("raid: access [%d,+%d) out of %d logical sectors",
 			lba, sectors, a.Sectors()))
 	}

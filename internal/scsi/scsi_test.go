@@ -16,7 +16,7 @@ func newCtl(e *sim.Engine) *Controller {
 func TestAttachAndRoundTrip(t *testing.T) {
 	e := sim.New()
 	c := newCtl(e)
-	ad := c.Attach(disk.New(e, "d0", disk.IBM0661()), 0)
+	ad := c.Attach(newDrive(t, e, "d0"), 0)
 	data := make([]byte, 8*512)
 	for i := range data {
 		data[i] = byte(i)
@@ -40,7 +40,7 @@ func stringThroughput(t *testing.T, n int) float64 {
 	c := newCtl(e)
 	var disks []*Disk
 	for i := 0; i < n; i++ {
-		disks = append(disks, c.Attach(disk.New(e, fmt.Sprintf("d%d", i), disk.IBM0661()), 0))
+		disks = append(disks, c.Attach(newDrive(t, e, fmt.Sprintf("d%d", i)), 0))
 	}
 	const perDisk = 2 << 20 // 2 MB each
 	g := sim.NewGroup(e)
@@ -90,7 +90,7 @@ func TestTwoStringsExceedOne(t *testing.T) {
 			if split && i >= 3 {
 				str = 1
 			}
-			disks = append(disks, c.Attach(disk.New(e, fmt.Sprintf("d%d", i), disk.IBM0661()), str))
+			disks = append(disks, c.Attach(newDrive(t, e, fmt.Sprintf("d%d", i)), str))
 		}
 		const perDisk = 1 << 20
 		g := sim.NewGroup(e)
@@ -120,7 +120,7 @@ func TestControllerCeiling(t *testing.T) {
 	c := newCtl(e)
 	var disks []*Disk
 	for i := 0; i < 8; i++ {
-		disks = append(disks, c.Attach(disk.New(e, fmt.Sprintf("d%d", i), disk.IBM0661()), i%2))
+		disks = append(disks, c.Attach(newDrive(t, e, fmt.Sprintf("d%d", i)), i%2))
 	}
 	const perDisk = 1 << 20
 	g := sim.NewGroup(e)
@@ -147,9 +147,9 @@ func TestControllerCeiling(t *testing.T) {
 func TestDisksAccessor(t *testing.T) {
 	e := sim.New()
 	c := newCtl(e)
-	c.Attach(disk.New(e, "a", disk.IBM0661()), 0)
-	c.Attach(disk.New(e, "b", disk.IBM0661()), 1)
-	c.Attach(disk.New(e, "c", disk.IBM0661()), 0)
+	c.Attach(newDrive(t, e, "a"), 0)
+	c.Attach(newDrive(t, e, "b"), 1)
+	c.Attach(newDrive(t, e, "c"), 0)
 	if got := len(c.Disks()); got != 3 {
 		t.Fatalf("Disks() = %d, want 3", got)
 	}
@@ -158,7 +158,7 @@ func TestDisksAccessor(t *testing.T) {
 func TestWriteThroughUpstreamPath(t *testing.T) {
 	e := sim.New()
 	c := newCtl(e)
-	ad := c.Attach(disk.New(e, "d0", disk.IBM0661()), 0)
+	ad := c.Attach(newDrive(t, e, "d0"), 0)
 	vme := sim.NewLink(e, "vme", 5.9, 0)
 	data := make([]byte, 64*512)
 	var got []byte
@@ -173,4 +173,14 @@ func TestWriteThroughUpstreamPath(t *testing.T) {
 	if vme.BytesMoved() != uint64(2*len(data)) {
 		t.Fatalf("vme moved %d bytes, want %d", vme.BytesMoved(), 2*len(data))
 	}
+}
+
+// newDrive builds an IBM 0661 drive, failing the test on a bad spec.
+func newDrive(tb testing.TB, e *sim.Engine, name string) *disk.Disk {
+	tb.Helper()
+	d, err := disk.New(e, name, disk.IBM0661())
+	if err != nil {
+		tb.Fatalf("disk.New(%s): %v", name, err)
+	}
+	return d
 }

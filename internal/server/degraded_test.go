@@ -40,7 +40,9 @@ func TestFileServiceSurvivesDiskFailure(t *testing.T) {
 
 		// Lose a disk.  Reads must still return correct data via parity
 		// reconstruction, and writes must keep parity coherent.
-		b.Array.FailDisk(5)
+		if err := b.Array.FailDisk(5); err != nil {
+			t.Fatal(err)
+		}
 		lf, _ := b.FS.Open(p, "/survivor")
 		got, err := lf.ReadAt(p, 0, len(payload))
 		if err != nil {
@@ -58,7 +60,10 @@ func TestFileServiceSurvivesDiskFailure(t *testing.T) {
 		}
 
 		// Reconstruct onto a spare and verify everything again.
-		spare := b.AttachSpare(0, 0)
+		spare, err := b.AttachSpare(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if _, err := b.Array.Reconstruct(p, 5, spare); err != nil {
 			t.Fatal(err)
 		}
@@ -94,7 +99,9 @@ func TestDegradedModeSlowerButWorking(t *testing.T) {
 		}
 		b := sys.Boards[0]
 		if fail {
-			b.Array.FailDisk(2)
+			if err := b.Array.FailDisk(2); err != nil {
+				t.Fatal(err)
+			}
 		}
 		var dur sim.Duration
 		sys.Eng.Spawn("t", func(p *sim.Proc) {

@@ -77,7 +77,10 @@ func NewRAIDI(cfg RAIDIConfig) (*RAIDI, error) {
 		r.Cougars = append(r.Cougars, ctl)
 		for s := 0; s < 2; s++ {
 			for d := 0; d < cfg.DisksPerString; d++ {
-				dr := disk.New(e, fmt.Sprintf("raidi-d%d", n), cfg.DiskSpec)
+				dr, err := disk.New(e, fmt.Sprintf("raidi-d%d", n), cfg.DiskSpec)
+				if err != nil {
+					return nil, err
+				}
 				ad := ctl.Attach(dr, s)
 				r.Disks = append(r.Disks, ad)
 				devs = append(devs, &raidiDisk{ad: ad, h: r.Host})

@@ -200,7 +200,10 @@ func (sys *System) newBoard(idx int) (*Board, error) {
 		}
 		for s := 0; s < 2; s++ {
 			for d := 0; d < cfg.DisksPerString; d++ {
-				dr := disk.New(e, fmt.Sprintf("xb%d-d%d", idx, diskNo), cfg.DiskSpec)
+				dr, err := disk.New(e, fmt.Sprintf("xb%d-d%d", idx, diskNo), cfg.DiskSpec)
+				if err != nil {
+					return nil, err
+				}
 				dr.SetScheduler(cfg.DiskSched)
 				ad := ctl.Attach(dr, s)
 				b.Disks = append(b.Disks, ad)
@@ -236,8 +239,11 @@ func (b *Board) NumDisks() int { return len(b.Disks) }
 // AttachSpare creates a replacement drive on the given Cougar and string,
 // bound through the board's VME port path — ready to hand to
 // Array.Reconstruct when a member disk fails.
-func (b *Board) AttachSpare(cougar, str int) raid.Dev {
-	dr := disk.New(b.sys.Eng, fmt.Sprintf("xb%d-spare", b.Index), b.sys.Cfg.DiskSpec)
+func (b *Board) AttachSpare(cougar, str int) (raid.Dev, error) {
+	dr, err := disk.New(b.sys.Eng, fmt.Sprintf("xb%d-spare", b.Index), b.sys.Cfg.DiskSpec)
+	if err != nil {
+		return nil, err
+	}
 	dr.SetScheduler(b.sys.Cfg.DiskSched)
 	ad := b.Cougars[cougar].Attach(dr, str)
 	b.Disks = append(b.Disks, ad)
@@ -245,5 +251,5 @@ func (b *Board) AttachSpare(cougar, str int) raid.Dev {
 	if port >= len(b.XB.VME) {
 		port = -1
 	}
-	return &boundDisk{ad: ad, xb: b.XB, port: port}
+	return &boundDisk{ad: ad, xb: b.XB, port: port}, nil
 }

@@ -43,6 +43,7 @@ func (s *ChooserServer) Acquire(p *Proc, tag int64) {
 // Release frees the slot and admits the policy's pick.
 func (s *ChooserServer) Release() {
 	if !s.busy {
+		//lint:allow simpanic unbalanced Release corrupts utilization accounting; acquire/release pairing is a structural invariant
 		panic("sim: release of idle chooser server " + s.name)
 	}
 	if len(s.queue) == 0 {

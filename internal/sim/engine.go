@@ -100,6 +100,7 @@ func (e *Engine) Live() int { return e.live }
 // schedule enqueues a resumption of p at time at.
 func (e *Engine) schedule(p *Proc, at Time) {
 	if at < e.now {
+		//lint:allow simpanic scheduling into the past would corrupt the event timeline; this is the engine's core invariant
 		panic(fmt.Sprintf("sim: scheduling event in the past: %v < %v", at, e.now))
 	}
 	e.seq++
@@ -117,6 +118,7 @@ func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
 // drained earlier than the deadline and the engine advanced past it).
 func (e *Engine) RunUntil(deadline Time) Time {
 	if e.stopped {
+		//lint:allow simpanic running a shut-down engine is harness misuse, caught at development time
 		panic("sim: engine already shut down")
 	}
 	for len(e.events) > 0 {
@@ -191,6 +193,7 @@ type Proc struct {
 // used only for diagnostics.
 func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 	if e.stopped {
+		//lint:allow simpanic spawning on a shut-down engine is harness misuse, caught at development time
 		panic("sim: Spawn after Shutdown")
 	}
 	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
@@ -206,7 +209,8 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 			killed := false
 			if r != nil {
 				if _, ok := r.(killSentinel); !ok {
-					panic(r) // real bug in model code: propagate
+					//lint:allow simpanic re-raise: a real panic in model code must propagate, not be swallowed by the kill path
+					panic(r)
 				}
 				killed = true
 			}
@@ -256,6 +260,7 @@ func (p *Proc) park() {
 	select {
 	case <-p.resume:
 	case <-p.eng.dead:
+		//lint:allow simpanic killSentinel is the engine's control-flow mechanism for unwinding parked processes at Shutdown
 		panic(killSentinel{})
 	}
 }

@@ -26,6 +26,7 @@ type Server struct {
 // NewServer creates a FIFO server with the given capacity.
 func NewServer(e *Engine, name string, capacity int) *Server {
 	if capacity < 1 {
+		//lint:allow simpanic resource constructors are wired with literal capacities at assembly time; a bad one is a programming error
 		panic("sim: server capacity must be >= 1")
 	}
 	return &Server{eng: e, name: name, cap: capacity}
@@ -65,6 +66,7 @@ func (s *Server) TryAcquire() bool {
 // to the head of the queue (which resumes at the current simulated time).
 func (s *Server) Release() {
 	if s.busy == 0 {
+		//lint:allow simpanic unbalanced Release corrupts utilization accounting; acquire/release pairing is a structural invariant
 		panic(fmt.Sprintf("sim: release of idle server %q", s.name))
 	}
 	if len(s.queue) > 0 {
@@ -124,6 +126,7 @@ type Link struct {
 // per-transfer latency.
 func NewLink(e *Engine, name string, mbPerS float64, latency Duration) *Link {
 	if mbPerS <= 0 {
+		//lint:allow simpanic resource constructors are wired with calibrated literal bandwidths at assembly time; a bad one is a programming error
 		panic("sim: link bandwidth must be positive")
 	}
 	return &Link{
@@ -270,6 +273,7 @@ func (g *Group) Add(delta int) { g.n += delta }
 func (g *Group) Done() {
 	g.n--
 	if g.n < 0 {
+		//lint:allow simpanic unbalanced Done corrupts the group's completion event; add/done pairing is a structural invariant
 		panic("sim: Group.Done without matching Add")
 	}
 	if g.n == 0 {
@@ -331,6 +335,7 @@ func (s *Store[T]) Len() int { return len(s.items) }
 // Put inserts an item, blocking while the buffer is full.
 func (s *Store[T]) Put(p *Proc, item T) {
 	if s.closed {
+		//lint:allow simpanic producing into a closed store is a pipeline-shutdown ordering bug in the model, not a recoverable state
 		panic("sim: Put on closed Store")
 	}
 	// Hand directly to a waiting getter if any.
@@ -346,6 +351,7 @@ func (s *Store[T]) Put(p *Proc, item T) {
 		s.putters = append(s.putters, storePutter[T]{proc: p, item: item})
 		p.park()
 		if s.closed {
+			//lint:allow simpanic producing into a closed store is a pipeline-shutdown ordering bug in the model, not a recoverable state
 			panic("sim: Store closed while Put blocked")
 		}
 		return // the getter that woke us consumed our item directly
@@ -422,6 +428,7 @@ type tokenWaiter struct {
 // NewTokens creates a pool with the given total units.
 func NewTokens(e *Engine, name string, total int) *Tokens {
 	if total <= 0 {
+		//lint:allow simpanic resource constructors are wired with literal pool sizes at assembly time; a bad one is a programming error
 		panic("sim: token pool must be positive")
 	}
 	return &Tokens{eng: e, name: name, total: total, avail: total}
@@ -431,6 +438,7 @@ func NewTokens(e *Engine, name string, total int) *Tokens {
 // Requests larger than the pool panic (they could never be satisfied).
 func (tk *Tokens) Acquire(p *Proc, n int) {
 	if n > tk.total {
+		//lint:allow simpanic a request larger than the pool would block forever; deadlock-by-construction is a programming error
 		panic(fmt.Sprintf("sim: token request %d exceeds pool %q size %d", n, tk.name, tk.total))
 	}
 	if len(tk.queue) == 0 && tk.avail >= n {
@@ -446,6 +454,7 @@ func (tk *Tokens) Acquire(p *Proc, n int) {
 func (tk *Tokens) Release(n int) {
 	tk.avail += n
 	if tk.avail > tk.total {
+		//lint:allow simpanic unbalanced Release corrupts admission accounting; acquire/release pairing is a structural invariant
 		panic(fmt.Sprintf("sim: token pool %q over-released", tk.name))
 	}
 	for len(tk.queue) > 0 && tk.avail >= tk.queue[0].n {

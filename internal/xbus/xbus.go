@@ -157,6 +157,7 @@ func (b *Board) XOR(p *sim.Proc, srcs ...[]byte) []byte {
 	n := len(srcs[0])
 	for _, s := range srcs {
 		if len(s) != n {
+			//lint:allow simpanic stripe geometry guarantees equal-length columns; unequal lengths mean a corrupted extent computation
 			panic("xbus: XOR sources of unequal length")
 		}
 	}
@@ -177,6 +178,7 @@ func (b *Board) XOR(p *sim.Proc, srcs ...[]byte) []byte {
 // XORInto accumulates src into dst (dst ^= src) with parity-engine timing.
 func (b *Board) XORInto(p *sim.Proc, dst, src []byte) {
 	if len(dst) != len(src) {
+		//lint:allow simpanic stripe geometry guarantees equal-length columns; unequal lengths mean a corrupted extent computation
 		panic("xbus: XORInto length mismatch")
 	}
 	sim.Path{b.Parity.In()}.Send(p, len(src), 0)
