@@ -4,19 +4,29 @@
 //
 // Usage:
 //
-//	raidbench [experiment ...]
+//	raidbench [-trace out.json] [-util] [experiment ...]
 //
 // With no arguments every experiment runs.  Experiments: fig5, table1,
 // table2, fig6, fig7, fig8, raid1, client, recovery, scaling, zebra,
 // ablate.
+//
+// -util prints a per-component utilization/queue-wait table after each
+// experiment, naming the bottleneck that shapes the measured curve.
+// -trace writes every simulated run to one Chrome trace_event JSON file,
+// loadable in https://ui.perfetto.dev; per-event recording is verbose, so
+// prefer tracing a single experiment at a time.  Both outputs use simulated
+// timestamps only and are byte-identical across runs.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"raidii"
+	"raidii/internal/sim"
+	"raidii/internal/trace"
 )
 
 type experiment struct {
@@ -39,6 +49,20 @@ func wallElapsed() func() time.Duration {
 }
 
 func main() {
+	traceOut := flag.String("trace", "", "write all runs as Chrome trace_event JSON to this file")
+	util := flag.Bool("util", false, "print per-component utilization tables after each experiment")
+	flag.Parse()
+
+	var recs []*trace.Recorder
+	if *traceOut != "" || *util {
+		// Aggregate-only recording is cheap; per-event spans and counters
+		// are kept only when a trace file was requested.
+		events := *traceOut != ""
+		raidii.SetProbe(func(label string, e *sim.Engine) {
+			recs = append(recs, trace.Attach(e, trace.Config{Label: label, Pid: len(recs) + 1, Events: events}))
+		})
+	}
+
 	experiments := []experiment{
 		{"fig5", "hardware system-level random I/O vs request size", runFig5},
 		{"table1", "peak sequential read/write", runTable1},
@@ -57,7 +81,7 @@ func main() {
 	}
 
 	want := map[string]bool{}
-	for _, a := range os.Args[1:] {
+	for _, a := range flag.Args() {
 		want[a] = true
 	}
 	ran := 0
@@ -67,9 +91,15 @@ func main() {
 		}
 		fmt.Printf("==> %s: %s\n", ex.name, ex.desc)
 		elapsed := wallElapsed()
+		mark := len(recs)
 		if err := ex.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", ex.name, err)
 			os.Exit(1)
+		}
+		if *util {
+			for _, rec := range recs[mark:] {
+				fmt.Print(rec.Table(12))
+			}
 		}
 		fmt.Printf("    (%.1fs host time)\n\n", elapsed().Seconds())
 		ran++
@@ -80,6 +110,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  %-9s %s\n", ex.name, ex.desc)
 		}
 		os.Exit(2)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		werr := trace.WriteChrome(f, recs...)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d traced runs to %s (load in https://ui.perfetto.dev)\n", len(recs), *traceOut)
 	}
 }
 

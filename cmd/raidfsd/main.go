@@ -24,11 +24,17 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // opt-in profiling endpoint, gated by -pprof
+	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"raidii"
+	"raidii/internal/trace"
 )
 
 type serverState struct {
@@ -38,16 +44,61 @@ type serverState struct {
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9941", "listen address")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	traceOut := flag.String("trace", "", "on SIGINT/SIGTERM, write the accumulated simulation trace (Chrome JSON) to this file")
+	util := flag.Bool("util", false, "on SIGINT/SIGTERM, print the component utilization table")
 	flag.Parse()
 
 	srv, err := raidii.NewServer(raidii.Fig8Geometry())
 	if err != nil {
 		log.Fatal(err)
 	}
+	var rec *trace.Recorder
+	if *traceOut != "" || *util {
+		rec = trace.Attach(srv.Sys().Eng, trace.Config{Label: "raidfsd", Pid: 1, Events: *traceOut != ""})
+	}
 	if _, err := srv.Simulate(func(t *raidii.Task) error { return t.FormatFS() }); err != nil {
 		log.Fatal(err)
 	}
 	st := &serverState{srv: srv}
+
+	if *pprofAddr != "" {
+		// Real-host profiling of the daemon itself (the simulation measures
+		// simulated time; pprof measures where the host CPU goes).
+		//lint:allow rawgo real pprof HTTP listener on the host; never touches the simulation
+		go func() {
+			log.Printf("raidfsd: pprof at http://%s/debug/pprof/", *pprofAddr)
+			log.Print(http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+	if rec != nil {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		//lint:allow rawgo real signal handler on the host; the dump serializes onto the engine via st.mu
+		go func() {
+			<-sigc
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			if *util {
+				fmt.Fprint(os.Stderr, rec.Table(0))
+			}
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err == nil {
+					err = trace.WriteChrome(f, rec)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					log.Printf("raidfsd: trace: %v", err)
+				} else {
+					log.Printf("raidfsd: wrote trace to %s", *traceOut)
+				}
+			}
+			os.Exit(0)
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

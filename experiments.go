@@ -47,6 +47,7 @@ func Fig5(sizesKB []int) (*Figure, error) {
 			if err != nil {
 				return nil, err
 			}
+			attachProbe(fmt.Sprintf("fig5/%dKB/%s", kb, rwLabel(wr)), sys.Eng)
 			b := sys.Boards[0]
 			size := kb << 10
 			space := b.Array.Sectors()
@@ -92,6 +93,7 @@ func Table1() (Table1Result, error) {
 		if err != nil {
 			return out, err
 		}
+		attachProbe("table1/"+rwLabel(wr), sys.Eng)
 		b := sys.Boards[0]
 		const req = 1600 << 10
 		var cursor int64
@@ -137,6 +139,7 @@ func Table2() (Table2Result, error) {
 		if err != nil {
 			return 0, err
 		}
+		attachProbe(fmt.Sprintf("table2/raid2/%ddisk", disks), sys.Eng)
 		b := sys.Boards[0]
 		space := b.Disks[0].Sectors() - 8
 		res := workload.ClosedLoop(sys.Eng, disks, horizon, func(p *sim.Proc, w int, rng *rand.Rand) int {
@@ -151,6 +154,7 @@ func Table2() (Table2Result, error) {
 		if err != nil {
 			return 0, err
 		}
+		attachProbe(fmt.Sprintf("table2/raid1/%ddisk", disks), r.Eng)
 		space := r.Disks[0].Sectors() - 8
 		res := workload.ClosedLoop(r.Eng, disks, horizon, func(p *sim.Proc, w int, rng *rand.Rand) int {
 			r.SmallDiskRead(p, w, workload.RandomAligned(rng, space, 8), 4096)
@@ -185,6 +189,7 @@ func Fig6(sizesKB []int) (*Figure, error) {
 	s := fig.AddSeries("loopback")
 	for _, kb := range sizesKB {
 		e := sim.New()
+		attachProbe(fmt.Sprintf("fig6/%dKB", kb), e)
 		hcfg := hippi.DefaultConfig()
 		board := xbus.New(e, "xb", xbus.DefaultConfig())
 		ep := &hippi.Endpoint{Name: "xb", Out: board.HIPPIS.Out(), In: board.HIPPID.In(), Setup: hcfg.PacketSetup}
@@ -231,6 +236,7 @@ func Fig7(diskCounts []int) (*Figure, error) {
 // SCSI string of a fresh Cougar controller.
 func stringRigRate(n int) (float64, error) {
 	e := sim.New()
+	attachProbe(fmt.Sprintf("fig7/%ddisks", n), e)
 	ctl := scsi.NewController(e, "fig7-cougar", scsi.DefaultConfig())
 	const perDisk = 4 << 20
 	g := sim.NewGroup(e)
@@ -269,6 +275,7 @@ func Fig8(sizesKB []int) (*Figure, error) {
 			if err != nil {
 				return nil, err
 			}
+			attachProbe(fmt.Sprintf("fig8/%dKB/read", kb), sys.Eng)
 			b := sys.Boards[0]
 			const fileSize = 48 << 20
 			var f *server.FSFile
@@ -314,6 +321,7 @@ func Fig8(sizesKB []int) (*Figure, error) {
 			if err != nil {
 				return nil, err
 			}
+			attachProbe(fmt.Sprintf("fig8/%dKB/write", kb), sys.Eng)
 			b := sys.Boards[0]
 			var f *server.FSFile
 			sys.Eng.Spawn("setup", func(p *sim.Proc) {
@@ -362,6 +370,7 @@ func RAIDIBaseline() (RAIDIResult, error) {
 	if err != nil {
 		return out, err
 	}
+	attachProbe("raid1/user", r.Eng)
 	var cursor int64
 	res := workload.FixedOps(r.Eng, 1, 16, func(p *sim.Proc, _ int, _ *rand.Rand) int {
 		const req = 1 << 20
@@ -376,6 +385,7 @@ func RAIDIBaseline() (RAIDIResult, error) {
 	if err != nil {
 		return out, err
 	}
+	attachProbe("raid1/disk", r2.Eng)
 	const n = 4 << 20
 	var end sim.Time
 	r2.Eng.Spawn("d", func(p *sim.Proc) {
@@ -407,6 +417,7 @@ func ClientNetwork() (ClientResult, error) {
 	if err != nil {
 		return out, err
 	}
+	attachProbe("client", sys.Eng)
 	b := sys.Boards[0]
 	ws := client.NewWorkstation(sys, "ss10", host.SPARCstation10())
 	const n = 12 << 20
@@ -459,6 +470,7 @@ func Recovery(volumeMB int) (RecoveryResult, error) {
 		if err != nil {
 			return out, err
 		}
+		attachProbe("recovery/lfs", sys.Eng)
 		b := sys.Boards[0]
 		var dur sim.Duration
 		sys.Eng.Spawn("t", func(p *sim.Proc) {
@@ -503,6 +515,7 @@ func Recovery(volumeMB int) (RecoveryResult, error) {
 		if err != nil {
 			return out, err
 		}
+		attachProbe("recovery/ufs", sys.Eng)
 		b := sys.Boards[0]
 		var dur sim.Duration
 		sys.Eng.Spawn("t", func(p *sim.Proc) {
@@ -547,6 +560,7 @@ func Scaling(boardCounts []int) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
+		attachProbe(fmt.Sprintf("scaling/%dboards", n), sys.Eng)
 		const perBoard = 32 << 20
 		g := sim.NewGroup(sys.Eng)
 		for _, b := range sys.Boards {
@@ -583,6 +597,7 @@ func Zebra(serverCounts []int) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
+		attachProbe(fmt.Sprintf("zebra/%dservers", n), sys.Eng)
 		sys.Eng.Spawn("fmt", func(p *sim.Proc) {
 			for _, b := range sys.Boards {
 				if err := b.FormatFS(p); err != nil {
@@ -643,6 +658,7 @@ func AblationParityEngine() (AblationResult, error) {
 		if err != nil {
 			return 0, err
 		}
+		attachProbe(fmt.Sprintf("ablate/parity/hostxor=%v", hostXOR), sys.Eng)
 		b := sys.Boards[0]
 		if hostXOR {
 			swapArrayXOR(sys, b)
@@ -684,6 +700,7 @@ func AblationLFSSmallWrites() (AblationResult, error) {
 		if err != nil {
 			return out, err
 		}
+		attachProbe("ablate/smallwrites/lfs", sys.Eng)
 		b := sys.Boards[0]
 		var f *server.FSFile
 		sys.Eng.Spawn("setup", func(p *sim.Proc) {
@@ -718,6 +735,7 @@ func AblationLFSSmallWrites() (AblationResult, error) {
 		if err != nil {
 			return out, err
 		}
+		attachProbe("ablate/smallwrites/ufs", sys.Eng)
 		b := sys.Boards[0]
 		var fs *ufs.FS
 		sys.Eng.Spawn("setup", func(p *sim.Proc) {
@@ -759,6 +777,7 @@ func AblationTwoPaths() (AblationResult, error) {
 	if err != nil {
 		return out, err
 	}
+	attachProbe("ablate/twopaths", sys.Eng)
 	b := sys.Boards[0]
 	const n = 8 << 20
 	sys.Eng.Spawn("t", func(p *sim.Proc) {
@@ -800,6 +819,7 @@ func AblationStripeUnit(unitsKB []int) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
+		attachProbe(fmt.Sprintf("ablate/stripeunit/%dKB", kb), sys.Eng)
 		b := sys.Boards[0]
 		space := b.Array.Sectors()
 		const size = 1 << 20
@@ -834,6 +854,7 @@ func Rebuild() (RebuildResult, error) {
 	if err != nil {
 		return out, err
 	}
+	attachProbe("rebuild", sys.Eng)
 	b := sys.Boards[0]
 	space := b.Array.Sectors()
 
@@ -888,6 +909,7 @@ func AblationDiskScheduler() (AblationResult, error) {
 		if err != nil {
 			return 0, err
 		}
+		attachProbe(fmt.Sprintf("ablate/sched/%v", policy), sys.Eng)
 		b := sys.Boards[0]
 		space := b.Disks[0].Sectors() - 8
 		// 16 workers over 4 disks: queue depth ~4 per actuator.
@@ -930,6 +952,7 @@ func FileServerTrace(ops int) (FileServerResult, error) {
 	if err != nil {
 		return out, err
 	}
+	attachProbe("fileserver", sys.Eng)
 	b := sys.Boards[0]
 	tr := workload.NewTrace(workload.DefaultTraceConfig())
 

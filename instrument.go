@@ -1,0 +1,30 @@
+package raidii
+
+import "raidii/internal/sim"
+
+// probe, when set, is invoked for every simulation engine an experiment
+// creates, before the experiment's workload runs.  Tools (cmd/raidbench)
+// use it to attach trace recorders; the library itself never records.
+var probe func(label string, e *sim.Engine)
+
+// SetProbe registers fn to observe every engine the experiment runners
+// construct.  fn receives a label identifying the experiment point (e.g.
+// "fig7/3disks") and the engine, and typically attaches a tracer via
+// trace.Attach.  Pass nil to disable.  Not safe to change while
+// experiments are running.
+func SetProbe(fn func(label string, e *sim.Engine)) { probe = fn }
+
+// attachProbe notifies the registered probe, if any.
+func attachProbe(label string, e *sim.Engine) {
+	if probe != nil {
+		probe(label, e)
+	}
+}
+
+// rwLabel names a workload direction for probe labels.
+func rwLabel(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}

@@ -222,11 +222,15 @@ func (d *Disk) position(p *sim.Proc, lba int64, hit bool) {
 	}
 	st := d.curve.time(dist)
 	d.stats.SeekTime += st
+	endSeek := p.Span("disk", "seek")
 	p.Wait(st)
+	endSeek()
 	d.curCyl = cyl
 	rl := d.rotationalLatency(p.Now(), lba)
 	d.stats.RotTime += rl
+	endRot := p.Span("disk", "rotate")
 	p.Wait(rl)
+	endRot()
 }
 
 // Read reads sectors [lba, lba+n) into a fresh buffer.  If path is
@@ -250,12 +254,14 @@ func (d *Disk) Read(p *sim.Proc, lba int64, n int, path sim.Path) []byte {
 	}
 
 	g := sim.NewGroup(d.eng)
+	endMedia := p.Span("disk", "media-read")
 	d.streamChunks(p, lba, n, func(cp *sim.Proc, bytes int) {
 		g.Go("diskread-chunk", func(q *sim.Proc) {
 			path.Send(q, bytes, 0)
 		})
 		_ = cp
 	})
+	endMedia()
 	d.curCyl = d.cylOf(lba + int64(n) - 1)
 	d.seqNext = lba + int64(n)
 	d.stats.Reads++
@@ -317,7 +323,9 @@ func (d *Disk) Write(p *sim.Proc, lba int64, data []byte, path sim.Path) {
 			mt := d.mediaTime(chunkLBA, secs)
 			d.stats.MediaTime += mt
 			mediaFree = start.Add(mt)
+			endMedia := q.Span("disk", "media-write")
 			q.WaitUntil(mediaFree)
+			endMedia()
 		})
 	}
 	g.Wait(p)

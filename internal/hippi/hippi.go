@@ -71,6 +71,7 @@ func (u *Ultranet) Send(p *sim.Proc, from, to *Endpoint, n int) {
 			pkt = u.cfg.MaxPacket
 		}
 		n -= pkt
+		end := p.Span("hippi", "packet")
 		p.Wait(from.Setup)
 		path := sim.Path{}
 		if from.Out != nil {
@@ -81,6 +82,7 @@ func (u *Ultranet) Send(p *sim.Proc, from, to *Endpoint, n int) {
 			path = append(path, to.In)
 		}
 		path.Send(p, pkt, 0)
+		end()
 	}
 }
 
@@ -95,7 +97,9 @@ func Loopback(p *sim.Proc, ep *Endpoint, cfg Config, n int) {
 			pkt = cfg.MaxPacket
 		}
 		n -= pkt
+		end := p.Span("hippi", "packet")
 		p.Wait(ep.Setup)
 		sim.Path{ep.Out, ep.In}.Send(p, pkt, 0)
+		end()
 	}
 }

@@ -204,6 +204,8 @@ func (fs *FS) moveBlock(p *sim.Proc, e summaryEntry, addr int64) error {
 
 // cleanSegment reclaims one sealed segment.  Caller holds fs.mu.
 func (fs *FS) cleanSegment(p *sim.Proc, idx int) error {
+	end := p.Span("lfs", "clean-segment")
+	defer end()
 	segAddr := fs.segAddr(idx)
 	raw := fs.dev.Read(p, segAddr*int64(fs.blockSectors), fs.blockSectors)
 	var sum summary

@@ -433,6 +433,8 @@ func (fs *FS) sealSegment(p *sim.Proc) error {
 	nStaged := len(fs.segStaged)
 	fs.sealsPending[curIdx] = true
 	fs.seals.Go("lfs-seal", func(q *sim.Proc) {
+		end := q.Span("lfs", "segment-write")
+		defer end()
 		fs.dev.Write(q, sealSeg*int64(fs.blockSectors), buf)
 		for i := 0; i < nStaged; i++ {
 			delete(fs.pending, sealSeg+1+int64(i))
@@ -512,6 +514,8 @@ func (fs *FS) Checkpoint(p *sim.Proc) error {
 }
 
 func (fs *FS) checkpointLocked(p *sim.Proc) error {
+	end := p.Span("lfs", "checkpoint")
+	defer end()
 	if err := fs.flushInodes(p); err != nil {
 		return err
 	}
@@ -607,6 +611,8 @@ func (fs *FS) unmarshalUsageChunk(chunk int, buf []byte) {
 
 // recover loads the newest valid checkpoint and rolls the log forward.
 func (fs *FS) recover(p *sim.Proc) error {
+	end := p.Span("lfs", "recovery")
+	defer end()
 	var best *checkpoint
 	var bestIdx int
 	for i := 0; i < 2; i++ {

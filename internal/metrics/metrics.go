@@ -6,7 +6,9 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,15 +38,52 @@ func (l *Latencies) Mean() time.Duration {
 	return sum / time.Duration(len(l.samples))
 }
 
-// Percentile returns the q-th percentile (q in [0,100]).
+// Percentile returns the q-th percentile (q in [0,100]) using nearest-rank
+// selection: the smallest sample such that at least q% of the samples are
+// <= it.  Percentile(100) is the maximum; q <= 0 returns the minimum.
 func (l *Latencies) Percentile(q float64) time.Duration {
-	if len(l.samples) == 0 {
+	n := len(l.samples)
+	if n == 0 {
 		return 0
 	}
 	sorted := append([]time.Duration(nil), l.samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(q / 100 * float64(len(sorted)-1))
-	return sorted[idx]
+	rank := int(math.Ceil(q / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (l *Latencies) Min() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	m := l.samples[0]
+	for _, s := range l.samples[1:] {
+		if s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (l *Latencies) Max() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	m := l.samples[0]
+	for _, s := range l.samples[1:] {
+		if s > m {
+			m = s
+		}
+	}
+	return m
 }
 
 // Point is one (x, y) sample of a figure's series.
@@ -127,7 +166,9 @@ func (f *Figure) Render() string {
 	}
 	sort.Float64s(xs)
 	for _, x := range xs {
-		fmt.Fprintf(&b, "%14.0f", x)
+		// Minimal precision: fractional X values (e.g. 0.5 MB) must not
+		// collapse to the same rounded label as their neighbours.
+		fmt.Fprintf(&b, "%14s", strconv.FormatFloat(x, 'f', -1, 64))
 		for _, s := range f.Series {
 			fmt.Fprintf(&b, " %16.2f", s.At(x))
 		}

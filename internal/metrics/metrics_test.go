@@ -35,6 +35,61 @@ func TestLatenciesEmpty(t *testing.T) {
 	if l.Mean() != 0 || l.Percentile(50) != 0 || l.N() != 0 {
 		t.Fatal("empty collector should report zeros")
 	}
+	if l.Min() != 0 || l.Max() != 0 {
+		t.Fatal("empty collector Min/Max should be zero")
+	}
+}
+
+func TestLatenciesSingleSample(t *testing.T) {
+	var l Latencies
+	l.Add(7 * time.Millisecond)
+	for _, q := range []float64{0, 1, 50, 99, 100} {
+		if p := l.Percentile(q); p != 7*time.Millisecond {
+			t.Fatalf("Percentile(%v) = %v with one sample", q, p)
+		}
+	}
+	if l.Min() != 7*time.Millisecond || l.Max() != 7*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", l.Min(), l.Max())
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	// Ten samples 10ms..100ms: nearest-rank p90 is the 9th order statistic
+	// (90ms), not the 10th; a truncating index would have returned 90ms for
+	// p95 too, where ceil correctly selects 100ms.
+	var l Latencies
+	for i := 10; i >= 1; i-- { // insert unsorted on purpose
+		l.Add(time.Duration(i*10) * time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 10 * time.Millisecond},
+		{10, 10 * time.Millisecond},
+		{50, 50 * time.Millisecond},
+		{90, 90 * time.Millisecond},
+		{95, 100 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if p := l.Percentile(c.q); p != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.q, p, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var l Latencies
+	l.Add(30 * time.Millisecond)
+	l.Add(10 * time.Millisecond)
+	l.Add(20 * time.Millisecond)
+	if l.Min() != 10*time.Millisecond {
+		t.Fatalf("Min = %v", l.Min())
+	}
+	if l.Max() != 30*time.Millisecond {
+		t.Fatalf("Max = %v", l.Max())
+	}
 }
 
 func TestSeriesAccessors(t *testing.T) {
@@ -69,6 +124,39 @@ func TestFigureRender(t *testing.T) {
 	// X values should be ordered and unioned: rows for 1 and 2.
 	if strings.Index(out, "\n             1") > strings.Index(out, "\n             2") {
 		t.Fatalf("x values out of order:\n%s", out)
+	}
+}
+
+func TestFigureRenderFractionalX(t *testing.T) {
+	f := NewFigure("Fractional", "MB", "MB/s")
+	s := f.AddSeries("bw")
+	s.Add(0.5, 1)
+	s.Add(0.25, 2)
+	s.Add(1, 3)
+	out := f.Render()
+	for _, want := range []string{"0.25", "0.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fractional X %q collapsed in render:\n%s", want, out)
+		}
+	}
+	// The two fractional rows must stay distinct and ordered before x=1.
+	if strings.Index(out, "0.25") > strings.Index(out, "0.5") {
+		t.Fatalf("fractional x values out of order:\n%s", out)
+	}
+}
+
+func TestSeriesAtMissingX(t *testing.T) {
+	s := &Series{Name: "sparse"}
+	s.Add(4, 44)
+	if got := s.At(5); got != 0 {
+		t.Fatalf("At(missing) = %f, want 0", got)
+	}
+	var empty Series
+	if got := empty.At(0); got != 0 {
+		t.Fatalf("empty At = %f, want 0", got)
+	}
+	if empty.Max() != 0 {
+		t.Fatalf("empty Max = %f, want 0", empty.Max())
 	}
 }
 

@@ -11,6 +11,8 @@ import (
 // are reconstructed from the surviving columns and parity.
 func (a *Array) Read(p *sim.Proc, lba int64, n int) []byte {
 	a.checkRange(lba, n)
+	end := p.Span("raid", "read")
+	defer end()
 	if a.arrayLock != nil {
 		a.arrayLock.Acquire(p)
 		defer a.arrayLock.Release()
@@ -53,6 +55,8 @@ func (a *Array) readExtent(p *sim.Proc, ext extent) []byte {
 // sector range of a stripe by XOR-ing every surviving column (data and
 // parity) over that range.  All surviving columns are read in parallel.
 func (a *Array) reconstructRange(p *sim.Proc, stripe int64, devIdx int, secOff int64, secs int) []byte {
+	end := p.Span("raid", "degraded-reconstruct")
+	defer end()
 	a.stats.DegradedReads++
 	base := stripe * int64(a.unitSecs)
 	phys := base + secOff
@@ -186,6 +190,8 @@ func (a *Array) writeExtentRaw(p *sim.Proc, ext extent, data []byte) {
 // columns in parallel: "large write operations in disk arrays are
 // efficient since they don't require the reading of old data or parity".
 func (a *Array) writeFullStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) {
+	end := p.Span("raid", "full-stripe-write")
+	defer end()
 	a.stats.FullStripeWrites++
 	cols := make([][]byte, a.dataDisks())
 	for _, ext := range exts {
@@ -223,6 +229,8 @@ func (a *Array) writeFullStripe(p *sim.Proc, stripe int64, exts []extent, data [
 // overwritten (in parallel), overlay the new data, compute parity over the
 // whole stripe, and write the new ranges plus parity in parallel.
 func (a *Array) writeReconstructStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) {
+	end := p.Span("raid", "reconstruct-write")
+	defer end()
 	a.stats.ReconstructWrites++
 	nd := a.dataDisks()
 	unitBytes := a.unitSecs * a.secSize
@@ -302,6 +310,8 @@ func (a *Array) reconstructWriteApplies(exts []extent, stripe int64) bool {
 // parity are written in parallel — four parallel disk phases total, rather
 // than four serialized accesses per extent.
 func (a *Array) writeRMWBatched(p *sim.Proc, stripe int64, exts []extent, data []byte) {
+	end := p.Span("raid", "rmw-write")
+	defer end()
 	a.stats.SmallWrites++
 	pdev, pbase := a.parityLoc(stripe)
 
@@ -417,6 +427,8 @@ func (a *Array) Reconstruct(p *sim.Proc, devIdx int, spare Dev) (int64, error) {
 		sem.Acquire(p)
 		g.Go("rebuild-stripe", func(q *sim.Proc) {
 			defer sem.Release()
+			end := q.Span("raid", "rebuild-stripe")
+			defer end()
 			var content []byte
 			switch a.cfg.Level {
 			case Level1:

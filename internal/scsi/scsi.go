@@ -105,6 +105,8 @@ func (ad *Disk) path(upstream sim.Path) sim.Path {
 // Read reads n sectors at lba; data flows drive -> string -> controller ->
 // upstream, pipelined per chunk.
 func (ad *Disk) Read(p *sim.Proc, lba int64, n int, upstream sim.Path) []byte {
+	end := p.Span("scsi", "read")
+	defer end()
 	ad.ctl.cmd.Use(p, ad.ctl.cfg.CmdOverhead)
 	return ad.Drive.Read(p, lba, n, ad.path(upstream))
 }
@@ -113,6 +115,8 @@ func (ad *Disk) Read(p *sim.Proc, lba int64, n int, upstream sim.Path) []byte {
 // drive.  (The simulated Path is direction-agnostic: each hop is a
 // half-duplex resource the chunk occupies in order.)
 func (ad *Disk) Write(p *sim.Proc, lba int64, data []byte, upstream sim.Path) {
+	end := p.Span("scsi", "write")
+	defer end()
 	ad.ctl.cmd.Use(p, ad.ctl.cfg.CmdOverhead)
 	rev := make(sim.Path, 0, len(upstream)+2)
 	rev = append(rev, upstream...)

@@ -56,6 +56,8 @@ func (b *Board) stripeAligned(offSectors int64, sizeSecs int) []int {
 // (bounded by XBUS buffer memory); the HIPPI transmits each chunk as soon
 // as it and all earlier chunks have arrived in memory.
 func (b *Board) HardwareRead(p *sim.Proc, offSectors int64, size int) {
+	end := p.Span("datapath", "hw-read")
+	defer end()
 	e := b.sys.Eng
 	secSize := b.Array.SectorSize()
 	chunks := b.chunks(size)
@@ -88,6 +90,8 @@ func (b *Board) HardwareRead(p *sim.Proc, offSectors int64, size int) {
 // issued stripe-aligned as their data arrive, so whole stripes take the
 // full-stripe parity path while the HIPPI keeps streaming.
 func (b *Board) HardwareWrite(p *sim.Proc, offSectors int64, size int) {
+	end := p.Span("datapath", "hw-write")
+	defer end()
 	e := b.sys.Eng
 	secSize := b.Array.SectorSize()
 	g := sim.NewGroup(e)
@@ -114,6 +118,8 @@ func (b *Board) HardwareWrite(p *sim.Proc, offSectors int64, size int) {
 // in XBUS memory (no network send — matching the paper's measurement).
 // Reads are pipelined chunk by chunk.
 func (b *Board) FSRead(p *sim.Proc, f *FSFile, off int64, size int) error {
+	end := p.Span("datapath", "fs-read")
+	defer end()
 	b.sys.Host.CPUWork(p, b.sys.Cfg.FSReadOverhead)
 	e := b.sys.Eng
 	g := sim.NewGroup(e)
@@ -146,6 +152,8 @@ func (b *Board) FSRead(p *sim.Proc, f *FSFile, off int64, size int) error {
 // CPU, then the data move from XBUS network buffers into the LFS write
 // buffers and eventually to the array as full segments.
 func (b *Board) FSWrite(p *sim.Proc, f *FSFile, off int64, data []byte) error {
+	end := p.Span("datapath", "fs-write")
+	defer end()
 	b.sys.Host.CPUWork(p, b.sys.Cfg.FSWriteOverhead)
 	// One crossbar pass from network buffer to LFS segment buffer.
 	b.XB.Memory.Transfer(p, len(data))
@@ -186,6 +194,8 @@ func (b *Board) CreateFS(p *sim.Proc, path string) (*FSFile, error) {
 // per-I/O completion cost.  RAID-II's completions carry no data through
 // host memory.
 func (b *Board) SmallDiskRead(p *sim.Proc, diskIdx int, lba int64, bytes int) {
+	end := p.Span("datapath", "small-read")
+	defer end()
 	ad := b.Disks[diskIdx]
 	port := (diskIdx / (2 * b.sys.Cfg.DisksPerString)) % len(b.XB.VME)
 	secs := (bytes + ad.SectorSize() - 1) / ad.SectorSize()
@@ -197,6 +207,8 @@ func (b *Board) SmallDiskRead(p *sim.Proc, diskIdx int, lba int64, bytes int) {
 // XBUS board over the VME link, data cross from XBUS memory into host
 // memory, the host packages them into Ethernet packets.
 func (b *Board) EtherRead(p *sim.Proc, f *FSFile, off int64, size int) error {
+	end := p.Span("datapath", "ether-read")
+	defer end()
 	h := b.sys.Host
 	h.CPUWork(p, b.sys.Cfg.FSReadOverhead)
 	if _, err := f.File.ReadAt(p, off, size); err != nil {

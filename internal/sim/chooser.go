@@ -26,6 +26,7 @@ type chooserWaiter struct {
 
 // NewChooserServer creates the resource.
 func NewChooserServer(e *Engine, name string, choose func(tags []int64) int) *ChooserServer {
+	e.registerResource(name, 1)
 	return &ChooserServer{eng: e, name: name, choose: choose}
 }
 
@@ -34,10 +35,20 @@ func (s *ChooserServer) Acquire(p *Proc, tag int64) {
 	if !s.busy {
 		s.account()
 		s.busy = true
+		if t := s.eng.tracer; t != nil {
+			t.ResourceAcquire(s.name, p, 1, 0, false)
+		}
 		return
 	}
 	s.queue = append(s.queue, chooserWaiter{proc: p, tag: tag})
+	if t := s.eng.tracer; t != nil {
+		t.ResourceWait(s.name, p, len(s.queue))
+	}
+	enq := s.eng.now
 	p.park()
+	if t := s.eng.tracer; t != nil {
+		t.ResourceAcquire(s.name, p, 1, s.eng.now.Sub(enq), true)
+	}
 }
 
 // Release frees the slot and admits the policy's pick.
@@ -45,6 +56,9 @@ func (s *ChooserServer) Release() {
 	if !s.busy {
 		//lint:allow simpanic unbalanced Release corrupts utilization accounting; acquire/release pairing is a structural invariant
 		panic("sim: release of idle chooser server " + s.name)
+	}
+	if t := s.eng.tracer; t != nil {
+		t.ResourceRelease(s.name, 1)
 	}
 	if len(s.queue) == 0 {
 		s.account()

@@ -78,6 +78,10 @@ type Engine struct {
 	live    int           // processes started but not finished
 	blocked int           // processes parked on a resource or event (not a timer)
 	stopped bool
+
+	procSeq   uint64         // process IDs, assigned in spawn order
+	tracer    Tracer         // observability hooks; nil when untraced
+	resources []resourceInfo // every constructed resource, for tracer replay
 }
 
 // New creates an empty simulation engine at time zero.
@@ -184,6 +188,7 @@ type killSentinel struct{}
 type Proc struct {
 	eng      *Engine
 	name     string
+	id       uint64
 	resume   chan struct{}
 	finished bool
 }
@@ -196,8 +201,12 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 		//lint:allow simpanic spawning on a shut-down engine is harness misuse, caught at development time
 		panic("sim: Spawn after Shutdown")
 	}
-	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.procSeq++
+	p := &Proc{eng: e, name: name, id: e.procSeq, resume: make(chan struct{})}
 	e.live++
+	if e.tracer != nil {
+		e.tracer.ProcStart(p)
+	}
 	go func() {
 		// The deferred handler is the only exit path that hands control
 		// back to the engine.  It covers normal returns, Shutdown kills
@@ -217,6 +226,11 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 			if p.finished {
 				return
 			}
+			// Killed processes skip the finish hook: Shutdown reaps them in
+			// host-scheduler order, which must not leak into trace output.
+			if !killed && e.tracer != nil {
+				e.tracer.ProcFinish(p)
+			}
 			p.finished = true
 			if !killed {
 				e.live-- // Shutdown's reap loop accounts for killed procs
@@ -225,6 +239,9 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 		}()
 		<-p.resume // wait for first dispatch
 		fn(p)
+		if e.tracer != nil {
+			e.tracer.ProcFinish(p)
+		}
 		p.finished = true
 		e.live--
 		e.yield <- struct{}{}

@@ -29,6 +29,7 @@ func NewServer(e *Engine, name string, capacity int) *Server {
 		//lint:allow simpanic resource constructors are wired with literal capacities at assembly time; a bad one is a programming error
 		panic("sim: server capacity must be >= 1")
 	}
+	e.registerResource(name, capacity)
 	return &Server{eng: e, name: name, cap: capacity}
 }
 
@@ -43,12 +44,22 @@ func (s *Server) Acquire(p *Proc) {
 	if s.busy < s.cap {
 		s.account()
 		s.busy++
+		if t := s.eng.tracer; t != nil {
+			t.ResourceAcquire(s.name, p, 1, 0, false)
+		}
 		return
 	}
 	s.queue = append(s.queue, p)
+	if t := s.eng.tracer; t != nil {
+		t.ResourceWait(s.name, p, len(s.queue))
+	}
+	enq := s.eng.now
 	p.park()
 	// The releasing process performed the accounting and slot hand-off;
 	// nothing further to do here.
+	if t := s.eng.tracer; t != nil {
+		t.ResourceAcquire(s.name, p, 1, s.eng.now.Sub(enq), true)
+	}
 }
 
 // TryAcquire obtains a slot only if one is immediately free.
@@ -57,6 +68,9 @@ func (s *Server) TryAcquire() bool {
 		s.acquires++
 		s.account()
 		s.busy++
+		if t := s.eng.tracer; t != nil {
+			t.ResourceAcquire(s.name, nil, 1, 0, false)
+		}
 		return true
 	}
 	return false
@@ -68,6 +82,9 @@ func (s *Server) Release() {
 	if s.busy == 0 {
 		//lint:allow simpanic unbalanced Release corrupts utilization accounting; acquire/release pairing is a structural invariant
 		panic(fmt.Sprintf("sim: release of idle server %q", s.name))
+	}
+	if t := s.eng.tracer; t != nil {
+		t.ResourceRelease(s.name, 1)
 	}
 	if len(s.queue) > 0 {
 		head := s.queue[0]
@@ -431,6 +448,7 @@ func NewTokens(e *Engine, name string, total int) *Tokens {
 		//lint:allow simpanic resource constructors are wired with literal pool sizes at assembly time; a bad one is a programming error
 		panic("sim: token pool must be positive")
 	}
+	e.registerResource(name, total)
 	return &Tokens{eng: e, name: name, total: total, avail: total}
 }
 
@@ -443,15 +461,28 @@ func (tk *Tokens) Acquire(p *Proc, n int) {
 	}
 	if len(tk.queue) == 0 && tk.avail >= n {
 		tk.avail -= n
+		if t := tk.eng.tracer; t != nil {
+			t.ResourceAcquire(tk.name, p, n, 0, false)
+		}
 		return
 	}
 	tk.queue = append(tk.queue, tokenWaiter{proc: p, n: n})
+	if t := tk.eng.tracer; t != nil {
+		t.ResourceWait(tk.name, p, len(tk.queue))
+	}
+	enq := tk.eng.now
 	p.park()
 	// Woken by Release once our allocation was carved out.
+	if t := tk.eng.tracer; t != nil {
+		t.ResourceAcquire(tk.name, p, n, tk.eng.now.Sub(enq), true)
+	}
 }
 
 // Release returns n units to the pool and admits queued waiters in order.
 func (tk *Tokens) Release(n int) {
+	if t := tk.eng.tracer; t != nil {
+		t.ResourceRelease(tk.name, n)
+	}
 	tk.avail += n
 	if tk.avail > tk.total {
 		//lint:allow simpanic unbalanced Release corrupts admission accounting; acquire/release pairing is a structural invariant

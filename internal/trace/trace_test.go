@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"raidii/internal/sim"
+)
+
+// runContended drives a 2-slot server with four processes so that two of
+// them queue.  Returns the engine, server, and recorder.
+func runContended(events bool) (*sim.Engine, *sim.Server, *Recorder) {
+	e := sim.New()
+	srv := sim.NewServer(e, "svc", 2)
+	rec := Attach(e, Config{Label: "unit", Pid: 7, Events: events})
+	for i := 0; i < 4; i++ {
+		e.Spawn("worker", func(p *sim.Proc) {
+			done := p.Span("test", "hold")
+			srv.Use(p, 10*time.Millisecond)
+			done()
+		})
+	}
+	e.Run()
+	return e, srv, rec
+}
+
+func findRes(t *testing.T, rec *Recorder, name string) *Resource {
+	t.Helper()
+	for _, r := range rec.Resources() {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("resource %q not recorded", name)
+	return nil
+}
+
+func TestRecorderMatchesServerAccounting(t *testing.T) {
+	e, srv, rec := runContended(false)
+	r := findRes(t, rec, "svc")
+	if got, want := r.UtilizationAt(e.Now()), srv.Utilization(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("recorder utilization %v, server says %v", got, want)
+	}
+	if r.Acquires != srv.Acquires() {
+		t.Errorf("recorder acquires %d, server says %d", r.Acquires, srv.Acquires())
+	}
+	// Four 10 ms holds on two slots: the run lasts 20 ms at 100% utilization.
+	if got := r.UtilizationAt(e.Now()); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("utilization = %v, want 1.0", got)
+	}
+	// Two workers queued for one 10 ms service interval each.
+	if r.WaitSum != 20*time.Millisecond {
+		t.Errorf("WaitSum = %v, want 20ms", r.WaitSum)
+	}
+	if r.MaxQueue != 2 {
+		t.Errorf("MaxQueue = %d, want 2", r.MaxQueue)
+	}
+}
+
+func TestTableNamesBottleneck(t *testing.T) {
+	_, _, rec := runContended(false)
+	tab := rec.Table(0)
+	if !strings.Contains(tab, "bottleneck: svc") {
+		t.Errorf("table does not name the bottleneck:\n%s", tab)
+	}
+	if !strings.Contains(tab, "svc") || !strings.Contains(tab, "100.0%") {
+		t.Errorf("table missing expected row:\n%s", tab)
+	}
+}
+
+func TestTableLimitTruncates(t *testing.T) {
+	e := sim.New()
+	a := sim.NewServer(e, "a", 1)
+	b := sim.NewServer(e, "b", 1)
+	rec := Attach(e, Config{Label: "limit"})
+	e.Spawn("w", func(p *sim.Proc) {
+		a.Use(p, 2*time.Millisecond)
+		b.Use(p, time.Millisecond)
+	})
+	e.Run()
+	tab := rec.Table(1)
+	if strings.Contains(tab, " b\n") {
+		t.Errorf("limit=1 should drop the less-utilized row:\n%s", tab)
+	}
+	if !strings.Contains(tab, "1 more component") {
+		t.Errorf("truncation note missing:\n%s", tab)
+	}
+}
+
+func TestChromeOutputValidJSON(t *testing.T) {
+	_, _, rec := runContended(true)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("exporter produced invalid JSON:\n%s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var spans, counters, metas int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			spans++
+		case "C":
+			counters++
+		case "M":
+			metas++
+		}
+	}
+	// 4 proc lifetimes + 4 "hold" spans; at least one counter sample per
+	// acquire/release; process_name + 4 thread_name metadata records.
+	if spans != 8 {
+		t.Errorf("span events = %d, want 8", spans)
+	}
+	if counters < 8 {
+		t.Errorf("counter events = %d, want >= 8", counters)
+	}
+	if metas != 5 {
+		t.Errorf("metadata events = %d, want 5", metas)
+	}
+}
+
+func TestTraceByteIdenticalAcrossRuns(t *testing.T) {
+	run := func() (string, string) {
+		_, _, rec := runContended(true)
+		var buf bytes.Buffer
+		if err := WriteChrome(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), rec.Table(0)
+	}
+	j1, t1 := run()
+	j2, t2 := run()
+	if j1 != j2 {
+		t.Error("Chrome JSON differs between identical runs")
+	}
+	if t1 != t2 {
+		t.Error("utilization table differs between identical runs")
+	}
+}
+
+// TestShutdownReapedProcsInvisible drives a run where workload processes are
+// reaped by Shutdown (host-scheduler order) and asserts the trace output is
+// still deterministic: killed processes must contribute no finish events.
+func TestShutdownReapedProcsInvisible(t *testing.T) {
+	run := func() string {
+		e := sim.New()
+		srv := sim.NewServer(e, "svc", 1)
+		rec := Attach(e, Config{Label: "shutdown", Pid: 1, Events: true})
+		for i := 0; i < 4; i++ {
+			e.Spawn("looper", func(p *sim.Proc) {
+				for {
+					srv.Use(p, time.Millisecond)
+				}
+			})
+		}
+		e.RunUntil(sim.Time(10 * time.Millisecond.Nanoseconds()))
+		e.Shutdown()
+		var buf bytes.Buffer
+		if err := WriteChrome(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String() + rec.Table(0)
+	}
+	first := run()
+	for i := 0; i < 4; i++ {
+		if run() != first {
+			t.Fatalf("trace output varies across identical shutdown runs (iteration %d)", i)
+		}
+	}
+}
+
+func TestAttachReplaysExistingResources(t *testing.T) {
+	e := sim.New()
+	sim.NewServer(e, "early", 3)
+	rec := Attach(e, Config{Label: "replay"})
+	r := findRes(t, rec, "early")
+	if r.Cap != 3 {
+		t.Errorf("replayed capacity = %d, want 3", r.Cap)
+	}
+}
+
+func TestSameNameResourcesMerge(t *testing.T) {
+	e := sim.New()
+	rec := Attach(e, Config{Label: "merge"})
+	s1 := sim.NewServer(e, "pipe", 2)
+	s2 := sim.NewServer(e, "pipe", 4)
+	e.Spawn("w", func(p *sim.Proc) {
+		s1.Use(p, time.Millisecond)
+		s2.Use(p, time.Millisecond)
+	})
+	e.Run()
+	if n := len(rec.Resources()); n != 1 {
+		t.Fatalf("merged resource count = %d, want 1", n)
+	}
+	r := findRes(t, rec, "pipe")
+	if r.Cap != 4 {
+		t.Errorf("merged cap = %d, want max instance cap 4", r.Cap)
+	}
+	if r.Acquires != 2 {
+		t.Errorf("merged acquires = %d, want 2", r.Acquires)
+	}
+}
+
+func TestTokensUnitsAccounting(t *testing.T) {
+	e := sim.New()
+	tk := sim.NewTokens(e, "dram", 100)
+	rec := Attach(e, Config{Label: "tokens"})
+	e.Spawn("w", func(p *sim.Proc) {
+		tk.Acquire(p, 100)
+		p.Wait(time.Millisecond)
+		tk.Release(100)
+	})
+	e.Spawn("w2", func(p *sim.Proc) {
+		tk.Acquire(p, 50) // queues behind w's full-pool hold
+		p.Wait(time.Millisecond)
+		tk.Release(50)
+	})
+	e.Run()
+	r := findRes(t, rec, "dram")
+	if r.Cap != 100 {
+		t.Errorf("pool cap = %d, want 100", r.Cap)
+	}
+	if r.WaitSum != time.Millisecond {
+		t.Errorf("WaitSum = %v, want 1ms", r.WaitSum)
+	}
+	// 100 units for 1 ms + 50 units for 1 ms over a 2 ms run = 75% of pool.
+	if got := r.UtilizationAt(e.Now()); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("utilization = %v, want 0.75", got)
+	}
+}

@@ -10,6 +10,7 @@
 package xbus
 
 import (
+	"fmt"
 	"time"
 
 	"raidii/internal/sim"
@@ -133,7 +134,9 @@ func New(e *sim.Engine, name string, cfg Config) *Board {
 		Buffers: sim.NewTokens(e, name+":dram", cfg.MemoryBytes),
 	}
 	for i := 0; i < cfg.VMEDiskPorts; i++ {
-		b.VME = append(b.VME, port("vme", cfg.VMEReadMBps, cfg.VMEWriteMBps))
+		// Each VME disk port is a distinct piece of hardware; unique names
+		// keep them as separate rows in utilization accounting.
+		b.VME = append(b.VME, port(fmt.Sprintf("vme%d", i), cfg.VMEReadMBps, cfg.VMEWriteMBps))
 	}
 	return b
 }
@@ -161,6 +164,7 @@ func (b *Board) XOR(p *sim.Proc, srcs ...[]byte) []byte {
 			panic("xbus: XOR sources of unequal length")
 		}
 	}
+	end := p.Span("xbus", "parity")
 	out := make([]byte, n)
 	for _, s := range srcs {
 		// Stream this source through the parity engine.
@@ -172,6 +176,7 @@ func (b *Board) XOR(p *sim.Proc, srcs ...[]byte) []byte {
 	// Result writes back to memory.
 	sim.Path{b.Parity.Out()}.Send(p, n, 0)
 	b.parityOps++
+	end()
 	return out
 }
 
@@ -181,11 +186,13 @@ func (b *Board) XORInto(p *sim.Proc, dst, src []byte) {
 		//lint:allow simpanic stripe geometry guarantees equal-length columns; unequal lengths mean a corrupted extent computation
 		panic("xbus: XORInto length mismatch")
 	}
+	end := p.Span("xbus", "parity")
 	sim.Path{b.Parity.In()}.Send(p, len(src), 0)
 	for i, v := range src {
 		dst[i] ^= v
 	}
 	b.parityOps++
+	end()
 }
 
 // ParityOps reports how many parity computations the engine has run.

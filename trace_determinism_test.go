@@ -1,0 +1,115 @@
+package raidii
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"raidii/internal/sim"
+	"raidii/internal/trace"
+)
+
+// TestTraceDeterministic runs the same seeded workload twice on fully
+// traced servers and demands byte-identical Chrome trace JSON and
+// utilization tables.  This is the PR-level acceptance gate for the
+// observability layer: hooks may observe the simulation, never perturb it,
+// and their output must be a pure function of the run.
+func TestTraceDeterministic(t *testing.T) {
+	run := func() (string, string) {
+		srv, err := NewServer(WithDisksPerString(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.Attach(srv.Sys().Eng, trace.Config{Label: "det", Pid: 1, Events: true})
+		_, err = srv.Simulate(func(task *Task) error {
+			if err := task.FormatFS(); err != nil {
+				return err
+			}
+			f, err := task.Create("/wl")
+			if err != nil {
+				return err
+			}
+			const fileSize = 2 << 20
+			if err := f.Write(0, make([]byte, fileSize)); err != nil {
+				return err
+			}
+			if err := task.Sync(); err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < 25; i++ {
+				n := 4096 * (1 + rng.Intn(8))
+				off := rng.Int63n(fileSize - int64(n))
+				if rng.Intn(2) == 0 {
+					if _, err := f.Read(off, n); err != nil {
+						return err
+					}
+				} else if err := f.Write(off, make([]byte, n)); err != nil {
+					return err
+				}
+			}
+			return task.Sync()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), rec.Table(0)
+	}
+
+	json1, table1 := run()
+	json2, table2 := run()
+	if json1 != json2 {
+		t.Error("Chrome trace JSON differs between identical runs")
+	}
+	if table1 != table2 {
+		t.Errorf("utilization tables differ between identical runs:\nfirst:\n%s\nsecond:\n%s", table1, table2)
+	}
+	if !json.Valid([]byte(json1)) {
+		t.Error("trace output is not valid JSON")
+	}
+	if len(table1) == 0 {
+		t.Error("utilization table is empty")
+	}
+}
+
+// TestProbeObservesExperimentEngines checks the SetProbe wiring: running an
+// experiment with a probe installed attaches recorders with stable labels
+// and byte-identical utilization tables across repeated runs.
+func TestProbeObservesExperimentEngines(t *testing.T) {
+	run := func() (labels, tables []string) {
+		var recs []*trace.Recorder
+		SetProbe(func(label string, e *sim.Engine) {
+			recs = append(recs, trace.Attach(e, trace.Config{Label: label}))
+		})
+		defer SetProbe(nil)
+		if _, err := Fig7([]int{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			labels = append(labels, rec.Label())
+			tables = append(tables, rec.Table(0))
+		}
+		return labels, tables
+	}
+	labels1, tables1 := run()
+	labels2, tables2 := run()
+	if len(labels1) == 0 {
+		t.Fatal("probe never invoked")
+	}
+	if len(labels1) != len(labels2) {
+		t.Fatalf("probe invocation count differs: %d vs %d", len(labels1), len(labels2))
+	}
+	for i := range labels1 {
+		if labels1[i] != labels2[i] {
+			t.Errorf("probe label %d differs: %q vs %q", i, labels1[i], labels2[i])
+		}
+		if tables1[i] != tables2[i] {
+			t.Errorf("utilization table for %s differs between identical runs", labels1[i])
+		}
+	}
+}
