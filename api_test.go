@@ -1,0 +1,315 @@
+package raidii
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBoardScopedOps exercises the full file system surface through the
+// Board handle on a board other than 0, and checks the per-board file
+// systems are independent.
+func TestBoardScopedOps(t *testing.T) {
+	srv, err := NewServer(WithBoards(2), WithDisksPerString(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = srv.Simulate(func(task *Task) error {
+		if task.Boards() != 2 {
+			t.Fatalf("Boards() = %d, want 2", task.Boards())
+		}
+		if err := task.FormatFS(); err != nil {
+			return err
+		}
+		b1 := task.Board(1)
+		if b1.Index() != 1 {
+			t.Fatalf("Board(1).Index() = %d", b1.Index())
+		}
+		if err := b1.Mkdir("/d"); err != nil {
+			return err
+		}
+		f, err := b1.Create("/d/file")
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(0, make([]byte, 256<<10)); err != nil {
+			return err
+		}
+		if err := b1.Sync(); err != nil {
+			return err
+		}
+		if err := b1.Rename("/d/file", "/d/file2"); err != nil {
+			return err
+		}
+		ents, err := b1.ReadDir("/d")
+		if err != nil {
+			return err
+		}
+		if len(ents) != 1 || ents[0].Name != "file2" {
+			t.Fatalf("board 1 /d = %+v, want one entry \"file2\"", ents)
+		}
+		info, err := b1.Stat("/d/file2")
+		if err != nil {
+			return err
+		}
+		if info.Size != 256<<10 {
+			t.Fatalf("board 1 file size = %d, want %d", info.Size, 256<<10)
+		}
+		// The boards hold independent file systems: board 0 must not see
+		// board 1's tree.
+		if _, err := task.Board(0).Stat("/d/file2"); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("board 0 sees board 1's file: %v", err)
+		}
+		// Task-level conveniences are board 0: a file created there shows
+		// up through Board(0) and not Board(1).
+		if _, err := task.Create("/only0"); err != nil {
+			return err
+		}
+		if _, err := task.Board(0).Stat("/only0"); err != nil {
+			t.Fatalf("Task.Create not visible through Board(0): %v", err)
+		}
+		if _, err := b1.Stat("/only0"); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("board 1 sees board 0's file: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSentinelErrorsThroughAPI checks that errors.Is sees the lfs
+// sentinels through every wrapping layer of the public API.
+func TestSentinelErrorsThroughAPI(t *testing.T) {
+	srv, err := NewServer(WithDisksPerString(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = srv.Simulate(func(task *Task) error {
+		if err := task.FormatFS(); err != nil {
+			return err
+		}
+		if _, err := task.Open("/missing"); !errors.Is(err, ErrNotExist) {
+			t.Errorf("Open(missing) = %v, want ErrNotExist", err)
+		}
+		if _, err := task.Create("/f"); err != nil {
+			return err
+		}
+		if _, err := task.Create("/f"); !errors.Is(err, ErrExist) {
+			t.Errorf("second Create = %v, want ErrExist", err)
+		}
+		if err := task.Remove("/missing"); !errors.Is(err, ErrNotExist) {
+			t.Errorf("Remove(missing) = %v, want ErrNotExist", err)
+		}
+		if err := task.Mkdir("/dir"); err != nil {
+			return err
+		}
+		if _, err := task.Create("/dir/child"); err != nil {
+			return err
+		}
+		if err := task.Remove("/dir"); !errors.Is(err, ErrNotEmpty) {
+			t.Errorf("Remove(non-empty dir) = %v, want ErrNotEmpty", err)
+		}
+		if _, err := task.Open("/f/x"); !errors.Is(err, ErrNotDir) {
+			t.Errorf("Open through file = %v, want ErrNotDir", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteReturnsDuration checks File.Write's transfer timing is
+// symmetric with Read: simulated, positive, and scaling with size.
+func TestWriteReturnsDuration(t *testing.T) {
+	srv, err := NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = srv.Simulate(func(task *Task) error {
+		if err := task.FormatFS(); err != nil {
+			return err
+		}
+		f, err := task.Create("/f")
+		if err != nil {
+			return err
+		}
+		small, err := f.Write(0, make([]byte, 64<<10))
+		if err != nil {
+			return err
+		}
+		big, err := f.Write(0, make([]byte, 8<<20))
+		if err != nil {
+			return err
+		}
+		if small <= 0 || big <= 0 {
+			t.Fatalf("write durations %v / %v, want > 0", small, big)
+		}
+		if big <= small {
+			t.Fatalf("8 MB write (%v) not slower than 64 KB write (%v)", big, small)
+		}
+		if err := task.Sync(); err != nil {
+			return err
+		}
+		rd, err := f.Read(0, 8<<20)
+		if err != nil {
+			return err
+		}
+		// Reads stream from disk, writes land in segment buffers; both are
+		// charged simulated time of the same order for the same bytes.
+		if big > 100*rd || rd > 100*big {
+			t.Fatalf("8 MB write %v vs read %v: implausible asymmetry", big, rd)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLatentErrorEscalatesThroughAPI is the PR's acceptance path: a latent
+// sector error on one drive is retried by the SCSI controller, escalates to
+// a disk failure at the array, and the read still returns the original
+// bytes via parity reconstruction — all observable through the public
+// fault surface.
+func TestLatentErrorEscalatesThroughAPI(t *testing.T) {
+	srv, err := NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := srv.Sys().Boards[0]
+	const nSec = 40
+	data := make([]byte, nSec*512)
+	for i := range data {
+		data[i] = byte(i*7 + 1)
+	}
+	_, err = srv.Simulate(func(task *Task) error {
+		p := task.p
+		b.Array.Write(p, 0, data)
+		// Stripe 0's data column 0 lives on device 0 (left-symmetric
+		// layout), so sector 1 of drive 0 holds bytes the read must cover.
+		task.Board(0).LatentError(0, 1, 1)
+		if task.Board(0).DiskFailed(0) {
+			t.Error("latent error alone must not fail the disk")
+		}
+		got := b.Array.Read(p, 0, nSec)
+		if !bytes.Equal(got, data) {
+			t.Error("read over latent error returned wrong bytes")
+		}
+		if !task.Board(0).DiskFailed(0) {
+			t.Error("persistent medium error did not escalate to a disk failure")
+		}
+		st := task.Board(0).ArrayStats()
+		if st.DeviceErrors == 0 || st.DiskFailures != 1 {
+			t.Errorf("stats = %+v, want DeviceErrors>0 and DiskFailures=1", st)
+		}
+		if st.DegradedReads == 0 {
+			t.Error("escalated read did not use the degraded path")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHotRebuildThroughAPI drives FailDisk / ReplaceDisk / HotRebuild.Wait
+// through the Board handle and checks the array heals.
+func TestHotRebuildThroughAPI(t *testing.T) {
+	srv, err := NewServer(WithDisksPerString(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := srv.Sys().Boards[0]
+	const nSec = 64
+	data := make([]byte, nSec*512)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	_, err = srv.Simulate(func(task *Task) error {
+		p := task.p
+		b.Array.Write(p, 0, data)
+		bd := task.Board(0)
+		if err := bd.FailDisk(2); err != nil {
+			return err
+		}
+		if !bd.DiskFailed(2) {
+			t.Fatal("FailDisk did not mark the device failed")
+		}
+		rb, err := bd.ReplaceDisk(2)
+		if err != nil {
+			return err
+		}
+		stripes, err := rb.Wait()
+		if err != nil {
+			return err
+		}
+		if stripes == 0 || !rb.Done() {
+			t.Fatalf("rebuild: stripes=%d done=%v", stripes, rb.Done())
+		}
+		if bd.DiskFailed(2) {
+			t.Fatal("device still failed after rebuild")
+		}
+		if got := b.Array.Read(p, 0, nSec); !bytes.Equal(got, data) {
+			t.Fatal("rebuilt array returned wrong bytes")
+		}
+		if bd.ArrayStats().RebuildStripes == 0 {
+			t.Fatal("rebuilt stripes not counted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultPlanValidatedAtAssembly: a plan naming hardware the config does
+// not have is rejected by NewServer, not discovered mid-run.
+func TestFaultPlanValidatedAtAssembly(t *testing.T) {
+	_, err := NewServer(WithFaultPlan(FaultPlan{}.DiskFailAt(time.Second, 9, 0)))
+	if err == nil {
+		t.Fatal("NewServer accepted a fault plan naming a missing board")
+	}
+	_, err = NewServer(WithDisksPerString(1),
+		WithFaultPlan(FaultPlan{}.DiskFailAt(time.Second, 0, 99)))
+	if err == nil {
+		t.Fatal("NewServer accepted a fault plan naming a missing disk")
+	}
+}
+
+// TestScriptedDiskFailure: a WithFaultPlan whole-disk failure fires at its
+// scheduled simulated time and flips the array to degraded mode while a
+// streaming workload runs.
+func TestScriptedDiskFailure(t *testing.T) {
+	const failAt = 300 * time.Millisecond
+	srv, err := NewServer(WithDisksPerString(1),
+		WithFaultPlan(FaultPlan{}.DiskFailAt(failAt, 0, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = srv.Simulate(func(task *Task) error {
+		bd := task.Board(0)
+		if bd.DiskFailed(3) {
+			t.Fatal("disk failed before its scheduled time")
+		}
+		for i := 0; i < 12; i++ {
+			bd.HardwareRead(int64(i)*(1<<20), 1<<20)
+		}
+		if task.Elapsed() <= failAt {
+			t.Fatalf("workload too short (%v) to cross the fault at %v", task.Elapsed(), failAt)
+		}
+		if !bd.DiskFailed(3) {
+			t.Fatal("scripted disk failure did not escalate")
+		}
+		st := bd.ArrayStats()
+		if st.DiskFailures != 1 || st.DegradedReads == 0 {
+			t.Fatalf("stats = %+v, want DiskFailures=1 and DegradedReads>0", st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

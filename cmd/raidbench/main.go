@@ -51,6 +51,7 @@ func wallElapsed() func() time.Duration {
 func main() {
 	traceOut := flag.String("trace", "", "write all runs as Chrome trace_event JSON to this file")
 	util := flag.Bool("util", false, "print per-component utilization tables after each experiment")
+	faults := flag.Bool("faults", false, "shorthand for the fault-injection experiment (same as naming \"faults\")")
 	flag.Parse()
 
 	var recs []*trace.Recorder
@@ -76,6 +77,7 @@ func main() {
 		{"scaling", "XBUS board scaling", runScaling},
 		{"zebra", "Zebra striping across servers", runZebra},
 		{"rebuild", "degraded mode and disk reconstruction", runRebuild},
+		{"faults", "scripted fault plans: timeline and rebuild under load", runFaults},
 		{"fileserver", "Zipf-skewed file-server trace (integration)", runFileServer},
 		{"ablate", "design-choice ablations", runAblate},
 	}
@@ -83,6 +85,9 @@ func main() {
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
 		want[a] = true
+	}
+	if *faults {
+		want["faults"] = true
 	}
 	ran := 0
 	for _, ex := range experiments {
@@ -255,6 +260,27 @@ func runRebuild() error {
 	fmt.Printf("healthy 1 MB random reads : %5.1f MB/s\n", r.NormalReadMBps)
 	fmt.Printf("degraded (1 disk failed)  : %5.1f MB/s\n", r.DegradedReadMBps)
 	fmt.Printf("rebuild onto spare        : %v (%.1f MB/s)\n", r.RebuildDuration, r.RebuildMBps)
+	return nil
+}
+
+func runFaults() error {
+	tl, err := raidii.FaultTimeline()
+	if err != nil {
+		return err
+	}
+	fmt.Print(tl.Fig.Render())
+	fmt.Printf("disk failed at %v: %.1f MB/s healthy -> %.1f MB/s degraded "+
+		"(%d device errors, %d disk failures)\n",
+		tl.FailAt, tl.HealthyMBps, tl.DegradedMBps, tl.DeviceErrors, tl.DiskFailures)
+	r, err := raidii.RebuildUnderLoad()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("1 MB random reads: healthy %5.1f MB/s  degraded %5.1f MB/s  "+
+		"rebuilding %5.1f MB/s  post-rebuild %5.1f MB/s\n",
+		r.HealthyMBps, r.DegradedMBps, r.RebuildingMBps, r.PostRebuildMBps)
+	fmt.Printf("hot rebuild: %d stripes in %v (%.1f MB/s) under foreground load\n",
+		r.RebuildStripes, r.RebuildDuration, r.RebuildMBps)
 	return nil
 }
 

@@ -194,7 +194,8 @@ func (st *serverState) dispatch(cmd string, args []string, r *bufio.Reader, w *b
 					return err
 				}
 			}
-			return f.Write(off, buf)
+			_, werr := f.Write(off, buf)
+			return werr
 		})
 		if err != nil {
 			return err

@@ -45,7 +45,7 @@ func TestSeededWorkloadDeterministic(t *testing.T) {
 				return err
 			}
 			const fileSize = 2 << 20
-			if err := f.Write(0, make([]byte, fileSize)); err != nil {
+			if _, err := f.Write(0, make([]byte, fileSize)); err != nil {
 				return err
 			}
 			if err := task.Sync(); err != nil {
@@ -63,7 +63,7 @@ func TestSeededWorkloadDeterministic(t *testing.T) {
 					lats = append(lats, d)
 				} else {
 					before := task.Elapsed()
-					if err := f.Write(off, make([]byte, n)); err != nil {
+					if _, err := f.Write(off, make([]byte, n)); err != nil {
 						return err
 					}
 					lats = append(lats, task.Elapsed()-before)

@@ -43,7 +43,7 @@ func main() {
 				if err != nil {
 					return err
 				}
-				if err := f.Write(0, small); err != nil {
+				if _, err := f.Write(0, small); err != nil {
 					return err
 				}
 			}
@@ -54,7 +54,7 @@ func main() {
 					return err
 				}
 				for off := int64(0); off < mediaSize; off += int64(len(media)) {
-					if err := f.Write(off, media); err != nil {
+					if _, err := f.Write(off, media); err != nil {
 						return err
 					}
 				}

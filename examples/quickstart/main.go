@@ -39,7 +39,7 @@ func main() {
 		buf := make([]byte, 1<<20)
 		start := t.Elapsed()
 		for off := int64(0); off < fileSize; off += int64(len(buf)) {
-			if err := f.Write(off, buf); err != nil {
+			if _, err := f.Write(off, buf); err != nil {
 				return err
 			}
 		}

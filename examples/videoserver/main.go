@@ -49,7 +49,7 @@ func main() {
 		start := t.Elapsed()
 		frame := make([]byte, frameBytes)
 		for off := int64(0); off < clipBytes; off += frameBytes {
-			if err := f.Write(off, frame); err != nil {
+			if _, err := f.Write(off, frame); err != nil {
 				return err
 			}
 		}
@@ -88,7 +88,7 @@ func main() {
 			}
 			buf := make([]byte, 1<<20)
 			for off := int64(0); off < clipBytes; off += int64(len(buf)) {
-				if err := f.Write(off, buf); err != nil {
+				if _, err := f.Write(off, buf); err != nil {
 					return err
 				}
 			}

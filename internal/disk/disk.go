@@ -50,6 +50,7 @@ type Disk struct {
 	// most the track buffer's worth of media time.
 	mediaFront sim.Time
 
+	flt   faultState
 	stats Stats
 }
 
@@ -236,8 +237,20 @@ func (d *Disk) position(p *sim.Proc, lba int64, hit bool) {
 // Read reads sectors [lba, lba+n) into a fresh buffer.  If path is
 // non-empty, each chunk of data traverses the path as the media produces
 // it; Read returns when the last chunk has been delivered at the far end.
-func (d *Disk) Read(p *sim.Proc, lba int64, n int, path sim.Path) []byte {
+// A failed drive returns fault.ErrDiskFailed after its command overhead; a
+// read covering an armed latent error positions, streams up to the bad
+// sector, and returns fault.ErrMedium.
+func (d *Disk) Read(p *sim.Proc, lba int64, n int, path sim.Path) ([]byte, error) {
 	d.checkRange(lba, n)
+	if err := d.admit(p); err != nil {
+		return nil, err
+	}
+	if bad, ok := d.firstBad(lba, n); ok {
+		d.actuator.Acquire(p, int64(d.cylOf(lba)))
+		err := d.mediumError(p, lba, bad)
+		d.actuator.Release()
+		return nil, err
+	}
 	d.actuator.Acquire(p, int64(d.cylOf(lba)))
 	hit := d.seqHit(lba)
 	d.position(p, lba, hit)
@@ -271,20 +284,25 @@ func (d *Disk) Read(p *sim.Proc, lba int64, n int, path sim.Path) []byte {
 
 	buf := make([]byte, n*d.spec.SectorSize)
 	d.store.ReadAt(buf, lba*int64(d.spec.SectorSize))
-	return buf
+	return buf, nil
 }
 
 // Write stores data (whose length must be a whole number of sectors) at
 // lba.  If path is non-empty the data first traverses the path toward the
 // drive, overlapped with head positioning; media writing of each chunk
 // begins once the chunk has arrived and the previous chunk has committed.
-func (d *Disk) Write(p *sim.Proc, lba int64, data []byte, path sim.Path) {
+// Writing over an armed latent error remaps the bad sectors.
+func (d *Disk) Write(p *sim.Proc, lba int64, data []byte, path sim.Path) error {
 	if len(data)%d.spec.SectorSize != 0 {
 		//lint:allow simpanic misaligned buffer is caller corruption; the array layer always writes whole sectors
 		panic("disk: write length not a whole number of sectors")
 	}
 	n := len(data) / d.spec.SectorSize
 	d.checkRange(lba, n)
+	if err := d.admit(p); err != nil {
+		return err
+	}
+	d.clearLatent(lba, n)
 	d.actuator.Acquire(p, int64(d.cylOf(lba)))
 
 	// Position while the first chunks are in flight on the bus.
@@ -336,6 +354,7 @@ func (d *Disk) Write(p *sim.Proc, lba int64, data []byte, path sim.Path) {
 	d.stats.BytesWritten += uint64(len(data))
 	d.store.WriteAt(data, lba*int64(d.spec.SectorSize))
 	d.actuator.Release()
+	return nil
 }
 
 // bufferMediaTime is how much media time the track buffer can bank.

@@ -78,7 +78,7 @@ func TestReadWriteRoundTrip(t *testing.T) {
 	var got []byte
 	e.Spawn("t", func(p *sim.Proc) {
 		d.Write(p, 1000, data, nil)
-		got = d.Read(p, 1000, 16, nil)
+		got, _ = d.Read(p, 1000, 16, nil)
 	})
 	e.Run()
 	if !bytes.Equal(got, data) {
@@ -94,7 +94,7 @@ func TestUnwrittenSectorsReadZero(t *testing.T) {
 	e := sim.New()
 	d := mustNew(t, e, "d0", IBM0661())
 	var got []byte
-	e.Spawn("t", func(p *sim.Proc) { got = d.Read(p, 5000, 4, nil) })
+	e.Spawn("t", func(p *sim.Proc) { got, _ = d.Read(p, 5000, 4, nil) })
 	e.Run()
 	for _, b := range got {
 		if b != 0 {

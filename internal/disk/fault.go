@@ -1,0 +1,163 @@
+package disk
+
+import (
+	"fmt"
+	"time"
+
+	"raidii/internal/fault"
+	"raidii/internal/sim"
+)
+
+// This file holds the drive's fault machinery.  Faults are armed by the
+// fault plan (or directly by tests) and surface as errors from Read and
+// Write; the drive itself never retries — recovery policy lives in the SCSI
+// controller and the RAID layer above it.
+
+// mediumRetryRevs is how many platter revolutions the drive's firmware
+// spends re-reading a bad sector before reporting an unrecoverable medium
+// error (drives of the era retried on the order of a few revolutions).
+const mediumRetryRevs = 2
+
+// latentRange is a run of unreadable sectors [lo, hi); it activates once
+// the drive has serviced minOps commands (0 = immediately).
+type latentRange struct {
+	lo, hi int64
+	minOps uint64
+}
+
+// faultState is the drive's armed-fault bookkeeping.
+type faultState struct {
+	failed       bool
+	failAfterOps uint64 // fail once ops reaches this count; 0 = disarmed
+	ops          uint64 // commands serviced (admission-counted)
+	latent       []latentRange
+	stallUntil   sim.Time
+}
+
+// Fail kills the drive immediately: every subsequent command returns
+// fault.ErrDiskFailed.
+func (d *Disk) Fail() { d.flt.failed = true }
+
+// FailAfterOps arms a whole-disk failure that fires when the drive has
+// serviced n commands (reads + writes) in total.
+func (d *Disk) FailAfterOps(n uint64) { d.flt.failAfterOps = n }
+
+// Healthy reports whether the drive is still servicing commands.
+func (d *Disk) Healthy() bool { return !d.flt.failed }
+
+// AddLatentError marks sectors [lba, lba+n) unreadable: reads covering any
+// of them position, stream up to the bad sector, then report
+// fault.ErrMedium.  Writing over a bad sector remaps it and clears the
+// error, as real drives do.
+func (d *Disk) AddLatentError(lba int64, n int) {
+	d.addLatent(lba, n, 0)
+}
+
+// AddLatentErrorAfterOps arms the bad range once the drive has serviced
+// minOps commands.
+func (d *Disk) AddLatentErrorAfterOps(minOps uint64, lba int64, n int) {
+	d.addLatent(lba, n, minOps)
+}
+
+func (d *Disk) addLatent(lba int64, n int, minOps uint64) {
+	d.checkRange(lba, n)
+	d.flt.latent = append(d.flt.latent, latentRange{lo: lba, hi: lba + int64(n), minOps: minOps})
+}
+
+// Stall hangs the drive until the given simulated time: it does not accept
+// commands, so the controller's command timeout governs what callers see.
+// The SCSI layer stalls every drive on a string to model a wedged bus.
+func (d *Disk) Stall(until sim.Time) {
+	if until > d.flt.stallUntil {
+		d.flt.stallUntil = until
+	}
+}
+
+// StallRemaining returns how much longer the drive stays unresponsive.
+func (d *Disk) StallRemaining(now sim.Time) time.Duration {
+	if d.flt.stallUntil <= now {
+		return 0
+	}
+	return time.Duration(d.flt.stallUntil - now)
+}
+
+// admit counts a command against the op-triggered faults and reports
+// whether the drive is (now) dead.  Called on every Read/Write before any
+// time is charged.
+func (d *Disk) admit(p *sim.Proc) error {
+	d.flt.ops++
+	if d.flt.failAfterOps > 0 && d.flt.ops >= d.flt.failAfterOps {
+		d.flt.failed = true
+	}
+	if d.flt.failed {
+		// Dead electronics answer selection with an error status almost
+		// immediately; only the command overhead is charged.
+		p.Wait(d.spec.CmdOverhead)
+		return fmt.Errorf("disk %s: %w", d.spec.Name, fault.ErrDiskFailed)
+	}
+	return nil
+}
+
+// firstBad returns the lowest armed-and-active bad sector in [lba, lba+n),
+// if any.
+func (d *Disk) firstBad(lba int64, n int) (int64, bool) {
+	end := lba + int64(n)
+	best, found := int64(0), false
+	for _, r := range d.flt.latent {
+		if r.minOps > d.flt.ops {
+			continue
+		}
+		lo := r.lo
+		if lo < lba {
+			lo = lba
+		}
+		if lo >= end || r.hi <= lba {
+			continue
+		}
+		if !found || lo < best {
+			best, found = lo, true
+		}
+	}
+	return best, found
+}
+
+// clearLatent remaps any bad sectors overlapping [lba, lba+n): a write
+// reallocates them, trimming or splitting the armed ranges.
+func (d *Disk) clearLatent(lba int64, n int) {
+	if len(d.flt.latent) == 0 {
+		return
+	}
+	end := lba + int64(n)
+	keep := d.flt.latent[:0]
+	for _, r := range d.flt.latent {
+		if r.hi <= lba || r.lo >= end {
+			keep = append(keep, r)
+			continue
+		}
+		if r.lo < lba {
+			keep = append(keep, latentRange{lo: r.lo, hi: lba, minOps: r.minOps})
+		}
+		if r.hi > end {
+			keep = append(keep, latentRange{lo: end, hi: r.hi, minOps: r.minOps})
+		}
+	}
+	d.flt.latent = keep
+}
+
+// mediumError charges the deterministic time of a failed read — position,
+// stream up to the bad sector, then the firmware's re-read revolutions —
+// and returns the wrapped medium error.
+func (d *Disk) mediumError(p *sim.Proc, lba, bad int64) error {
+	d.position(p, lba, false)
+	if bad > lba {
+		mt := d.mediaTime(lba, int(bad-lba))
+		d.stats.MediaTime += mt
+		p.Wait(mt)
+	}
+	endRec := p.Span("disk", "media-error")
+	p.Wait(mediumRetryRevs * d.spec.Revolution())
+	endRec()
+	d.curCyl = d.cylOf(bad)
+	d.seqNext = -1 // the interrupted run invalidates read-ahead
+	return fmt.Errorf("disk %s: sector %d: %w", d.spec.Name, bad, fault.ErrMedium)
+}

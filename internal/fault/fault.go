@@ -1,0 +1,177 @@
+// Package fault is the deterministic fault-injection subsystem: a Plan is
+// a scripted set of component failures — whole-disk failures, latent sector
+// errors, SCSI-string stalls, and a file system crash point — each fired at
+// a scheduled simulated time or after an operation count on the target
+// drive.  Arm schedules a plan against a Target (the assembled server)
+// before the simulation starts, so an identical plan on an identical
+// workload produces a byte-identical trace: fault injection is part of the
+// determinism contract, never an exception to it.
+//
+// The package also defines the sentinel errors the storage stack uses to
+// report hardware faults upward: the drive returns them, the SCSI layer
+// retries with deterministic backoff and escalates them, and the RAID layer
+// converts an escalated error into a disk failure and degraded operation.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"raidii/internal/sim"
+)
+
+// Sentinel errors reported by the simulated hardware.  Layers wrap them
+// with fmt.Errorf("...: %w", ...), so callers test with errors.Is.
+var (
+	// ErrDiskFailed is returned for any command to a disk whose
+	// electronics have failed.  Retrying is pointless.
+	ErrDiskFailed = errors.New("fault: disk failed")
+	// ErrMedium is an unrecoverable medium error: the drive positioned and
+	// read, but a sector in the requested range is unreadable.  Persistent
+	// until the sector is rewritten (the drive remaps it).
+	ErrMedium = errors.New("fault: unrecoverable medium error")
+	// ErrTimeout is a command timeout: the device did not respond within
+	// the controller's command timeout.
+	ErrTimeout = errors.New("fault: command timed out")
+)
+
+// Kind selects what a fault event breaks.
+type Kind int
+
+const (
+	// DiskFail kills a whole drive: every subsequent command returns
+	// ErrDiskFailed.
+	DiskFail Kind = iota
+	// LatentSector marks a sector range unreadable: reads covering it
+	// return ErrMedium until the range is rewritten.
+	LatentSector
+	// StringStall hangs every drive on the target disk's SCSI string for
+	// the event's Stall duration; commands issued meanwhile time out at the
+	// controller.
+	StringStall
+	// FSCrash crashes the file system on the target board (volatile state
+	// is lost), for recovery testing.
+	FSCrash
+)
+
+// String names the kind for trace labels and error messages.
+func (k Kind) String() string {
+	switch k {
+	case DiskFail:
+		return "disk-fail"
+	case LatentSector:
+		return "latent-sector"
+	case StringStall:
+		return "string-stall"
+	case FSCrash:
+		return "fs-crash"
+	}
+	return fmt.Sprintf("fault-kind-%d", int(k))
+}
+
+// Event is one scheduled fault.  Exactly one trigger applies: At (simulated
+// time from the start of the run) or AfterOps (total commands the target
+// drive has serviced); AfterOps takes effect when nonzero and is only
+// meaningful for DiskFail and LatentSector.
+type Event struct {
+	Kind  Kind
+	At    time.Duration // simulated-time trigger
+	After uint64        // operation-count trigger on the target drive (alternative to At)
+
+	Board int // XBUS board index
+	Disk  int // device index within the board's array
+
+	LBA     int64 // LatentSector: first bad sector
+	Sectors int   // LatentSector: extent of the bad range
+
+	Stall time.Duration // StringStall: how long the string hangs
+}
+
+// Plan is an ordered fault script.  The zero value is an empty plan;
+// builder methods return extended copies, so plans compose by chaining:
+//
+//	fault.Plan{}.DiskFailAt(2*time.Second, 0, 3).LatentSector(0, 5, 4096, 8)
+type Plan struct {
+	Events []Event
+}
+
+// DiskFailAt kills board b's device d at simulated time at.
+func (pl Plan) DiskFailAt(at time.Duration, b, d int) Plan {
+	pl.Events = append(pl.Events, Event{Kind: DiskFail, At: at, Board: b, Disk: d})
+	return pl
+}
+
+// DiskFailAfterOps kills board b's device d once the drive has serviced n
+// commands.
+func (pl Plan) DiskFailAfterOps(n uint64, b, d int) Plan {
+	pl.Events = append(pl.Events, Event{Kind: DiskFail, After: n, Board: b, Disk: d})
+	return pl
+}
+
+// LatentSector marks sectors [lba, lba+n) of board b's device d unreadable
+// from the start of the run.
+func (pl Plan) LatentSector(b, d int, lba int64, n int) Plan {
+	pl.Events = append(pl.Events, Event{Kind: LatentSector, Board: b, Disk: d, LBA: lba, Sectors: n})
+	return pl
+}
+
+// LatentSectorAfterOps arms the bad range once the drive has serviced n
+// commands.
+func (pl Plan) LatentSectorAfterOps(n uint64, b, d int, lba int64, secs int) Plan {
+	pl.Events = append(pl.Events, Event{Kind: LatentSector, After: n, Board: b, Disk: d, LBA: lba, Sectors: secs})
+	return pl
+}
+
+// StringStallAt hangs the SCSI string holding board b's device d for stall,
+// starting at simulated time at.
+func (pl Plan) StringStallAt(at time.Duration, b, d int, stall time.Duration) Plan {
+	pl.Events = append(pl.Events, Event{Kind: StringStall, At: at, Board: b, Disk: d, Stall: stall})
+	return pl
+}
+
+// FSCrashAt crashes board b's file system at simulated time at.
+func (pl Plan) FSCrashAt(at time.Duration, b int) Plan {
+	pl.Events = append(pl.Events, Event{Kind: FSCrash, At: at, Board: b})
+	return pl
+}
+
+// Empty reports whether the plan schedules nothing.
+func (pl Plan) Empty() bool { return len(pl.Events) == 0 }
+
+// Target is the system a plan is armed against.  Check validates an event
+// before the simulation starts (unknown board, device out of range, ...);
+// Inject performs it.  For time-triggered events Inject runs inside a
+// simulated process at the scheduled instant; for operation-count triggers
+// it runs at arm time with p == nil and the target defers the fault to the
+// drive's own op counter.
+type Target interface {
+	Check(ev Event) error
+	Inject(p *sim.Proc, ev Event)
+}
+
+// Arm validates every event of the plan against tgt and schedules it on the
+// engine.  Time-triggered events spawn one process each (named
+// "fault:<kind>") that fires at the scheduled simulated time; op-count
+// events are handed to the target immediately.  Arm must be called before
+// the simulation runs past the earliest event time.
+func Arm(e *sim.Engine, pl Plan, tgt Target) error {
+	for i, ev := range pl.Events {
+		if err := tgt.Check(ev); err != nil {
+			return fmt.Errorf("fault: event %d (%v): %w", i, ev.Kind, err)
+		}
+	}
+	for _, ev := range pl.Events {
+		ev := ev
+		if ev.After > 0 {
+			tgt.Inject(nil, ev)
+			continue
+		}
+		e.At(sim.Time(ev.At), "fault:"+ev.Kind.String(), func(p *sim.Proc) {
+			end := p.Span("fault", ev.Kind.String())
+			tgt.Inject(p, ev)
+			end()
+		})
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"raidii/internal/sim"
+)
+
+// recTarget records injections and optionally rejects validation.
+type recTarget struct {
+	rejected error
+	checked  []Event
+	injected []Event
+	times    []sim.Time
+}
+
+func (r *recTarget) Check(ev Event) error {
+	r.checked = append(r.checked, ev)
+	return r.rejected
+}
+
+func (r *recTarget) Inject(p *sim.Proc, ev Event) {
+	r.injected = append(r.injected, ev)
+	if p != nil {
+		r.times = append(r.times, p.Now())
+	} else {
+		r.times = append(r.times, -1)
+	}
+}
+
+func TestPlanBuilders(t *testing.T) {
+	pl := Plan{}.
+		DiskFailAt(time.Second, 0, 3).
+		DiskFailAfterOps(40, 1, 2).
+		LatentSector(0, 5, 4096, 8).
+		LatentSectorAfterOps(7, 0, 6, 100, 1).
+		StringStallAt(2*time.Second, 0, 0, 300*time.Millisecond).
+		FSCrashAt(3*time.Second, 0)
+	if len(pl.Events) != 6 {
+		t.Fatalf("events = %d, want 6", len(pl.Events))
+	}
+	want := []Kind{DiskFail, DiskFail, LatentSector, LatentSector, StringStall, FSCrash}
+	for i, ev := range pl.Events {
+		if ev.Kind != want[i] {
+			t.Fatalf("event %d kind = %v, want %v", i, ev.Kind, want[i])
+		}
+	}
+	if pl.Empty() {
+		t.Fatal("non-empty plan reported Empty")
+	}
+	if !(Plan{}).Empty() {
+		t.Fatal("zero plan not Empty")
+	}
+	// Value-receiver builders must not mutate the original.
+	base := Plan{}.DiskFailAt(time.Second, 0, 0)
+	_ = base.FSCrashAt(2*time.Second, 0)
+	if len(base.Events) != 1 {
+		t.Fatal("builder mutated its receiver")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		DiskFail:     "disk-fail",
+		LatentSector: "latent-sector",
+		StringStall:  "string-stall",
+		FSCrash:      "fs-crash",
+		Kind(99):     "fault-kind-99",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestArmValidatesBeforeScheduling(t *testing.T) {
+	e := sim.New()
+	tgt := &recTarget{rejected: errors.New("bad board")}
+	pl := Plan{}.DiskFailAt(time.Second, 9, 9)
+	if err := Arm(e, pl, tgt); err == nil {
+		t.Fatal("Arm accepted a rejected event")
+	}
+	if len(tgt.injected) != 0 {
+		t.Fatal("rejected plan still injected")
+	}
+}
+
+func TestArmSchedulesAtSimulatedTimes(t *testing.T) {
+	e := sim.New()
+	tgt := &recTarget{}
+	pl := Plan{}.
+		DiskFailAfterOps(10, 0, 1). // op-count: injected at arm time
+		DiskFailAt(2*time.Second, 0, 0).
+		FSCrashAt(time.Second, 0)
+	if err := Arm(e, pl, tgt); err != nil {
+		t.Fatal(err)
+	}
+	if len(tgt.injected) != 1 || tgt.injected[0].After != 10 {
+		t.Fatalf("op-count event not injected at arm time: %+v", tgt.injected)
+	}
+	e.Run()
+	if len(tgt.injected) != 3 {
+		t.Fatalf("injected %d events, want 3", len(tgt.injected))
+	}
+	// Time-triggered events fire at their scheduled instants.
+	byKind := map[Kind]sim.Time{}
+	for i, ev := range tgt.injected {
+		byKind[ev.Kind] = tgt.times[i]
+	}
+	if byKind[FSCrash] != sim.Time(time.Second) {
+		t.Fatalf("fs-crash fired at %v, want 1s", byKind[FSCrash])
+	}
+	if got := tgt.times[len(tgt.times)-1]; got != sim.Time(2*time.Second) {
+		t.Fatalf("last event fired at %v, want 2s", got)
+	}
+}

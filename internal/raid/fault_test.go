@@ -1,0 +1,193 @@
+package raid
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"raidii/internal/fault"
+	"raidii/internal/sim"
+)
+
+// TestMemDevFaultInjection checks the test device's own fault surface.
+func TestMemDevFaultInjection(t *testing.T) {
+	e := sim.New()
+	m := NewMemDev(64, tSec)
+	runProc(e, func(p *sim.Proc) {
+		if _, err := m.Read(p, 0, 4); err != nil {
+			t.Fatalf("healthy read: %v", err)
+		}
+		m.AddLatentError(2, 2)
+		if _, err := m.Read(p, 0, 4); !errors.Is(err, fault.ErrMedium) {
+			t.Fatalf("read over bad sectors = %v, want ErrMedium", err)
+		}
+		// A write over the range remaps it.
+		if err := m.Write(p, 0, make([]byte, 4*tSec)); err != nil {
+			t.Fatalf("remapping write: %v", err)
+		}
+		if _, err := m.Read(p, 0, 4); err != nil {
+			t.Fatalf("read after remap: %v", err)
+		}
+		m.Fail()
+		if _, err := m.Read(p, 0, 1); !errors.Is(err, fault.ErrDiskFailed) {
+			t.Fatalf("read from failed dev = %v, want ErrDiskFailed", err)
+		}
+		if err := m.Write(p, 0, make([]byte, tSec)); !errors.Is(err, fault.ErrDiskFailed) {
+			t.Fatalf("write to failed dev = %v, want ErrDiskFailed", err)
+		}
+	})
+}
+
+// TestReadEscalatesDeviceErrorToDegraded: a device error during a read must
+// mark the disk failed, serve the data over the degraded path, and count
+// the escalation — all without the caller seeing anything but correct bytes.
+func TestReadEscalatesDeviceErrorToDegraded(t *testing.T) {
+	e := sim.New()
+	a, mems := newArray(t, e, 5, Level5)
+	data := patterned(40*tSec, 5)
+	runProc(e, func(p *sim.Proc) {
+		a.Write(p, 0, data)
+		mems[1].Fail()
+		got := a.Read(p, 0, 40)
+		if !bytes.Equal(got, data) {
+			t.Fatal("read through escalated failure returned wrong bytes")
+		}
+	})
+	if !a.Failed(1) {
+		t.Fatal("device error did not escalate to a disk failure")
+	}
+	st := a.Stats()
+	if st.DeviceErrors == 0 || st.DiskFailures != 1 {
+		t.Fatalf("stats = %+v, want DeviceErrors>0 and DiskFailures=1", st)
+	}
+	if st.DegradedReads == 0 {
+		t.Fatal("escalated read did not go through the degraded path")
+	}
+}
+
+// TestWriteSurvivesEscalation: a disk that dies mid-write leaves the stripe
+// reconstructable — parity reflects the new data, so the lost column reads
+// back correctly through reconstruction.
+func TestWriteSurvivesEscalation(t *testing.T) {
+	e := sim.New()
+	a, mems := newArray(t, e, 5, Level5)
+	base := patterned(40*tSec, 1)
+	update := patterned(40*tSec, 9)
+	runProc(e, func(p *sim.Proc) {
+		a.Write(p, 0, base)
+		mems[2].Fail()
+		a.Write(p, 0, update)
+		got := a.Read(p, 0, 40)
+		if !bytes.Equal(got, update) {
+			t.Fatal("data written during escalation did not read back")
+		}
+	})
+	if !a.Failed(2) {
+		t.Fatal("write-path device error did not escalate")
+	}
+}
+
+// TestLatentErrorEscalatesAndReconstructs: a latent sector error (not a
+// whole-disk failure) still escalates after the device reports it, and the
+// original bytes come back via parity.
+func TestLatentErrorEscalatesAndReconstructs(t *testing.T) {
+	e := sim.New()
+	a, mems := newArray(t, e, 5, Level5)
+	data := patterned(40*tSec, 2)
+	runProc(e, func(p *sim.Proc) {
+		a.Write(p, 0, data)
+		// Poison one sector on device 0's copy of the data.
+		mems[0].AddLatentError(1, 1)
+		got := a.Read(p, 0, 40)
+		if !bytes.Equal(got, data) {
+			t.Fatal("latent-error read returned wrong bytes")
+		}
+	})
+	if !a.Failed(0) {
+		t.Fatal("latent error did not escalate to a disk failure")
+	}
+}
+
+// TestLevel0ErrorReadsZeros: with no redundancy the failed extent reads as
+// zeros and the array does not flip to a degraded mode it cannot serve.
+func TestLevel0ErrorReadsZeros(t *testing.T) {
+	e := sim.New()
+	a, mems := newArray(t, e, 4, Level0)
+	data := patterned(16*tSec, 3)
+	runProc(e, func(p *sim.Proc) {
+		a.Write(p, 0, data)
+		mems[0].Fail()
+		got := a.Read(p, 0, 16)
+		if len(got) != len(data) {
+			t.Fatal("short read")
+		}
+	})
+	if a.Failed(0) {
+		t.Fatal("Level 0 must not mark disks failed (no degraded mode exists)")
+	}
+	if a.Stats().DeviceErrors == 0 {
+		t.Fatal("device error not counted")
+	}
+}
+
+// TestReplaceDiskBackgroundRebuild: ReplaceDisk runs Reconstruct in the
+// background, the handle reports completion, and the array is healthy with
+// correct contents afterwards.
+func TestReplaceDiskBackgroundRebuild(t *testing.T) {
+	e := sim.New()
+	a, _ := newArray(t, e, 5, Level5)
+	data := patterned(200*tSec, 7)
+	runProc(e, func(p *sim.Proc) {
+		a.Write(p, 0, data)
+		if err := a.FailDisk(1); err != nil {
+			t.Fatal(err)
+		}
+		spare := NewMemDev(256, tSec)
+		rb, err := a.ReplaceDisk(1, spare)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rb.Done() {
+			t.Fatal("rebuild reported done before running")
+		}
+		stripes, err := rb.Wait(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stripes == 0 {
+			t.Fatal("no stripes rebuilt")
+		}
+		if !rb.Done() {
+			t.Fatal("handle not done after Wait")
+		}
+		got := a.Read(p, 0, 200)
+		if !bytes.Equal(got, data) {
+			t.Fatal("rebuilt array returned wrong bytes")
+		}
+	})
+	if a.Failed(1) {
+		t.Fatal("disk still failed after rebuild")
+	}
+	if a.Stats().RebuildStripes == 0 {
+		t.Fatal("rebuilt stripes not counted")
+	}
+}
+
+// TestReplaceDiskValidation mirrors Reconstruct's precondition checks.
+func TestReplaceDiskValidation(t *testing.T) {
+	e := sim.New()
+	a, _ := newArray(t, e, 5, Level5)
+	spare := NewMemDev(256, tSec)
+	if _, err := a.ReplaceDisk(1, spare); err == nil {
+		t.Fatal("ReplaceDisk accepted a healthy device")
+	}
+	if _, err := a.ReplaceDisk(99, spare); err == nil {
+		t.Fatal("ReplaceDisk accepted an out-of-range device")
+	}
+	if err := a.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReplaceDisk(1, NewMemDev(1, tSec)); err == nil {
+		t.Fatal("ReplaceDisk accepted an undersized spare")
+	}
+}

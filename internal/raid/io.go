@@ -31,23 +31,33 @@ func (a *Array) Read(p *sim.Proc, lba int64, n int) []byte {
 	return buf
 }
 
-// readExtent reads one run within a single stripe unit.
+// readExtent reads one run within a single stripe unit.  A device error
+// escalates (the disk is marked failed) and the extent is served over the
+// degraded path instead, so the caller still gets correct bytes.
 func (a *Array) readExtent(p *sim.Proc, ext extent) []byte {
 	devIdx, base := a.loc(ext.stripe, ext.pos)
 	physLBA := base + int64(ext.secOff)
 	if !a.failed[devIdx] {
-		a.stats.DiskReads++
-		return a.devs[devIdx].Read(p, physLBA, ext.secs)
+		if data, ok := a.devRead(p, devIdx, physLBA, ext.secs); ok {
+			return data
+		}
+		if a.cfg.Level == Level0 {
+			// No redundancy: the sectors are lost and read as zeros.
+			return make([]byte, ext.secs*a.secSize)
+		}
 	}
 	switch a.cfg.Level {
 	case Level1:
 		a.stats.DegradedReads++
-		a.stats.DiskReads++
-		return a.devs[devIdx+1].Read(p, physLBA, ext.secs) // mirror copy
+		if data, ok := a.devRead(p, devIdx+1, physLBA, ext.secs); ok { // mirror copy
+			return data
+		}
+		//lint:allow simpanic data loss: both members of the mirror pair are gone, matching the paper's fault model
+		panic("raid: double failure is unrecoverable at this level")
 	case Level3, Level5:
 		return a.reconstructRange(p, ext.stripe, devIdx, int64(ext.secOff), ext.secs)
 	}
-	//lint:allow simpanic unreachable: FailDisk refuses to mark failures at Level 0
+	//lint:allow simpanic unreachable: Level 0 errors are handled above and FailDisk refuses Level 0
 	panic("raid: read from failed device at redundancy-free level")
 }
 
@@ -74,8 +84,12 @@ func (a *Array) reconstructRange(p *sim.Proc, stripe int64, devIdx int, secOff i
 		idx := len(cols)
 		cols = append(cols, nil)
 		g.Go("raid-reconstruct", func(q *sim.Proc) {
-			a.stats.DiskReads++
-			cols[idx] = a.devs[i].Read(q, phys, secs)
+			data, ok := a.devRead(q, i, phys, secs)
+			if !ok {
+				//lint:allow simpanic data loss: single-parity arrays cannot reconstruct through two failures, matching the paper's fault model
+				panic("raid: double failure is unrecoverable at this level")
+			}
+			cols[idx] = data
 		})
 	}
 	g.Wait(p)
@@ -156,8 +170,7 @@ func (a *Array) writeStripe(p *sim.Proc, stripe int64, exts []extent, data []byt
 					continue
 				}
 				g.Go("w", func(q *sim.Proc) {
-					a.stats.DiskWrites++
-					a.devs[d].Write(q, phys, chunk)
+					a.devWrite(q, d, phys, chunk)
 				})
 			}
 		}
@@ -182,8 +195,7 @@ func (a *Array) writeExtentRaw(p *sim.Proc, ext extent, data []byte) {
 	if a.failed[devIdx] {
 		return // lost: level 0 has no redundancy
 	}
-	a.stats.DiskWrites++
-	a.devs[devIdx].Write(p, phys, chunk)
+	a.devWrite(p, devIdx, phys, chunk)
 }
 
 // writeFullStripe computes parity from the new data alone and writes all
@@ -209,8 +221,7 @@ func (a *Array) writeFullStripe(p *sim.Proc, stripe int64, exts []extent, data [
 		}
 		devIdx, base, col := devIdx, base, col
 		g.Go("w", func(q *sim.Proc) {
-			a.stats.DiskWrites++
-			a.devs[devIdx].Write(q, base, col)
+			a.devWrite(q, devIdx, base, col)
 		})
 	}
 	g.Go("wp", func(q *sim.Proc) {
@@ -218,8 +229,7 @@ func (a *Array) writeFullStripe(p *sim.Proc, stripe int64, exts []extent, data [
 		if a.failed[pdev] {
 			return
 		}
-		a.stats.DiskWrites++
-		a.devs[pdev].Write(q, pbase, parity)
+		a.devWrite(q, pdev, pbase, parity)
 	})
 	g.Wait(p)
 }
@@ -250,11 +260,24 @@ func (a *Array) writeReconstructStripe(p *sim.Proc, stripe int64, exts []extent,
 		pos := pos
 		devIdx, base := a.loc(stripe, pos)
 		rg.Go("rw-read", func(q *sim.Proc) {
-			a.stats.DiskReads++
-			cols[pos] = a.devs[devIdx].Read(q, base, a.unitSecs)
+			if data, ok := a.devRead(q, devIdx, base, a.unitSecs); ok {
+				cols[pos] = data
+			}
 		})
 	}
 	rg.Wait(p)
+	// A column whose read failed escalated to a disk failure mid-write;
+	// rebuild its old contents from the surviving columns so the new parity
+	// stays correct for the sectors this request does not touch.
+	for pos := 0; pos < nd; pos++ {
+		if full[pos] || cols[pos] != nil {
+			continue
+		}
+		devIdx, _ := a.loc(stripe, pos)
+		if a.failed[devIdx] {
+			cols[pos] = a.reconstructRange(p, stripe, devIdx, 0, a.unitSecs)
+		}
+	}
 	// Overlay the new data.
 	for _, ext := range exts {
 		chunk := data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
@@ -281,14 +304,12 @@ func (a *Array) writeReconstructStripe(p *sim.Proc, stripe int64, exts []extent,
 		}
 		chunk := data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
 		wg.Go("rw-write", func(q *sim.Proc) {
-			a.stats.DiskWrites++
-			a.devs[devIdx].Write(q, base+int64(ext.secOff), chunk)
+			a.devWrite(q, devIdx, base+int64(ext.secOff), chunk)
 		})
 	}
 	if !a.failed[pdev] {
 		wg.Go("rw-parity", func(q *sim.Proc) {
-			a.stats.DiskWrites++
-			a.devs[pdev].Write(q, pbase, parity)
+			a.devWrite(q, pdev, pbase, parity)
 		})
 	}
 	wg.Wait(p)
@@ -336,18 +357,23 @@ func (a *Array) writeRMWBatched(p *sim.Proc, stripe int64, exts []extent, data [
 			continue
 		}
 		rg.Go("rmw-rd", func(q *sim.Proc) {
-			a.stats.DiskReads++
-			oldD[i] = a.devs[devIdx].Read(q, base+int64(ext.secOff), ext.secs)
+			if data, ok := a.devRead(q, devIdx, base+int64(ext.secOff), ext.secs); ok {
+				oldD[i] = data
+			}
 		})
 	}
 	parityLost := a.failed[pdev]
 	if !parityLost {
 		rg.Go("rmw-rp", func(q *sim.Proc) {
-			a.stats.DiskReads++
-			oldP = a.devs[pdev].Read(q, pbase+int64(lo), hi-lo)
+			if data, ok := a.devRead(q, pdev, pbase+int64(lo), hi-lo); ok {
+				oldP = data
+			}
 		})
 	}
 	rg.Wait(p)
+	// A read that failed mid-flight escalated its disk; the a.failed checks
+	// below then route that column through reconstruction.
+	parityLost = parityLost || oldP == nil
 
 	// Fold every extent's delta into the parity union buffer.
 	if !parityLost {
@@ -376,14 +402,12 @@ func (a *Array) writeRMWBatched(p *sim.Proc, stripe int64, exts []extent, data [
 		}
 		newD := data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
 		wg.Go("rmw-wd", func(q *sim.Proc) {
-			a.stats.DiskWrites++
-			a.devs[devIdx].Write(q, base+int64(ext.secOff), newD)
+			a.devWrite(q, devIdx, base+int64(ext.secOff), newD)
 		})
 	}
 	if !parityLost {
 		wg.Go("rmw-wp", func(q *sim.Proc) {
-			a.stats.DiskWrites++
-			a.devs[pdev].Write(q, pbase+int64(lo), oldP)
+			a.devWrite(q, pdev, pbase+int64(lo), oldP)
 		})
 	}
 	wg.Wait(p)
@@ -434,8 +458,14 @@ func (a *Array) Reconstruct(p *sim.Proc, devIdx int, spare Dev) (int64, error) {
 			case Level1:
 				// The surviving member of the pair holds the data.
 				peer := devIdx ^ 1
-				a.stats.DiskReads++
-				content = a.devs[peer].Read(q, s*int64(a.unitSecs), a.unitSecs)
+				data, ok := a.devRead(q, peer, s*int64(a.unitSecs), a.unitSecs)
+				if !ok {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("raid: rebuild source device %d failed", peer)
+					}
+					return
+				}
+				content = data
 			case Level3, Level5:
 				content = a.reconstructRange(q, s, devIdx, 0, a.unitSecs)
 			default:
@@ -445,7 +475,13 @@ func (a *Array) Reconstruct(p *sim.Proc, devIdx int, spare Dev) (int64, error) {
 				return
 			}
 			a.stats.DiskWrites++
-			spare.Write(q, s*int64(a.unitSecs), content)
+			if err := spare.Write(q, s*int64(a.unitSecs), content); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("raid: rebuild write to spare: %w", err)
+				}
+				return
+			}
+			a.stats.RebuildStripes++
 		})
 	}
 	g.Wait(p)
@@ -455,6 +491,51 @@ func (a *Array) Reconstruct(p *sim.Proc, devIdx int, spare Dev) (int64, error) {
 	a.devs[devIdx] = spare
 	a.RepairDisk(devIdx)
 	return a.stripes, nil
+}
+
+// Rebuild is a handle on a background hot rebuild started by ReplaceDisk.
+type Rebuild struct {
+	done    *sim.Event
+	stripes int64
+	err     error
+}
+
+// Done reports whether the rebuild has finished.
+func (r *Rebuild) Done() bool { return r.done.Fired() }
+
+// Wait blocks the calling proc until the rebuild finishes and returns the
+// number of stripes rebuilt.
+func (r *Rebuild) Wait(p *sim.Proc) (int64, error) {
+	r.done.Wait(p)
+	return r.stripes, r.err
+}
+
+// ReplaceDisk starts rebuilding failed device devIdx onto spare in the
+// background and returns immediately with a handle.  The rebuild contends
+// with foreground traffic for the surviving disks and whatever buses the
+// spare shares with them, which is exactly the bandwidth interference the
+// rebuild-under-load experiment measures.
+func (a *Array) ReplaceDisk(devIdx int, spare Dev) (*Rebuild, error) {
+	if devIdx < 0 || devIdx >= len(a.devs) {
+		return nil, fmt.Errorf("raid: no device %d", devIdx)
+	}
+	if !a.failed[devIdx] {
+		return nil, fmt.Errorf("raid: device %d is not failed", devIdx)
+	}
+	if spare.Sectors() < a.stripes*int64(a.unitSecs) || spare.SectorSize() != a.secSize {
+		return nil, fmt.Errorf("raid: spare geometry mismatch")
+	}
+	if a.cfg.Level == Level0 {
+		return nil, fmt.Errorf("raid: cannot reconstruct at %v", a.cfg.Level)
+	}
+	rb := &Rebuild{done: sim.NewEvent(a.eng)}
+	a.eng.Spawn("hot-rebuild", func(p *sim.Proc) {
+		end := p.Span("fault", "hot-rebuild")
+		rb.stripes, rb.err = a.Reconstruct(p, devIdx, spare)
+		end()
+		rb.done.Signal()
+	})
+	return rb, nil
 }
 
 // CheckParity scans every stripe and verifies that parity equals the XOR of
@@ -467,13 +548,27 @@ func (a *Array) CheckParity(p *sim.Proc) int64 {
 	var bad int64
 	for s := int64(0); s < a.stripes; s++ {
 		cols := make([][]byte, a.dataDisks())
+		readErr := false
 		for pos := range cols {
 			devIdx, base := a.loc(s, pos)
-			cols[pos] = a.devs[devIdx].Read(p, base, a.unitSecs)
+			data, err := a.devs[devIdx].Read(p, base, a.unitSecs)
+			if err != nil {
+				readErr = true
+				break
+			}
+			cols[pos] = data
+		}
+		if readErr {
+			bad++
+			continue
 		}
 		want := a.xor.XOR(p, cols...)
 		pdev, pbase := a.parityLoc(s)
-		got := a.devs[pdev].Read(p, pbase, a.unitSecs)
+		got, err := a.devs[pdev].Read(p, pbase, a.unitSecs)
+		if err != nil {
+			bad++
+			continue
+		}
 		for i := range want {
 			if want[i] != got[i] {
 				bad++
@@ -542,8 +637,7 @@ func (a *Array) streamStripe(p *sim.Proc, stripe int64, exts []extent, data []by
 		}
 		chunk := data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
 		g.Go("stream-w", func(q *sim.Proc) {
-			a.stats.DiskWrites++
-			a.devs[devIdx].Write(q, base+int64(ext.secOff), chunk)
+			a.devWrite(q, devIdx, base+int64(ext.secOff), chunk)
 		})
 	}
 	// Parity over the written columns' union range, in parallel with the
@@ -562,8 +656,7 @@ func (a *Array) streamStripe(p *sim.Proc, stripe int64, exts []extent, data []by
 		if a.failed[pdev] {
 			return
 		}
-		a.stats.DiskWrites++
-		a.devs[pdev].Write(q, pbase+int64(lo), parity)
+		a.devWrite(q, pdev, pbase+int64(lo), parity)
 	})
 	g.Wait(p)
 }

@@ -1,6 +1,11 @@
 package raid
 
-import "raidii/internal/sim"
+import (
+	"fmt"
+
+	"raidii/internal/fault"
+	"raidii/internal/sim"
+)
 
 // MemDev is a functional block device that charges no simulated time: the
 // workhorse for correctness tests of the array and file system logic, and
@@ -9,7 +14,13 @@ type MemDev struct {
 	secSize int
 	sectors int64
 	data    []byte
+	failed  bool
+	latent  []memLatent
 }
+
+// memLatent is a run of unreadable sectors [lo, hi), for tests of the
+// medium-error escalation path.
+type memLatent struct{ lo, hi int64 }
 
 // NewMemDev creates a zero-filled in-memory device.
 func NewMemDev(sectors int64, secSize int) *MemDev {
@@ -17,19 +28,34 @@ func NewMemDev(sectors int64, secSize int) *MemDev {
 }
 
 // Read returns a copy of the requested sectors.
-func (m *MemDev) Read(_ *sim.Proc, lba int64, n int) []byte {
+func (m *MemDev) Read(_ *sim.Proc, lba int64, n int) ([]byte, error) {
+	if m.failed {
+		return nil, fmt.Errorf("memdev: %w", fault.ErrDiskFailed)
+	}
+	end := lba + int64(n)
+	for _, r := range m.latent {
+		if r.lo < end && r.hi > lba {
+			return nil, fmt.Errorf("memdev: sector %d: %w", r.lo, fault.ErrMedium)
+		}
+	}
 	out := make([]byte, n*m.secSize)
 	copy(out, m.data[lba*int64(m.secSize):])
-	return out
+	return out, nil
 }
 
-// Write stores data at lba.
-func (m *MemDev) Write(_ *sim.Proc, lba int64, data []byte) {
+// Write stores data at lba.  Writing over a bad sector remaps it and clears
+// the latent error, mirroring the real drive's behavior.
+func (m *MemDev) Write(_ *sim.Proc, lba int64, data []byte) error {
 	if len(data)%m.secSize != 0 {
 		//lint:allow simpanic misaligned buffer is caller corruption; mirrors the real disk path's contract
 		panic("raid: memdev write not sector aligned")
 	}
+	if m.failed {
+		return fmt.Errorf("memdev: %w", fault.ErrDiskFailed)
+	}
+	m.clearLatent(lba, int64(len(data)/m.secSize))
 	copy(m.data[lba*int64(m.secSize):], data)
+	return nil
 }
 
 // Sectors returns the device size in sectors.
@@ -40,3 +66,32 @@ func (m *MemDev) SectorSize() int { return m.secSize }
 
 // Corrupt flips a byte, for failure-injection tests.
 func (m *MemDev) Corrupt(off int64) { m.data[off] ^= 0xff }
+
+// Fail makes every subsequent command return fault.ErrDiskFailed.
+func (m *MemDev) Fail() { m.failed = true }
+
+// AddLatentError marks sectors [lba, lba+n) unreadable until overwritten.
+func (m *MemDev) AddLatentError(lba int64, n int) {
+	m.latent = append(m.latent, memLatent{lo: lba, hi: lba + int64(n)})
+}
+
+func (m *MemDev) clearLatent(lba, n int64) {
+	if len(m.latent) == 0 {
+		return
+	}
+	end := lba + n
+	keep := m.latent[:0]
+	for _, r := range m.latent {
+		if r.hi <= lba || r.lo >= end {
+			keep = append(keep, r)
+			continue
+		}
+		if r.lo < lba {
+			keep = append(keep, memLatent{lo: r.lo, hi: lba})
+		}
+		if r.hi > end {
+			keep = append(keep, memLatent{lo: end, hi: r.hi})
+		}
+	}
+	m.latent = keep
+}

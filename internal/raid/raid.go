@@ -17,10 +17,13 @@ import (
 )
 
 // Dev is a block device the array stripes over: a disk behind its SCSI
-// string and VME path, or an in-memory device in tests.
+// string and VME path, or an in-memory device in tests.  An error is what
+// remains after the device's own recovery (the SCSI layer's retries): the
+// array escalates it by marking the device failed and flipping to degraded
+// operation.
 type Dev interface {
-	Read(p *sim.Proc, lba int64, n int) []byte
-	Write(p *sim.Proc, lba int64, data []byte)
+	Read(p *sim.Proc, lba int64, n int) ([]byte, error)
+	Write(p *sim.Proc, lba int64, data []byte) error
 	Sectors() int64
 	SectorSize() int
 }
@@ -109,7 +112,8 @@ type Array struct {
 	stats Stats
 }
 
-// Stats counts array-level operations.
+// Stats counts array-level operations, including the fault events the
+// injection subsystem produces.
 type Stats struct {
 	Reads             uint64
 	Writes            uint64
@@ -120,6 +124,9 @@ type Stats struct {
 	DegradedReads     uint64
 	DiskReads         uint64 // physical accesses issued
 	DiskWrites        uint64
+	DeviceErrors      uint64 // errors devices returned after controller retries
+	DiskFailures      uint64 // escalations that marked a device failed
+	RebuildStripes    uint64 // stripes rebuilt onto spares
 }
 
 // New builds an array over devs.  All devices must have identical geometry.
@@ -224,6 +231,48 @@ func (a *Array) FailDisk(i int) error {
 
 // RepairDisk clears the failed mark after reconstruction.
 func (a *Array) RepairDisk(i int) { delete(a.failed, i) }
+
+// escalate handles an error a device returned after the controller's
+// retries were exhausted: the device is marked failed and every later
+// access takes the degraded path.  At Level 0 there is no redundancy to
+// flip to, so the error only counts as lost data.  The zero-length "fault"
+// span records the escalation instant in the trace.
+func (a *Array) escalate(p *sim.Proc, i int, err error) {
+	a.stats.DeviceErrors++
+	if a.failed[i] || a.cfg.Level == Level0 {
+		return
+	}
+	a.failed[i] = true
+	a.stats.DiskFailures++
+	end := p.Span("fault", fmt.Sprintf("escalate:dev%d", i))
+	end()
+	_ = err
+}
+
+// devRead issues a read to device i, escalating any error; ok is false when
+// the data could not be obtained and the caller must reconstruct or give
+// the column up.
+func (a *Array) devRead(p *sim.Proc, i int, lba int64, n int) ([]byte, bool) {
+	a.stats.DiskReads++
+	data, err := a.devs[i].Read(p, lba, n)
+	if err != nil {
+		a.escalate(p, i, err)
+		return nil, false
+	}
+	return data, true
+}
+
+// devWrite issues a write to device i, escalating any error.  A failed
+// write is safe to skip at redundant levels: parity already reflects the
+// new data, so the lost column reconstructs to what the write carried.
+func (a *Array) devWrite(p *sim.Proc, i int, lba int64, data []byte) bool {
+	a.stats.DiskWrites++
+	if err := a.devs[i].Write(p, lba, data); err != nil {
+		a.escalate(p, i, err)
+		return false
+	}
+	return true
+}
 
 // Failed reports whether device i is marked failed.
 func (a *Array) Failed(i int) bool { return a.failed[i] }

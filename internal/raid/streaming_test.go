@@ -82,14 +82,14 @@ type slowDev struct {
 	delay time.Duration
 }
 
-func (s *slowDev) Read(p *sim.Proc, lba int64, n int) []byte {
+func (s *slowDev) Read(p *sim.Proc, lba int64, n int) ([]byte, error) {
 	p.Wait(s.delay)
 	return s.MemDev.Read(p, lba, n)
 }
 
-func (s *slowDev) Write(p *sim.Proc, lba int64, data []byte) {
+func (s *slowDev) Write(p *sim.Proc, lba int64, data []byte) error {
 	p.Wait(s.delay)
-	s.MemDev.Write(p, lba, data)
+	return s.MemDev.Write(p, lba, data)
 }
 
 func TestReconstructPipelinedMatchesSerialContent(t *testing.T) {

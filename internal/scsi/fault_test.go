@@ -1,0 +1,156 @@
+package scsi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"raidii/internal/fault"
+	"raidii/internal/sim"
+)
+
+// TestMediumErrorRetriedThenEscalated: a persistent latent sector error is
+// retried up to the controller's budget (each attempt charging drive time),
+// then surfaced for the array layer.
+func TestMediumErrorRetriedThenEscalated(t *testing.T) {
+	e := sim.New()
+	c := newCtl(e)
+	ad := c.Attach(newDrive(t, e, "d0"), 0)
+	ad.Drive.AddLatentError(10, 2)
+	var err error
+	var healthy, faulty sim.Duration
+	e.Spawn("t", func(p *sim.Proc) {
+		start := p.Now()
+		if _, herr := ad.Read(p, 100, 8, nil); herr != nil {
+			t.Errorf("healthy-range read: %v", herr)
+		}
+		healthy = p.Now().Sub(start)
+		start = p.Now()
+		_, err = ad.Read(p, 8, 8, nil)
+		faulty = p.Now().Sub(start)
+	})
+	e.Run()
+	if !errors.Is(err, fault.ErrMedium) {
+		t.Fatalf("read over bad sector = %v, want ErrMedium", err)
+	}
+	// 1 initial + RetryBudget attempts, each paying the firmware's re-read
+	// revolutions, plus the backoff: far slower than a healthy read.
+	if faulty < 3*healthy {
+		t.Fatalf("faulty read %v not visibly retried (healthy %v)", faulty, healthy)
+	}
+}
+
+// TestWriteOverBadSectorRemaps: the drive remaps on write, so a bad range
+// reads clean after being rewritten.
+func TestWriteOverBadSectorRemaps(t *testing.T) {
+	e := sim.New()
+	c := newCtl(e)
+	ad := c.Attach(newDrive(t, e, "d0"), 0)
+	ad.Drive.AddLatentError(10, 2)
+	var err error
+	e.Spawn("t", func(p *sim.Proc) {
+		if werr := ad.Write(p, 8, make([]byte, 8*512), nil); werr != nil {
+			t.Errorf("remapping write: %v", werr)
+		}
+		_, err = ad.Read(p, 8, 8, nil)
+	})
+	e.Run()
+	if err != nil {
+		t.Fatalf("read after remap: %v", err)
+	}
+}
+
+// TestDeadDriveNotRetried: ErrDiskFailed short-circuits the retry loop.
+func TestDeadDriveNotRetried(t *testing.T) {
+	e := sim.New()
+	c := newCtl(e)
+	ad := c.Attach(newDrive(t, e, "d0"), 0)
+	ad.Drive.Fail()
+	var err error
+	var took sim.Duration
+	e.Spawn("t", func(p *sim.Proc) {
+		start := p.Now()
+		_, err = ad.Read(p, 0, 8, nil)
+		took = p.Now().Sub(start)
+	})
+	e.Run()
+	if !errors.Is(err, fault.ErrDiskFailed) {
+		t.Fatalf("read = %v, want ErrDiskFailed", err)
+	}
+	if took > 10*time.Millisecond {
+		t.Fatalf("dead drive took %v; retries/backoff should be skipped", took)
+	}
+}
+
+// TestFailAfterOps trips the armed op-count failure at the right command.
+func TestFailAfterOps(t *testing.T) {
+	e := sim.New()
+	c := newCtl(e)
+	ad := c.Attach(newDrive(t, e, "d0"), 0)
+	ad.Drive.FailAfterOps(3)
+	errs := make([]error, 4)
+	e.Spawn("t", func(p *sim.Proc) {
+		for i := range errs {
+			_, errs[i] = ad.Read(p, int64(i*64), 8, nil)
+		}
+	})
+	e.Run()
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("early ops failed: %v %v", errs[0], errs[1])
+	}
+	for i := 2; i < 4; i++ {
+		if !errors.Is(errs[i], fault.ErrDiskFailed) {
+			t.Fatalf("op %d = %v, want ErrDiskFailed", i, errs[i])
+		}
+	}
+}
+
+// TestShortStallWaitedThrough: a stall below the command timeout costs
+// exactly the stall, no error.
+func TestShortStallWaitedThrough(t *testing.T) {
+	e := sim.New()
+	c := newCtl(e)
+	ad := c.Attach(newDrive(t, e, "d0"), 0)
+	var base, stalled sim.Duration
+	var err error
+	e.Spawn("t", func(p *sim.Proc) {
+		start := p.Now()
+		if _, berr := ad.Read(p, 0, 8, nil); berr != nil {
+			t.Errorf("baseline read: %v", berr)
+		}
+		base = p.Now().Sub(start)
+		ad.StallString(p.Now().Add(100 * time.Millisecond))
+		start = p.Now()
+		_, err = ad.Read(p, 0, 8, nil)
+		stalled = p.Now().Sub(start)
+	})
+	e.Run()
+	if err != nil {
+		t.Fatalf("stalled read: %v", err)
+	}
+	if extra := stalled - base; extra < 90*time.Millisecond || extra > 120*time.Millisecond {
+		t.Fatalf("stall added %v, want ~100ms", extra)
+	}
+}
+
+// TestLongStallTimesOut: a stall beyond the command timeout surfaces
+// ErrTimeout after retries, each attempt charging the timeout.
+func TestLongStallTimesOut(t *testing.T) {
+	e := sim.New()
+	c := newCtl(e)
+	ad := c.Attach(newDrive(t, e, "d0"), 0)
+	var err error
+	e.Spawn("t", func(p *sim.Proc) {
+		ad.StallString(p.Now().Add(10 * time.Second))
+		_, err = ad.Read(p, 0, 8, nil)
+	})
+	end := e.Run()
+	if !errors.Is(err, fault.ErrTimeout) {
+		t.Fatalf("read into wedged string = %v, want ErrTimeout", err)
+	}
+	// 3 attempts x 500ms timeout + backoffs: well over a second, but far
+	// short of the 10 s stall itself.
+	if el := time.Duration(end); el < 1500*time.Millisecond || el > 3*time.Second {
+		t.Fatalf("timed-out read took %v, want ~1.5-2s", el)
+	}
+}

@@ -8,10 +8,12 @@
 package scsi
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"raidii/internal/disk"
+	"raidii/internal/fault"
 	"raidii/internal/sim"
 )
 
@@ -26,6 +28,18 @@ type Config struct {
 	ControllerMBps float64
 	// CmdOverhead is per-command controller firmware time.
 	CmdOverhead time.Duration
+
+	// RetryBudget is how many times the controller reissues a command that
+	// failed with a retryable error (medium error, timeout) before
+	// escalating it to the array layer.  0 disables retries.
+	RetryBudget int
+	// RetryBackoff is the deterministic delay before retry k (1-based):
+	// k * RetryBackoff.  The linear ramp is what the firmware of the era
+	// did; anything randomized would break trace determinism.
+	RetryBackoff time.Duration
+	// CmdTimeout bounds how long the controller waits for an unresponsive
+	// (stalled) drive before declaring a timeout.  0 means wait forever.
+	CmdTimeout time.Duration
 }
 
 // DefaultConfig returns the paper-calibrated parameters.
@@ -34,6 +48,9 @@ func DefaultConfig() Config {
 		StringMBps:     3.2,
 		ControllerMBps: 8.0,
 		CmdOverhead:    400 * time.Microsecond,
+		RetryBudget:    2,
+		RetryBackoff:   10 * time.Millisecond,
+		CmdTimeout:     500 * time.Millisecond,
 	}
 }
 
@@ -103,25 +120,95 @@ func (ad *Disk) path(upstream sim.Path) sim.Path {
 }
 
 // Read reads n sectors at lba; data flows drive -> string -> controller ->
-// upstream, pipelined per chunk.
-func (ad *Disk) Read(p *sim.Proc, lba int64, n int, upstream sim.Path) []byte {
+// upstream, pipelined per chunk.  Retryable failures (medium errors,
+// timeouts on a stalled string) are reissued up to the controller's retry
+// budget with deterministic linear backoff; what still fails after that is
+// returned for the array layer to escalate.
+func (ad *Disk) Read(p *sim.Proc, lba int64, n int, upstream sim.Path) ([]byte, error) {
 	end := p.Span("scsi", "read")
 	defer end()
-	ad.ctl.cmd.Use(p, ad.ctl.cfg.CmdOverhead)
-	return ad.Drive.Read(p, lba, n, ad.path(upstream))
+	var data []byte
+	err := ad.issue(p, func(q *sim.Proc) error {
+		var derr error
+		data, derr = ad.Drive.Read(q, lba, n, ad.path(upstream))
+		return derr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
 }
 
 // Write writes data at lba; data flows upstream -> controller -> string ->
 // drive.  (The simulated Path is direction-agnostic: each hop is a
-// half-duplex resource the chunk occupies in order.)
-func (ad *Disk) Write(p *sim.Proc, lba int64, data []byte, upstream sim.Path) {
+// half-duplex resource the chunk occupies in order.)  Failures retry like
+// reads.
+func (ad *Disk) Write(p *sim.Proc, lba int64, data []byte, upstream sim.Path) error {
 	end := p.Span("scsi", "write")
 	defer end()
-	ad.ctl.cmd.Use(p, ad.ctl.cfg.CmdOverhead)
 	rev := make(sim.Path, 0, len(upstream)+2)
 	rev = append(rev, upstream...)
 	rev = append(rev, ad.ctl.ctlBus, ad.str.Bus)
-	ad.Drive.Write(p, lba, data, rev)
+	return ad.issue(p, func(q *sim.Proc) error {
+		return ad.Drive.Write(q, lba, data, rev)
+	})
+}
+
+// issue runs one command through the controller's retry discipline: charge
+// command overhead, check the drive responds within the command timeout,
+// run the transfer, and on a retryable error back off k*RetryBackoff and
+// reissue, up to RetryBudget retries.  A dead drive is not retried.
+func (ad *Disk) issue(p *sim.Proc, op func(*sim.Proc) error) error {
+	cfg := ad.ctl.cfg
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			endB := p.Span("scsi", "retry")
+			p.Wait(time.Duration(attempt) * cfg.RetryBackoff)
+			endB()
+		}
+		ad.ctl.cmd.Use(p, cfg.CmdOverhead)
+		err := ad.waitReady(p)
+		if err == nil {
+			if err = op(p); err == nil {
+				return nil
+			}
+		}
+		lastErr = err
+		if errors.Is(err, fault.ErrDiskFailed) || attempt >= cfg.RetryBudget {
+			return lastErr
+		}
+	}
+}
+
+// waitReady models target selection against a stalled drive: if the drive
+// will not respond within the command timeout the selection times out;
+// shorter stalls are simply waited through.
+func (ad *Disk) waitReady(p *sim.Proc) error {
+	stall := ad.Drive.StallRemaining(p.Now())
+	if stall <= 0 {
+		return nil
+	}
+	timeout := ad.ctl.cfg.CmdTimeout
+	if timeout > 0 && stall > timeout {
+		endS := p.Span("scsi", "timeout")
+		p.Wait(timeout)
+		endS()
+		return fmt.Errorf("scsi: selection timeout after %v: %w", timeout, fault.ErrTimeout)
+	}
+	endS := p.Span("scsi", "stall")
+	p.Wait(stall)
+	endS()
+	return nil
+}
+
+// StallString hangs every drive on this disk's SCSI string until the given
+// simulated time, modelling a wedged bus: commands issued meanwhile run
+// into the controller's command timeout.
+func (ad *Disk) StallString(until sim.Time) {
+	for _, d := range ad.str.disks {
+		d.Drive.Stall(until)
+	}
 }
 
 // Sectors returns the drive's sector count.

@@ -24,7 +24,7 @@ func TestAttachAndRoundTrip(t *testing.T) {
 	var got []byte
 	e.Spawn("t", func(p *sim.Proc) {
 		ad.Write(p, 100, data, nil)
-		got = ad.Read(p, 100, 8, nil)
+		got, _ = ad.Read(p, 100, 8, nil)
 	})
 	e.Run()
 	if !bytes.Equal(got, data) {
@@ -164,7 +164,7 @@ func TestWriteThroughUpstreamPath(t *testing.T) {
 	var got []byte
 	e.Spawn("t", func(p *sim.Proc) {
 		ad.Write(p, 0, data, sim.Path{vme})
-		got = ad.Read(p, 0, 64, sim.Path{vme})
+		got, _ = ad.Read(p, 0, 64, sim.Path{vme})
 	})
 	e.Run()
 	if !bytes.Equal(got, data) {

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"fmt"
+
 	"raidii/internal/sim"
 )
 
@@ -171,11 +173,12 @@ type FSFile struct {
 	}
 }
 
-// OpenFS opens path on the board's file system.
+// OpenFS opens path on the board's file system.  The file system's sentinel
+// errors (lfs.ErrNotExist, ...) stay reachable through errors.Is.
 func (b *Board) OpenFS(p *sim.Proc, path string) (*FSFile, error) {
 	f, err := b.FS.Open(p, path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("server: open %s on board %d: %w", path, b.Index, err)
 	}
 	return &FSFile{Board: b, File: f}, nil
 }
@@ -184,7 +187,7 @@ func (b *Board) OpenFS(p *sim.Proc, path string) (*FSFile, error) {
 func (b *Board) CreateFS(p *sim.Proc, path string) (*FSFile, error) {
 	f, err := b.FS.Create(p, path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("server: create %s on board %d: %w", path, b.Index, err)
 	}
 	return &FSFile{Board: b, File: f}, nil
 }
@@ -199,7 +202,7 @@ func (b *Board) SmallDiskRead(p *sim.Proc, diskIdx int, lba int64, bytes int) {
 	ad := b.Disks[diskIdx]
 	port := (diskIdx / (2 * b.sys.Cfg.DisksPerString)) % len(b.XB.VME)
 	secs := (bytes + ad.SectorSize() - 1) / ad.SectorSize()
-	ad.Read(p, lba, secs, b.XB.DiskReadPath(port))
+	_, _ = ad.Read(p, lba, secs, b.XB.DiskReadPath(port))
 	b.sys.Host.PerIO(p)
 }
 

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"fmt"
+
+	"raidii/internal/fault"
+	"raidii/internal/sim"
+)
+
+// System implements fault.Target: a fault plan handed to New through
+// Config.Faults is validated and armed against the assembled boards.
+
+// Check validates one fault event against the system's geometry.
+func (sys *System) Check(ev fault.Event) error {
+	if ev.Board < 0 || ev.Board >= len(sys.Boards) {
+		return fmt.Errorf("no board %d", ev.Board)
+	}
+	b := sys.Boards[ev.Board]
+	switch ev.Kind {
+	case fault.DiskFail:
+		if ev.Disk < 0 || ev.Disk >= len(b.Disks) {
+			return fmt.Errorf("board %d has no disk %d", ev.Board, ev.Disk)
+		}
+	case fault.LatentSector:
+		if ev.Disk < 0 || ev.Disk >= len(b.Disks) {
+			return fmt.Errorf("board %d has no disk %d", ev.Board, ev.Disk)
+		}
+		d := b.Disks[ev.Disk]
+		if ev.Sectors <= 0 || ev.LBA < 0 || ev.LBA+int64(ev.Sectors) > d.Sectors() {
+			return fmt.Errorf("bad sector range [%d, %d) on disk %d", ev.LBA, ev.LBA+int64(ev.Sectors), ev.Disk)
+		}
+	case fault.StringStall:
+		if ev.Disk < 0 || ev.Disk >= len(b.Disks) {
+			return fmt.Errorf("board %d has no disk %d", ev.Board, ev.Disk)
+		}
+		if ev.After > 0 {
+			return fmt.Errorf("string stalls are time-triggered only")
+		}
+		if ev.Stall <= 0 {
+			return fmt.Errorf("stall duration must be positive")
+		}
+	case fault.FSCrash:
+		if ev.After > 0 {
+			return fmt.Errorf("fs crashes are time-triggered only")
+		}
+	default:
+		return fmt.Errorf("unknown fault kind %d", int(ev.Kind))
+	}
+	return nil
+}
+
+// Inject performs one fault event.  Time-triggered events arrive inside a
+// simulated process at their scheduled instant; op-count events arrive at
+// arm time with p == nil and are deferred to the drive's own counter.
+func (sys *System) Inject(p *sim.Proc, ev fault.Event) {
+	b := sys.Boards[ev.Board]
+	switch ev.Kind {
+	case fault.DiskFail:
+		if ev.After > 0 {
+			b.Disks[ev.Disk].Drive.FailAfterOps(ev.After)
+		} else {
+			b.Disks[ev.Disk].Drive.Fail()
+		}
+	case fault.LatentSector:
+		if ev.After > 0 {
+			b.Disks[ev.Disk].Drive.AddLatentErrorAfterOps(ev.After, ev.LBA, ev.Sectors)
+		} else {
+			b.Disks[ev.Disk].Drive.AddLatentError(ev.LBA, ev.Sectors)
+		}
+	case fault.StringStall:
+		b.Disks[ev.Disk].StallString(p.Now().Add(ev.Stall))
+	case fault.FSCrash:
+		if b.FS != nil {
+			b.FS.Crash()
+		}
+	}
+}

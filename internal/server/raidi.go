@@ -55,12 +55,12 @@ func (rd *raidiDisk) path() sim.Path {
 	return sim.Path{rd.h.Backplane, rd.h.MemBus}
 }
 
-func (rd *raidiDisk) Read(p *sim.Proc, lba int64, n int) []byte {
+func (rd *raidiDisk) Read(p *sim.Proc, lba int64, n int) ([]byte, error) {
 	return rd.ad.Read(p, lba, n, rd.path())
 }
 
-func (rd *raidiDisk) Write(p *sim.Proc, lba int64, data []byte) {
-	rd.ad.Write(p, lba, data, sim.Path{rd.h.MemBus, rd.h.Backplane})
+func (rd *raidiDisk) Write(p *sim.Proc, lba int64, data []byte) error {
+	return rd.ad.Write(p, lba, data, sim.Path{rd.h.MemBus, rd.h.Backplane})
 }
 
 func (rd *raidiDisk) Sectors() int64  { return rd.ad.Sectors() }
@@ -158,7 +158,7 @@ func (r *RAIDI) UserRead(p *sim.Proc, offSectors int64, size int) {
 func (r *RAIDI) SmallDiskRead(p *sim.Proc, diskIdx int, lba int64, bytes int) {
 	ad := r.Disks[diskIdx]
 	secs := (bytes + ad.SectorSize() - 1) / ad.SectorSize()
-	ad.Read(p, lba, secs, sim.Path{r.Host.Backplane, r.Host.MemBus})
+	_, _ = ad.Read(p, lba, secs, sim.Path{r.Host.Backplane, r.Host.MemBus})
 	r.Host.Copy(p, bytes)
 	r.Host.PerIO(p)
 }

@@ -20,6 +20,7 @@ import (
 
 	"raidii/internal/disk"
 	"raidii/internal/ether"
+	"raidii/internal/fault"
 	"raidii/internal/hippi"
 	"raidii/internal/host"
 	"raidii/internal/lfs"
@@ -66,6 +67,10 @@ type Config struct {
 	PipelineDepth int
 	// PipelineChunk is the buffer granularity of that pipeline.
 	PipelineChunk int
+
+	// Faults is the deterministic fault plan armed when the system is
+	// assembled; the zero value injects nothing.
+	Faults fault.Plan
 }
 
 // DefaultConfig is the paper's measured configuration: one XBUS board,
@@ -138,14 +143,14 @@ func (bd *boundDisk) paths() (read, write sim.Path) {
 	return bd.xb.DiskReadPath(bd.port), bd.xb.DiskWritePath(bd.port)
 }
 
-func (bd *boundDisk) Read(p *sim.Proc, lba int64, n int) []byte {
+func (bd *boundDisk) Read(p *sim.Proc, lba int64, n int) ([]byte, error) {
 	rp, _ := bd.paths()
 	return bd.ad.Read(p, lba, n, rp)
 }
 
-func (bd *boundDisk) Write(p *sim.Proc, lba int64, data []byte) {
+func (bd *boundDisk) Write(p *sim.Proc, lba int64, data []byte) error {
 	_, wp := bd.paths()
-	bd.ad.Write(p, lba, data, wp)
+	return bd.ad.Write(p, lba, data, wp)
 }
 
 func (bd *boundDisk) Sectors() int64  { return bd.ad.Sectors() }
@@ -167,6 +172,9 @@ func New(cfg Config) (*System, error) {
 			return nil, err
 		}
 		sys.Boards = append(sys.Boards, board)
+	}
+	if err := fault.Arm(e, cfg.Faults, sys); err != nil {
+		return nil, err
 	}
 	return sys, nil
 }
@@ -252,4 +260,32 @@ func (b *Board) AttachSpare(cougar, str int) (raid.Dev, error) {
 		port = -1
 	}
 	return &boundDisk{ad: ad, xb: b.XB, port: port}, nil
+}
+
+// ReplaceDisk attaches a spare drive on the failed device's own Cougar and
+// string (where the field technician would plug it in) and starts a
+// background hot rebuild onto it, returning the rebuild handle.
+func (b *Board) ReplaceDisk(devIdx int) (*raid.Rebuild, error) {
+	if devIdx < 0 || devIdx >= len(b.Disks) {
+		return nil, fmt.Errorf("server: board %d has no disk %d", b.Index, devIdx)
+	}
+	perCougar := 2 * b.sys.Cfg.DisksPerString
+	cougar := devIdx / perCougar
+	str := (devIdx / b.sys.Cfg.DisksPerString) % 2
+	spare, err := b.AttachSpare(cougar, str)
+	if err != nil {
+		return nil, err
+	}
+	return b.Array.ReplaceDisk(devIdx, spare)
+}
+
+// MountFS mounts an existing LFS from the board's array, replaying whatever
+// checkpoint and log tail survive — the recovery path after a crash fault.
+func (b *Board) MountFS(p *sim.Proc) error {
+	fs, err := lfs.Mount(p, b.sys.Eng, b.Array)
+	if err != nil {
+		return fmt.Errorf("server: mount board %d: %w", b.Index, err)
+	}
+	b.FS = fs
+	return nil
 }

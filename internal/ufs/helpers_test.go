@@ -26,7 +26,7 @@ type countingDev struct {
 	bytesRead uint64
 }
 
-func (c *countingDev) Read(p *sim.Proc, lba int64, n int) []byte {
+func (c *countingDev) Read(p *sim.Proc, lba int64, n int) ([]byte, error) {
 	c.bytesRead += uint64(n) * uint64(c.Dev.SectorSize())
 	return c.Dev.Read(p, lba, n)
 }

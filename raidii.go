@@ -24,17 +24,53 @@
 //		_, err := f.Read(0, 8<<20)
 //		return err
 //	})
+//
+// Every file system operation is available per board through Task.Board;
+// the Task-level methods are conveniences for board 0.  Deterministic
+// hardware faults are scripted with a FaultPlan passed to WithFaultPlan,
+// or injected mid-run through the Board handle.
 package raidii
 
 import (
 	"time"
 
 	"raidii/internal/disk"
+	"raidii/internal/fault"
 	"raidii/internal/host"
 	"raidii/internal/lfs"
 	"raidii/internal/raid"
 	"raidii/internal/server"
 	"raidii/internal/sim"
+)
+
+// FaultPlan scripts deterministic hardware faults — disk failures, latent
+// sector errors, SCSI-string stalls, file system crashes — fired at
+// simulated times or drive operation counts.  The zero value injects
+// nothing; builder methods chain:
+//
+//	raidii.FaultPlan{}.DiskFailAt(2*time.Second, 0, 3)
+type FaultPlan = fault.Plan
+
+// Sentinel errors surfaced by the public API; test with errors.Is.
+var (
+	// ErrNotExist reports a missing path component.
+	ErrNotExist = lfs.ErrNotExist
+	// ErrExist reports creating a name that already exists.
+	ErrExist = lfs.ErrExist
+	// ErrNotDir reports a non-directory path component.
+	ErrNotDir = lfs.ErrNotDir
+	// ErrIsDir reports a file operation on a directory.
+	ErrIsDir = lfs.ErrIsDir
+	// ErrNotEmpty reports removing a non-empty directory.
+	ErrNotEmpty = lfs.ErrNotEmpty
+	// ErrNoSpace reports a full log even after cleaning.
+	ErrNoSpace = lfs.ErrNoSpace
+	// ErrDiskFailed reports a command to a dead drive.
+	ErrDiskFailed = fault.ErrDiskFailed
+	// ErrMedium reports an unrecoverable medium error.
+	ErrMedium = fault.ErrMedium
+	// ErrTimeout reports a command timeout at the disk controller.
+	ErrTimeout = fault.ErrTimeout
 )
 
 // Option customizes the server assembly.
@@ -73,6 +109,13 @@ func WithSegmentKB(kb int) Option {
 // WithWrenDisks swaps in the older Wren IV drives of RAID-I.
 func WithWrenDisks() Option {
 	return func(c *server.Config) { c.DiskSpec = disk.WrenIV() }
+}
+
+// WithFaultPlan arms a deterministic fault plan when the server is
+// assembled.  An identical plan on an identical workload yields a
+// byte-identical trace.
+func WithFaultPlan(plan FaultPlan) Option {
+	return func(c *server.Config) { c.Faults = plan }
 }
 
 // Fig8Geometry selects the paper's LFS measurement configuration: 16 disks,
@@ -123,18 +166,25 @@ func (s *Server) Now() time.Duration { return time.Duration(s.sys.Eng.Now()) }
 
 // Task is the handle model code uses inside Simulate: all file system and
 // data path operations charge simulated time to the calling process.
+// Single-board convenience methods (Create, Open, Mkdir, ...) act on board
+// 0; Board selects any board and exposes the full per-board surface.
 type Task struct {
 	p   *sim.Proc
 	srv *Server
 }
 
-// Board selects an XBUS board (0 unless WithBoards was used).
-func (t *Task) board(i int) *server.Board { return t.srv.sys.Boards[i] }
+// Board returns the handle for XBUS board i (0 unless WithBoards was used).
+func (t *Task) Board(i int) *Board {
+	return &Board{t: t, b: t.srv.sys.Boards[i]}
+}
+
+// Boards returns the number of XBUS boards in the server.
+func (t *Task) Boards() int { return len(t.srv.sys.Boards) }
 
 // FormatFS creates the LFS on every board.
 func (t *Task) FormatFS() error {
-	for _, b := range t.srv.sys.Boards {
-		if err := b.FormatFS(t.p); err != nil {
+	for i := 0; i < t.Boards(); i++ {
+		if err := t.Board(i).FormatFS(); err != nil {
 			return err
 		}
 	}
@@ -142,52 +192,39 @@ func (t *Task) FormatFS() error {
 }
 
 // Create makes a new file on board 0 and returns a handle.
-func (t *Task) Create(path string) (*File, error) { return t.CreateOn(0, path) }
-
-// CreateOn makes a new file on the given board.
-func (t *Task) CreateOn(board int, path string) (*File, error) {
-	f, err := t.board(board).CreateFS(t.p, path)
-	if err != nil {
-		return nil, err
-	}
-	return &File{t: t, f: f}, nil
-}
+func (t *Task) Create(path string) (*File, error) { return t.Board(0).Create(path) }
 
 // Open opens an existing file on board 0.
-func (t *Task) Open(path string) (*File, error) { return t.OpenOn(0, path) }
-
-// OpenOn opens an existing file on the given board.
-func (t *Task) OpenOn(board int, path string) (*File, error) {
-	f, err := t.board(board).OpenFS(t.p, path)
-	if err != nil {
-		return nil, err
-	}
-	return &File{t: t, f: f}, nil
-}
+func (t *Task) Open(path string) (*File, error) { return t.Board(0).Open(path) }
 
 // Mkdir creates a directory on board 0's file system.
-func (t *Task) Mkdir(path string) error { return t.board(0).FS.Mkdir(t.p, path) }
+func (t *Task) Mkdir(path string) error { return t.Board(0).Mkdir(path) }
 
 // Remove unlinks a file or empty directory on board 0.
-func (t *Task) Remove(path string) error { return t.board(0).FS.Remove(t.p, path) }
+func (t *Task) Remove(path string) error { return t.Board(0).Remove(path) }
+
+// Rename moves a file or directory on board 0.
+func (t *Task) Rename(oldPath, newPath string) error {
+	return t.Board(0).Rename(oldPath, newPath)
+}
 
 // ReadDir lists a directory on board 0.
 func (t *Task) ReadDir(path string) ([]lfs.DirEntry, error) {
-	return t.board(0).FS.ReadDir(t.p, path)
+	return t.Board(0).ReadDir(path)
 }
 
 // Stat describes a path on board 0.
 func (t *Task) Stat(path string) (lfs.FileInfo, error) {
-	return t.board(0).FS.Stat(t.p, path)
+	return t.Board(0).Stat(path)
 }
+
+// Clean runs the segment cleaner on board 0 until target free segments.
+func (t *Task) Clean(target int) (int, error) { return t.Board(0).Clean(target) }
 
 // Sync makes all completed operations durable on every board.
 func (t *Task) Sync() error {
-	for _, b := range t.srv.sys.Boards {
-		if b.FS == nil {
-			continue
-		}
-		if err := b.FS.Sync(t.p); err != nil {
+	for i := 0; i < t.Boards(); i++ {
+		if err := t.Board(i).Sync(); err != nil {
 			return err
 		}
 	}
@@ -196,20 +233,12 @@ func (t *Task) Sync() error {
 
 // Checkpoint writes an LFS checkpoint on every board.
 func (t *Task) Checkpoint() error {
-	for _, b := range t.srv.sys.Boards {
-		if b.FS == nil {
-			continue
-		}
-		if err := b.FS.Checkpoint(t.p); err != nil {
+	for i := 0; i < t.Boards(); i++ {
+		if err := t.Board(i).Checkpoint(); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// Clean runs the segment cleaner on board 0 until target free segments.
-func (t *Task) Clean(target int) (int, error) {
-	return t.board(0).FS.Clean(t.p, target)
 }
 
 // Wait advances simulated time.
@@ -218,21 +247,177 @@ func (t *Task) Wait(d time.Duration) { t.p.Wait(d) }
 // Elapsed returns simulated time since the start of the simulation.
 func (t *Task) Elapsed() time.Duration { return time.Duration(t.p.Now()) }
 
-// HardwareRead performs the raw high-bandwidth-path read of §2.3 (array ->
-// XBUS memory -> HIPPI loop) without any file system, as in Figure 5.
+// HardwareRead performs the raw high-bandwidth-path read of §2.3 on board 0.
 func (t *Task) HardwareRead(offsetBytes int64, size int) {
-	t.board(0).HardwareRead(t.p, offsetBytes/512, size)
+	t.Board(0).HardwareRead(offsetBytes, size)
 }
 
-// HardwareWrite performs the raw high-bandwidth-path write of §2.3.
+// HardwareWrite performs the raw high-bandwidth-path write of §2.3 on board 0.
 func (t *Task) HardwareWrite(offsetBytes int64, size int) {
-	t.board(0).HardwareWrite(t.p, offsetBytes/512, size)
+	t.Board(0).HardwareWrite(offsetBytes, size)
 }
 
 // ArrayCapacity returns the logical capacity in bytes of board 0's array.
-func (t *Task) ArrayCapacity() int64 {
-	return t.board(0).Array.Sectors() * int64(t.board(0).Array.SectorSize())
+func (t *Task) ArrayCapacity() int64 { return t.Board(0).ArrayCapacity() }
+
+// Board is the per-board handle: the full file system surface, the raw
+// hardware data paths, and fault injection/recovery for the board's array.
+type Board struct {
+	t *Task
+	b *server.Board
 }
+
+// Index returns the board's position in the server.
+func (bd *Board) Index() int { return bd.b.Index }
+
+// FormatFS creates the LFS on this board.
+func (bd *Board) FormatFS() error { return bd.b.FormatFS(bd.t.p) }
+
+// MountFS mounts the existing LFS from the board's array, replaying the
+// last checkpoint and log tail — the recovery path after Crash.
+func (bd *Board) MountFS() error { return bd.b.MountFS(bd.t.p) }
+
+// Create makes a new file on this board and returns a handle.
+func (bd *Board) Create(path string) (*File, error) {
+	f, err := bd.b.CreateFS(bd.t.p, path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{t: bd.t, f: f}, nil
+}
+
+// Open opens an existing file on this board.
+func (bd *Board) Open(path string) (*File, error) {
+	f, err := bd.b.OpenFS(bd.t.p, path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{t: bd.t, f: f}, nil
+}
+
+// Mkdir creates a directory.
+func (bd *Board) Mkdir(path string) error { return bd.b.FS.Mkdir(bd.t.p, path) }
+
+// Remove unlinks a file or empty directory.
+func (bd *Board) Remove(path string) error { return bd.b.FS.Remove(bd.t.p, path) }
+
+// Rename moves a file or directory.
+func (bd *Board) Rename(oldPath, newPath string) error {
+	return bd.b.FS.Rename(bd.t.p, oldPath, newPath)
+}
+
+// ReadDir lists a directory.
+func (bd *Board) ReadDir(path string) ([]lfs.DirEntry, error) {
+	return bd.b.FS.ReadDir(bd.t.p, path)
+}
+
+// Stat describes a path.
+func (bd *Board) Stat(path string) (lfs.FileInfo, error) {
+	return bd.b.FS.Stat(bd.t.p, path)
+}
+
+// Clean runs the segment cleaner until target free segments.
+func (bd *Board) Clean(target int) (int, error) {
+	return bd.b.FS.Clean(bd.t.p, target)
+}
+
+// Sync makes all completed operations on this board durable.
+func (bd *Board) Sync() error {
+	if bd.b.FS == nil {
+		return nil
+	}
+	return bd.b.FS.Sync(bd.t.p)
+}
+
+// Checkpoint writes an LFS checkpoint on this board.
+func (bd *Board) Checkpoint() error {
+	if bd.b.FS == nil {
+		return nil
+	}
+	return bd.b.FS.Checkpoint(bd.t.p)
+}
+
+// HardwareRead performs the Figure 5 hardware system-level read (array ->
+// XBUS memory -> HIPPI loop) without any file system.
+func (bd *Board) HardwareRead(offsetBytes int64, size int) {
+	bd.b.HardwareRead(bd.t.p, offsetBytes/512, size)
+}
+
+// HardwareWrite performs the raw high-bandwidth-path write of §2.3.
+func (bd *Board) HardwareWrite(offsetBytes int64, size int) {
+	bd.b.HardwareWrite(bd.t.p, offsetBytes/512, size)
+}
+
+// ArrayCapacity returns the logical capacity in bytes of the board's array.
+func (bd *Board) ArrayCapacity() int64 {
+	return bd.b.Array.Sectors() * int64(bd.b.Array.SectorSize())
+}
+
+// NumDisks returns the number of disks on the board.
+func (bd *Board) NumDisks() int { return bd.b.NumDisks() }
+
+// FailDisk kills device i of the board's array immediately: subsequent
+// commands to the drive return ErrDiskFailed, the controller gives up
+// without retrying, and the array serves the column degraded.
+func (bd *Board) FailDisk(i int) error {
+	if err := bd.b.Array.FailDisk(i); err != nil {
+		return err
+	}
+	bd.b.Disks[i].Drive.Fail()
+	return nil
+}
+
+// LatentError marks sectors [lba, lba+n) of the board's device i
+// unreadable until rewritten; reads covering them are retried by the
+// controller and then escalate to a disk failure.
+func (bd *Board) LatentError(i int, lba int64, n int) {
+	bd.b.Disks[i].Drive.AddLatentError(lba, n)
+}
+
+// StallString hangs the SCSI string holding device i for the given
+// duration; commands issued meanwhile hit the controller's command timeout.
+func (bd *Board) StallString(i int, stall time.Duration) {
+	bd.b.Disks[i].StallString(bd.t.p.Now().Add(stall))
+}
+
+// DiskFailed reports whether the array has marked device i failed.
+func (bd *Board) DiskFailed(i int) bool { return bd.b.Array.Failed(i) }
+
+// ArrayStats returns the board array's operation counters, including
+// degraded reads, device errors, disk failures, and rebuilt stripes.
+func (bd *Board) ArrayStats() raid.Stats { return bd.b.Array.Stats() }
+
+// ReplaceDisk attaches a spare drive in place of failed device i and starts
+// a background hot rebuild that contends with foreground traffic; the
+// returned handle reports completion.
+func (bd *Board) ReplaceDisk(i int) (*HotRebuild, error) {
+	rb, err := bd.b.ReplaceDisk(i)
+	if err != nil {
+		return nil, err
+	}
+	return &HotRebuild{t: bd.t, rb: rb}, nil
+}
+
+// Crash drops the board file system's volatile state (segment buffers,
+// caches), simulating a server crash; MountFS recovers from the log.
+func (bd *Board) Crash() {
+	if bd.b.FS != nil {
+		bd.b.FS.Crash()
+	}
+}
+
+// HotRebuild is a handle on a background hot rebuild started by ReplaceDisk.
+type HotRebuild struct {
+	t  *Task
+	rb *raid.Rebuild
+}
+
+// Done reports whether the rebuild has finished.
+func (r *HotRebuild) Done() bool { return r.rb.Done() }
+
+// Wait blocks (in simulated time) until the rebuild completes and returns
+// the number of stripes rebuilt.
+func (r *HotRebuild) Wait() (int64, error) { return r.rb.Wait(r.t.p) }
 
 // File is an open file on the server, accessed over the high-bandwidth
 // path (reads stream from the array into HIPPI network buffers in XBUS
@@ -242,9 +427,12 @@ type File struct {
 	f *server.FSFile
 }
 
-// Write stores data at off through the LFS write path.
-func (f *File) Write(off int64, data []byte) error {
-	return f.f.Board.FSWrite(f.t.p, f.f, off, data)
+// Write stores data at off through the LFS write path and returns the
+// simulated duration of the transfer.
+func (f *File) Write(off int64, data []byte) (time.Duration, error) {
+	start := f.t.p.Now()
+	err := f.f.Board.FSWrite(f.t.p, f.f, off, data)
+	return f.t.p.Now().Sub(start), err
 }
 
 // Read moves n bytes at off through the high-bandwidth read path and
@@ -256,7 +444,7 @@ func (f *File) Read(off int64, n int) (time.Duration, error) {
 }
 
 // ReadEthernet moves n bytes over the low-bandwidth standard-mode path
-// (XBUS -> host memory -> Ethernet).
+// (XBUS -> host memory -> Ethernet) and returns the simulated duration.
 func (f *File) ReadEthernet(off int64, n int) (time.Duration, error) {
 	start := f.t.p.Now()
 	err := f.f.Board.EtherRead(f.t.p, f.f, off, n)

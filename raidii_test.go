@@ -23,7 +23,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if err := f.Write(0, make([]byte, n)); err != nil {
+		if _, err := f.Write(0, make([]byte, n)); err != nil {
 			return err
 		}
 		if err := task.Sync(); err != nil {

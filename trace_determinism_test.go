@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"math/rand"
+	"strings"
 	"testing"
+	"time"
 
 	"raidii/internal/sim"
 	"raidii/internal/trace"
@@ -31,7 +33,7 @@ func TestTraceDeterministic(t *testing.T) {
 				return err
 			}
 			const fileSize = 2 << 20
-			if err := f.Write(0, make([]byte, fileSize)); err != nil {
+			if _, err := f.Write(0, make([]byte, fileSize)); err != nil {
 				return err
 			}
 			if err := task.Sync(); err != nil {
@@ -45,7 +47,7 @@ func TestTraceDeterministic(t *testing.T) {
 					if _, err := f.Read(off, n); err != nil {
 						return err
 					}
-				} else if err := f.Write(off, make([]byte, n)); err != nil {
+				} else if _, err := f.Write(off, make([]byte, n)); err != nil {
 					return err
 				}
 			}
@@ -74,6 +76,54 @@ func TestTraceDeterministic(t *testing.T) {
 	}
 	if len(table1) == 0 {
 		t.Error("utilization table is empty")
+	}
+}
+
+// TestFaultTraceDeterministic runs the same scripted fault plan — a
+// string stall followed by a whole-disk failure under streaming reads —
+// twice on fully traced servers and demands byte-identical Chrome trace
+// JSON.  Fault injection, SCSI retries/timeouts, escalation, and degraded
+// reads are all simulated events, so an identical plan must replay
+// identically.
+func TestFaultTraceDeterministic(t *testing.T) {
+	run := func() string {
+		plan := FaultPlan{}.
+			StringStallAt(100*time.Millisecond, 0, 0, 50*time.Millisecond).
+			DiskFailAt(300*time.Millisecond, 0, 3)
+		srv, err := NewServer(WithDisksPerString(1), WithFaultPlan(plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.Attach(srv.Sys().Eng, trace.Config{Label: "fault-det", Pid: 1, Events: true})
+		_, err = srv.Simulate(func(task *Task) error {
+			bd := task.Board(0)
+			for i := 0; i < 10; i++ {
+				bd.HardwareRead(int64(i)*(1<<20), 1<<20)
+			}
+			if !bd.DiskFailed(3) {
+				t.Error("scripted failure did not fire during the traced run")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	json1 := run()
+	json2 := run()
+	if json1 != json2 {
+		t.Error("fault-plan trace JSON differs between identical runs")
+	}
+	if !strings.Contains(json1, `"disk-fail"`) {
+		t.Error("trace does not record the scripted fault event")
+	}
+	if !strings.Contains(json1, "escalate:dev3") {
+		t.Error("trace does not record the escalation to degraded mode")
 	}
 }
 
