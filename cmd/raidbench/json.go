@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"raidii/internal/metrics"
+)
+
+// Machine-readable benchmark results.  The simulator is deterministic —
+// identical binaries produce byte-identical values — so CI diffs this
+// output against the checked-in BENCH_baseline.json with strict equality
+// (see the bench-regression job), turning the performance trajectory into
+// a hard regression gate instead of a tolerance band.
+
+// benchSchema is bumped whenever the JSON shape changes incompatibly.
+const benchSchema = 1
+
+type benchPoint struct {
+	Series string  `json:"series"`
+	X      float64 `json:"x"`
+	Unit   string  `json:"unit"`
+	Value  float64 `json:"value"`
+}
+
+type benchExperiment struct {
+	Name   string       `json:"name"`
+	Config string       `json:"config"`
+	Points []benchPoint `json:"points"`
+}
+
+type benchReport struct {
+	Schema      int               `json:"schema"`
+	Experiments []benchExperiment `json:"experiments"`
+}
+
+// collector accumulates the points the run functions record.  nil when
+// -json was not requested, so recording is a no-op.
+var collector *benchReport
+
+// jsonExperiment opens a new experiment entry; subsequent jsonPoint calls
+// land in it.  config is a short human-readable description of the machine
+// configuration the numbers were measured on.
+func jsonExperiment(name, config string) {
+	if collector == nil {
+		return
+	}
+	collector.Experiments = append(collector.Experiments, benchExperiment{
+		Name: name, Config: config, Points: []benchPoint{},
+	})
+}
+
+// jsonPoint records one data point into the current experiment.
+func jsonPoint(series string, x float64, unit string, value float64) {
+	if collector == nil || len(collector.Experiments) == 0 {
+		return
+	}
+	ex := &collector.Experiments[len(collector.Experiments)-1]
+	ex.Points = append(ex.Points, benchPoint{Series: series, X: x, Unit: unit, Value: value})
+}
+
+// jsonFigure records every series point of a figure, in series then X
+// order — the order the figure was built in, which is deterministic.
+func jsonFigure(fig *metrics.Figure, unit string) {
+	for _, s := range fig.Series {
+		for _, pt := range s.Points {
+			jsonPoint(s.Name, pt.X, unit, pt.Y)
+		}
+	}
+}
+
+// writeJSON marshals the report to path.
+func writeJSON(path string) error {
+	data, err := json.MarshalIndent(collector, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

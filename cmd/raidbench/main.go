@@ -4,18 +4,26 @@
 //
 // Usage:
 //
-//	raidbench [-trace out.json] [-util] [experiment ...]
+//	raidbench [-trace out.json] [-util] [-json out.json] [-faults] [experiment ...]
 //
 // With no arguments every experiment runs.  Experiments: fig5, table1,
 // table2, fig6, fig7, fig8, raid1, client, recovery, scaling, zebra,
-// ablate.
+// rebuild, faults, fileserver, cache, ablate.
 //
 // -util prints a per-component utilization/queue-wait table after each
-// experiment, naming the bottleneck that shapes the measured curve.
+// experiment, naming the bottleneck that shapes the measured curve (and
+// the block-cache hit rate when the run had one).
 // -trace writes every simulated run to one Chrome trace_event JSON file,
 // loadable in https://ui.perfetto.dev; per-event recording is verbose, so
-// prefer tracing a single experiment at a time.  Both outputs use simulated
-// timestamps only and are byte-identical across runs.
+// prefer tracing a single experiment at a time.
+// -json writes machine-readable results (schema-versioned; experiment
+// name, configuration, and every measured data point) for the CI
+// regression gate, which diffs them byte-for-byte against
+// BENCH_baseline.json.
+// -faults is shorthand for naming the "faults" experiment.
+//
+// All outputs use simulated timestamps and deterministic values only and
+// are byte-identical across runs of the same binary.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 type experiment struct {
 	name string
 	desc string
+	cfg  string // machine configuration, recorded in -json output
 	run  func() error
 }
 
@@ -48,10 +57,18 @@ func wallElapsed() func() time.Duration {
 	}
 }
 
+const (
+	cfg24  = "1 board, 24 IBM 0661 disks, RAID-5, 64 KB stripe"
+	cfg16  = "1 board, 16 IBM 0661 disks, RAID-5, 64 KB stripe, 960 KB segments"
+	cfgR1  = "Sun 4/280 host, 4 Wren IV disks (RAID-I prototype)"
+	cfgMix = "per-run geometry; see experiment description"
+)
+
 func main() {
 	traceOut := flag.String("trace", "", "write all runs as Chrome trace_event JSON to this file")
 	util := flag.Bool("util", false, "print per-component utilization tables after each experiment")
 	faults := flag.Bool("faults", false, "shorthand for the fault-injection experiment (same as naming \"faults\")")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	flag.Parse()
 
 	var recs []*trace.Recorder
@@ -63,23 +80,27 @@ func main() {
 			recs = append(recs, trace.Attach(e, trace.Config{Label: label, Pid: len(recs) + 1, Events: events}))
 		})
 	}
+	if *jsonOut != "" {
+		collector = &benchReport{Schema: benchSchema, Experiments: []benchExperiment{}}
+	}
 
 	experiments := []experiment{
-		{"fig5", "hardware system-level random I/O vs request size", runFig5},
-		{"table1", "peak sequential read/write", runTable1},
-		{"table2", "4 KB random read I/O rates", runTable2},
-		{"fig6", "HIPPI loopback throughput", runFig6},
-		{"fig7", "disks per SCSI string", runFig7},
-		{"fig8", "LFS read/write bandwidth", runFig8},
-		{"raid1", "RAID-I baseline ceiling", runRAIDI},
-		{"client", "single SPARCstation network client", runClient},
-		{"recovery", "LFS recovery vs UNIX fsck", runRecovery},
-		{"scaling", "XBUS board scaling", runScaling},
-		{"zebra", "Zebra striping across servers", runZebra},
-		{"rebuild", "degraded mode and disk reconstruction", runRebuild},
-		{"faults", "scripted fault plans: timeline and rebuild under load", runFaults},
-		{"fileserver", "Zipf-skewed file-server trace (integration)", runFileServer},
-		{"ablate", "design-choice ablations", runAblate},
+		{"fig5", "hardware system-level random I/O vs request size", cfg24, runFig5},
+		{"table1", "peak sequential read/write", cfg24 + " + fifth Cougar", runTable1},
+		{"table2", "4 KB random read I/O rates", "15 disks, no striping", runTable2},
+		{"fig6", "HIPPI loopback throughput", "HIPPI source/destination boards only", runFig6},
+		{"fig7", "disks per SCSI string", "one Cougar string, 1-5 disks", runFig7},
+		{"fig8", "LFS read/write bandwidth", cfg16, runFig8},
+		{"raid1", "RAID-I baseline ceiling", cfgR1, runRAIDI},
+		{"client", "single SPARCstation network client", cfg24 + " + SPARCstation 10/51", runClient},
+		{"recovery", "LFS recovery vs UNIX fsck", cfg16, runRecovery},
+		{"scaling", "XBUS board scaling", "1-4 boards, 24 disks each", runScaling},
+		{"zebra", "Zebra striping across servers", "2-5 single-board servers", runZebra},
+		{"rebuild", "degraded mode and disk reconstruction", cfg24, runRebuild},
+		{"faults", "scripted fault plans: timeline and rebuild under load", cfg24, runFaults},
+		{"fileserver", "Zipf-skewed file-server trace (integration)", cfg16 + ", 8 MB cache (16 KB lines)", runFileServer},
+		{"cache", "block cache working-set sweep", cfg24 + ", 8 MB cache (64 KB lines)", runCache},
+		{"ablate", "design-choice ablations", cfgMix, runAblate},
 	}
 
 	want := map[string]bool{}
@@ -97,6 +118,7 @@ func main() {
 		fmt.Printf("==> %s: %s\n", ex.name, ex.desc)
 		elapsed := wallElapsed()
 		mark := len(recs)
+		jsonExperiment(ex.name, ex.cfg)
 		if err := ex.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", ex.name, err)
 			os.Exit(1)
@@ -112,7 +134,7 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "no matching experiments; known:")
 		for _, ex := range experiments {
-			fmt.Fprintf(os.Stderr, "  %-9s %s\n", ex.name, ex.desc)
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", ex.name, ex.desc)
 		}
 		os.Exit(2)
 	}
@@ -132,6 +154,14 @@ func main() {
 		}
 		fmt.Printf("wrote %d traced runs to %s (load in https://ui.perfetto.dev)\n", len(recs), *traceOut)
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d experiment results to %s (schema %d)\n",
+			len(collector.Experiments), *jsonOut, benchSchema)
+	}
 }
 
 func runFig5() error {
@@ -141,6 +171,7 @@ func runFig5() error {
 	}
 	fmt.Print(fig.Render())
 	fmt.Println("paper: both curves rise to ~20 MB/s at large requests; writes below reads")
+	jsonFigure(fig, "MB/s")
 	return nil
 }
 
@@ -151,6 +182,8 @@ func runTable1() error {
 	}
 	fmt.Printf("sequential read : %5.1f MB/s   (paper: 31)\n", r.ReadMBps)
 	fmt.Printf("sequential write: %5.1f MB/s   (paper: 23)\n", r.WriteMBps)
+	jsonPoint("sequential-read", 0, "MB/s", r.ReadMBps)
+	jsonPoint("sequential-write", 0, "MB/s", r.WriteMBps)
 	return nil
 }
 
@@ -164,6 +197,10 @@ func runTable2() error {
 		"RAID-I", r.RAIDIOneDisk, r.RAIDIFifteen, r.RAIDIPercent)
 	fmt.Printf("%-10s %12.1f %12.0f %9.0f%%   (paper: ~36 / ~422 / 78%%)\n",
 		"RAID-II", r.RAIDIIOneDisk, r.RAIDIIFifteen, r.RAIDIIPercent)
+	jsonPoint("raid1", 1, "IO/s", r.RAIDIOneDisk)
+	jsonPoint("raid1", 15, "IO/s", r.RAIDIFifteen)
+	jsonPoint("raid2", 1, "IO/s", r.RAIDIIOneDisk)
+	jsonPoint("raid2", 15, "IO/s", r.RAIDIIFifteen)
 	return nil
 }
 
@@ -174,6 +211,7 @@ func runFig6() error {
 	}
 	fmt.Print(fig.Render())
 	fmt.Println("paper: rises to 38.5 MB/s in each direction; 1.1 ms setup dominates small packets")
+	jsonFigure(fig, "MB/s")
 	return nil
 }
 
@@ -184,6 +222,7 @@ func runFig7() error {
 	}
 	fmt.Print(fig.Render())
 	fmt.Println("paper: saturates near 3 MB/s, below linear scaling from one disk")
+	jsonFigure(fig, "MB/s")
 	return nil
 }
 
@@ -194,6 +233,7 @@ func runFig8() error {
 	}
 	fmt.Print(fig.Render())
 	fmt.Println("paper: reads climb to ~20-21 MB/s past 10 MB; writes level at ~15 MB/s above 512 KB")
+	jsonFigure(fig, "MB/s")
 	return nil
 }
 
@@ -204,6 +244,8 @@ func runRAIDI() error {
 	}
 	fmt.Printf("user-level read : %4.2f MB/s   (paper: 2.3)\n", r.UserReadMBps)
 	fmt.Printf("single Wren IV  : %4.2f MB/s   (paper: 1.3)\n", r.SingleDiskMBps)
+	jsonPoint("user-read", 0, "MB/s", r.UserReadMBps)
+	jsonPoint("single-disk", 0, "MB/s", r.SingleDiskMBps)
 	return nil
 }
 
@@ -215,6 +257,9 @@ func runClient() error {
 	fmt.Printf("SPARCstation read : %4.2f MB/s   (paper: 3.2)\n", r.ReadMBps)
 	fmt.Printf("SPARCstation write: %4.2f MB/s   (paper: 3.1)\n", r.WriteMBps)
 	fmt.Printf("server host CPU   : %4.1f%% busy  (paper: close to zero)\n", r.HostCPUUtil*100)
+	jsonPoint("client-read", 0, "MB/s", r.ReadMBps)
+	jsonPoint("client-write", 0, "MB/s", r.WriteMBps)
+	jsonPoint("host-cpu", 0, "fraction", r.HostCPUUtil)
 	return nil
 }
 
@@ -229,6 +274,8 @@ func runRecovery() error {
 	fmt.Printf("traditional full fsck      : %8.2fs  (paper: ~20 minutes for 1 GB)\n",
 		r.UFSFsck.Seconds())
 	fmt.Printf("ratio: %.0fx\n", r.UFSFsck.Seconds()/r.LFSCheck.Seconds())
+	jsonPoint("lfs-check", float64(r.VolumeMB), "s", r.LFSCheck.Seconds())
+	jsonPoint("ufs-fsck", float64(r.VolumeMB), "s", r.UFSFsck.Seconds())
 	return nil
 }
 
@@ -239,6 +286,7 @@ func runScaling() error {
 	}
 	fmt.Print(fig.Render())
 	fmt.Println("paper (§2.1.2): bandwidth scales with boards until the host CPU saturates")
+	jsonFigure(fig, "MB/s")
 	return nil
 }
 
@@ -249,6 +297,7 @@ func runZebra() error {
 	}
 	fmt.Print(fig.Render())
 	fmt.Println("paper (§5.2): striping across servers multiplies single-client bandwidth")
+	jsonFigure(fig, "MB/s")
 	return nil
 }
 
@@ -260,6 +309,9 @@ func runRebuild() error {
 	fmt.Printf("healthy 1 MB random reads : %5.1f MB/s\n", r.NormalReadMBps)
 	fmt.Printf("degraded (1 disk failed)  : %5.1f MB/s\n", r.DegradedReadMBps)
 	fmt.Printf("rebuild onto spare        : %v (%.1f MB/s)\n", r.RebuildDuration, r.RebuildMBps)
+	jsonPoint("healthy-read", 0, "MB/s", r.NormalReadMBps)
+	jsonPoint("degraded-read", 0, "MB/s", r.DegradedReadMBps)
+	jsonPoint("rebuild", 0, "MB/s", r.RebuildMBps)
 	return nil
 }
 
@@ -272,6 +324,8 @@ func runFaults() error {
 	fmt.Printf("disk failed at %v: %.1f MB/s healthy -> %.1f MB/s degraded "+
 		"(%d device errors, %d disk failures)\n",
 		tl.FailAt, tl.HealthyMBps, tl.DegradedMBps, tl.DeviceErrors, tl.DiskFailures)
+	jsonPoint("timeline-healthy", 0, "MB/s", tl.HealthyMBps)
+	jsonPoint("timeline-degraded", 0, "MB/s", tl.DegradedMBps)
 	r, err := raidii.RebuildUnderLoad()
 	if err != nil {
 		return err
@@ -281,6 +335,10 @@ func runFaults() error {
 		r.HealthyMBps, r.DegradedMBps, r.RebuildingMBps, r.PostRebuildMBps)
 	fmt.Printf("hot rebuild: %d stripes in %v (%.1f MB/s) under foreground load\n",
 		r.RebuildStripes, r.RebuildDuration, r.RebuildMBps)
+	jsonPoint("phase-healthy", 0, "MB/s", r.HealthyMBps)
+	jsonPoint("phase-degraded", 0, "MB/s", r.DegradedMBps)
+	jsonPoint("phase-rebuilding", 0, "MB/s", r.RebuildingMBps)
+	jsonPoint("phase-post-rebuild", 0, "MB/s", r.PostRebuildMBps)
 	return nil
 }
 
@@ -292,6 +350,33 @@ func runFileServer() error {
 	fmt.Printf("%d ops in %.1fs simulated: %.0f ops/s\n", r.Ops, r.Elapsed.Seconds(), r.OpsPerSec)
 	fmt.Printf("mean read %.1f ms, mean write %.1f ms; %d segments cleaned; consistent=%v\n",
 		r.MeanReadMs, r.MeanWriteMs, r.SegsCleaned, r.FSConsistent)
+	fmt.Printf("hot re-read: %.1f MB/s; cache %d hits / %d misses over the whole run\n",
+		r.ReReadMBps, r.CacheHits, r.CacheMisses)
+	jsonPoint("ops-per-sec", 0, "ops/s", r.OpsPerSec)
+	jsonPoint("mean-read", 0, "ms", r.MeanReadMs)
+	jsonPoint("mean-write", 0, "ms", r.MeanWriteMs)
+	jsonPoint("reread", 0, "MB/s", r.ReReadMBps)
+	jsonPoint("cache-hits", 0, "count", float64(r.CacheHits))
+	jsonPoint("cache-misses", 0, "count", float64(r.CacheMisses))
+	return nil
+}
+
+func runCache() error {
+	r, err := raidii.CacheWorkingSet(8, []int{2, 4, 6, 8, 12, 16, 24})
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Fig.Render())
+	for _, pt := range r.Points {
+		fmt.Printf("  %2d MB working set: cached %5.1f MB/s  uncached %5.1f MB/s  hit rate %5.1f%%\n",
+			pt.WorkingSetMB, pt.CachedMBps, pt.UncachedMBps, pt.HitRate*100)
+	}
+	fmt.Printf("knee at cache capacity (%d MB): hit-dominated phase rides the crossbar/HIPPI, "+
+		"miss-dominated falls to the disk-bound curve\n", r.CacheMB)
+	jsonFigure(r.Fig, "MB/s")
+	for _, pt := range r.Points {
+		jsonPoint("hit-rate", float64(pt.WorkingSetMB), "fraction", pt.HitRate)
+	}
 	return nil
 }
 
@@ -321,10 +406,13 @@ func runAblate() error {
 		return err
 	}
 	fmt.Print(fig.Render())
+	jsonFigure(fig, "MB/s")
 	return nil
 }
 
 func printAblation(a raidii.AblationResult) {
 	fmt.Printf("%-32s with: %8.1f   without: %8.1f   (%s)\n    %s\n",
 		a.Name, a.With, a.Without, a.Unit, a.Comment)
+	jsonPoint(a.Name+"/with", 0, a.Unit, a.With)
+	jsonPoint(a.Name+"/without", 0, a.Unit, a.Without)
 }

@@ -1,0 +1,287 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+
+	"raidii/internal/sim"
+)
+
+// fakeDev is a deterministic in-memory backing store that records every
+// read and write it serves, so tests can assert exactly what reached the
+// "disks".
+type fakeDev struct {
+	secSize int
+	data    []byte
+	reads   []rng
+	writes  []rng
+}
+
+type rng struct {
+	lba  int64
+	secs int
+}
+
+func newFakeDev(sectors int64, secSize int) *fakeDev {
+	d := &fakeDev{secSize: secSize, data: make([]byte, sectors*int64(secSize))}
+	for i := range d.data {
+		d.data[i] = byte(i % 251)
+	}
+	return d
+}
+
+func (d *fakeDev) Read(p *sim.Proc, lba int64, n int) []byte {
+	d.reads = append(d.reads, rng{lba, n})
+	out := make([]byte, n*d.secSize)
+	copy(out, d.data[lba*int64(d.secSize):])
+	return out
+}
+
+func (d *fakeDev) Write(p *sim.Proc, lba int64, data []byte) {
+	d.writes = append(d.writes, rng{lba, len(data) / d.secSize})
+	copy(d.data[lba*int64(d.secSize):], data)
+}
+
+func (d *fakeDev) Sectors() int64  { return int64(len(d.data) / d.secSize) }
+func (d *fakeDev) SectorSize() int { return d.secSize }
+
+// harness runs fn as a simulated process on a fresh engine with a cache of
+// capLines lines of lineSecs sectors over a dev of devSectors sectors.
+func harness(t *testing.T, devSectors int64, lineSecs, capLines int, stage bool, fn func(p *sim.Proc, c *Cache, dev *fakeDev)) {
+	t.Helper()
+	const secSize = 512
+	e := sim.New()
+	dev := newFakeDev(devSectors, secSize)
+	c, err := New(e, dev, nil, Config{
+		SizeBytes:   capLines * lineSecs * secSize,
+		LineBytes:   lineSecs * secSize,
+		StageWrites: stage,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Spawn("test", func(p *sim.Proc) { fn(p, c, dev) })
+	e.Run()
+}
+
+func TestEvictionUnderCapacityPressure(t *testing.T) {
+	harness(t, 1024, 8, 4, false, func(p *sim.Proc, c *Cache, dev *fakeDev) {
+		// Fill to capacity: lines 0-3.
+		for li := int64(0); li < 4; li++ {
+			c.Read(p, li*8, 8)
+		}
+		if got := c.Stats(); got.Misses != 4 || got.Evictions != 0 {
+			t.Fatalf("after fill: %+v", got)
+		}
+		// Touch line 0 so line 1 becomes the LRU victim.
+		c.Read(p, 0, 8)
+		// Line 4 evicts exactly one line: the deterministic LRU tail (1).
+		c.Read(p, 4*8, 8)
+		st := c.Stats()
+		if st.Evictions != 1 {
+			t.Fatalf("expected 1 eviction, got %+v", st)
+		}
+		if c.Lines() != 4 {
+			t.Fatalf("resident lines = %d, want 4", c.Lines())
+		}
+		// Victim check: 0 hits, 1 misses.
+		before := c.Stats()
+		c.Read(p, 0, 8)
+		if got := c.Stats(); got.Hits != before.Hits+1 {
+			t.Error("line 0 should have survived (was MRU-touched)")
+		}
+		before = c.Stats()
+		c.Read(p, 1*8, 8)
+		if got := c.Stats(); got.Misses != before.Misses+1 {
+			t.Error("line 1 should have been the LRU victim")
+		}
+	})
+}
+
+func TestWriteUpdatesResidentLineNoStaleHit(t *testing.T) {
+	harness(t, 1024, 8, 4, false, func(p *sim.Proc, c *Cache, dev *fakeDev) {
+		c.Read(p, 0, 8) // line 0 resident
+		fresh := bytes.Repeat([]byte{0xAB}, 4*512)
+		c.Write(p, 2, fresh) // overwrite sectors 2-5 inside the line
+		if len(dev.writes) != 1 {
+			t.Fatalf("write-through: dev saw %d writes, want 1", len(dev.writes))
+		}
+		before := c.Stats()
+		got := c.Read(p, 0, 8)
+		st := c.Stats()
+		if st.Hits != before.Hits+1 {
+			t.Fatalf("re-read should hit: %+v", st)
+		}
+		if !bytes.Equal(got[2*512:6*512], fresh) {
+			t.Error("hit served stale pre-write data")
+		}
+		if st.Updates != 1 {
+			t.Errorf("Updates = %d, want 1", st.Updates)
+		}
+	})
+}
+
+func TestWriteStagingAllocatesFullLinesOnly(t *testing.T) {
+	harness(t, 1024, 8, 4, true, func(p *sim.Proc, c *Cache, dev *fakeDev) {
+		// A write fully covering line 2 is staged; the partial tail into
+		// line 3 is not.
+		data := bytes.Repeat([]byte{0x5C}, 12*512) // sectors 16-27
+		c.Write(p, 16, data)
+		st := c.Stats()
+		if st.Staged != 1 {
+			t.Fatalf("Staged = %d, want 1", st.Staged)
+		}
+		devReads := len(dev.reads)
+		got := c.Read(p, 16, 8)
+		if len(dev.reads) != devReads {
+			t.Error("read of freshly staged line went to the backing store")
+		}
+		if !bytes.Equal(got, data[:8*512]) {
+			t.Error("staged line returned wrong bytes")
+		}
+		// The partially covered line 3 must miss.
+		before := c.Stats()
+		c.Read(p, 24, 8)
+		if got := c.Stats(); got.Misses != before.Misses+1 {
+			t.Error("partially written line should not have been allocated")
+		}
+	})
+}
+
+func TestNoStagingWhenDisabled(t *testing.T) {
+	harness(t, 1024, 8, 4, false, func(p *sim.Proc, c *Cache, dev *fakeDev) {
+		c.Write(p, 16, bytes.Repeat([]byte{1}, 8*512))
+		if st := c.Stats(); st.Staged != 0 || c.Lines() != 0 {
+			t.Fatalf("staging disabled but Staged=%d Lines=%d", st.Staged, c.Lines())
+		}
+	})
+}
+
+func TestMissRunCoalescing(t *testing.T) {
+	harness(t, 1024, 8, 8, false, func(p *sim.Proc, c *Cache, dev *fakeDev) {
+		// 4 consecutive missing lines fill with ONE backing read, so the
+		// array parallelizes it across the stripe like an uncached read.
+		c.Read(p, 0, 32)
+		if len(dev.reads) != 1 || dev.reads[0] != (rng{0, 32}) {
+			t.Fatalf("fill reads = %v, want one run of 32 sectors", dev.reads)
+		}
+		// A hit sandwiched between two misses splits the fill into two runs.
+		c.Read(p, 5*8, 8) // make line 5 resident
+		dev.reads = nil
+		c.Read(p, 4*8, 3*8) // lines 4 (miss), 5 (hit), 6 (miss)
+		want := []rng{{4 * 8, 8}, {6 * 8, 8}}
+		if len(dev.reads) != 2 || dev.reads[0] != want[0] || dev.reads[1] != want[1] {
+			t.Fatalf("fill reads = %v, want %v", dev.reads, want)
+		}
+	})
+}
+
+func TestReadReturnsCorrectBytes(t *testing.T) {
+	harness(t, 1024, 8, 4, false, func(p *sim.Proc, c *Cache, dev *fakeDev) {
+		// Unaligned read mixing hits and misses must equal the raw device.
+		c.Read(p, 8, 8) // line 1 resident
+		got := c.Read(p, 3, 20)
+		want := dev.data[3*512 : 23*512]
+		if !bytes.Equal(got, want) {
+			t.Error("mixed hit/miss read returned wrong bytes")
+		}
+	})
+}
+
+func TestTailLineShortFill(t *testing.T) {
+	// Device of 20 sectors with 8-sector lines: line 2 is only 4 sectors.
+	harness(t, 20, 8, 4, false, func(p *sim.Proc, c *Cache, dev *fakeDev) {
+		got := c.Read(p, 16, 4)
+		if !bytes.Equal(got, dev.data[16*512:20*512]) {
+			t.Error("tail-line read returned wrong bytes")
+		}
+		before := c.Stats()
+		got = c.Read(p, 16, 4)
+		if st := c.Stats(); st.Hits != before.Hits+1 {
+			t.Error("tail line should be resident after fill")
+		}
+		if !bytes.Equal(got, dev.data[16*512:20*512]) {
+			t.Error("tail-line hit returned wrong bytes")
+		}
+	})
+}
+
+func TestInvalidateAll(t *testing.T) {
+	harness(t, 1024, 8, 4, false, func(p *sim.Proc, c *Cache, dev *fakeDev) {
+		c.Read(p, 0, 16)
+		if c.Lines() != 2 {
+			t.Fatalf("Lines = %d, want 2", c.Lines())
+		}
+		c.InvalidateAll()
+		if c.Lines() != 0 {
+			t.Fatalf("Lines = %d after InvalidateAll", c.Lines())
+		}
+		if st := c.Stats(); st.Invalidations != 2 {
+			t.Fatalf("Invalidations = %d, want 2", st.Invalidations)
+		}
+		before := c.Stats()
+		c.Read(p, 0, 8)
+		if st := c.Stats(); st.Misses != before.Misses+1 {
+			t.Error("post-invalidate read must miss")
+		}
+	})
+}
+
+func TestDeterministicEvictionSequence(t *testing.T) {
+	// The same access pattern must produce the identical eviction count and
+	// resident set on every run — the property the trace-determinism gate
+	// relies on.
+	run := func() (Stats, []int64) {
+		var st Stats
+		var resident []int64
+		harness(t, 4096, 8, 8, true, func(p *sim.Proc, c *Cache, dev *fakeDev) {
+			for i := 0; i < 100; i++ {
+				li := int64((i * 37) % 64)
+				if i%3 == 0 {
+					c.Write(p, li*8, make([]byte, 8*512))
+				} else {
+					c.Read(p, li*8, 8)
+				}
+			}
+			st = c.Stats()
+			for li := int64(0); li < 64; li++ {
+				if _, ok := c.table[li]; ok {
+					resident = append(resident, li)
+				}
+			}
+		})
+		return st, resident
+	}
+	st1, res1 := run()
+	st2, res2 := run()
+	if st1 != st2 {
+		t.Errorf("stats differ across identical runs: %+v vs %+v", st1, st2)
+	}
+	if len(res1) != len(res2) {
+		t.Fatalf("resident sets differ in size: %d vs %d", len(res1), len(res2))
+	}
+	for i := range res1 {
+		if res1[i] != res2[i] {
+			t.Errorf("resident line %d differs: %d vs %d", i, res1[i], res2[i])
+		}
+	}
+	if st1.Evictions == 0 {
+		t.Error("workload was meant to overflow the cache")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := sim.New()
+	dev := newFakeDev(64, 512)
+	if _, err := New(e, dev, nil, Config{SizeBytes: 100, LineBytes: 100}); err == nil {
+		t.Error("non-sector-multiple line size accepted")
+	}
+	if _, err := New(e, dev, nil, Config{SizeBytes: 512, LineBytes: 1024}); err == nil {
+		t.Error("cache smaller than one line accepted")
+	}
+	if c, err := New(e, dev, nil, Config{SizeBytes: 2 * DefaultLineBytes}); err != nil {
+		t.Errorf("default line size rejected: %v", err)
+	} else if c.LineBytes() != DefaultLineBytes {
+		t.Errorf("LineBytes = %d, want default %d", c.LineBytes(), DefaultLineBytes)
+	}
+}

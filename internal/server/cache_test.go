@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"raidii/internal/sim"
+	"raidii/internal/xbus"
+)
+
+func cacheConfig(cacheBytes int) Config {
+	cfg := Fig8Config()
+	cfg.DiskSpec.Cylinders = 120 // small disks keep the tests fast
+	cfg.CacheBytes = cacheBytes
+	cfg.CacheLineBytes = 64 << 10
+	return cfg
+}
+
+// TestCacheHitServedWhileDegraded: data cached before a disk failure must
+// still be served — correctly — from the cache afterwards, and a miss in
+// degraded mode must come back reconstructed, then land in the cache.
+func TestCacheHitServedWhileDegraded(t *testing.T) {
+	sys, err := New(cacheConfig(4 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sys.Boards[0]
+	if b.Cache == nil {
+		t.Fatal("board has no cache despite CacheBytes")
+	}
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 17)
+	}
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		// Write through the cache (staged), then re-read so it is resident.
+		b.Cache.Write(p, 0, payload)
+		if got := b.Cache.Read(p, 0, len(payload)/512); !bytes.Equal(got, payload) {
+			t.Fatal("pre-failure read returned wrong data")
+		}
+		hitsBefore := b.Cache.Stats().Hits
+
+		if err := b.Array.FailDisk(3); err != nil {
+			t.Fatal(err)
+		}
+		got := b.Cache.Read(p, 0, len(payload)/512)
+		if !bytes.Equal(got, payload) {
+			t.Fatal("degraded cache hit returned wrong data")
+		}
+		if b.Cache.Stats().Hits <= hitsBefore {
+			t.Error("degraded re-read should have been served from cache")
+		}
+
+		// A region never cached must miss and reconstruct via parity.
+		missesBefore := b.Cache.Stats().Misses
+		far := int64(2 << 20 / 512)
+		b.Cache.Write(p, far, payload[:64<<10]) // known bytes, write-through
+		b.Cache.InvalidateAll()
+		got = b.Cache.Read(p, far, (64<<10)/512)
+		if !bytes.Equal(got, payload[:64<<10]) {
+			t.Fatal("degraded cache miss returned wrong data")
+		}
+		if b.Cache.Stats().Misses <= missesBefore {
+			t.Error("post-invalidate degraded read should have missed")
+		}
+	})
+	sys.Eng.Run()
+}
+
+// TestCacheDoesNotMaskEscalation: a latent-sector escalation that happened
+// on the miss path stays escalated — later cache hits for the same data do
+// not un-fail the device or hide that the array is degraded.
+func TestCacheDoesNotMaskEscalation(t *testing.T) {
+	sys, err := New(cacheConfig(4 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sys.Boards[0]
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		// A latent error somewhere inside the first stripes: the miss-path
+		// read trips it and the array escalates the device to failed.
+		b.Disks[2].Drive.AddLatentError(0, 4)
+		const secs = (1 << 20) / 512
+		b.Cache.Read(p, 0, secs)
+		st := b.Array.Stats()
+		if st.DiskFailures != 1 {
+			t.Fatalf("DiskFailures = %d, want 1 (latent error should escalate)", st.DiskFailures)
+		}
+		failed := -1
+		for i := 0; i < b.Array.Width(); i++ {
+			if b.Array.Failed(i) {
+				failed = i
+			}
+		}
+		if failed < 0 {
+			t.Fatal("no array device marked failed after escalation")
+		}
+
+		// Served-from-cache re-read: the hit must not clear the failure.
+		hitsBefore := b.Cache.Stats().Hits
+		b.Cache.Read(p, 0, secs)
+		if b.Cache.Stats().Hits <= hitsBefore {
+			t.Error("re-read should hit")
+		}
+		if !b.Array.Failed(failed) {
+			t.Error("cache hit masked the escalation: device no longer failed")
+		}
+		if got := b.Array.Stats().DiskFailures; got != 1 {
+			t.Errorf("DiskFailures changed across a cache hit: %d", got)
+		}
+	})
+	sys.Eng.Run()
+}
+
+// TestCacheCrashInvalidates: an FS crash drops the cache contents with it,
+// so post-recovery reads cannot be served from pre-crash lines.
+func TestCacheCrashInvalidates(t *testing.T) {
+	sys, err := New(cacheConfig(4 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sys.Boards[0]
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		b.Cache.Read(p, 0, (512<<10)/512)
+		if b.Cache.Lines() == 0 {
+			t.Fatal("expected resident lines before crash")
+		}
+		b.Crash()
+		if b.Cache.Lines() != 0 {
+			t.Error("crash left cache lines resident")
+		}
+	})
+	sys.Eng.Run()
+}
+
+// TestCacheSharesBoardDRAM: the cache carve-out comes out of the same
+// 32 MB the transfer buffers use, and a cache that would starve transfers
+// fails assembly instead of overcommitting memory.
+func TestCacheSharesBoardDRAM(t *testing.T) {
+	const cacheBytes = 8 << 20
+	sys, err := New(cacheConfig(cacheBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sys.Boards[0]
+	want := b.XB.Cfg.MemoryBytes - cacheBytes
+	if got := b.XB.Buffers.Available(); got != want {
+		t.Errorf("transfer pool = %d bytes, want %d (32 MB minus cache)", got, want)
+	}
+
+	// Oversized: leaving less than MinTransferBytes for transfers must be
+	// rejected at assembly time.
+	over := cacheConfig(32<<20 - xbus.MinTransferBytes/2)
+	if _, err := New(over); err == nil {
+		t.Fatal("oversized cache accepted")
+	} else if !strings.Contains(err.Error(), "cache") {
+		t.Errorf("oversize error does not mention the cache: %v", err)
+	}
+}

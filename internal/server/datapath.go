@@ -13,6 +13,27 @@ import (
 // block of data is being sent across the network, the next blocks are
 // being read off the disk."
 
+// readDev issues an array read, through the block cache when the board has
+// one: resident lines are served from XBUS DRAM at crossbar cost, missing
+// lines fill from the array at full disk cost.
+func (b *Board) readDev(p *sim.Proc, at int64, secs int) {
+	if b.Cache != nil {
+		b.Cache.Read(p, at, secs)
+		return
+	}
+	b.Array.Read(p, at, secs)
+}
+
+// writeDevStreaming issues a benchmark-mode streaming write, keeping the
+// block cache coherent (and staging freshly written lines) when present.
+func (b *Board) writeDevStreaming(p *sim.Proc, at int64, data []byte) {
+	if b.Cache != nil {
+		b.Cache.WriteStreaming(p, at, data)
+		return
+	}
+	b.Array.WriteStreaming(p, at, data)
+}
+
 // chunks splits size into pipeline-chunk work items.
 func (b *Board) chunks(size int) []int {
 	c := b.sys.Cfg.PipelineChunk
@@ -73,7 +94,7 @@ func (b *Board) HardwareRead(p *sim.Proc, offSectors int64, size int) {
 		ready[i] = sim.NewEvent(e)
 		b.XB.Buffers.Acquire(p, n)
 		e.Spawn("hw-read-disk", func(q *sim.Proc) {
-			b.Array.Read(q, at, secs)
+			b.readDev(q, at, secs)
 			ready[i].Signal()
 		})
 	}
@@ -108,7 +129,7 @@ func (b *Board) HardwareWrite(p *sim.Proc, offSectors int64, size int) {
 		sim.Path{b.HEP.Out, b.HEP.In}.Send(p, n, 0)
 		secs := secs
 		g.Go("hw-write-disk", func(q *sim.Proc) {
-			b.Array.WriteStreaming(q, at, make([]byte, secs*secSize))
+			b.writeDevStreaming(q, at, make([]byte, secs*secSize))
 			b.XB.Buffers.Release(n)
 		})
 	}

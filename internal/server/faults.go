@@ -70,8 +70,6 @@ func (sys *System) Inject(p *sim.Proc, ev fault.Event) {
 	case fault.StringStall:
 		b.Disks[ev.Disk].StallString(p.Now().Add(ev.Stall))
 	case fault.FSCrash:
-		if b.FS != nil {
-			b.FS.Crash()
-		}
+		b.Crash()
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"raidii/internal/cache"
 	"raidii/internal/disk"
 	"raidii/internal/ether"
 	"raidii/internal/fault"
@@ -67,6 +68,14 @@ type Config struct {
 	PipelineDepth int
 	// PipelineChunk is the buffer granularity of that pipeline.
 	PipelineChunk int
+
+	// CacheBytes carves an XBUS-memory-resident block cache of this size
+	// out of each board's DRAM, consulted by the datapath before array
+	// reads (0 = no cache).  The carve-out and the transfer buffers share
+	// the board's 32 MB honestly: oversized caches fail assembly.
+	CacheBytes int
+	// CacheLineBytes is the cache line size (0 = cache.DefaultLineBytes).
+	CacheLineBytes int
 
 	// Faults is the deterministic fault plan armed when the system is
 	// assembled; the zero value injects nothing.
@@ -123,8 +132,18 @@ type Board struct {
 	Cougars []*scsi.Controller
 	Disks   []*scsi.Disk
 	Array   *raid.Array
+	Cache   *cache.Cache // XBUS-resident block cache; nil when not configured
 	FS      *lfs.FS
 	HEP     *hippi.Endpoint // HIPPI endpoint of this board
+}
+
+// Dev returns the store the file system and datapath read and write: the
+// block cache when one is configured, else the raw array.
+func (b *Board) Dev() lfs.Device {
+	if b.Cache != nil {
+		return b.Cache
+	}
+	return b.Array
 }
 
 // boundDisk adapts a SCSI-attached disk plus its VME port path into a
@@ -228,17 +247,46 @@ func (sys *System) newBoard(idx int) (*Board, error) {
 		return nil, err
 	}
 	b.Array = arr
+	if cfg.CacheBytes > 0 {
+		if err := xb.ReserveMemory(cfg.CacheBytes); err != nil {
+			return nil, fmt.Errorf("server: board %d cache: %w", idx, err)
+		}
+		cc, err := cache.New(e, arr, xb.Memory, cache.Config{
+			SizeBytes:   cfg.CacheBytes,
+			LineBytes:   cfg.CacheLineBytes,
+			StageWrites: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: board %d cache: %w", idx, err)
+		}
+		b.Cache = cc
+	}
 	return b, nil
 }
 
-// FormatFS creates the LFS on board b.
+// FormatFS creates the LFS on board b, storing through the block cache
+// when one is configured.
 func (b *Board) FormatFS(p *sim.Proc) error {
-	fs, err := lfs.Format(p, b.sys.Eng, b.Array, b.sys.Cfg.LFS)
+	fs, err := lfs.Format(p, b.sys.Eng, b.Dev(), b.sys.Cfg.LFS)
 	if err != nil {
 		return err
 	}
 	b.FS = fs
 	return nil
+}
+
+// Crash drops the board's volatile state: LFS segment buffers and every
+// line of the block cache.  DRAM contents do not survive a server crash,
+// so the cache must never satisfy a post-crash read from pre-crash state —
+// the write-through policy means no data are lost, only re-read cost.
+// MountFS recovers the file system from the log.
+func (b *Board) Crash() {
+	if b.FS != nil {
+		b.FS.Crash()
+	}
+	if b.Cache != nil {
+		b.Cache.InvalidateAll()
+	}
 }
 
 // NumDisks returns the number of disks on the board.
@@ -282,7 +330,7 @@ func (b *Board) ReplaceDisk(devIdx int) (*raid.Rebuild, error) {
 // MountFS mounts an existing LFS from the board's array, replaying whatever
 // checkpoint and log tail survive — the recovery path after a crash fault.
 func (b *Board) MountFS(p *sim.Proc) error {
-	fs, err := lfs.Mount(p, b.sys.Eng, b.Array)
+	fs, err := lfs.Mount(p, b.sys.Eng, b.Dev())
 	if err != nil {
 		return fmt.Errorf("server: mount board %d: %w", b.Index, err)
 	}

@@ -478,6 +478,25 @@ func (tk *Tokens) Acquire(p *Proc, n int) {
 	}
 }
 
+// Reserve permanently carves n units out of the pool at assembly time: no
+// process context, no blocking.  It fails — rather than deadlocks — if the
+// units are not immediately free or waiters are already queued, so callers
+// partitioning a pool (e.g. cache capacity vs. transfer buffers in XBUS
+// DRAM) get an honest error for an over-committed configuration.
+func (tk *Tokens) Reserve(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("sim: reserve of %d units from pool %q", n, tk.name)
+	}
+	if len(tk.queue) > 0 || n > tk.avail {
+		return fmt.Errorf("sim: cannot reserve %d units of %q (%d of %d available)", n, tk.name, tk.avail, tk.total)
+	}
+	tk.avail -= n
+	if t := tk.eng.tracer; t != nil {
+		t.ResourceAcquire(tk.name, nil, n, 0, false)
+	}
+	return nil
+}
+
 // Release returns n units to the pool and admits queued waiters in order.
 func (tk *Tokens) Release(n int) {
 	if t := tk.eng.tracer; t != nil {

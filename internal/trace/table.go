@@ -60,5 +60,16 @@ func (rec *Recorder) Table(limit int) string {
 	} else {
 		b.WriteString("no resource activity recorded\n")
 	}
+	// Cache effectiveness, when the run touched a block cache: hit rate is
+	// the paper-methodology companion to the utilization rows (a high rate
+	// moves the bottleneck from the VME disk ports to the crossbar/HIPPI).
+	hits := rec.spanCount("cache", "hit")
+	misses := rec.spanCount("cache", "miss")
+	if hits.Count+misses.Count > 0 {
+		evicts := rec.spanCount("cache", "evict")
+		rate := float64(hits.Count) / float64(hits.Count+misses.Count)
+		fmt.Fprintf(&b, "cache: %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
+			hits.Count, misses.Count, rate*100, evicts.Count)
+	}
 	return b.String()
 }

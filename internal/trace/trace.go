@@ -30,7 +30,7 @@ type Config struct {
 // already constructed on e are replayed into the recorder, so attaching
 // after system assembly loses nothing.
 func Attach(e *sim.Engine, cfg Config) *Recorder {
-	r := &Recorder{eng: e, cfg: cfg, procIdx: map[uint64]int{}, resIdx: map[string]int{}}
+	r := &Recorder{eng: e, cfg: cfg, procIdx: map[uint64]int{}, resIdx: map[string]int{}, spanIdx: map[string]int{}}
 	e.SetTracer(r)
 	return r
 }
@@ -107,6 +107,19 @@ type Recorder struct {
 	resources []*Resource
 	resIdx    map[string]int
 	counters  []counterRec
+
+	spanAgg []*SpanCount
+	spanIdx map[string]int
+}
+
+// SpanCount aggregates every span sharing a category and name: occurrence
+// count and total simulated duration.  Unlike per-event span records these
+// are kept even without Events, at O(distinct span kinds) memory, so Table
+// can report span-derived statistics (e.g. cache hit rate) for any run.
+type SpanCount struct {
+	Cat, Name string
+	Count     uint64
+	Total     sim.Duration
 }
 
 // Label returns the configured label.
@@ -201,8 +214,37 @@ func (rec *Recorder) ResourceRelease(name string, units int) {
 
 // Span implements sim.Tracer.
 func (rec *Recorder) Span(p *sim.Proc, cat, name string, start sim.Time) {
+	if rec.spanIdx == nil {
+		rec.spanIdx = map[string]int{}
+	}
+	key := cat + "\x00" + name
+	i, ok := rec.spanIdx[key]
+	if !ok {
+		i = len(rec.spanAgg)
+		rec.spanIdx[key] = i
+		rec.spanAgg = append(rec.spanAgg, &SpanCount{Cat: cat, Name: name})
+	}
+	rec.spanAgg[i].Count++
+	rec.spanAgg[i].Total += rec.eng.Now().Sub(start)
 	if !rec.cfg.Events {
 		return
 	}
 	rec.spans = append(rec.spans, spanRec{tid: p.ID(), cat: cat, name: name, start: start, end: rec.eng.Now()})
+}
+
+// SpanCounts returns the span aggregates in first-occurrence order.
+func (rec *Recorder) SpanCounts() []SpanCount {
+	out := make([]SpanCount, len(rec.spanAgg))
+	for i, s := range rec.spanAgg {
+		out[i] = *s
+	}
+	return out
+}
+
+// spanCount returns the aggregate for (cat, name), zero-valued if never seen.
+func (rec *Recorder) spanCount(cat, name string) SpanCount {
+	if i, ok := rec.spanIdx[cat+"\x00"+name]; ok {
+		return *rec.spanAgg[i]
+	}
+	return SpanCount{Cat: cat, Name: name}
 }

@@ -141,6 +141,26 @@ func New(e *sim.Engine, name string, cfg Config) *Board {
 	return b
 }
 
+// MinTransferBytes is the floor of board DRAM that must stay available for
+// transfer, pipeline and network buffers after any permanent carve-out.
+// Two megabytes covers the deepest configured pipeline (8 x 256 KB).
+const MinTransferBytes = 2 << 20
+
+// ReserveMemory permanently carves n bytes of the board's DRAM out of the
+// transfer-buffer pool — the block cache's capacity.  Cache lines and
+// transfer buffers share the 32 MB honestly: a reservation that would
+// leave fewer than MinTransferBytes for transfers fails.
+func (b *Board) ReserveMemory(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("xbus: memory reservation of %d bytes", n)
+	}
+	if b.Buffers.Available()-n < MinTransferBytes {
+		return fmt.Errorf("xbus: reserving %d bytes leaves %d of %d for transfer buffers (floor %d)",
+			n, b.Buffers.Available()-n, b.Cfg.MemoryBytes, MinTransferBytes)
+	}
+	return b.Buffers.Reserve(n)
+}
+
 // DiskReadPath returns the upstream path for data arriving from a Cougar on
 // VME disk port i into XBUS memory.
 func (b *Board) DiskReadPath(i int) sim.Path { return sim.Path{b.VME[i].In()} }

@@ -34,6 +34,7 @@ package raidii
 import (
 	"time"
 
+	"raidii/internal/cache"
 	"raidii/internal/disk"
 	"raidii/internal/fault"
 	"raidii/internal/host"
@@ -109,6 +110,25 @@ func WithSegmentKB(kb int) Option {
 // WithWrenDisks swaps in the older Wren IV drives of RAID-I.
 func WithWrenDisks() Option {
 	return func(c *server.Config) { c.DiskSpec = disk.WrenIV() }
+}
+
+// WithCache carves an XBUS-memory-resident block cache of the given size
+// (in bytes) out of each board's 32 MB DRAM.  The datapath consults it
+// before issuing array reads: resident blocks are served at crossbar-memory
+// cost (hits still cross the crossbar to the HIPPI port), missing blocks
+// fill from the array at full disk cost, and LFS segment writes stage
+// through it so reads of freshly written data hit memory.  Cache capacity
+// and transfer buffers share the DRAM honestly — an oversized cache fails
+// NewServer.
+func WithCache(bytes int) Option {
+	return func(c *server.Config) { c.CacheBytes = bytes }
+}
+
+// WithCacheLineKB sets the cache line size (default 64 KB, one stripe
+// unit).  Smaller lines suit small-block file-system traffic; larger lines
+// suit sequential streams.
+func WithCacheLineKB(kb int) Option {
+	return func(c *server.Config) { c.CacheLineBytes = kb << 10 }
 }
 
 // WithFaultPlan arms a deterministic fault plan when the server is
@@ -387,6 +407,20 @@ func (bd *Board) DiskFailed(i int) bool { return bd.b.Array.Failed(i) }
 // degraded reads, device errors, disk failures, and rebuilt stripes.
 func (bd *Board) ArrayStats() raid.Stats { return bd.b.Array.Stats() }
 
+// CacheStats counts block-cache activity on one board: hits, misses,
+// evictions, write overlays, staged lines and invalidations, plus hit and
+// fill byte volumes.
+type CacheStats = cache.Stats
+
+// CacheStats returns the board's block-cache counters.  Without WithCache
+// it is all zeros.
+func (bd *Board) CacheStats() CacheStats {
+	if bd.b.Cache == nil {
+		return CacheStats{}
+	}
+	return bd.b.Cache.Stats()
+}
+
 // ReplaceDisk attaches a spare drive in place of failed device i and starts
 // a background hot rebuild that contends with foreground traffic; the
 // returned handle reports completion.
@@ -398,13 +432,10 @@ func (bd *Board) ReplaceDisk(i int) (*HotRebuild, error) {
 	return &HotRebuild{t: bd.t, rb: rb}, nil
 }
 
-// Crash drops the board file system's volatile state (segment buffers,
-// caches), simulating a server crash; MountFS recovers from the log.
-func (bd *Board) Crash() {
-	if bd.b.FS != nil {
-		bd.b.FS.Crash()
-	}
-}
+// Crash drops the board's volatile state — LFS segment buffers and every
+// block-cache line — simulating a server crash; MountFS recovers from the
+// log, and post-crash reads pay full disk cost until the cache rewarms.
+func (bd *Board) Crash() { bd.b.Crash() }
 
 // HotRebuild is a handle on a background hot rebuild started by ReplaceDisk.
 type HotRebuild struct {
