@@ -8,7 +8,7 @@
 //
 // With no arguments every experiment runs.  Experiments: fig5, table1,
 // table2, fig6, fig7, fig8, raid1, client, recovery, scaling, zebra,
-// rebuild, faults, fileserver, cache, ablate.
+// rebuild, faults, netfaults, fileserver, cache, ablate.
 //
 // -util prints a per-component utilization/queue-wait table after each
 // experiment, naming the bottleneck that shapes the measured curve (and
@@ -98,6 +98,7 @@ func main() {
 		{"zebra", "Zebra striping across servers", "2-5 single-board servers", runZebra},
 		{"rebuild", "degraded mode and disk reconstruction", cfg24, runRebuild},
 		{"faults", "scripted fault plans: timeline and rebuild under load", cfg24, runFaults},
+		{"netfaults", "Ultranet link flap under client reads", cfg16 + " + fast client", runNetFaults},
 		{"fileserver", "Zipf-skewed file-server trace (integration)", cfg16 + ", 8 MB cache (16 KB lines)", runFileServer},
 		{"cache", "block cache working-set sweep", cfg24 + ", 8 MB cache (64 KB lines)", runCache},
 		{"ablate", "design-choice ablations", cfgMix, runAblate},
@@ -339,6 +340,22 @@ func runFaults() error {
 	jsonPoint("phase-degraded", 0, "MB/s", r.DegradedMBps)
 	jsonPoint("phase-rebuilding", 0, "MB/s", r.RebuildingMBps)
 	jsonPoint("phase-post-rebuild", 0, "MB/s", r.PostRebuildMBps)
+	return nil
+}
+
+func runNetFaults() error {
+	r, err := raidii.NetworkFaultTimeline()
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Fig.Render())
+	fmt.Printf("ring down %v-%v: %.1f MB/s before -> %.1f MB/s during -> %.1f MB/s recovered "+
+		"(%d client retries)\n",
+		r.DownAt, r.UpAt, r.PreFaultMBps, r.DuringMBps, r.RecoveredMBps, r.Retries)
+	jsonPoint("net-pre-fault", 0, "MB/s", r.PreFaultMBps)
+	jsonPoint("net-during-fault", 0, "MB/s", r.DuringMBps)
+	jsonPoint("net-recovered", 0, "MB/s", r.RecoveredMBps)
+	jsonPoint("net-retries", 0, "count", float64(r.Retries))
 	return nil
 }
 

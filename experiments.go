@@ -430,17 +430,17 @@ func ClientNetwork() (ClientResult, error) {
 		if err != nil {
 			panic(err)
 		}
-		start := p.Now()
-		if err := f.Write(p, 0, n); err != nil {
+		wd, err := f.Write(p, 0, n)
+		if err != nil {
 			panic(err)
 		}
-		writeT = p.Now().Sub(start)
+		writeT = wd
 		b.FS.Sync(p)
-		start = p.Now()
-		if err := f.Read(p, 0, n); err != nil {
+		rd, err := f.Read(p, 0, n)
+		if err != nil {
 			panic(err)
 		}
-		readT = p.Now().Sub(start)
+		readT = rd
 	})
 	sys.Eng.Run()
 	out.ReadMBps = float64(n) / readT.Seconds() / 1e6

@@ -6,12 +6,19 @@
 // single-client bandwidth (§3.4: a SPARCstation 10/51 reads 3.2 MB/s and
 // writes 3.1 MB/s because its "user-level network interface implementation
 // performs many copy operations").
+//
+// The library is fault-aware end to end: requests carry a deadline, fail
+// with typed errors (fault.ErrLinkDown, fault.ErrServerBusy, ...), retry
+// transient faults with deterministic exponential backoff on the simulated
+// clock, and resume partial transfers past the chunks that already landed.
 package client
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"raidii/internal/fault"
 	"raidii/internal/hippi"
 	"raidii/internal/host"
 	"raidii/internal/server"
@@ -24,19 +31,91 @@ type Workstation struct {
 	Host *host.Host
 	NIC  *sim.Link
 	EP   *hippi.Endpoint
+
+	// Retry is the workstation's request retry/timeout policy, inherited
+	// from the server Config's ClientRetry at attach time; tests and
+	// experiments may replace it before issuing requests.
+	Retry fault.RetryPolicy
+
+	stats Stats
+}
+
+// Stats counts the client library's fault handling.
+type Stats struct {
+	// Retries is how many request attempts were resent after a transient
+	// failure.
+	Retries uint64
+	// Busy is how many attempts the server shed with fault.ErrServerBusy.
+	Busy uint64
+	// Deadlines is how many requests were abandoned at their deadline.
+	Deadlines uint64
 }
 
 // NewWorkstation attaches a client of the given host model to the system's
-// Ultranet.
+// Ultranet.  The endpoint registers with the server so scripted
+// PortClientNIC fault events can reach it, in attachment order.
 func NewWorkstation(sys *server.System, name string, cfg host.Config) *Workstation {
 	h := host.New(sys.Eng, cfg)
 	nic := sim.NewLink(sys.Eng, name+":nic", 40, 0)
-	return &Workstation{
-		sys:  sys,
-		Host: h,
-		NIC:  nic,
-		EP:   &hippi.Endpoint{Name: name, Out: nic, In: nic, Setup: 300 * time.Microsecond},
+	ws := &Workstation{
+		sys:   sys,
+		Host:  h,
+		NIC:   nic,
+		EP:    &hippi.Endpoint{Name: name, Out: nic, In: nic, Setup: 300 * time.Microsecond},
+		Retry: sys.Cfg.ClientRetry,
 	}
+	sys.RegisterClientEndpoint(ws.EP)
+	return ws
+}
+
+// Stats returns the workstation's fault-handling counters.
+func (ws *Workstation) Stats() Stats { return ws.stats }
+
+// withRetry runs one client request under the workstation's retry policy.
+// attempt is invoked with the bytes already completed by earlier attempts
+// (so transfers resume rather than restart) and reports how many more it
+// completed before succeeding or failing.  Transient failures (see
+// fault.Retryable) are retried after a deterministic exponential backoff;
+// the deadline bounds the request end to end including backoff waits.
+func (ws *Workstation) withRetry(p *sim.Proc, what string, attempt func(resume int) (int, error)) error {
+	pol := ws.Retry
+	start := p.Now()
+	done := 0
+	backoff := pol.FirstBackoff()
+	for try := 0; ; try++ {
+		n, err := attempt(done)
+		done += n
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, fault.ErrServerBusy) {
+			ws.stats.Busy++
+		}
+		if !fault.Retryable(err) || try >= pol.MaxRetries {
+			return err
+		}
+		if pol.Deadline > 0 && time.Duration(p.Now().Sub(start))+backoff >= pol.Deadline {
+			ws.stats.Deadlines++
+			return fmt.Errorf("client: %s after %v (%d retries): %w (last error: %v)",
+				what, time.Duration(p.Now().Sub(start)), try, fault.ErrDeadline, err)
+		}
+		ws.stats.Retries++
+		end := p.Span("client", "retry")
+		p.Wait(backoff)
+		end()
+		backoff = pol.NextBackoff(backoff)
+	}
+}
+
+// admit runs the server-side admission check for a request that has reached
+// board b.  A shed request still costs a small busy reply on the wire
+// before the typed error reaches the caller.
+func (ws *Workstation) admit(p *sim.Proc, b *server.Board) (release func(), err error) {
+	if err := b.Admit(p); err != nil {
+		_, _ = ws.sys.Ultra.Send(p, b.HEP, ws.EP, 64)
+		return nil, err
+	}
+	return b.Release, nil
 }
 
 // File is an open RAID file reached through the client library.
@@ -49,104 +128,191 @@ type File struct {
 
 // Open performs raid_open: the library opens a socket to the server, sends
 // the open command, and the RAID-II host performs the name lookup on the
-// low-bandwidth path.
+// low-bandwidth path.  Transient network faults are retried under the
+// workstation's policy.
 func (ws *Workstation) Open(p *sim.Proc, boardIdx int, path string) (*File, error) {
-	b := ws.sys.Boards[boardIdx]
-	// Command exchange: small control messages over the Ultranet, plus the
-	// host's name-resolution work.
-	ws.sys.Ultra.Send(p, ws.EP, b.HEP, 256)
-	ws.sys.Host.CPUWork(p, 2*time.Millisecond)
-	f, err := b.OpenFS(p, path)
-	if err != nil {
-		return nil, err
-	}
-	ws.sys.Ultra.Send(p, b.HEP, ws.EP, 128)
-	return &File{ws: ws, board: b, f: f, path: path}, nil
+	var f *File
+	err := ws.withRetry(p, "raid_open "+path, func(int) (int, error) {
+		ff, err := ws.openOnce(p, boardIdx, path, false)
+		f = ff
+		return 0, err
+	})
+	return f, err
 }
 
 // Create performs raid_open with creation semantics.
 func (ws *Workstation) Create(p *sim.Proc, boardIdx int, path string) (*File, error) {
+	var f *File
+	err := ws.withRetry(p, "raid_create "+path, func(int) (int, error) {
+		ff, err := ws.openOnce(p, boardIdx, path, true)
+		f = ff
+		return 0, err
+	})
+	return f, err
+}
+
+func (ws *Workstation) openOnce(p *sim.Proc, boardIdx int, path string, create bool) (*File, error) {
 	b := ws.sys.Boards[boardIdx]
-	ws.sys.Ultra.Send(p, ws.EP, b.HEP, 256)
-	ws.sys.Host.CPUWork(p, 3*time.Millisecond)
-	f, err := b.CreateFS(p, path)
+	// Command exchange: small control messages over the Ultranet, plus the
+	// host's name-resolution work.
+	if _, err := ws.sys.Ultra.Send(p, ws.EP, b.HEP, 256); err != nil {
+		return nil, err
+	}
+	release, err := ws.admit(p, b)
 	if err != nil {
 		return nil, err
 	}
-	ws.sys.Ultra.Send(p, b.HEP, ws.EP, 128)
+	defer release()
+	var f *server.FSFile
+	if create {
+		ws.sys.Host.CPUWork(p, 3*time.Millisecond)
+		f, err = b.CreateFS(p, path)
+	} else {
+		ws.sys.Host.CPUWork(p, 2*time.Millisecond)
+		f, err = b.OpenFS(p, path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ws.sys.Ultra.Send(p, b.HEP, ws.EP, 128); err != nil {
+		return nil, err
+	}
 	return &File{ws: ws, board: b, f: f, path: path}, nil
 }
 
 // Read performs raid_read: the server pipelines disk reads with network
 // sends while the client receives into application memory through its
-// copy-bound user-level library.
-func (fl *File) Read(p *sim.Proc, off int64, n int) error {
+// copy-bound user-level library.  It returns the simulated duration of the
+// whole request, retries and backoff included.  A transient fault costs a
+// retry that resumes past the chunks already delivered, not a failed op.
+func (fl *File) Read(p *sim.Proc, off int64, n int) (time.Duration, error) {
+	start := p.Now()
+	err := fl.ws.withRetry(p, "raid_read "+fl.path, func(resume int) (int, error) {
+		return fl.readOnce(p, off+int64(resume), n-resume)
+	})
+	return time.Duration(p.Now().Sub(start)), err
+}
+
+// readOnce is one raid_read attempt.  It returns the bytes delivered to the
+// client before any failure, at chunk granularity: a chunk interrupted
+// mid-transfer is resent whole on the next attempt.
+func (fl *File) readOnce(p *sim.Proc, off int64, n int) (int, error) {
 	ws := fl.ws
 	sys := ws.sys
 	b := fl.board
 
 	// Read command (file position and length) to the server.
-	sys.Ultra.Send(p, ws.EP, b.HEP, 128)
+	if _, err := sys.Ultra.Send(p, ws.EP, b.HEP, 128); err != nil {
+		return 0, err
+	}
+	release, err := ws.admit(p, b)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
 	sys.Host.CPUWork(p, sys.Cfg.FSReadOverhead)
 
 	// Server side: pipeline processes read blocks into XBUS buffers while
 	// the HIPPI source board sends completed blocks to the client; the
 	// client's socket-library copies bound its receive rate.
 	e := sys.Eng
-	type chunkState struct{ ready *sim.Event }
 	chunks := chunkSizes(n, sys.Cfg.PipelineChunk)
-	states := make([]chunkState, len(chunks))
+	ready := make([]*sim.Event, len(chunks))
+	errs := make([]error, len(chunks))
 	cursor := off
 	for i, c := range chunks {
 		i, c := i, c
 		at := cursor
 		cursor += int64(c)
-		states[i].ready = sim.NewEvent(e)
+		ready[i] = sim.NewEvent(e)
 		b.XB.Buffers.Acquire(p, c)
 		e.Spawn("client-read-disk", func(q *sim.Proc) {
-			_, _ = fl.f.File.ReadAt(q, at, c)
-			states[i].ready.Signal()
+			_, errs[i] = fl.f.File.ReadAt(q, at, c)
+			ready[i].Signal()
 		})
 	}
+	// Even after a failure the loop keeps draining: every spawned reader
+	// must finish and every acquired buffer must return to the pool, or the
+	// board would leak XBUS memory on each failed attempt.
+	done := 0
+	var firstErr error
 	for i, c := range chunks {
-		states[i].ready.Wait(p)
-		sys.Ultra.Send(p, b.HEP, ws.EP, c)
+		ready[i].Wait(p)
+		if firstErr == nil && errs[i] != nil {
+			firstErr = fmt.Errorf("client: read %s at %d: %w", fl.path, off+int64(done), errs[i])
+		}
+		if firstErr == nil {
+			if _, err := sys.Ultra.Send(p, b.HEP, ws.EP, c); err != nil {
+				firstErr = err
+			} else {
+				b.XB.Buffers.Release(c)
+				// Client-side copies out of the socket into application memory.
+				ws.Host.CopyAsync(p, c)
+				done += c
+				continue
+			}
+		}
 		b.XB.Buffers.Release(c)
-		// Client-side copies out of the socket into application memory.
-		ws.Host.CopyAsync(p, c)
 	}
-	return nil
+	return done, firstErr
 }
 
 // Write performs raid_write: the client's copy-limited library pushes data
 // over the Ultranet; the server lands it in XBUS memory and appends it to
-// the LFS log.
-func (fl *File) Write(p *sim.Proc, off int64, n int) error {
+// the LFS log.  It returns the simulated duration of the whole request,
+// retries included; retries resume past the chunks already written.
+func (fl *File) Write(p *sim.Proc, off int64, n int) (time.Duration, error) {
+	start := p.Now()
+	err := fl.ws.withRetry(p, "raid_write "+fl.path, func(resume int) (int, error) {
+		return fl.writeOnce(p, off+int64(resume), n-resume)
+	})
+	return time.Duration(p.Now().Sub(start)), err
+}
+
+// writeOnce is one raid_write attempt, returning the bytes durably handed
+// to the server before any failure.
+func (fl *File) writeOnce(p *sim.Proc, off int64, n int) (int, error) {
 	ws := fl.ws
 	sys := ws.sys
 	b := fl.board
-	sys.Ultra.Send(p, ws.EP, b.HEP, 128)
+	if _, err := sys.Ultra.Send(p, ws.EP, b.HEP, 128); err != nil {
+		return 0, err
+	}
+	release, err := ws.admit(p, b)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
 	sys.Host.CPUWork(p, sys.Cfg.FSWriteOverhead)
 
+	chunks := chunkSizes(n, sys.Cfg.PipelineChunk)
+	// One reusable transfer buffer per request, sized for the largest chunk,
+	// instead of a fresh allocation per chunk.
+	maxChunk := 0
+	for _, c := range chunks {
+		if c > maxChunk {
+			maxChunk = c
+		}
+	}
+	buf := make([]byte, maxChunk)
 	cursor := off
-	for _, c := range chunkSizes(n, sys.Cfg.PipelineChunk) {
+	done := 0
+	for _, c := range chunks {
 		// Client copies into socket buffers, then the wire transfer.
 		ws.Host.CopyAsync(p, c)
-		sys.Ultra.Send(p, ws.EP, b.HEP, c)
-		b.XB.Buffers.Acquire(p, c)
-		if err := writeChunk(p, fl, cursor, c); err != nil {
-			b.XB.Buffers.Release(c)
-			return err
+		if _, err := sys.Ultra.Send(p, ws.EP, b.HEP, c); err != nil {
+			return done, err
 		}
+		b.XB.Buffers.Acquire(p, c)
+		_, werr := fl.f.File.WriteAt(p, buf[:c], cursor)
 		b.XB.Buffers.Release(c)
+		if werr != nil {
+			return done, fmt.Errorf("client: write %s at %d: %w", fl.path, cursor, werr)
+		}
 		cursor += int64(c)
+		done += c
 	}
-	return nil
-}
-
-func writeChunk(p *sim.Proc, fl *File, off int64, n int) error {
-	_, err := fl.f.File.WriteAt(p, make([]byte, n), off)
-	return err
+	return done, nil
 }
 
 // Size returns the file size as seen by the server.

@@ -1,8 +1,12 @@
 package client
 
 import (
+	"errors"
+	"strings"
 	"testing"
+	"time"
 
+	"raidii/internal/fault"
 	"raidii/internal/host"
 	"raidii/internal/server"
 	"raidii/internal/sim"
@@ -12,7 +16,12 @@ import (
 // the given size.
 func newSystem(t *testing.T, fileMB int) (*server.System, string) {
 	t.Helper()
-	sys, err := server.New(server.Fig8Config())
+	return newSystemCfg(t, fileMB, server.Fig8Config())
+}
+
+func newSystemCfg(t *testing.T, fileMB int, cfg server.Config) (*server.System, string) {
+	t.Helper()
+	sys, err := server.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,11 +59,11 @@ func TestSPARCstationReadAround3MBps(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		start := p.Now()
-		if err := f.Read(p, 0, 8<<20); err != nil {
+		dur, err := f.Read(p, 0, 8<<20)
+		if err != nil {
 			t.Fatal(err)
 		}
-		rate = float64(8<<20) / p.Now().Sub(start).Seconds() / 1e6
+		rate = float64(8<<20) / dur.Seconds() / 1e6
 	})
 	sys.Eng.Run()
 	if rate < 2.6 || rate > 3.8 {
@@ -71,11 +80,11 @@ func TestSPARCstationWriteAround3MBps(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		start := p.Now()
-		if err := f.Write(p, 0, 8<<20); err != nil {
+		dur, err := f.Write(p, 0, 8<<20)
+		if err != nil {
 			t.Fatal(err)
 		}
-		rate = float64(8<<20) / p.Now().Sub(start).Seconds() / 1e6
+		rate = float64(8<<20) / dur.Seconds() / 1e6
 	})
 	sys.Eng.Run()
 	if rate < 2.4 || rate > 3.8 {
@@ -94,7 +103,7 @@ func TestHostNearlyIdleDuringClientTransfer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := f.Read(p, 0, 8<<20); err != nil {
+		if _, err := f.Read(p, 0, 8<<20); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -120,11 +129,11 @@ func TestFastClientNotCopyBound(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		start := p.Now()
-		if err := f.Read(p, 0, 16<<20); err != nil {
+		dur, err := f.Read(p, 0, 16<<20)
+		if err != nil {
 			t.Fatal(err)
 		}
-		rate = float64(16<<20) / p.Now().Sub(start).Seconds() / 1e6
+		rate = float64(16<<20) / dur.Seconds() / 1e6
 	})
 	sys.Eng.Run()
 	if rate < 10 {
@@ -138,6 +147,220 @@ func TestOpenMissingFileFails(t *testing.T) {
 	sys.Eng.Spawn("t", func(p *sim.Proc) {
 		if _, err := ws.Open(p, 0, "/no-such-file"); err == nil {
 			t.Error("expected open of missing file to fail")
+		}
+	})
+	sys.Eng.Run()
+}
+
+// TestReadRetriesThroughLinkFlap drops the Ultranet ring mid-transfer and
+// brings it back: the client library must back off, retry, resume past the
+// chunks already delivered, and finish the read successfully.
+func TestReadRetriesThroughLinkFlap(t *testing.T) {
+	sys, path := newSystem(t, 4)
+	ws := NewWorkstation(sys, "ss10", host.SPARCstation10())
+	ws.Retry = fault.RetryPolicy{MaxRetries: 20}
+	var dur time.Duration
+	sys.Eng.Spawn("flap", func(p *sim.Proc) {
+		p.Wait(200 * time.Millisecond)
+		sys.Ultra.SetRingDown(true)
+		p.Wait(50 * time.Millisecond)
+		sys.Ultra.SetRingDown(false)
+	})
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		f, err := ws.Open(p, 0, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dur, err = f.Read(p, 0, 4<<20)
+		if err != nil {
+			t.Fatalf("read through link flap: %v", err)
+		}
+	})
+	sys.Eng.Run()
+	if ws.Stats().Retries == 0 {
+		t.Fatal("link flap during transfer caused no retries")
+	}
+	// The outage plus backoff must show up in the request duration: a clean
+	// 4 MB read at ~3.2 MB/s takes ~1.25 s; the flap adds at least its 50 ms.
+	if dur < 1250*time.Millisecond {
+		t.Fatalf("read through 50ms outage took only %v", dur)
+	}
+}
+
+// TestReadFailsWithoutRetries confirms the typed error surfaces when the
+// policy allows no retries and the link is down.
+func TestReadFailsWithoutRetries(t *testing.T) {
+	sys, path := newSystem(t, 1)
+	ws := NewWorkstation(sys, "ss10", host.SPARCstation10())
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		sys.Ultra.SetRingDown(true)
+		f, err := ws.Open(p, 0, path)
+		if err == nil {
+			_, err = f.Read(p, 0, 1<<20)
+		}
+		if !errors.Is(err, fault.ErrLinkDown) {
+			t.Fatalf("err = %v, want fault.ErrLinkDown", err)
+		}
+	})
+	sys.Eng.Run()
+}
+
+// TestDeadlineBoundsRetries keeps the link down for good: a request with a
+// deadline must give up with fault.ErrDeadline instead of burning through
+// its whole retry budget.
+func TestDeadlineBoundsRetries(t *testing.T) {
+	sys, path := newSystem(t, 1)
+	ws := NewWorkstation(sys, "ss10", host.SPARCstation10())
+	ws.Retry = fault.RetryPolicy{MaxRetries: 1000, Deadline: 100 * time.Millisecond}
+	var dur time.Duration
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		f, err := ws.Open(p, 0, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Ultra.SetRingDown(true)
+		start := p.Now()
+		_, err = f.Read(p, 0, 1<<20)
+		dur = time.Duration(p.Now().Sub(start))
+		if !errors.Is(err, fault.ErrDeadline) {
+			t.Fatalf("err = %v, want fault.ErrDeadline", err)
+		}
+	})
+	sys.Eng.Run()
+	if dur > 150*time.Millisecond {
+		t.Fatalf("deadline 100ms but request ran %v", dur)
+	}
+	if ws.Stats().Deadlines != 1 {
+		t.Fatalf("Deadlines = %d, want 1", ws.Stats().Deadlines)
+	}
+}
+
+// TestAdmissionShedsAndRecovers drives three concurrent clients into a
+// board with a one-slot admission queue: the third is shed with
+// fault.ErrServerBusy, backs off, and every read still completes.
+func TestAdmissionShedsAndRecovers(t *testing.T) {
+	cfg := server.Fig8Config()
+	cfg.AdmissionLimit = 1
+	sys, path := newSystemCfg(t, 2, cfg)
+	var stations []*Workstation
+	for _, name := range []string{"ws-a", "ws-b", "ws-c"} {
+		ws := NewWorkstation(sys, name, host.SPARCstation10())
+		ws.Retry = fault.RetryPolicy{MaxRetries: 30}
+		stations = append(stations, ws)
+		sys.Eng.Spawn("t-"+name, func(p *sim.Proc) {
+			f, err := ws.Open(p, 0, path)
+			if err != nil {
+				t.Fatalf("%s open: %v", ws.EP.Name, err)
+			}
+			if _, err := f.Read(p, 0, 1<<20); err != nil {
+				t.Fatalf("%s read: %v", ws.EP.Name, err)
+			}
+		})
+	}
+	sys.Eng.Run()
+	st := sys.Boards[0].AdmissionStats()
+	if st.Shed == 0 {
+		t.Fatalf("admission stats %+v: expected at least one shed request", st)
+	}
+	var busy uint64
+	for _, ws := range stations {
+		busy += ws.Stats().Busy
+	}
+	if busy == 0 {
+		t.Fatal("no client observed fault.ErrServerBusy")
+	}
+}
+
+// TestReadFromDegradedAndRebuildingArray covers the client path while the
+// array is reconstructing: a disk fails, a read must still deliver the full
+// size at a sane rate, and the same holds while a hot rebuild is running.
+func TestReadFromDegradedAndRebuildingArray(t *testing.T) {
+	// Short-stroke the drives: the assertions are about the client path
+	// staying copy-bound, and a full 320 MB reconstruction would dominate
+	// the run for nothing.
+	cfg := server.Fig8Config()
+	cfg.DiskSpec.Cylinders = 80
+	sys, path := newSystemCfg(t, 4, cfg)
+	b := sys.Boards[0]
+	ws := NewWorkstation(sys, "ss10", host.SPARCstation10())
+	var degraded, rebuilding time.Duration
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		f, err := ws.Open(p, 0, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Disks[2].Drive.Fail()
+		degraded, err = f.Read(p, 0, 4<<20)
+		if err != nil {
+			t.Fatalf("degraded read: %v", err)
+		}
+		rb, err := b.ReplaceDisk(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebuilding, err = f.Read(p, 0, 4<<20)
+		if err != nil {
+			t.Fatalf("read during rebuild: %v", err)
+		}
+		if _, err := rb.Wait(p); err != nil {
+			t.Fatalf("rebuild: %v", err)
+		}
+	})
+	sys.Eng.Run()
+	for what, dur := range map[string]time.Duration{"degraded": degraded, "rebuilding": rebuilding} {
+		rate := float64(4<<20) / dur.Seconds() / 1e6
+		// Reconstruction costs disk time, not client copies, so the
+		// copy-bound SPARCstation still lands near its healthy rate.
+		if rate < 1.5 || rate > 3.8 {
+			t.Errorf("%s read = %.2f MB/s, want 1.5..3.8", what, rate)
+		}
+	}
+	if st := b.Array.Stats(); st.DiskFailures != 1 {
+		t.Fatalf("DiskFailures = %d, want 1", st.DiskFailures)
+	}
+}
+
+// failingFile satisfies the server FS-file interface with a permanent
+// medium error, exercising the per-chunk error collection in readOnce.
+type failingFile struct{ err error }
+
+func (f failingFile) ReadAt(p *sim.Proc, off int64, n int) ([]byte, error) { return nil, f.err }
+func (f failingFile) WriteAt(p *sim.Proc, data []byte, off int64) (int, error) {
+	return 0, f.err
+}
+func (f failingFile) Size(p *sim.Proc) (int64, error) { return 0, f.err }
+
+// TestChunkReadErrorPropagates plants a failing file behind the client
+// library: the error must surface from Read (not be swallowed by the
+// spawned chunk readers), and the XBUS buffer pool must be whole afterwards
+// so the next request does not deadlock.
+func TestChunkReadErrorPropagates(t *testing.T) {
+	sys, path := newSystem(t, 2)
+	b := sys.Boards[0]
+	ws := NewWorkstation(sys, "ss10", host.SPARCstation10())
+	stubErr := errors.New("medium error on chunk")
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		broken := &File{
+			ws:    ws,
+			board: b,
+			f:     &server.FSFile{Board: b, File: failingFile{err: stubErr}},
+			path:  "/broken",
+		}
+		_, err := broken.Read(p, 0, 2<<20)
+		if !errors.Is(err, stubErr) {
+			t.Fatalf("err = %v, want wrapped %v", err, stubErr)
+		}
+		if err != nil && !strings.Contains(err.Error(), "/broken") {
+			t.Fatalf("error %q does not name the file", err)
+		}
+		// The failed request must have drained its buffers: a healthy read
+		// right after must succeed, not deadlock on the token pool.
+		f, err := ws.Open(p, 0, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Read(p, 0, 2<<20); err != nil {
+			t.Fatalf("read after failed request: %v", err)
 		}
 	})
 	sys.Eng.Run()

@@ -6,8 +6,10 @@
 package ether
 
 import (
+	"fmt"
 	"time"
 
+	"raidii/internal/fault"
 	"raidii/internal/sim"
 )
 
@@ -28,6 +30,10 @@ func DefaultConfig() Config {
 type Segment struct {
 	wire *sim.Link
 	cfg  Config
+
+	down      bool
+	lossEvery int    // drop every lossEvery-th frame; 0 = none
+	frames    uint64 // frames carried, for the loss period
 }
 
 // New creates a segment on engine e.
@@ -40,10 +46,54 @@ func New(e *sim.Engine, name string, cfg Config) *Segment {
 	}
 }
 
+// SetDown marks the segment down (or back up); sends over a down wire fail
+// with fault.ErrLinkDown.
+func (s *Segment) SetDown(down bool) { s.down = down }
+
+// SetLossEvery makes the wire drop every n-th frame (0 disables loss).
+func (s *Segment) SetLossEvery(n int) { s.lossEvery = n }
+
+// lose advances the frame counter and reports whether this frame drops.
+func (s *Segment) lose() bool {
+	if s.lossEvery <= 0 {
+		return false
+	}
+	s.frames++
+	return s.frames%uint64(s.lossEvery) == 0
+}
+
 // Send transmits n bytes as MTU-sized frames; concurrent senders contend
-// frame by frame.  It returns when the final frame has been received.
-func (s *Segment) Send(p *sim.Proc, n int) {
-	sim.Path{s.wire}.Send(p, n, s.cfg.MTU)
+// frame by frame.  It returns the bytes delivered and the first fault hit:
+// a down wire fails before the frame goes out, a dropped frame fails after
+// its wire time plus one packet time of retransmit-timeout cost.
+func (s *Segment) Send(p *sim.Proc, n int) (int, error) {
+	mtu := s.cfg.MTU
+	if mtu <= 0 {
+		mtu = 1500
+	}
+	sent := 0
+	for n > 0 {
+		f := mtu
+		if f > n {
+			f = n
+		}
+		if s.down {
+			fe := p.Span("net", "link-down")
+			p.Wait(s.cfg.PerPacket)
+			fe()
+			return sent, fmt.Errorf("ether: %s: %w", s.wire.Name(), fault.ErrLinkDown)
+		}
+		s.wire.Transfer(p, f)
+		if s.lose() {
+			fe := p.Span("net", "packet-lost")
+			p.Wait(s.cfg.PerPacket)
+			fe()
+			return sent, fmt.Errorf("ether: %s: %w", s.wire.Name(), fault.ErrPacketLost)
+		}
+		sent += f
+		n -= f
+	}
+	return sent, nil
 }
 
 // PacketTime reports the duration one full frame occupies the wire.

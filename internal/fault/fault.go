@@ -1,11 +1,12 @@
 // Package fault is the deterministic fault-injection subsystem: a Plan is
 // a scripted set of component failures — whole-disk failures, latent sector
-// errors, SCSI-string stalls, and a file system crash point — each fired at
-// a scheduled simulated time or after an operation count on the target
-// drive.  Arm schedules a plan against a Target (the assembled server)
-// before the simulation starts, so an identical plan on an identical
-// workload produces a byte-identical trace: fault injection is part of the
-// determinism contract, never an exception to it.
+// errors, SCSI-string stalls, network link and endpoint faults, and a file
+// system crash point — each fired at a scheduled simulated time or after an
+// operation count on the target drive.  Arm schedules a plan against a
+// Target (the assembled server) before the simulation starts, so an
+// identical plan on an identical workload produces a byte-identical trace:
+// fault injection is part of the determinism contract, never an exception
+// to it.
 //
 // The package also defines the sentinel errors the storage stack uses to
 // report hardware faults upward: the drive returns them, the SCSI layer
@@ -34,7 +35,37 @@ var (
 	// ErrTimeout is a command timeout: the device did not respond within
 	// the controller's command timeout.
 	ErrTimeout = errors.New("fault: command timed out")
+	// ErrLinkDown reports a transfer attempted over a network link or
+	// endpoint that is administratively or physically down.  Transient by
+	// design: a LinkUp event restores the port.
+	ErrLinkDown = errors.New("fault: network link down")
+	// ErrPacketLost reports a packet the network dropped; the sender
+	// detects the loss after a timeout and the transfer fails at packet
+	// granularity.  Retrying resends from the last completed chunk.
+	ErrPacketLost = errors.New("fault: network packet lost")
+	// ErrNetTimeout reports an endpoint that stopped responding: the sender
+	// waited out its stall timeout without the transfer starting.
+	ErrNetTimeout = errors.New("fault: network endpoint timed out")
+	// ErrServerBusy reports a request the server shed at admission because
+	// the board's bounded request queue was full.  The client retry layer
+	// treats it like a transient network fault: back off and resend.
+	ErrServerBusy = errors.New("fault: server busy")
+	// ErrDeadline reports a client request abandoned because its
+	// per-request deadline expired before the retries succeeded.
+	ErrDeadline = errors.New("fault: request deadline exceeded")
 )
+
+// Retryable reports whether err is transient from the client library's
+// point of view: network faults, shed requests, and command timeouts are
+// worth a backed-off retry, while disk failures, medium errors, and file
+// system errors are not improved by resending the request.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrLinkDown) ||
+		errors.Is(err, ErrPacketLost) ||
+		errors.Is(err, ErrNetTimeout) ||
+		errors.Is(err, ErrServerBusy) ||
+		errors.Is(err, ErrTimeout)
+}
 
 // Kind selects what a fault event breaks.
 type Kind int
@@ -53,6 +84,19 @@ const (
 	// FSCrash crashes the file system on the target board (volatile state
 	// is lost), for recovery testing.
 	FSCrash
+	// LinkDown takes a network port (the Ultranet ring, a board's HIPPI
+	// endpoint, a client NIC, or the Ethernet) out of service: transfers
+	// touching it fail with ErrLinkDown until a LinkUp event.
+	LinkDown
+	// LinkUp restores a port a LinkDown event took out.
+	LinkUp
+	// PacketLoss makes the target port drop every Every-th packet it
+	// carries; the sender sees ErrPacketLost after the loss-detect timeout.
+	PacketLoss
+	// EndpointStall makes a HIPPI endpoint unresponsive for the event's
+	// Stall duration; senders wait out their stall timeout and fail with
+	// ErrNetTimeout until the endpoint recovers.
+	EndpointStall
 )
 
 // String names the kind for trace labels and error messages.
@@ -66,8 +110,48 @@ func (k Kind) String() string {
 		return "string-stall"
 	case FSCrash:
 		return "fs-crash"
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case PacketLoss:
+		return "packet-loss"
+	case EndpointStall:
+		return "endpoint-stall"
 	}
 	return fmt.Sprintf("fault-kind-%d", int(k))
+}
+
+// NetPort selects which network component a network fault event targets.
+type NetPort int
+
+const (
+	// PortRing is the shared Ultranet ring.
+	PortRing NetPort = iota
+	// PortBoardHIPPI is one XBUS board's HIPPI endpoint; the event's Board
+	// field selects the board.
+	PortBoardHIPPI
+	// PortClientNIC is one client workstation's network interface; the
+	// event's Board field carries the client's registration index (clients
+	// register with the server in attachment order).
+	PortClientNIC
+	// PortEther is the host's Ethernet segment.
+	PortEther
+)
+
+// String names the port for error messages.
+func (n NetPort) String() string {
+	switch n {
+	case PortRing:
+		return "ultranet-ring"
+	case PortBoardHIPPI:
+		return "board-hippi"
+	case PortClientNIC:
+		return "client-nic"
+	case PortEther:
+		return "ethernet"
+	}
+	return fmt.Sprintf("net-port-%d", int(n))
 }
 
 // Event is one scheduled fault.  Exactly one trigger applies: At (simulated
@@ -79,13 +163,16 @@ type Event struct {
 	At    time.Duration // simulated-time trigger
 	After uint64        // operation-count trigger on the target drive (alternative to At)
 
-	Board int // XBUS board index
+	Board int // XBUS board index (for PortClientNIC events: client index)
 	Disk  int // device index within the board's array
 
 	LBA     int64 // LatentSector: first bad sector
 	Sectors int   // LatentSector: extent of the bad range
 
-	Stall time.Duration // StringStall: how long the string hangs
+	Stall time.Duration // StringStall/EndpointStall: how long the target hangs
+
+	Net   NetPort // network events: which port the event targets
+	Every int     // PacketLoss: drop every Every-th packet
 }
 
 // Plan is an ordered fault script.  The zero value is an empty plan;
@@ -133,6 +220,35 @@ func (pl Plan) StringStallAt(at time.Duration, b, d int, stall time.Duration) Pl
 // FSCrashAt crashes board b's file system at simulated time at.
 func (pl Plan) FSCrashAt(at time.Duration, b int) Plan {
 	pl.Events = append(pl.Events, Event{Kind: FSCrash, At: at, Board: b})
+	return pl
+}
+
+// LinkDownAt takes network port (port, idx) out of service at simulated
+// time at.  idx selects the board for PortBoardHIPPI or the client for
+// PortClientNIC and is ignored for the ring and the Ethernet.
+func (pl Plan) LinkDownAt(at time.Duration, port NetPort, idx int) Plan {
+	pl.Events = append(pl.Events, Event{Kind: LinkDown, At: at, Net: port, Board: idx})
+	return pl
+}
+
+// LinkUpAt restores network port (port, idx) at simulated time at.
+func (pl Plan) LinkUpAt(at time.Duration, port NetPort, idx int) Plan {
+	pl.Events = append(pl.Events, Event{Kind: LinkUp, At: at, Net: port, Board: idx})
+	return pl
+}
+
+// PacketLossEvery makes port (port, idx) drop every n-th packet it carries,
+// from the start of the run.
+func (pl Plan) PacketLossEvery(n int, port NetPort, idx int) Plan {
+	pl.Events = append(pl.Events, Event{Kind: PacketLoss, Net: port, Board: idx, Every: n})
+	return pl
+}
+
+// EndpointStallAt makes HIPPI endpoint (port, idx) unresponsive for stall,
+// starting at simulated time at.  Only endpoint ports (PortBoardHIPPI,
+// PortClientNIC) can stall.
+func (pl Plan) EndpointStallAt(at time.Duration, port NetPort, idx int, stall time.Duration) Plan {
+	pl.Events = append(pl.Events, Event{Kind: EndpointStall, At: at, Net: port, Board: idx, Stall: stall})
 	return pl
 }
 

@@ -61,18 +61,102 @@ func TestPlanBuilders(t *testing.T) {
 	}
 }
 
+func TestNetworkPlanBuilders(t *testing.T) {
+	pl := Plan{}.
+		LinkDownAt(time.Second, PortRing, 0).
+		LinkUpAt(1500*time.Millisecond, PortRing, 0).
+		PacketLossEvery(7, PortClientNIC, 2).
+		EndpointStallAt(2*time.Second, PortBoardHIPPI, 1, 3*time.Millisecond)
+	if len(pl.Events) != 4 {
+		t.Fatalf("events = %d, want 4", len(pl.Events))
+	}
+	want := []Event{
+		{Kind: LinkDown, At: time.Second, Net: PortRing},
+		{Kind: LinkUp, At: 1500 * time.Millisecond, Net: PortRing},
+		{Kind: PacketLoss, Net: PortClientNIC, Board: 2, Every: 7},
+		{Kind: EndpointStall, At: 2 * time.Second, Net: PortBoardHIPPI, Board: 1, Stall: 3 * time.Millisecond},
+	}
+	for i, ev := range pl.Events {
+		if ev != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, ev, want[i])
+		}
+	}
+}
+
 func TestKindStrings(t *testing.T) {
 	cases := map[Kind]string{
-		DiskFail:     "disk-fail",
-		LatentSector: "latent-sector",
-		StringStall:  "string-stall",
-		FSCrash:      "fs-crash",
-		Kind(99):     "fault-kind-99",
+		DiskFail:      "disk-fail",
+		LatentSector:  "latent-sector",
+		StringStall:   "string-stall",
+		FSCrash:       "fs-crash",
+		LinkDown:      "link-down",
+		LinkUp:        "link-up",
+		PacketLoss:    "packet-loss",
+		EndpointStall: "endpoint-stall",
+		Kind(99):      "fault-kind-99",
 	}
 	for k, want := range cases {
 		if got := k.String(); got != want {
 			t.Fatalf("%d.String() = %q, want %q", int(k), got, want)
 		}
+	}
+}
+
+func TestNetPortStrings(t *testing.T) {
+	cases := map[NetPort]string{
+		PortRing:       "ultranet-ring",
+		PortBoardHIPPI: "board-hippi",
+		PortClientNIC:  "client-nic",
+		PortEther:      "ethernet",
+		NetPort(42):    "net-port-42",
+	}
+	for n, want := range cases {
+		if got := n.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int(n), got, want)
+		}
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	for _, err := range []error{ErrLinkDown, ErrPacketLost, ErrNetTimeout, ErrServerBusy, ErrTimeout} {
+		if !Retryable(err) {
+			t.Errorf("Retryable(%v) = false, want true", err)
+		}
+		// Wrapped errors stay retryable (layers wrap with %w).
+		if !Retryable(errors.Join(errors.New("hippi: a -> b"), err)) {
+			t.Errorf("wrapped %v not retryable", err)
+		}
+	}
+	for _, err := range []error{ErrDiskFailed, ErrMedium, ErrDeadline, errors.New("other"), nil} {
+		if Retryable(err) {
+			t.Errorf("Retryable(%v) = true, want false", err)
+		}
+	}
+}
+
+func TestRetryPolicyBackoffSchedule(t *testing.T) {
+	// Explicit parameters: deterministic doubling capped at BackoffMax.
+	pol := RetryPolicy{MaxRetries: 8, Backoff: 2 * time.Millisecond, BackoffMax: 10 * time.Millisecond}
+	got := []time.Duration{pol.FirstBackoff()}
+	for i := 0; i < 4; i++ {
+		got = append(got, pol.NextBackoff(got[len(got)-1]))
+	}
+	want := []time.Duration{2, 4, 8, 10, 10}
+	for i := range want {
+		want[i] *= time.Millisecond
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("backoff[%d] = %v, want %v (schedule %v)", i, got[i], want[i], got)
+		}
+	}
+	// Zero values fall back to the package defaults.
+	var def RetryPolicy
+	if def.FirstBackoff() != DefaultBackoff {
+		t.Fatalf("zero-policy first backoff = %v, want %v", def.FirstBackoff(), DefaultBackoff)
+	}
+	if next := def.NextBackoff(DefaultBackoffMax); next != DefaultBackoffMax {
+		t.Fatalf("default cap broken: %v", next)
 	}
 }
 

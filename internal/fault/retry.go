@@ -1,0 +1,53 @@
+package fault
+
+import "time"
+
+// RetryPolicy governs the client library's handling of transient request
+// failures (see Retryable): how many times to resend, how long to back off
+// between attempts, and how long a request may take end to end before the
+// client gives up with ErrDeadline.
+//
+// All delays are simulated time, so an identical policy on an identical
+// fault plan replays identically: the backoff sequence is a deterministic
+// doubling from Backoff up to BackoffMax, with no jitter.
+type RetryPolicy struct {
+	// MaxRetries is the number of resends after the first attempt.  The
+	// zero value disables retrying: the first failure is final.
+	MaxRetries int
+	// Backoff is the delay before the first retry; each further retry
+	// doubles it.  Zero selects DefaultBackoff when MaxRetries > 0.
+	Backoff time.Duration
+	// BackoffMax caps the doubling.  Zero selects DefaultBackoffMax.
+	BackoffMax time.Duration
+	// Deadline bounds one request end to end, across all retries.  Zero
+	// means no deadline.
+	Deadline time.Duration
+}
+
+// Default backoff parameters, used when a policy enables retries without
+// setting them explicitly.
+const (
+	DefaultBackoff    = 5 * time.Millisecond
+	DefaultBackoffMax = 100 * time.Millisecond
+)
+
+// FirstBackoff returns the delay before the first retry.
+func (rp RetryPolicy) FirstBackoff() time.Duration {
+	if rp.Backoff > 0 {
+		return rp.Backoff
+	}
+	return DefaultBackoff
+}
+
+// NextBackoff returns the delay that follows prev in the doubling schedule.
+func (rp RetryPolicy) NextBackoff(prev time.Duration) time.Duration {
+	next := 2 * prev
+	max := rp.BackoffMax
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	if next > max {
+		next = max
+	}
+	return next
+}

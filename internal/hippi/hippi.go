@@ -8,11 +8,18 @@
 // every packet, which makes small transfers slow while large transfers
 // approach the 40 MB/s port bandwidth (38.5 MB/s measured in loopback,
 // Figure 6).
+//
+// Network faults are first-class: the ring and each endpoint carry a small
+// fault state (down, periodic packet loss, stall-until) the injection
+// subsystem scripts, and Send reports how many bytes were fully delivered
+// so the client library can resume a partial transfer after a retry.
 package hippi
 
 import (
+	"fmt"
 	"time"
 
+	"raidii/internal/fault"
 	"raidii/internal/sim"
 )
 
@@ -27,15 +34,48 @@ type Config struct {
 	// MaxPacket bounds the bytes moved per HIPPI packet; requests larger
 	// than this pay additional per-packet setups.
 	MaxPacket int
+	// DownDetect is what a sender pays to discover that a port on its path
+	// is down before failing the transfer.
+	DownDetect time.Duration
+	// LossDetect is the sender-side timeout to declare a transmitted
+	// packet lost (no acknowledgement from the receiver).
+	LossDetect time.Duration
+	// StallTimeout is how long a sender waits on an unresponsive endpoint
+	// before failing with a network timeout; stalls shorter than this are
+	// ridden out silently.
+	StallTimeout time.Duration
 }
 
 // DefaultConfig returns the paper-calibrated parameters.
 func DefaultConfig() Config {
 	return Config{
-		PacketSetup: 1100 * time.Microsecond,
-		RingMBps:    100,
-		MaxPacket:   2 << 20,
+		PacketSetup:  1100 * time.Microsecond,
+		RingMBps:     100,
+		MaxPacket:    2 << 20,
+		DownDetect:   500 * time.Microsecond,
+		LossDetect:   500 * time.Microsecond,
+		StallTimeout: 2 * time.Millisecond,
 	}
+}
+
+// portState is the mutable fault state of one network party.  All state
+// changes come from scripted fault events inside the simulation, so the
+// packet counter and flags evolve deterministically.
+type portState struct {
+	down       bool
+	lossEvery  int    // drop every lossEvery-th packet; 0 = none
+	pkts       uint64 // packets carried, for the loss period
+	stallUntil sim.Time
+}
+
+// lose advances the port's packet counter and reports whether this packet
+// is the one the loss period drops.
+func (st *portState) lose() bool {
+	if st.lossEvery <= 0 {
+		return false
+	}
+	st.pkts++
+	return st.pkts%uint64(st.lossEvery) == 0
 }
 
 // Endpoint is a HIPPI-attached party: an XBUS board (via its HIPPI
@@ -45,12 +85,35 @@ type Endpoint struct {
 	Out   sim.Hop       // endpoint memory -> network direction
 	In    sim.Hop       // network -> endpoint memory direction
 	Setup time.Duration // per-packet sender-side setup cost
+
+	state portState
+}
+
+// SetDown marks the endpoint down (or back up); transfers touching a down
+// endpoint fail with fault.ErrLinkDown.
+func (ep *Endpoint) SetDown(down bool) { ep.state.down = down }
+
+// SetLossEvery makes the endpoint drop every n-th packet it carries (0
+// disables loss).
+func (ep *Endpoint) SetLossEvery(n int) { ep.state.lossEvery = n }
+
+// StallUntil makes the endpoint unresponsive until simulated time t.
+func (ep *Endpoint) StallUntil(t sim.Time) { ep.state.stallUntil = t }
+
+// stallRemaining reports how much of the endpoint's stall is still ahead.
+func (ep *Endpoint) stallRemaining(now sim.Time) time.Duration {
+	if ep.state.stallUntil <= now {
+		return 0
+	}
+	return time.Duration(ep.state.stallUntil.Sub(now))
 }
 
 // Ultranet is the shared ring network.
 type Ultranet struct {
 	Ring *sim.Link
 	cfg  Config
+
+	state portState
 }
 
 // NewUltranet creates the ring.
@@ -61,16 +124,43 @@ func NewUltranet(e *sim.Engine, cfg Config) *Ultranet {
 	}
 }
 
+// SetRingDown marks the whole ring down (or back up).
+func (u *Ultranet) SetRingDown(down bool) { u.state.down = down }
+
+// SetRingLossEvery makes the ring drop every n-th packet (0 disables).
+func (u *Ultranet) SetRingLossEvery(n int) { u.state.lossEvery = n }
+
 // Send moves n bytes from one endpoint to another across the ring,
-// packetized at MaxPacket with per-packet sender setup.  It returns when
-// the last byte lands in the receiver's memory.
-func (u *Ultranet) Send(p *sim.Proc, from, to *Endpoint, n int) {
+// packetized at MaxPacket with per-packet sender setup.  It returns the
+// bytes fully delivered to the receiver's memory and the first network
+// fault hit: a down ring or endpoint fails before the packet goes out, an
+// unresponsive endpoint fails after the sender's stall timeout, and a
+// dropped packet fails after its wire time plus the loss-detect timeout.
+// Delivered bytes stay delivered — the caller resumes past them on retry.
+func (u *Ultranet) Send(p *sim.Proc, from, to *Endpoint, n int) (int, error) {
+	sent := 0
 	for n > 0 {
 		pkt := n
 		if u.cfg.MaxPacket > 0 && pkt > u.cfg.MaxPacket {
 			pkt = u.cfg.MaxPacket
 		}
-		n -= pkt
+		if u.state.down || from.state.down || to.state.down {
+			fe := p.Span("net", "link-down")
+			p.Wait(u.cfg.DownDetect)
+			fe()
+			return sent, fmt.Errorf("hippi: %s -> %s: %w", from.Name, to.Name, fault.ErrLinkDown)
+		}
+		if stall := maxDuration(from.stallRemaining(p.Now()), to.stallRemaining(p.Now())); stall > 0 {
+			if stall > u.cfg.StallTimeout {
+				fe := p.Span("net", "timeout")
+				p.Wait(u.cfg.StallTimeout)
+				fe()
+				return sent, fmt.Errorf("hippi: %s -> %s: %w", from.Name, to.Name, fault.ErrNetTimeout)
+			}
+			fe := p.Span("net", "stall")
+			p.Wait(stall)
+			fe()
+		}
 		end := p.Span("hippi", "packet")
 		p.Wait(from.Setup)
 		path := sim.Path{}
@@ -83,7 +173,21 @@ func (u *Ultranet) Send(p *sim.Proc, from, to *Endpoint, n int) {
 		}
 		path.Send(p, pkt, 0)
 		end()
+		// Every party on the path counts the packet, so loss periods tick
+		// per port, not per transfer.
+		ringLost := u.state.lose()
+		fromLost := from.state.lose()
+		toLost := to.state.lose()
+		if ringLost || fromLost || toLost {
+			fe := p.Span("net", "packet-lost")
+			p.Wait(u.cfg.LossDetect)
+			fe()
+			return sent, fmt.Errorf("hippi: %s -> %s: %w", from.Name, to.Name, fault.ErrPacketLost)
+		}
+		sent += pkt
+		n -= pkt
 	}
+	return sent, nil
 }
 
 // Loopback moves n bytes out of an endpoint and straight back into it (the
@@ -102,4 +206,11 @@ func Loopback(p *sim.Proc, ep *Endpoint, cfg Config, n int) {
 		sim.Path{ep.Out, ep.In}.Send(p, pkt, 0)
 		end()
 	}
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
 }

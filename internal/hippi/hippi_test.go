@@ -1,9 +1,11 @@
 package hippi
 
 import (
+	"errors"
 	"testing"
 	"time"
 
+	"raidii/internal/fault"
 	"raidii/internal/sim"
 	"raidii/internal/xbus"
 )
@@ -120,6 +122,146 @@ func TestUltranetPacketization(t *testing.T) {
 	if end < sim.Time(4*int64(cfg.PacketSetup)) {
 		t.Fatalf("end %v should include 4 packet setups", end)
 	}
+}
+
+// netPair builds two plain endpoints on private 100 MB/s links, the
+// minimal topology for exercising the fault paths.
+func netPair(e *sim.Engine) (*Endpoint, *Endpoint) {
+	mk := func(name string) *Endpoint {
+		l := sim.NewLink(e, name, 100, 0)
+		return &Endpoint{Name: name, Out: l, In: l}
+	}
+	return mk("src"), mk("dst")
+}
+
+func TestDownRingFailsTyped(t *testing.T) {
+	e := sim.New()
+	u := NewUltranet(e, DefaultConfig())
+	from, to := netPair(e)
+	e.Spawn("p", func(p *sim.Proc) {
+		u.SetRingDown(true)
+		n, err := u.Send(p, from, to, 1<<20)
+		if !errors.Is(err, fault.ErrLinkDown) {
+			t.Errorf("err = %v, want fault.ErrLinkDown", err)
+		}
+		if n != 0 {
+			t.Errorf("down ring delivered %d bytes", n)
+		}
+		if !fault.Retryable(err) {
+			t.Error("link-down must be retryable")
+		}
+		// Detection is not free: the sender burns the down-detect timeout.
+		if p.Now() < sim.Time(int64(u.cfg.DownDetect)) {
+			t.Errorf("failure at %v, before the %v down-detect window", p.Now(), u.cfg.DownDetect)
+		}
+		u.SetRingDown(false)
+		if n, err := u.Send(p, from, to, 1<<20); err != nil || n != 1<<20 {
+			t.Errorf("after ring up: n=%d err=%v", n, err)
+		}
+	})
+	e.Run()
+}
+
+func TestDownEndpointFailsTyped(t *testing.T) {
+	e := sim.New()
+	u := NewUltranet(e, DefaultConfig())
+	from, to := netPair(e)
+	e.Spawn("p", func(p *sim.Proc) {
+		to.SetDown(true)
+		if n, err := u.Send(p, from, to, 1<<20); !errors.Is(err, fault.ErrLinkDown) || n != 0 {
+			t.Errorf("down receiver: n=%d err=%v, want 0, ErrLinkDown", n, err)
+		}
+		to.SetDown(false)
+		if n, err := u.Send(p, from, to, 1<<20); err != nil || n != 1<<20 {
+			t.Errorf("after endpoint up: n=%d err=%v", n, err)
+		}
+	})
+	e.Run()
+}
+
+// TestPacketLossReportsDeliveredBytes: the ring drops the third packet of a
+// five-packet transfer, so Send fails with ErrPacketLost after reporting
+// two packets delivered — the resume point for a retrying caller.
+func TestPacketLossReportsDeliveredBytes(t *testing.T) {
+	e := sim.New()
+	cfg := DefaultConfig()
+	cfg.MaxPacket = 1 << 20
+	u := NewUltranet(e, cfg)
+	from, to := netPair(e)
+	e.Spawn("p", func(p *sim.Proc) {
+		u.SetRingLossEvery(3)
+		n, err := u.Send(p, from, to, 5<<20)
+		if !errors.Is(err, fault.ErrPacketLost) {
+			t.Errorf("err = %v, want fault.ErrPacketLost", err)
+		}
+		if n != 2<<20 {
+			t.Errorf("delivered %d bytes before the drop, want %d", n, 2<<20)
+		}
+		if !fault.Retryable(err) {
+			t.Error("packet loss must be retryable")
+		}
+		u.SetRingLossEvery(0)
+		if n, err := u.Send(p, from, to, 5<<20); err != nil || n != 5<<20 {
+			t.Errorf("after loss cleared: n=%d err=%v", n, err)
+		}
+	})
+	e.Run()
+}
+
+// TestEndpointLossCountsPerPort: loss periods tick on the endpoint's own
+// packet counter, so a lossy NIC drops its own n-th packet regardless of
+// ring traffic.
+func TestEndpointLossCountsPerPort(t *testing.T) {
+	e := sim.New()
+	cfg := DefaultConfig()
+	cfg.MaxPacket = 1 << 20
+	u := NewUltranet(e, cfg)
+	from, to := netPair(e)
+	e.Spawn("p", func(p *sim.Proc) {
+		to.SetLossEvery(4)
+		n, err := u.Send(p, from, to, 6<<20)
+		if !errors.Is(err, fault.ErrPacketLost) || n != 3<<20 {
+			t.Errorf("lossy NIC: n=%d err=%v, want 3 MB then ErrPacketLost", n, err)
+		}
+	})
+	e.Run()
+}
+
+// TestStallRideOutVersusTimeout: a stall shorter than the sender's stall
+// timeout is ridden out transparently; a longer one fails typed with
+// ErrNetTimeout and delivers nothing past the stall.
+func TestStallRideOutVersusTimeout(t *testing.T) {
+	e := sim.New()
+	cfg := DefaultConfig()
+	u := NewUltranet(e, cfg)
+	from, to := netPair(e)
+	e.Spawn("p", func(p *sim.Proc) {
+		// Short stall: under StallTimeout, the send just takes longer.
+		short := cfg.StallTimeout / 2
+		to.StallUntil(p.Now().Add(sim.Duration(short)))
+		begin := p.Now()
+		n, err := u.Send(p, from, to, 1<<20)
+		if err != nil || n != 1<<20 {
+			t.Fatalf("short stall: n=%d err=%v, want full delivery", n, err)
+		}
+		if took := time.Duration(p.Now().Sub(begin)); took < short {
+			t.Errorf("send took %v, did not ride out the %v stall", took, short)
+		}
+		// Long stall: the sender gives up after StallTimeout.
+		to.StallUntil(p.Now().Add(sim.Duration(10 * cfg.StallTimeout)))
+		begin = p.Now()
+		n, err = u.Send(p, from, to, 1<<20)
+		if !errors.Is(err, fault.ErrNetTimeout) || n != 0 {
+			t.Errorf("long stall: n=%d err=%v, want 0, ErrNetTimeout", n, err)
+		}
+		if took := time.Duration(p.Now().Sub(begin)); took != cfg.StallTimeout {
+			t.Errorf("timeout after %v, want exactly the %v stall timeout", took, cfg.StallTimeout)
+		}
+		if !fault.Retryable(err) {
+			t.Error("net timeout must be retryable")
+		}
+	})
+	e.Run()
 }
 
 func TestRingIsShared(t *testing.T) {

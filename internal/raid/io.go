@@ -13,6 +13,8 @@ func (a *Array) Read(p *sim.Proc, lba int64, n int) []byte {
 	a.checkRange(lba, n)
 	end := p.Span("raid", "read")
 	defer end()
+	a.inflight++
+	defer func() { a.inflight-- }()
 	if a.arrayLock != nil {
 		a.arrayLock.Acquire(p)
 		defer a.arrayLock.Release()
@@ -109,6 +111,8 @@ func (a *Array) Write(p *sim.Proc, lba int64, data []byte) {
 	}
 	n := len(data) / a.secSize
 	a.checkRange(lba, n)
+	a.inflight++
+	defer func() { a.inflight-- }()
 	if a.arrayLock != nil {
 		a.arrayLock.Acquire(p)
 		defer a.arrayLock.Release()
@@ -593,6 +597,8 @@ func (a *Array) WriteStreaming(p *sim.Proc, lba int64, data []byte) {
 	}
 	n := len(data) / a.secSize
 	a.checkRange(lba, n)
+	a.inflight++
+	defer func() { a.inflight-- }()
 
 	groups := make(map[int64][]extent)
 	var order []int64

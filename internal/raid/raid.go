@@ -109,6 +109,8 @@ type Array struct {
 	stripeLk  map[int64]*sim.Server // Level 5 read-modify-write serialization
 	arrayLock *sim.Server           // Level 3 single-request discipline
 
+	inflight int // foreground requests in service; the scrub yields to them
+
 	stats Stats
 }
 
@@ -127,6 +129,8 @@ type Stats struct {
 	DeviceErrors      uint64 // errors devices returned after controller retries
 	DiskFailures      uint64 // escalations that marked a device failed
 	RebuildStripes    uint64 // stripes rebuilt onto spares
+	ScrubbedStripes   uint64 // stripes the background patrol verified
+	ScrubRepairs      uint64 // latent sectors / parity the patrol rewrote
 }
 
 // New builds an array over devs.  All devices must have identical geometry.

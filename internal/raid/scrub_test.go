@@ -1,0 +1,114 @@
+package raid
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"raidii/internal/sim"
+)
+
+// TestScrubRepairsLatentSector plants a latent sector error and lets the
+// patrol find it: the column is reconstructed from parity and rewritten,
+// with zero demand-path DeviceErrors — the whole point of scrubbing.
+func TestScrubRepairsLatentSector(t *testing.T) {
+	e := sim.New()
+	a, mems := newArray(t, e, 5, Level5)
+	data := patterned(int(a.Sectors())*tSec, 7)
+	var got []byte
+	runProc(e, func(p *sim.Proc) {
+		a.Write(p, 0, data)
+		mems[2].AddLatentError(0, 2*tUnit)
+		sc, err := a.StartScrub(ScrubConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripes, repairs := sc.Wait(p)
+		if repairs == 0 {
+			t.Fatal("patrol made no repairs over a planted latent error")
+		}
+		if stripes == 0 {
+			t.Fatal("patrol verified no stripes")
+		}
+		got = a.Read(p, 0, int(a.Sectors()))
+	})
+	st := a.Stats()
+	if st.ScrubRepairs == 0 || st.ScrubbedStripes == 0 {
+		t.Fatalf("stats %+v: scrub counters not recorded", st)
+	}
+	if st.DeviceErrors != 0 || st.DiskFailures != 0 {
+		t.Fatalf("stats %+v: scrub must not escalate latent errors into device errors", st)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted after scrub repair")
+	}
+}
+
+// TestScrubRepairsStaleParity corrupts a parity byte: the patrol detects
+// the mismatch and rewrites parity so a later CheckParity is clean.
+func TestScrubRepairsStaleParity(t *testing.T) {
+	e := sim.New()
+	a, mems := newArray(t, e, 4, Level3)
+	data := patterned(int(a.Sectors())*tSec, 3)
+	var badBefore, badAfter int64
+	runProc(e, func(p *sim.Proc) {
+		a.Write(p, 0, data)
+		mems[3].Corrupt(40) // parity lives on the last device at Level 3
+		badBefore = a.CheckParity(p)
+		sc, err := a.StartScrub(ScrubConfig{Interval: 100 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, repairs := sc.Wait(p); repairs == 0 {
+			t.Fatal("patrol did not repair corrupted parity")
+		}
+		badAfter = a.CheckParity(p)
+	})
+	if badBefore == 0 {
+		t.Fatal("corruption not visible before scrub")
+	}
+	if badAfter != 0 {
+		t.Fatalf("%d stripes still inconsistent after scrub", badAfter)
+	}
+}
+
+// TestScrubSkipsDegradedStripes leaves rebuilds to the rebuild machinery:
+// stripes over a failed device are skipped, not "repaired".
+func TestScrubSkipsDegradedStripes(t *testing.T) {
+	e := sim.New()
+	a, _ := newArray(t, e, 4, Level5)
+	runProc(e, func(p *sim.Proc) {
+		a.Write(p, 0, patterned(16*tSec, 1))
+		if err := a.FailDisk(1); err != nil {
+			t.Fatal(err)
+		}
+		sc, err := a.StartScrub(ScrubConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripes, repairs := sc.Wait(p)
+		if stripes != 0 || repairs != 0 {
+			t.Fatalf("scrub over fully degraded array verified %d, repaired %d; want 0, 0", stripes, repairs)
+		}
+	})
+}
+
+// TestScrubBounds covers MaxStripes and the level restriction.
+func TestScrubBounds(t *testing.T) {
+	e := sim.New()
+	a, _ := newArray(t, e, 5, Level5)
+	runProc(e, func(p *sim.Proc) {
+		sc, err := a.StartScrub(ScrubConfig{MaxStripes: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stripes, _ := sc.Wait(p); stripes != 4 {
+			t.Fatalf("MaxStripes 4 but verified %d", stripes)
+		}
+	})
+	e2 := sim.New()
+	a0, _ := newArray(t, e2, 4, Level0)
+	if _, err := a0.StartScrub(ScrubConfig{}); err == nil {
+		t.Fatal("expected scrub of a level 0 array to fail")
+	}
+}

@@ -241,18 +241,21 @@ func (b *Board) EtherRead(p *sim.Proc, f *FSFile, off int64, size int) error {
 	// Low-bandwidth path: XBUS -> host VME port -> host memory -> copy ->
 	// Ethernet, pipelined at chunk granularity.
 	g := sim.NewGroup(b.sys.Eng)
+	var firstErr error
 	for _, n := range b.chunks(size) {
 		n := n
 		g.Go("ether-chunk", func(q *sim.Proc) {
 			b.XB.HostTransfer(q, n, true)
 			h.DMAIn(q, n)
 			h.CopyAsync(q, n)
-			b.sys.Ether.Send(q, n)
+			if _, err := b.sys.Ether.Send(q, n); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		})
 	}
 	g.Wait(p)
 	h.PerIO(p)
-	return nil
+	return firstErr
 }
 
 func maxInt(a, b int) int {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"raidii/internal/fault"
+	"raidii/internal/hippi"
 	"raidii/internal/sim"
 )
 
@@ -12,6 +13,10 @@ import (
 
 // Check validates one fault event against the system's geometry.
 func (sys *System) Check(ev fault.Event) error {
+	switch ev.Kind {
+	case fault.LinkDown, fault.LinkUp, fault.PacketLoss, fault.EndpointStall:
+		return sys.checkNet(ev)
+	}
 	if ev.Board < 0 || ev.Board >= len(sys.Boards) {
 		return fmt.Errorf("no board %d", ev.Board)
 	}
@@ -49,10 +54,85 @@ func (sys *System) Check(ev fault.Event) error {
 	return nil
 }
 
+// checkNet validates a network fault event.  The target port must exist in
+// the assembled hardware, with one exception: client NICs attach after
+// assembly, so a PortClientNIC index is only range-checked at fire time.
+func (sys *System) checkNet(ev fault.Event) error {
+	if ev.After > 0 {
+		return fmt.Errorf("network faults are time-triggered only")
+	}
+	switch ev.Net {
+	case fault.PortRing, fault.PortEther:
+		// Singleton ports: no index.
+	case fault.PortBoardHIPPI:
+		if ev.Board < 0 || ev.Board >= len(sys.Boards) {
+			return fmt.Errorf("no board %d for %v fault", ev.Board, ev.Net)
+		}
+	case fault.PortClientNIC:
+		if ev.Board < 0 {
+			return fmt.Errorf("negative client index %d", ev.Board)
+		}
+	default:
+		return fmt.Errorf("unknown network port %d", int(ev.Net))
+	}
+	switch ev.Kind {
+	case fault.PacketLoss:
+		if ev.Every < 1 {
+			return fmt.Errorf("packet loss period must be >= 1, got %d", ev.Every)
+		}
+	case fault.EndpointStall:
+		if ev.Net != fault.PortBoardHIPPI && ev.Net != fault.PortClientNIC {
+			return fmt.Errorf("%v cannot stall: only HIPPI endpoints do", ev.Net)
+		}
+		if ev.Stall <= 0 {
+			return fmt.Errorf("stall duration must be positive")
+		}
+	}
+	return nil
+}
+
+// netEndpoint resolves the HIPPI endpoint a network event targets.
+func (sys *System) netEndpoint(ev fault.Event) *hippi.Endpoint {
+	if ev.Net == fault.PortClientNIC {
+		if ev.Board >= len(sys.clients) {
+			//lint:allow simpanic the plan scripted a fault against a client that never attached; Check defers this to fire time by design
+			panic(fmt.Sprintf("server: network fault targets client %d but only %d clients attached", ev.Board, len(sys.clients)))
+		}
+		return sys.clients[ev.Board]
+	}
+	return sys.Boards[ev.Board].HEP
+}
+
 // Inject performs one fault event.  Time-triggered events arrive inside a
 // simulated process at their scheduled instant; op-count events arrive at
 // arm time with p == nil and are deferred to the drive's own counter.
 func (sys *System) Inject(p *sim.Proc, ev fault.Event) {
+	switch ev.Kind {
+	case fault.LinkDown, fault.LinkUp:
+		down := ev.Kind == fault.LinkDown
+		switch ev.Net {
+		case fault.PortRing:
+			sys.Ultra.SetRingDown(down)
+		case fault.PortEther:
+			sys.Ether.SetDown(down)
+		default:
+			sys.netEndpoint(ev).SetDown(down)
+		}
+		return
+	case fault.PacketLoss:
+		switch ev.Net {
+		case fault.PortRing:
+			sys.Ultra.SetRingLossEvery(ev.Every)
+		case fault.PortEther:
+			sys.Ether.SetLossEvery(ev.Every)
+		default:
+			sys.netEndpoint(ev).SetLossEvery(ev.Every)
+		}
+		return
+	case fault.EndpointStall:
+		sys.netEndpoint(ev).StallUntil(p.Now().Add(ev.Stall))
+		return
+	}
 	b := sys.Boards[ev.Board]
 	switch ev.Kind {
 	case fault.DiskFail:

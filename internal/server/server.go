@@ -80,6 +80,17 @@ type Config struct {
 	// Faults is the deterministic fault plan armed when the system is
 	// assembled; the zero value injects nothing.
 	Faults fault.Plan
+
+	// AdmissionLimit bounds each board's concurrently serviced client
+	// requests: up to AdmissionLimit requests are in service, up to
+	// AdmissionLimit more wait in a FIFO queue, and anything beyond that is
+	// shed with fault.ErrServerBusy.  Zero admits everything (the
+	// pre-admission-control behavior).
+	AdmissionLimit int
+
+	// ClientRetry is the retry/timeout policy client workstations inherit
+	// when they attach; the zero value disables retrying.
+	ClientRetry fault.RetryPolicy
 }
 
 // DefaultConfig is the paper's measured configuration: one XBUS board,
@@ -121,6 +132,18 @@ type System struct {
 	Ether  *ether.Segment
 	Ultra  *hippi.Ultranet
 	Boards []*Board
+
+	// clients are the HIPPI endpoints of attached client workstations, in
+	// attachment order — the index space PortClientNIC fault events target.
+	clients []*hippi.Endpoint
+}
+
+// RegisterClientEndpoint records a client workstation's HIPPI endpoint so
+// scripted PortClientNIC fault events can reach it, returning the client's
+// registration index.
+func (sys *System) RegisterClientEndpoint(ep *hippi.Endpoint) int {
+	sys.clients = append(sys.clients, ep)
+	return len(sys.clients) - 1
 }
 
 // Board is one XBUS board with its disks, array, and (optionally) file
@@ -135,6 +158,10 @@ type Board struct {
 	Cache   *cache.Cache // XBUS-resident block cache; nil when not configured
 	FS      *lfs.FS
 	HEP     *hippi.Endpoint // HIPPI endpoint of this board
+
+	adm      *sim.Server // bounded client-request admission; nil = unbounded
+	admDepth int
+	admStats AdmissionStats
 }
 
 // Dev returns the store the file system and datapath read and write: the
@@ -203,6 +230,10 @@ func (sys *System) newBoard(idx int) (*Board, error) {
 	cfg := sys.Cfg
 	xb := xbus.New(e, fmt.Sprintf("xbus%d", idx), cfg.XBus)
 	b := &Board{sys: sys, Index: idx, XB: xb}
+	if cfg.AdmissionLimit > 0 {
+		b.adm = sim.NewServer(e, fmt.Sprintf("xbus%d:admit", idx), cfg.AdmissionLimit)
+		b.admDepth = cfg.AdmissionLimit
+	}
 	b.HEP = &hippi.Endpoint{
 		Name:  fmt.Sprintf("xbus%d", idx),
 		Out:   xb.HIPPIS.Out(),

@@ -72,6 +72,36 @@ var (
 	ErrMedium = fault.ErrMedium
 	// ErrTimeout reports a command timeout at the disk controller.
 	ErrTimeout = fault.ErrTimeout
+	// ErrLinkDown reports a transfer attempted over a downed network link.
+	ErrLinkDown = fault.ErrLinkDown
+	// ErrPacketLost reports a packet dropped by scripted loss.
+	ErrPacketLost = fault.ErrPacketLost
+	// ErrNetTimeout reports a stalled network endpoint exceeding its timeout.
+	ErrNetTimeout = fault.ErrNetTimeout
+	// ErrServerBusy reports a request shed by board admission control.
+	ErrServerBusy = fault.ErrServerBusy
+	// ErrDeadline reports a client request abandoned at its deadline.
+	ErrDeadline = fault.ErrDeadline
+)
+
+// RetryPolicy governs client-library retries: attempt budget, exponential
+// backoff bounds, and an end-to-end deadline.  Retries are deterministic —
+// the backoff doubles without jitter on the simulated clock.
+type RetryPolicy = fault.RetryPolicy
+
+// NetPort names a network attachment point a scripted fault targets.
+type NetPort = fault.NetPort
+
+// Network fault targets for FaultPlan.LinkDownAt and friends.
+const (
+	// PortUltranetRing is the shared Ultranet ring segment.
+	PortUltranetRing = fault.PortRing
+	// PortBoardHIPPI is one XBUS board's HIPPI endpoint (index = board).
+	PortBoardHIPPI = fault.PortBoardHIPPI
+	// PortClientNIC is one client workstation's NIC (index = attach order).
+	PortClientNIC = fault.PortClientNIC
+	// PortEther is the low-bandwidth Ethernet path.
+	PortEther = fault.PortEther
 )
 
 // Option customizes the server assembly.
@@ -136,6 +166,28 @@ func WithCacheLineKB(kb int) Option {
 // byte-identical trace.
 func WithFaultPlan(plan FaultPlan) Option {
 	return func(c *server.Config) { c.Faults = plan }
+}
+
+// WithNetworkFaults appends scripted network faults — link flaps, periodic
+// packet loss, endpoint stalls — to the plan armed at assembly.  It
+// composes with WithFaultPlan: disk and network events may arrive in either
+// option, in any order.
+func WithNetworkFaults(plan FaultPlan) Option {
+	return func(c *server.Config) { c.Faults.Events = append(c.Faults.Events, plan.Events...) }
+}
+
+// WithClientRetry sets the retry/timeout policy client workstations inherit
+// when they attach.  The zero policy fails requests on the first fault.
+func WithClientRetry(pol RetryPolicy) Option {
+	return func(c *server.Config) { c.ClientRetry = pol }
+}
+
+// WithAdmissionLimit bounds each board's concurrently serviced client
+// requests: n in service, up to n more waiting FIFO, the rest shed
+// immediately with ErrServerBusy for the client's backoff to absorb.
+// Zero (the default) admits everything.
+func WithAdmissionLimit(n int) Option {
+	return func(c *server.Config) { c.AdmissionLimit = n }
 }
 
 // Fig8Geometry selects the paper's LFS measurement configuration: 16 disks,
@@ -449,6 +501,46 @@ func (r *HotRebuild) Done() bool { return r.rb.Done() }
 // Wait blocks (in simulated time) until the rebuild completes and returns
 // the number of stripes rebuilt.
 func (r *HotRebuild) Wait() (int64, error) { return r.rb.Wait(r.t.p) }
+
+// Scrub starts one background parity-scrub pass over the board's array: a
+// low-priority patrol that yields to foreground requests, verifies each
+// stripe's parity, and repairs latent sectors and stale parity in place —
+// before a demand read or a rebuild trips over them.
+func (bd *Board) Scrub() (*ScrubRun, error) {
+	sc, err := bd.b.Array.StartScrub(raid.ScrubConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return &ScrubRun{t: bd.t, sc: sc}, nil
+}
+
+// ScrubStats summarizes the board's patrol activity so far.
+type ScrubStats struct {
+	// Stripes the patrol verified.
+	Stripes uint64
+	// Repairs is how many columns (latent sectors or stale parity) the
+	// patrol rewrote.
+	Repairs uint64
+}
+
+// ScrubStats returns the board's accumulated scrub counters.
+func (bd *Board) ScrubStats() ScrubStats {
+	st := bd.b.Array.Stats()
+	return ScrubStats{Stripes: st.ScrubbedStripes, Repairs: st.ScrubRepairs}
+}
+
+// ScrubRun is a handle on a background patrol pass started by Scrub.
+type ScrubRun struct {
+	t  *Task
+	sc *raid.Scrub
+}
+
+// Done reports whether the patrol pass has finished.
+func (r *ScrubRun) Done() bool { return r.sc.Done() }
+
+// Wait blocks (in simulated time) until the pass completes and returns the
+// stripes verified and repairs made.
+func (r *ScrubRun) Wait() (stripes, repairs uint64) { return r.sc.Wait(r.t.p) }
 
 // File is an open file on the server, accessed over the high-bandwidth
 // path (reads stream from the array into HIPPI network buffers in XBUS
