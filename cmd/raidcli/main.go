@@ -33,7 +33,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer conn.Close()
+	defer conn.Close() //lint:allow errdrop the process exits right after; a close error changes nothing
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 
@@ -50,17 +50,17 @@ func main() {
 		var simUS int64
 		for i := 0; i < mb; i++ {
 			fmt.Fprintf(w, "WRITE %s %d %d\n", args[1], i<<20, len(buf))
-			w.Write(buf)
-			w.Flush()
+			if _, err := w.Write(buf); err != nil {
+				log.Fatal(err)
+			}
+			flush(w)
 			resp := expectOK(r)
-			us, _ := strconv.ParseInt(resp[0], 10, 64)
-			simUS += us
+			simUS += mustI64(resp[0])
 		}
 		fmt.Fprintf(w, "SYNC\n")
-		w.Flush()
+		flush(w)
 		resp := expectOK(r)
-		us, _ := strconv.ParseInt(resp[0], 10, 64)
-		simUS += us
+		simUS += mustI64(resp[0])
 		fmt.Printf("stored %d MB; simulated RAID-II time %.3fs (%.1f MB/s)\n",
 			mb, float64(simUS)/1e6, float64(mb)/(float64(simUS)/1e6))
 	case "get":
@@ -68,9 +68,9 @@ func main() {
 			log.Fatal("usage: get <path>")
 		}
 		fmt.Fprintf(w, "OPEN %s\n", args[1])
-		w.Flush()
+		flush(w)
 		resp := expectOK(r)
-		size, _ := strconv.ParseInt(resp[0], 10, 64)
+		size := mustI64(resp[0])
 		var simUS int64
 		for off := int64(0); off < size; off += 1 << 20 {
 			n := int64(1 << 20)
@@ -78,11 +78,10 @@ func main() {
 				n = size - off
 			}
 			fmt.Fprintf(w, "READ %s %d %d\n", args[1], off, n)
-			w.Flush()
+			flush(w)
 			resp := expectOK(r)
-			m, _ := strconv.ParseInt(resp[0], 10, 64)
-			us, _ := strconv.ParseInt(resp[1], 10, 64)
-			simUS += us
+			m := mustI64(resp[0])
+			simUS += mustI64(resp[1])
 			if _, err := io.CopyN(io.Discard, r, m); err != nil {
 				log.Fatal(err)
 			}
@@ -95,9 +94,9 @@ func main() {
 			path = args[1]
 		}
 		fmt.Fprintf(w, "LS %s\n", path)
-		w.Flush()
+		flush(w)
 		resp := expectOK(r)
-		k, _ := strconv.Atoi(resp[0])
+		k := int(mustI64(resp[0]))
 		for i := 0; i < k; i++ {
 			line, err := r.ReadString('\n')
 			if err != nil {
@@ -110,17 +109,35 @@ func main() {
 			log.Fatalf("usage: %s <path>", args[0])
 		}
 		fmt.Fprintf(w, "%s %s\n", strings.ToUpper(args[0]), args[1])
-		w.Flush()
+		flush(w)
 		expectOK(r)
 		fmt.Println("ok")
 	case "sync":
 		fmt.Fprintf(w, "SYNC\n")
-		w.Flush()
+		flush(w)
 		resp := expectOK(r)
 		fmt.Printf("synced; simulated time %sus\n", resp[0])
 	default:
 		log.Fatalf("unknown command %q", args[0])
 	}
+}
+
+// flush forces the buffered request bytes onto the wire; a dead
+// connection is fatal.
+func flush(w *bufio.Writer) {
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// mustI64 parses a decimal reply field; a malformed daemon reply is
+// fatal.
+func mustI64(s string) int64 {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		log.Fatalf("malformed reply field %q: %v", s, err)
+	}
+	return v
 }
 
 // expectOK reads a response line, exiting on ERR, and returns the fields

@@ -116,12 +116,14 @@ func main() {
 }
 
 func (st *serverState) serve(conn net.Conn) {
-	defer conn.Close()
+	defer conn.Close() //lint:allow errdrop per-connection teardown; a close error is not actionable
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
-	defer w.Flush()
+	defer w.Flush() //lint:allow errdrop best-effort final flush; the client may already be gone
 	for {
-		w.Flush()
+		if err := w.Flush(); err != nil {
+			return // client hung up mid-reply
+		}
 		line, err := r.ReadString('\n')
 		if err != nil {
 			return
@@ -236,7 +238,9 @@ func (st *serverState) dispatch(cmd string, args []string, r *bufio.Reader, w *b
 		fmt.Fprintf(w, "OK %d %d\n", m, dur.Microseconds())
 		// The simulation models the data path; the wire carries zeros of
 		// the right length (contents live in the simulated store).
-		w.Write(make([]byte, m))
+		if _, err := w.Write(make([]byte, m)); err != nil {
+			return err
+		}
 	case "MKDIR":
 		if len(args) != 1 {
 			return fmt.Errorf("usage: MKDIR <path>")

@@ -73,7 +73,10 @@ func main() {
 			return err
 		}
 		for _, e := range ents {
-			fi, _ := t.Stat("/data/" + e.Name)
+			fi, err := t.Stat("/data/" + e.Name)
+			if err != nil {
+				return err
+			}
 			fmt.Printf("  /data/%s  %d bytes\n", e.Name, fi.Size)
 		}
 		return nil

@@ -143,7 +143,9 @@ func Table2() (Table2Result, error) {
 		b := sys.Boards[0]
 		space := b.Disks[0].Sectors() - 8
 		res := workload.ClosedLoop(sys.Eng, disks, horizon, func(p *sim.Proc, w int, rng *rand.Rand) int {
-			b.SmallDiskRead(p, w, workload.RandomAligned(rng, space, 8), 4096)
+			if err := b.SmallDiskRead(p, w, workload.RandomAligned(rng, space, 8), 4096); err != nil {
+				panic(err)
+			}
 			return 4096
 		})
 		sys.Eng.Shutdown()
@@ -157,7 +159,9 @@ func Table2() (Table2Result, error) {
 		attachProbe(fmt.Sprintf("table2/raid1/%ddisk", disks), r.Eng)
 		space := r.Disks[0].Sectors() - 8
 		res := workload.ClosedLoop(r.Eng, disks, horizon, func(p *sim.Proc, w int, rng *rand.Rand) int {
-			r.SmallDiskRead(p, w, workload.RandomAligned(rng, space, 8), 4096)
+			if err := r.SmallDiskRead(p, w, workload.RandomAligned(rng, space, 8), 4096); err != nil {
+				panic(err)
+			}
 			return 4096
 		})
 		r.Eng.Shutdown()
@@ -249,7 +253,9 @@ func stringRigRate(n int) (float64, error) {
 		g.Go("rd", func(p *sim.Proc) {
 			lba := int64(0)
 			for read := 0; read < perDisk; read += 128 * 512 {
-				ad.Read(p, lba, 128, nil)
+				if _, err := ad.Read(p, lba, 128, nil); err != nil {
+					panic(err)
+				}
 				lba += 128
 			}
 		})
@@ -391,7 +397,9 @@ func RAIDIBaseline() (RAIDIResult, error) {
 	r2.Eng.Spawn("d", func(p *sim.Proc) {
 		lba := int64(0)
 		for read := 0; read < n; read += 128 * 512 {
-			r2.Disks[0].Read(p, lba, 128, nil)
+			if _, err := r2.Disks[0].Read(p, lba, 128, nil); err != nil {
+				panic(err)
+			}
 			lba += 128
 		}
 		end = p.Now()
@@ -435,7 +443,9 @@ func ClientNetwork() (ClientResult, error) {
 			panic(err)
 		}
 		writeT = wd
-		b.FS.Sync(p)
+		if err := b.FS.Sync(p); err != nil {
+			panic(err)
+		}
 		rd, err := f.Read(p, 0, n)
 		if err != nil {
 			panic(err)
@@ -485,13 +495,19 @@ func Recovery(volumeMB int) (RecoveryResult, error) {
 					panic(err)
 				}
 				for j := 0; j < 4; j++ {
-					f.WriteAt(p, buf, int64(j)<<20)
+					if _, err := f.WriteAt(p, buf, int64(j)<<20); err != nil {
+						panic(err)
+					}
 				}
 				if i == nFiles/2 {
-					b.FS.Checkpoint(p) // half the log needs roll-forward
+					if err := b.FS.Checkpoint(p); err != nil { // half the log needs roll-forward
+						panic(err)
+					}
 				}
 			}
-			b.FS.Sync(p)
+			if err := b.FS.Sync(p); err != nil {
+				panic(err)
+			}
 			b.FS.Crash()
 			start := p.Now()
 			fs2, err := lfs.Mount(p, sys.Eng, b.Array)
@@ -714,7 +730,9 @@ func AblationLFSSmallWrites() (AblationResult, error) {
 			if _, err := f.File.WriteAt(p, make([]byte, 2<<20), 0); err != nil {
 				panic(err)
 			}
-			b.FS.Sync(p)
+			if err := b.FS.Sync(p); err != nil {
+				panic(err)
+			}
 		})
 		sys.Eng.Run()
 		buf := make([]byte, 4096)
@@ -791,7 +809,9 @@ func AblationTwoPaths() (AblationResult, error) {
 		if _, err := f.File.WriteAt(p, make([]byte, n), 0); err != nil {
 			panic(err)
 		}
-		b.FS.Sync(p)
+		if err := b.FS.Sync(p); err != nil {
+			panic(err)
+		}
 		start := p.Now()
 		if err := b.FSRead(p, f, 0, n); err != nil {
 			panic(err)
@@ -914,7 +934,9 @@ func AblationDiskScheduler() (AblationResult, error) {
 		space := b.Disks[0].Sectors() - 8
 		// 16 workers over 4 disks: queue depth ~4 per actuator.
 		res := workload.ClosedLoop(sys.Eng, 16, sim.Time(3e9), func(p *sim.Proc, w int, rng *rand.Rand) int {
-			b.SmallDiskRead(p, w%4, workload.RandomAligned(rng, space, 8), 4096)
+			if err := b.SmallDiskRead(p, w%4, workload.RandomAligned(rng, space, 8), 4096); err != nil {
+				panic(err)
+			}
 			return 4096
 		})
 		sys.Eng.Shutdown()

@@ -1,0 +1,36 @@
+// Package allowaudit defines the raidvet check that polices the
+// //lint:allow comments themselves, closing the loophole every
+// suppression system opens: an allow that names a check nobody
+// registered, that carries no reason, or that no longer suppresses a
+// live diagnostic is itself reported, so the allow inventory can only
+// shrink as code improves — it cannot rot.
+//
+// Unlike the other analyzers this one has no per-package Run body: its
+// evidence is the *absence* of diagnostics, which only the driver
+// knows after scoping and suppression filtering.  The Analyzer value
+// exists so the check is registered (allow comments may name it, the
+// -checks flag may select it, and DefaultScopes scopes it); the driver
+// implements the logic and attributes findings to this name.
+//
+// Lifecycle of an allow, as enforced here:
+//
+//  1. It must parse: "//lint:allow <check> <reason>" with both fields
+//     present (malformed comments are findings at any scope).
+//  2. <check> must name a registered analyzer.
+//  3. Over a whole-repo run it must absorb at least one diagnostic;
+//     otherwise it is stale and the finding's suggested fix deletes it.
+//
+// A finding about an allow comment can itself be suppressed by a
+// "//lint:allow allowaudit <reason>" on the line above — one level of
+// meta, no more (allowaudit allows are audited like any other).
+package allowaudit
+
+import "raidii/internal/analysis/framework"
+
+// Analyzer registers the allow-audit check; the raidvet driver supplies
+// the implementation.
+var Analyzer = &framework.Analyzer{
+	Name: "allowaudit",
+	Doc:  "every //lint:allow must name a registered check, carry a reason, and suppress a live diagnostic",
+	Run:  func(*framework.Pass) error { return nil },
+}

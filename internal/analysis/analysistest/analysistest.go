@@ -37,16 +37,22 @@ type expectation struct {
 }
 
 // Run checks analyzer a against the fixture packages named by pkgpaths,
-// each rooted at testdata/src/<path> under dir.
+// each rooted at testdata/src/<path> under dir.  Packages are analyzed
+// in the order given, sharing one fact table and one loader, and each
+// checked package is registered as importable so a later fixture may
+// import an earlier one (the cross-package fact scenario).  Fixture
+// files named *_test.go are included only when the analyzer asks for
+// test files.
 func Run(t *testing.T, dir string, a *framework.Analyzer, pkgpaths ...string) {
 	t.Helper()
 	ld := load.NewLoader()
+	facts := framework.NewFacts()
 	for _, pp := range pkgpaths {
-		runPkg(t, ld, dir, a, pp)
+		runPkg(t, ld, facts, dir, a, pp)
 	}
 }
 
-func runPkg(t *testing.T, ld *load.Loader, dir string, a *framework.Analyzer, pkgpath string) {
+func runPkg(t *testing.T, ld *load.Loader, facts *framework.Facts, dir string, a *framework.Analyzer, pkgpath string) {
 	t.Helper()
 	src := filepath.Join(dir, "src", pkgpath)
 	ents, err := os.ReadDir(src)
@@ -55,9 +61,13 @@ func runPkg(t *testing.T, ld *load.Loader, dir string, a *framework.Analyzer, pk
 	}
 	var filenames []string
 	for _, e := range ents {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			filenames = append(filenames, filepath.Join(src, e.Name()))
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
 		}
+		if !a.Tests && strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		filenames = append(filenames, filepath.Join(src, e.Name()))
 	}
 	if len(filenames) == 0 {
 		t.Fatalf("%s: no fixture files under %s", a.Name, src)
@@ -66,6 +76,7 @@ func runPkg(t *testing.T, ld *load.Loader, dir string, a *framework.Analyzer, pk
 	if err != nil {
 		t.Fatalf("%s: loading fixture %s: %v", a.Name, pkgpath, err)
 	}
+	ld.Override(pkg)
 
 	// Gather want expectations from the fixture comments.
 	var wants []*expectation
@@ -102,6 +113,7 @@ func runPkg(t *testing.T, ld *load.Loader, dir string, a *framework.Analyzer, pk
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		Facts:     facts,
 		Report: func(d framework.Diagnostic) {
 			if !sups.Suppressed(a.Name, ld.Fset(), d.Pos) {
 				diags = append(diags, d)

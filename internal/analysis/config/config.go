@@ -15,6 +15,8 @@ import (
 // identified by their slash-separated path relative to the module root
 // (the root package itself is "").  An entry matches a path that equals
 // it or that it is a path-prefix of ("internal" matches "internal/sim").
+// The special entry "." matches only the module root package, which an
+// empty string cannot express (an empty Include means "everything").
 type Scope struct {
 	// Include lists path prefixes the check applies to; empty means
 	// the whole module.
@@ -27,6 +29,9 @@ type Scope struct {
 func matchPrefix(rel, entry string) bool {
 	if entry == "" {
 		return true
+	}
+	if entry == "." {
+		return rel == ""
 	}
 	return rel == entry || strings.HasPrefix(rel, entry+"/")
 }
@@ -63,13 +68,28 @@ func (s Scope) Applies(rel string) bool {
 //     bug wherever it occurs.
 //   - simpanic applies to internal/ library code; main packages and
 //     the top-level experiment drivers may panic on programmer error.
+//   - errdrop applies everywhere: a silently swallowed error masks a
+//     fault wherever it occurs, examples and commands included.
+//   - wrapcheck reports only at the internal/server → raidii API
+//     boundary (internal/server and the module root), where an
+//     unwrapped error breaks errors.Is against re-exported sentinels.
+//     The analyzer itself runs over every package to collect its
+//     which-functions-return-sentinels facts.
+//   - pairbalance applies to library, command, and experiment code;
+//     tests deliberately drive resources into unbalanced states.
+//   - allowaudit is driver-level (it polices the allow comments
+//     themselves) and applies everywhere.
 func DefaultScopes() map[string]Scope {
 	return map[string]Scope{
-		"simtime":  {Exclude: []string{"examples"}},
-		"detrand":  {Exclude: []string{"cmd", "examples"}},
-		"rawgo":    {Exclude: []string{"internal/sim"}},
-		"maporder": {},
-		"simpanic": {Include: []string{"internal"}},
+		"simtime":     {Exclude: []string{"examples"}},
+		"detrand":     {Exclude: []string{"cmd", "examples"}},
+		"rawgo":       {Exclude: []string{"internal/sim"}},
+		"maporder":    {},
+		"simpanic":    {Include: []string{"internal"}},
+		"errdrop":     {},
+		"wrapcheck":   {Include: []string{".", "internal/server"}},
+		"pairbalance": {},
+		"allowaudit":  {},
 	}
 }
 
@@ -96,17 +116,25 @@ type Suppression struct {
 	Reason string
 	Line   int // line the comment ends on
 	File   string
+	Pos    token.Pos // start of the comment token
+	End    token.Pos // end of the comment token
+
+	// Used records whether the suppression absorbed at least one live
+	// diagnostic during the run; the allowaudit check reports unused
+	// suppressions so allows cannot rot.
+	Used bool
 }
 
 // Suppressions indexes //lint:allow comments by file and line.
 type Suppressions struct {
-	byFileLine map[string]map[int][]Suppression
-	malformed  []Suppression // missing check name or reason
+	all        []*Suppression
+	byFileLine map[string]map[int][]*Suppression
+	malformed  []*Suppression // missing check name or reason
 }
 
 // CollectSuppressions parses every //lint:allow comment in files.
 func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
-	s := &Suppressions{byFileLine: make(map[string]map[int][]Suppression)}
+	s := &Suppressions{byFileLine: make(map[string]map[int][]*Suppression)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -117,7 +145,7 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 				rest = strings.TrimSpace(rest)
 				pos := fset.Position(c.End())
 				fields := strings.Fields(rest)
-				sup := Suppression{File: pos.Filename, Line: pos.Line}
+				sup := &Suppression{File: pos.Filename, Line: pos.Line, Pos: c.Pos(), End: c.End()}
 				if len(fields) > 0 {
 					sup.Check = fields[0]
 				}
@@ -128,9 +156,10 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 					s.malformed = append(s.malformed, sup)
 					continue
 				}
+				s.all = append(s.all, sup)
 				byLine := s.byFileLine[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int][]Suppression)
+					byLine = make(map[int][]*Suppression)
 					s.byFileLine[pos.Filename] = byLine
 				}
 				byLine[pos.Line] = append(byLine[pos.Line], sup)
@@ -143,23 +172,29 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 // Malformed returns //lint:allow comments lacking a check name or a
 // reason; the driver reports these as diagnostics of their own, so
 // undocumented suppressions cannot accumulate.
-func (s *Suppressions) Malformed() []Suppression { return s.malformed }
+func (s *Suppressions) Malformed() []*Suppression { return s.malformed }
+
+// All returns every well-formed suppression, in file order.
+func (s *Suppressions) All() []*Suppression { return s.all }
 
 // Suppressed reports whether a diagnostic of the named check at pos is
 // covered by an allow comment on the same line or the line directly
-// above (a trailing comment or a standalone one, respectively).
+// above (a trailing comment or a standalone one, respectively), and
+// marks any covering suppression as used.
 func (s *Suppressions) Suppressed(check string, fset *token.FileSet, pos token.Pos) bool {
 	p := fset.Position(pos)
 	byLine := s.byFileLine[p.Filename]
 	if byLine == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{p.Line, p.Line - 1} {
 		for _, sup := range byLine[line] {
 			if sup.Check == check {
-				return true
+				sup.Used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
 }

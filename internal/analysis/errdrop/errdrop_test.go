@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"raidii/internal/analysis/analysistest"
+	"raidii/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, "testdata", errdrop.Analyzer, "a")
+}

@@ -1,0 +1,13 @@
+// Test-file tier of the errdrop fixture: bare drops still flag (with a
+// make-the-discard-explicit fix), but explicit _ discards are the
+// sanctioned idiom and do not.
+package a
+
+func helperForTests() {
+	mayFail() // want `result of mayFail discards its error`
+
+	_ = mayFail() // ok in a test file: the discard is visible
+
+	n, _ := pair() // ok in a test file
+	_ = n
+}

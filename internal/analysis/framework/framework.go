@@ -4,6 +4,22 @@
 // third-party modules, so raidvet's checkers are written against this
 // API instead; it is shaped so that migrating to x/tools later is a
 // mechanical rename.
+//
+// Beyond the x/tools core (Analyzer, Pass, Diagnostic) the framework
+// carries two extensions the raidvet driver depends on:
+//
+//   - Package-level facts.  An analyzer may export a fact about an
+//     object (a function, a sentinel error variable) while analyzing
+//     the package that declares it, and import that fact later while
+//     analyzing a package that uses the object.  Facts are keyed by a
+//     stable string derived from the object's package path and name
+//     (see Key), not by types.Object identity, because a package
+//     analyzed directly and the same package type-checked as a
+//     dependency of another unit produce distinct object graphs.
+//
+//   - Suggested fixes.  A diagnostic may attach textual edits for the
+//     mechanical cases (replace a %v verb with %w, delete a stale
+//     //lint:allow comment); the driver applies them under -fix.
 package framework
 
 import (
@@ -25,12 +41,90 @@ type Analyzer struct {
 	// Run applies the check to one package and reports diagnostics
 	// through the pass.
 	Run func(*Pass) error
+
+	// Tests, when set, includes in-package *_test.go files in the
+	// pass.  Checks that police production invariants leave it false
+	// so the test corpus stays free to exercise edge cases.
+	Tests bool
+
+	// NeedsAllPackages, when set, makes the driver run the analyzer
+	// over every loaded package regardless of its report scope, so
+	// the analyzer can export facts from packages whose findings the
+	// driver will discard.  Scoping of the *reports* still applies.
+	NeedsAllPackages bool
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// SuggestedFix is one self-contained mechanical repair for a
+// diagnostic.  Edits must not overlap.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
 }
 
 // Diagnostic is one finding of an analyzer.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+
+	// Fixes holds mechanical repairs, if the analyzer can offer any.
+	// The driver applies the first fix under -fix.
+	Fixes []SuggestedFix
+}
+
+// Facts is the cross-package fact table shared by every pass of one
+// analyzer over one driver run.  Keys are produced by Key; values are
+// analyzer-defined.  The driver analyzes packages in dependency order,
+// so a fact exported by a package is visible to every package that
+// imports it.
+type Facts struct {
+	m map[string]interface{}
+}
+
+// NewFacts returns an empty fact table.
+func NewFacts() *Facts { return &Facts{m: make(map[string]interface{})} }
+
+// Key derives the stable fact key for an object: the declaring package
+// path, the receiver type for methods, and the object name — e.g.
+// "raidii/internal/lfs.(*FS).Sync" or "raidii/internal/fault.ErrMedium".
+// Objects without a package (builtins, locals promoted oddly) key by
+// name alone and should not carry facts.
+func Key(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	name := obj.Name()
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			name = recvString(sig.Recv().Type()) + "." + name
+		}
+	}
+	if obj.Pkg() == nil {
+		return name
+	}
+	return obj.Pkg().Path() + "." + name
+}
+
+// recvString renders a receiver type as it appears in a method key:
+// "(*FS)" or "(FS)".
+func recvString(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		return "(*" + namedName(p.Elem()) + ")"
+	}
+	return "(" + namedName(t) + ")"
+}
+
+func namedName(t types.Type) string {
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -41,6 +135,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the analyzer's cross-package fact table.  Nil when the
+	// harness runs without fact support; ExportFact/ImportFact then
+	// degrade to a per-pass table so analyzers need not nil-check.
+	Facts *Facts
+
 	// Report delivers a diagnostic to the driver.
 	Report func(Diagnostic)
 }
@@ -48,6 +147,30 @@ type Pass struct {
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportFact records a fact about obj, visible to later passes of the
+// same analyzer over importing packages.
+func (p *Pass) ExportFact(obj types.Object, v interface{}) {
+	k := Key(obj)
+	if k == "" {
+		return
+	}
+	if p.Facts == nil {
+		p.Facts = NewFacts()
+	}
+	p.Facts.m[k] = v
+}
+
+// ImportFact retrieves a fact previously exported about obj (by this
+// pass or by a pass over a dependency).  The second result reports
+// whether a fact exists.
+func (p *Pass) ImportFact(obj types.Object) (interface{}, bool) {
+	if p.Facts == nil {
+		return nil, false
+	}
+	v, ok := p.Facts.m[Key(obj)]
+	return v, ok
 }
 
 // Inspect walks every file of the pass in depth-first order, calling fn
@@ -77,4 +200,14 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 		return obj
 	}
 	return p.TypesInfo.Defs[id]
+}
+
+// InTestFile reports whether pos lies in a *_test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
 }

@@ -27,36 +27,86 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+
+	// Imports lists the import paths this package depends on, as
+	// reported by the go command; the driver uses them to analyze
+	// packages in dependency order so cross-package facts flow from
+	// exporter to importer.
+	Imports []string
+
+	// TestFileNames records which entries of Files came from
+	// *_test.go sources (in-package tests only; external _test
+	// packages are separate compilation units the driver skips).
+	TestFileNames map[string]bool
+}
+
+// overrideImporter consults a table of already-checked packages before
+// delegating to the underlying importer.  The analysis test harness
+// registers fixture packages here so one fixture may import another
+// even though neither is visible to the go command.
+type overrideImporter struct {
+	under     types.Importer
+	overrides map[string]*types.Package
+}
+
+func (oi *overrideImporter) Import(path string) (*types.Package, error) {
+	if p, ok := oi.overrides[path]; ok {
+		return p, nil
+	}
+	return oi.under.Import(path)
 }
 
 // Loader owns the shared FileSet and importer so that repeated loads
 // reuse already-checked dependencies (the source importer caches).
 type Loader struct {
 	fset *token.FileSet
-	imp  types.Importer
+	imp  *overrideImporter
 }
 
 // NewLoader creates a loader with a fresh FileSet and source importer.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	return &Loader{fset: fset, imp: &overrideImporter{
+		under:     importer.ForCompiler(fset, "source", nil),
+		overrides: make(map[string]*types.Package),
+	}}
 }
 
 // Fset returns the loader's FileSet.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// Override makes an already-checked package importable under its path,
+// bypassing the go command.  Used by the analysistest harness for
+// fixture packages that import each other.
+func (l *Loader) Override(pkg *Package) {
+	l.imp.overrides[pkg.ImportPath] = pkg.Types
+}
+
 // listedPackage is the subset of `go list -json` output we consume.
 type listedPackage struct {
-	ImportPath string
-	Dir        string
-	Name       string
-	GoFiles    []string
+	ImportPath  string
+	Dir         string
+	Name        string
+	GoFiles     []string
+	TestGoFiles []string
+	Imports     []string
 }
 
 // Load enumerates the packages matched by patterns (relative to dir, or
 // the current directory if dir is empty) and type-checks each.  Test
 // files are excluded: GoFiles never includes *_test.go.
 func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	return l.load(dir, false, patterns...)
+}
+
+// LoadTests is Load with in-package *_test.go files included in each
+// package's compilation unit (marked in TestFileNames).  External test
+// packages (package foo_test) are not loaded.
+func (l *Loader) LoadTests(dir string, patterns ...string) ([]*Package, error) {
+	return l.load(dir, true, patterns...)
+}
+
+func (l *Loader) load(dir string, tests bool, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -81,14 +131,24 @@ func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
 		if len(lp.GoFiles) == 0 {
 			continue
 		}
-		files := make([]string, len(lp.GoFiles))
-		for i, f := range lp.GoFiles {
-			files[i] = filepath.Join(lp.Dir, f)
+		var files []string
+		testNames := make(map[string]bool)
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		if tests {
+			for _, f := range lp.TestGoFiles {
+				full := filepath.Join(lp.Dir, f)
+				files = append(files, full)
+				testNames[full] = true
+			}
 		}
 		pkg, err := l.Check(lp.ImportPath, lp.Dir, files)
 		if err != nil {
 			return nil, err
 		}
+		pkg.Imports = lp.Imports
+		pkg.TestFileNames = testNames
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
@@ -120,12 +180,42 @@ func (l *Loader) Check(importPath, dir string, filenames []string) (*Package, er
 		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
 	}
 	return &Package{
-		ImportPath: importPath,
-		Dir:        dir,
-		Files:      files,
-		Types:      tpkg,
-		Info:       info,
+		ImportPath:    importPath,
+		Dir:           dir,
+		Files:         files,
+		Types:         tpkg,
+		Info:          info,
+		TestFileNames: make(map[string]bool),
 	}, nil
+}
+
+// SortDeps orders pkgs so every package appears after the packages it
+// imports (restricted to the loaded set).  Ties keep the go command's
+// lexical order, so the result is deterministic.
+func SortDeps(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	seen := make(map[string]bool, len(pkgs))
+	var out []*Package
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if seen[p.ImportPath] {
+			return
+		}
+		seen[p.ImportPath] = true
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }
 
 // ModulePath reports the module path governing dir (e.g. "raidii").

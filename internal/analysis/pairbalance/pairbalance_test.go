@@ -1,0 +1,12 @@
+package pairbalance_test
+
+import (
+	"testing"
+
+	"raidii/internal/analysis/analysistest"
+	"raidii/internal/analysis/pairbalance"
+)
+
+func TestPairbalance(t *testing.T) {
+	analysistest.Run(t, "testdata", pairbalance.Analyzer, "a")
+}

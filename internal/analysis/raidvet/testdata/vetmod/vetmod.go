@@ -1,0 +1,21 @@
+// Package vetmod is a seeded-violation fixture: raidvet must report
+// its planted findings and exit nonzero.  The driver test asserts the
+// exact JSON rendering and CI asserts the exit status, so this file
+// must keep exactly one errdrop violation and one stale allow.
+package vetmod
+
+import "errors"
+
+// Touch returns a fresh error so Drop below has something to discard.
+func Touch() error { return errors.New("vetmod: touched") }
+
+// Drop discards Touch's error: the seeded errdrop violation.
+func Drop() {
+	Touch()
+}
+
+//lint:allow detrand this allow is deliberately stale
+var one = 1
+
+// One keeps the variable above referenced.
+func One() int { return one }

@@ -1,0 +1,34 @@
+// Fixture package a: declares sentinels and the functions whose
+// returns-sentinel facts package b imports.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is a sentinel built with errors.New.
+var ErrGone = errors.New("gone")
+
+// ErrBusy is a sentinel built with fmt.Errorf.
+var ErrBusy = fmt.Errorf("busy")
+
+// ErrAlias re-exports ErrGone and inherits its fact.
+var ErrAlias = ErrGone
+
+// Fetch returns a sentinel directly.
+func Fetch() error { return ErrGone }
+
+// Wrapped keeps the chain alive with %w.
+func Wrapped() error { return fmt.Errorf("fetch: %w", ErrGone) }
+
+// Chained reaches the sentinel through a local variable.
+func Chained() error {
+	err := Fetch()
+	return fmt.Errorf("chained: %w", err)
+}
+
+// Masked severs the chain; the fix rewrites %v to %w.
+func Masked() error {
+	return fmt.Errorf("masked: %v", ErrGone) // want `formatted with %v, not %w.*\(masks a\.ErrGone\)`
+}

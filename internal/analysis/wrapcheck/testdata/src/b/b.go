@@ -1,0 +1,45 @@
+// Fixture package b imports a, exercising cross-package sentinel facts:
+// the analyzer learns from a's pass that a.Fetch returns a.ErrGone and
+// that a.ErrAlias carries the same sentinel.
+package b
+
+import (
+	"fmt"
+
+	"a"
+)
+
+// The %v wrap of an error traced through a local loses the sentinel.
+func lose() error {
+	err := a.Fetch()
+	if err != nil {
+		return fmt.Errorf("lose: %v", err) // want `formatted with %v, not %w.*\(masks a\.ErrGone\)`
+	}
+	return nil
+}
+
+// Direct re-exported sentinel under %s.
+func direct() error {
+	return fmt.Errorf("direct: %s", a.ErrAlias) // want `formatted with %s, not %w.*\(masks a\.ErrGone\)`
+}
+
+// An error argument with no sentinel trace still flags, without the
+// masks clause.
+func anonymous(err error) error {
+	return fmt.Errorf("anonymous: %v", err) // want `formatted with %v, not %w; errors\.Is cannot match`
+}
+
+// %w keeps the chain: no finding.
+func keep() error {
+	return fmt.Errorf("keep: %w", a.Fetch())
+}
+
+// Non-error arguments are never flagged.
+func plain(n int) error {
+	return fmt.Errorf("plain: %d of %s", n, "things")
+}
+
+// Suppressed with a documented reason.
+func allowed() error {
+	return fmt.Errorf("allowed: %v", a.Fetch()) //lint:allow wrapcheck fixture exercises suppression
+}

@@ -1,0 +1,13 @@
+package wrapcheck_test
+
+import (
+	"testing"
+
+	"raidii/internal/analysis/analysistest"
+	"raidii/internal/analysis/wrapcheck"
+)
+
+func TestWrapcheck(t *testing.T) {
+	// Order matters: a's pass exports the sentinel facts b imports.
+	analysistest.Run(t, "testdata", wrapcheck.Analyzer, "a", "b")
+}

@@ -112,6 +112,7 @@ func (ws *Workstation) withRetry(p *sim.Proc, what string, attempt func(resume i
 // before the typed error reaches the caller.
 func (ws *Workstation) admit(p *sim.Proc, b *server.Board) (release func(), err error) {
 	if err := b.Admit(p); err != nil {
+		//lint:allow errdrop best-effort busy reply on the wire; the typed shed error below is what matters
 		_, _ = ws.sys.Ultra.Send(p, b.HEP, ws.EP, 64)
 		return nil, err
 	}

@@ -77,7 +77,7 @@ func TestReadWriteRoundTrip(t *testing.T) {
 	}
 	var got []byte
 	e.Spawn("t", func(p *sim.Proc) {
-		d.Write(p, 1000, data, nil)
+		_ = d.Write(p, 1000, data, nil)
 		got, _ = d.Read(p, 1000, 16, nil)
 	})
 	e.Run()
@@ -115,7 +115,7 @@ func TestRandomReadLatency(t *testing.T) {
 		for i := 0; i < ops; i++ {
 			lba := rng.Int63n(d.Sectors() - 8)
 			start := p.Now()
-			d.Read(p, lba, 8, nil)
+			_, _ = d.Read(p, lba, 8, nil)
 			total += p.Now().Sub(start)
 		}
 	})
@@ -137,7 +137,7 @@ func TestWrenSlowerThanIBM(t *testing.T) {
 			for i := 0; i < ops; i++ {
 				lba := rng.Int63n(d.Sectors() - 8)
 				start := p.Now()
-				d.Read(p, lba, 8, nil)
+				_, _ = d.Read(p, lba, 8, nil)
 				total += p.Now().Sub(start)
 			}
 		})
@@ -158,7 +158,7 @@ func TestSequentialReadApproachesMediaRate(t *testing.T) {
 	e.Spawn("t", func(p *sim.Proc) {
 		lba := int64(0)
 		for read := 0; read < total; read += 256 * 512 {
-			d.Read(p, lba, 256, nil)
+			_, _ = d.Read(p, lba, 256, nil)
 			lba += 256
 		}
 		end = p.Now()
@@ -187,9 +187,9 @@ func TestSequentialWriteSlowerThanRead(t *testing.T) {
 			lba := int64(0)
 			for done := 0; done < total; done += len(buf) {
 				if write {
-					d.Write(p, lba, buf, nil)
+					_ = d.Write(p, lba, buf, nil)
 				} else {
-					d.Read(p, lba, 256, nil)
+					_, _ = d.Read(p, lba, 256, nil)
 				}
 				lba += 256
 			}
@@ -215,7 +215,7 @@ func TestWrenStreamsSlowerThanIBM(t *testing.T) {
 		e.Spawn("t", func(p *sim.Proc) {
 			lba := int64(0)
 			for read := 0; read < total; read += 128 * 512 {
-				d.Read(p, lba, 128, nil)
+				_, _ = d.Read(p, lba, 128, nil)
 				lba += 128
 			}
 			end = p.Now()
@@ -241,7 +241,7 @@ func TestActuatorSerializesRequests(t *testing.T) {
 		lba := int64(i * 100000)
 		g.Go("r", func(p *sim.Proc) {
 			start := p.Now()
-			d.Read(p, lba, 8, nil)
+			_, _ = d.Read(p, lba, 8, nil)
 			latencies = append(latencies, p.Now().Sub(start))
 		})
 	}
@@ -263,7 +263,7 @@ func TestReadThroughPathIsBusLimited(t *testing.T) {
 	const n = 2048 // sectors = 1 MB
 	var end sim.Time
 	e.Spawn("t", func(p *sim.Proc) {
-		d.Read(p, 0, n, sim.Path{bus})
+		_, _ = d.Read(p, 0, n, sim.Path{bus})
 		end = p.Now()
 	})
 	e.Run()
@@ -283,7 +283,7 @@ func TestWriteThroughPathOverlapsMedia(t *testing.T) {
 	data := make([]byte, 1<<20)
 	var end sim.Time
 	e.Spawn("t", func(p *sim.Proc) {
-		d.Write(p, 0, data, sim.Path{bus})
+		_ = d.Write(p, 0, data, sim.Path{bus})
 		end = p.Now()
 	})
 	e.Run()
@@ -341,7 +341,7 @@ func TestQuickRoundTrip(t *testing.T) {
 		lba := int64(lbaRaw) % (d.Sectors() - int64(n))
 		rng := rand.New(rand.NewSource(seed))
 		data := make([]byte, n*512)
-		rng.Read(data)
+		_, _ = rng.Read(data)
 		d.WriteData(lba, data)
 		return bytes.Equal(d.ReadData(lba, n), data)
 	}

@@ -21,7 +21,7 @@ func schedIOPS(t *testing.T, policy SchedPolicy, qdepth int) float64 {
 		g.Go("rd", func(p *sim.Proc) {
 			for i := 0; i < opsPer; i++ {
 				lba := rng.Int63n(d.Sectors() - 8)
-				d.Read(p, lba, 8, nil)
+				_, _ = d.Read(p, lba, 8, nil)
 			}
 		})
 	}
@@ -68,13 +68,13 @@ func TestSchedulerPreservesData(t *testing.T) {
 	g := sim.NewGroup(e)
 	for i := 0; i < 16; i++ {
 		buf := make([]byte, 8*512)
-		rng.Read(buf)
+		_, _ = rng.Read(buf)
 		lba := rng.Int63n(d.Sectors()-8) / 8 * 8
 		frags = append(frags, frag{lba, buf})
 	}
 	for _, f := range frags {
 		f := f
-		g.Go("w", func(p *sim.Proc) { d.Write(p, f.lba, f.data, nil) })
+		g.Go("w", func(p *sim.Proc) { _ = d.Write(p, f.lba, f.data, nil) })
 	}
 	e.Run()
 	for _, f := range frags {

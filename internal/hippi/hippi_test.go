@@ -94,7 +94,7 @@ func TestUltranetSendBetweenEndpoints(t *testing.T) {
 	const n = 8 << 20
 	var end sim.Time
 	e.Spawn("p", func(p *sim.Proc) {
-		u.Send(p, server, client, n)
+		_, _ = u.Send(p, server, client, n)
 		end = p.Now()
 	})
 	e.Run()
@@ -115,7 +115,7 @@ func TestUltranetPacketization(t *testing.T) {
 	bEp := &Endpoint{Name: "b", Out: nic, In: nic, Setup: cfg.PacketSetup}
 	var end sim.Time
 	e.Spawn("p", func(p *sim.Proc) {
-		u.Send(p, a, bEp, 4<<20) // 4 packets -> 4 setups
+		_, _ = u.Send(p, a, bEp, 4<<20) // 4 packets -> 4 setups
 		end = p.Now()
 	})
 	e.Run()
@@ -277,7 +277,7 @@ func TestRingIsShared(t *testing.T) {
 	g := sim.NewGroup(e)
 	for i := 0; i < 2; i++ {
 		from, to := mk("f"), mk("t")
-		g.Go("xfer", func(p *sim.Proc) { u.Send(p, from, to, 5<<20) })
+		g.Go("xfer", func(p *sim.Proc) { _, _ = u.Send(p, from, to, 5<<20) })
 	}
 	end := e.Run()
 	rate := float64(10<<20) / end.Seconds() / 1e6

@@ -17,13 +17,13 @@ func TestCleanerReclaimsDeadSegments(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			f.WriteAt(p, make([]byte, 200<<10), 0)
+			_, _ = f.WriteAt(p, make([]byte, 200<<10), 0)
 		}
-		fs.Sync(p)
+		_ = fs.Sync(p)
 		for i := 0; i < 10; i++ {
-			fs.Remove(p, fmt.Sprintf("/junk%d", i))
+			_ = fs.Remove(p, fmt.Sprintf("/junk%d", i))
 		}
-		fs.Sync(p)
+		_ = fs.Sync(p)
 		before := fs.FreeSegments()
 		n, err := fs.Clean(p, before+5)
 		if err != nil {
@@ -49,17 +49,17 @@ func TestCleanerPreservesLiveData(t *testing.T) {
 	}
 	run(e, func(p *sim.Proc) {
 		f, _ := fs.Create(p, "/keep")
-		f.WriteAt(p, keep, 0)
+		_, _ = f.WriteAt(p, keep, 0)
 		// Interleave junk that then dies, fragmenting segments.
 		for i := 0; i < 8; i++ {
 			g, _ := fs.Create(p, fmt.Sprintf("/junk%d", i))
-			g.WriteAt(p, make([]byte, 100<<10), 0)
+			_, _ = g.WriteAt(p, make([]byte, 100<<10), 0)
 		}
-		fs.Sync(p)
+		_ = fs.Sync(p)
 		for i := 0; i < 8; i++ {
-			fs.Remove(p, fmt.Sprintf("/junk%d", i))
+			_ = fs.Remove(p, fmt.Sprintf("/junk%d", i))
 		}
-		fs.Sync(p)
+		_ = fs.Sync(p)
 		// Ask for more space than the dead blocks can yield: the cleaner
 		// must reclaim what exists and stop (ErrNoSpace), never corrupt.
 		if _, err := fs.Clean(p, fs.FreeSegments()+6); err != nil && err != ErrNoSpace {
@@ -89,19 +89,19 @@ func TestCleanerSurvivesCheckpointAndRemount(t *testing.T) {
 		fs, _ := Format(p, e, dev, Config{SegBytes: 64 << 10, MaxInodes: 1024, CleanReserve: 3})
 		f, _ := fs.Create(p, "/live")
 		payload := bytes.Repeat([]byte("z"), 150<<10)
-		f.WriteAt(p, payload, 0)
+		_, _ = f.WriteAt(p, payload, 0)
 		for i := 0; i < 6; i++ {
 			g, _ := fs.Create(p, fmt.Sprintf("/dead%d", i))
-			g.WriteAt(p, make([]byte, 80<<10), 0)
+			_, _ = g.WriteAt(p, make([]byte, 80<<10), 0)
 		}
-		fs.Sync(p)
+		_ = fs.Sync(p)
 		for i := 0; i < 6; i++ {
-			fs.Remove(p, fmt.Sprintf("/dead%d", i))
+			_ = fs.Remove(p, fmt.Sprintf("/dead%d", i))
 		}
 		if _, err := fs.Clean(p, fs.FreeSegments()+4); err != nil && err != ErrNoSpace {
 			t.Fatal(err)
 		}
-		fs.Checkpoint(p)
+		_ = fs.Checkpoint(p)
 		fs.Crash()
 
 		fs2, err := Mount(p, e, dev)
@@ -138,7 +138,7 @@ func TestAutoCleanUnderSpacePressure(t *testing.T) {
 			if _, err := f.WriteAt(p, buf, 0); err != nil {
 				t.Fatalf("rewrite %d: %v", i, err)
 			}
-			fs.Sync(p)
+			_ = fs.Sync(p)
 		}
 		got, _ := f.ReadAt(p, 0, len(buf))
 		if !bytes.Equal(got, buf) {

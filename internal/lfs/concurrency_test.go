@@ -64,8 +64,8 @@ func TestConcurrentReadersShareFile(t *testing.T) {
 	base := bytes.Repeat([]byte{0x5a}, size)
 	run(e, func(p *sim.Proc) {
 		f, _ := fs.Create(p, "/shared")
-		f.WriteAt(p, base, 0)
-		fs.Sync(p)
+		_, _ = f.WriteAt(p, base, 0)
+		_ = fs.Sync(p)
 	})
 	g := sim.NewGroup(e)
 	for r := 0; r < 4; r++ {
@@ -87,7 +87,7 @@ func TestConcurrentReadersShareFile(t *testing.T) {
 	}
 	g.Go("appender", func(p *sim.Proc) {
 		f, _ := fs.Open(p, "/shared")
-		f.WriteAt(p, []byte("tail"), size)
+		_, _ = f.WriteAt(p, []byte("tail"), size)
 	})
 	e.Run()
 }
@@ -103,9 +103,9 @@ func TestFileSyncDurability(t *testing.T) {
 			t.Fatal(err)
 		}
 		f, _ := fs.Create(p, "/fsynced")
-		f.WriteAt(p, []byte("must survive"), 0)
-		fs.Checkpoint(p) // persist the directory entry
-		f.WriteAt(p, []byte("MUST SURVIVE"), 0)
+		_, _ = f.WriteAt(p, []byte("must survive"), 0)
+		_ = fs.Checkpoint(p) // persist the directory entry
+		_, _ = f.WriteAt(p, []byte("MUST SURVIVE"), 0)
 		if err := f.Sync(p); err != nil {
 			t.Fatal(err)
 		}

@@ -51,7 +51,7 @@ func TestCrashConsistencyProperty(t *testing.T) {
 					name := fmt.Sprintf("/f%d", rng.Intn(20))
 					size := 1 + rng.Intn(100<<10)
 					data := make([]byte, size)
-					rng.Read(data)
+					_, _ = rng.Read(data)
 					f, err := fs.Open(p, name)
 					if err == ErrNotExist {
 						if f, err = fs.Create(p, name); err != nil {

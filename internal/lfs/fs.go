@@ -320,7 +320,7 @@ func (fs *FS) appendBlock(p *sim.Proc, kind uint32, a1, a2 uint32, content []byt
 	if !fs.cleaning && fs.FreeSegments() < fs.cfg.CleanReserve {
 		// Try to stay ahead of log exhaustion.  Failure to find cleanable
 		// segments is not fatal here; the seal path reports ErrNoSpace.
-		_ = fs.cleanSome(p, fs.cfg.CleanReserve)
+		_ = fs.cleanSome(p, fs.cfg.CleanReserve) //lint:allow errdrop opportunistic clean; the seal path reports ErrNoSpace
 	}
 	if len(fs.segStaged) >= fs.segDataBlks {
 		if err := fs.sealSegment(p); err != nil {

@@ -69,7 +69,7 @@ func TestLargeFileSpansIndirects(t *testing.T) {
 	// double-indirect pointers: > (12+1024)*4KB ~ 4.2 MB.
 	const size = 6 << 20
 	data := make([]byte, size)
-	rand.New(rand.NewSource(3)).Read(data)
+	_, _ = rand.New(rand.NewSource(3)).Read(data)
 	var got []byte
 	run(e, func(p *sim.Proc) {
 		f, err := fs.Create(p, "/big")
@@ -102,9 +102,9 @@ func TestOverwriteMiddle(t *testing.T) {
 	patch := []byte("PATCHED")
 	run(e, func(p *sim.Proc) {
 		f, _ := fs.Create(p, "/f")
-		f.WriteAt(p, base, 0)
-		fs.Sync(p)
-		f.WriteAt(p, patch, 1000)
+		_, _ = f.WriteAt(p, base, 0)
+		_ = fs.Sync(p)
+		_, _ = f.WriteAt(p, patch, 1000)
 		got, _ := f.ReadAt(p, 0, len(base))
 		want := append([]byte{}, base...)
 		copy(want[1000:], patch)
@@ -121,7 +121,7 @@ func TestSparseFileReadsZero(t *testing.T) {
 	e, fs := newFS(t, 64, 8)
 	run(e, func(p *sim.Proc) {
 		f, _ := fs.Create(p, "/sparse")
-		f.WriteAt(p, []byte("end"), 100<<10)
+		_, _ = f.WriteAt(p, []byte("end"), 100<<10)
 		got, _ := f.ReadAt(p, 50<<10, 16)
 		for _, b := range got {
 			if b != 0 {
@@ -203,7 +203,7 @@ func TestRemove(t *testing.T) {
 	e, fs := newFS(t, 64, 8)
 	run(e, func(p *sim.Proc) {
 		f, _ := fs.Create(p, "/doomed")
-		f.WriteAt(p, make([]byte, 32<<10), 0)
+		_, _ = f.WriteAt(p, make([]byte, 32<<10), 0)
 		if err := fs.Remove(p, "/doomed"); err != nil {
 			t.Fatal(err)
 		}
@@ -211,12 +211,12 @@ func TestRemove(t *testing.T) {
 			t.Fatalf("open after remove: %v", err)
 		}
 		// Directory removal.
-		fs.Mkdir(p, "/d")
-		fs.Create(p, "/d/child")
+		_ = fs.Mkdir(p, "/d")
+		_, _ = fs.Create(p, "/d/child")
 		if err := fs.Remove(p, "/d"); err != ErrNotEmpty {
 			t.Fatalf("non-empty dir: %v", err)
 		}
-		fs.Remove(p, "/d/child")
+		_ = fs.Remove(p, "/d/child")
 		if err := fs.Remove(p, "/d"); err != nil {
 			t.Fatal(err)
 		}
@@ -227,8 +227,8 @@ func TestRename(t *testing.T) {
 	e, fs := newFS(t, 64, 8)
 	run(e, func(p *sim.Proc) {
 		f, _ := fs.Create(p, "/old")
-		f.WriteAt(p, []byte("payload"), 0)
-		fs.Mkdir(p, "/sub")
+		_, _ = f.WriteAt(p, []byte("payload"), 0)
+		_ = fs.Mkdir(p, "/sub")
 		if err := fs.Rename(p, "/old", "/sub/new"); err != nil {
 			t.Fatal(err)
 		}
@@ -257,7 +257,7 @@ func TestSyncDurability(t *testing.T) {
 	e, fs := newFS(t, 64, 8)
 	run(e, func(p *sim.Proc) {
 		f, _ := fs.Create(p, "/durable")
-		f.WriteAt(p, []byte("sync me"), 0)
+		_, _ = f.WriteAt(p, []byte("sync me"), 0)
 		if err := fs.Sync(p); err != nil {
 			t.Fatal(err)
 		}
@@ -272,9 +272,9 @@ func TestCheckCleanFS(t *testing.T) {
 	run(e, func(p *sim.Proc) {
 		for i := 0; i < 20; i++ {
 			f, _ := fs.Create(p, fmt.Sprintf("/f%d", i))
-			f.WriteAt(p, make([]byte, 10<<10), 0)
+			_, _ = f.WriteAt(p, make([]byte, 10<<10), 0)
 		}
-		fs.Checkpoint(p)
+		_ = fs.Checkpoint(p)
 		r, err := fs.Check(p)
 		if err != nil {
 			t.Fatal(err)
@@ -292,9 +292,9 @@ func TestStatsAccumulate(t *testing.T) {
 	e, fs := newFS(t, 64, 8)
 	run(e, func(p *sim.Proc) {
 		f, _ := fs.Create(p, "/s")
-		f.WriteAt(p, make([]byte, 256<<10), 0)
-		f.ReadAt(p, 0, 256<<10)
-		fs.Sync(p)
+		_, _ = f.WriteAt(p, make([]byte, 256<<10), 0)
+		_, _ = f.ReadAt(p, 0, 256<<10)
+		_ = fs.Sync(p)
 	})
 	st := fs.Stats()
 	if st.WriteOps != 1 || st.ReadOps != 1 {
@@ -326,8 +326,8 @@ func TestSegmentWritesAreFullStripes(t *testing.T) {
 			t.Fatal(err)
 		}
 		f, _ := fs.Create(p, "/stream")
-		f.WriteAt(p, make([]byte, 1<<20), 0)
-		fs.Sync(p)
+		_, _ = f.WriteAt(p, make([]byte, 1<<20), 0)
+		_ = fs.Sync(p)
 	})
 	st := arr.Stats()
 	if st.FullStripeWrites == 0 {
@@ -354,7 +354,7 @@ func TestManyFilesAndDeepPaths(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			f.WriteAt(p, []byte(fmt.Sprintf("content-%d", i)), 0)
+			_, _ = f.WriteAt(p, []byte(fmt.Sprintf("content-%d", i)), 0)
 		}
 		ents, _ := fs.ReadDir(p, path)
 		if len(ents) != 100 {
@@ -373,7 +373,7 @@ func TestReuseInodeNumbers(t *testing.T) {
 	run(e, func(p *sim.Proc) {
 		f1, _ := fs.Create(p, "/a")
 		first := f1.Inum()
-		fs.Remove(p, "/a")
+		_ = fs.Remove(p, "/a")
 		f2, _ := fs.Create(p, "/b")
 		if f2.Inum() != first {
 			t.Fatalf("inode %d not reused (got %d)", first, f2.Inum())
@@ -391,18 +391,18 @@ func TestQuickRandomIO(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		f.WriteAt(p, make([]byte, fileSize), 0)
+		_, _ = f.WriteAt(p, make([]byte, fileSize), 0)
 		for i := 0; i < 150; i++ {
 			off := rng.Int63n(fileSize - 20000)
 			n := 1 + rng.Intn(20000)
 			buf := make([]byte, n)
-			rng.Read(buf)
+			_, _ = rng.Read(buf)
 			if _, err := f.WriteAt(p, buf, off); err != nil {
 				t.Fatal(err)
 			}
 			copy(shadow[off:], buf)
 			if i%25 == 0 {
-				fs.Sync(p)
+				_ = fs.Sync(p)
 			}
 			roff := rng.Int63n(fileSize - 4096)
 			got, err := f.ReadAt(p, roff, 4096)

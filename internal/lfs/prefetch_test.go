@@ -39,8 +39,8 @@ func TestPrefetchSpeedsUpSmallSequentialReads(t *testing.T) {
 				t.Fatal(err)
 			}
 			f, _ := fs.Create(p, "/stream")
-			f.WriteAt(p, make([]byte, 2<<20), 0)
-			fs.Sync(p)
+			_, _ = f.WriteAt(p, make([]byte, 2<<20), 0)
+			_ = fs.Sync(p)
 		})
 		var dur sim.Duration
 		run(e, func(p *sim.Proc) {
@@ -74,8 +74,8 @@ func TestPrefetchReturnsCorrectData(t *testing.T) {
 	}
 	run(e, func(p *sim.Proc) {
 		f, _ := fs.Create(p, "/data")
-		f.WriteAt(p, payload, 0)
-		fs.Sync(p)
+		_, _ = f.WriteAt(p, payload, 0)
+		_ = fs.Sync(p)
 		g, _ := fs.Open(p, "/data")
 		g.SetReadAhead(true)
 		var got []byte
@@ -96,8 +96,8 @@ func TestPrefetchInvalidatedByWrite(t *testing.T) {
 	e, fs := timedFS(t)
 	run(e, func(p *sim.Proc) {
 		f, _ := fs.Create(p, "/mut")
-		f.WriteAt(p, bytes.Repeat([]byte{1}, 256<<10), 0)
-		fs.Sync(p)
+		_, _ = f.WriteAt(p, bytes.Repeat([]byte{1}, 256<<10), 0)
+		_ = fs.Sync(p)
 		g, _ := fs.Open(p, "/mut")
 		g.SetReadAhead(true)
 		// Prime the prefetcher: read [0,64K) so [64K,128K) is in flight.
@@ -124,8 +124,8 @@ func TestPrefetchRandomReadsUnaffected(t *testing.T) {
 	e, fs := timedFS(t)
 	run(e, func(p *sim.Proc) {
 		f, _ := fs.Create(p, "/rand")
-		f.WriteAt(p, bytes.Repeat([]byte{9}, 512<<10), 0)
-		fs.Sync(p)
+		_, _ = f.WriteAt(p, bytes.Repeat([]byte{9}, 512<<10), 0)
+		_ = fs.Sync(p)
 		g, _ := fs.Open(p, "/rand")
 		g.SetReadAhead(true)
 		for _, off := range []int64{256 << 10, 0, 384 << 10, 128 << 10} {

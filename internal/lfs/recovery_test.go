@@ -31,8 +31,8 @@ func TestMountAfterCleanCheckpoint(t *testing.T) {
 			t.Fatal(err)
 		}
 		f, _ := fs.Create(p, "/persisted")
-		f.WriteAt(p, []byte("survives remount"), 0)
-		fs.Checkpoint(p)
+		_, _ = f.WriteAt(p, []byte("survives remount"), 0)
+		_ = fs.Checkpoint(p)
 		fs.Crash()
 
 		fs2, err := Mount(p, e, dev)
@@ -59,13 +59,13 @@ func TestRollForwardRecoversPostCheckpointWrites(t *testing.T) {
 			t.Fatal(err)
 		}
 		f, _ := fs.Create(p, "/before")
-		f.WriteAt(p, []byte("checkpointed"), 0)
-		fs.Checkpoint(p)
+		_, _ = f.WriteAt(p, []byte("checkpointed"), 0)
+		_ = fs.Checkpoint(p)
 
 		// Post-checkpoint activity, synced to the log but NOT checkpointed.
 		g, _ := fs.Create(p, "/after")
-		g.WriteAt(p, bytes.Repeat([]byte("x"), 100<<10), 0)
-		fs.Sync(p)
+		_, _ = g.WriteAt(p, bytes.Repeat([]byte("x"), 100<<10), 0)
+		_ = fs.Sync(p)
 		fs.Crash()
 
 		fs2, err := Mount(p, e, dev)
@@ -105,12 +105,12 @@ func TestUnsyncedDataLostButFSConsistent(t *testing.T) {
 	run(e, func(p *sim.Proc) {
 		fs, _ := Format(p, e, dev, Config{SegBytes: 64 << 10, MaxInodes: 1024, CleanReserve: 3})
 		f, _ := fs.Create(p, "/stable")
-		f.WriteAt(p, []byte("stable"), 0)
-		fs.Checkpoint(p)
+		_, _ = f.WriteAt(p, []byte("stable"), 0)
+		_ = fs.Checkpoint(p)
 
 		// Buffered-only writes: in the staging segment, never sealed.
 		g, _ := fs.Create(p, "/volatile")
-		g.WriteAt(p, []byte("gone"), 0)
+		_, _ = g.WriteAt(p, []byte("gone"), 0)
 		fs.Crash()
 
 		fs2, err := Mount(p, e, dev)
@@ -145,11 +145,11 @@ func TestRepeatedCrashRecoverCycles(t *testing.T) {
 				t.Fatalf("cycle %d: %v", cycle, err)
 			}
 			payload := bytes.Repeat([]byte{byte('A' + cycle)}, 20<<10)
-			f.WriteAt(p, payload, 0)
+			_, _ = f.WriteAt(p, payload, 0)
 			if cycle%2 == 0 {
-				fs.Checkpoint(p)
+				_ = fs.Checkpoint(p)
 			} else {
-				fs.Sync(p)
+				_ = fs.Sync(p)
 			}
 			fs.Crash()
 			fs, err = Mount(p, e, dev)
@@ -182,10 +182,10 @@ func TestCorruptCheckpointFallsBack(t *testing.T) {
 	run(e, func(p *sim.Proc) {
 		fs, _ := Format(p, e, dev, Config{SegBytes: 64 << 10, MaxInodes: 1024, CleanReserve: 3})
 		f, _ := fs.Create(p, "/data")
-		f.WriteAt(p, []byte("v1"), 0)
-		fs.Checkpoint(p) // cp region A (or B)
-		f.WriteAt(p, []byte("v2"), 0)
-		fs.Checkpoint(p) // the other region
+		_, _ = f.WriteAt(p, []byte("v1"), 0)
+		_ = fs.Checkpoint(p) // cp region A (or B)
+		_, _ = f.WriteAt(p, []byte("v2"), 0)
+		_ = fs.Checkpoint(p) // the other region
 		latest := fs.cpNext ^ 1
 		fs.Crash()
 

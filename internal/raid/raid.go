@@ -250,7 +250,6 @@ func (a *Array) escalate(p *sim.Proc, i int, err error) {
 	a.stats.DiskFailures++
 	end := p.Span("fault", fmt.Sprintf("escalate:dev%d", i))
 	end()
-	_ = err
 }
 
 // devRead issues a read to device i, escalating any error; ok is false when

@@ -89,7 +89,7 @@ func TestParityConsistentAfterWrites(t *testing.T) {
 			n := 1 + rng.Intn(30)
 			lba := rng.Int63n(a.Sectors() - int64(n))
 			buf := make([]byte, n*tSec)
-			rng.Read(buf)
+			_, _ = rng.Read(buf)
 			a.Write(p, lba, buf)
 		}
 		if bad := a.CheckParity(p); bad != 0 {
@@ -111,7 +111,7 @@ func TestDegradedReadReconstructs(t *testing.T) {
 					if level == Level1 && fail%2 == 1 {
 						continue // loc never returns mirror copies
 					}
-					a.FailDisk(fail)
+					_ = a.FailDisk(fail)
 					got := a.Read(p, 0, 40)
 					a.RepairDisk(fail)
 					if !bytes.Equal(got, data) {
@@ -130,7 +130,7 @@ func TestWritesWhileDegradedThenReconstruct(t *testing.T) {
 	after := patterned(24*tSec, 5)
 	runProc(e, func(p *sim.Proc) {
 		a.Write(p, 0, before)
-		a.FailDisk(2)
+		_ = a.FailDisk(2)
 		a.Write(p, 10, after) // partial and full stripes while degraded
 		spare := NewMemDev(256, tSec)
 		if _, err := a.Reconstruct(p, 2, spare); err != nil {
@@ -241,8 +241,8 @@ func TestLevel5SpreadsDataAcrossAllDisks(t *testing.T) {
 func TestDoubleFailurePanics(t *testing.T) {
 	e := sim.New()
 	a, _ := newArray(t, e, 5, Level5)
-	a.FailDisk(0)
-	a.FailDisk(1)
+	_ = a.FailDisk(0)
+	_ = a.FailDisk(1)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic on double failure")
@@ -277,7 +277,7 @@ func TestQuickRandomWritesReadBack(t *testing.T) {
 		n := int(nRaw%25) + 1
 		lba := int64(lbaRaw) % (a.Sectors() - int64(n))
 		buf := make([]byte, n*tSec)
-		rng.Read(buf)
+		_, _ = rng.Read(buf)
 		ok := true
 		runProc(e, func(p *sim.Proc) {
 			a.Write(p, lba, buf)

@@ -98,7 +98,7 @@ func TestReconstructPipelinedMatchesSerialContent(t *testing.T) {
 	data := patterned(200*tSec, 3)
 	runProc(e, func(p *sim.Proc) {
 		a.Write(p, 0, data)
-		a.FailDisk(1)
+		_ = a.FailDisk(1)
 		spare := NewMemDev(256, tSec)
 		if _, err := a.Reconstruct(p, 1, spare); err != nil {
 			t.Fatal(err)
@@ -121,7 +121,7 @@ func TestReconstructLevel1(t *testing.T) {
 	data := patterned(100*tSec, 4)
 	runProc(e, func(p *sim.Proc) {
 		a.Write(p, 0, data)
-		a.FailDisk(2)
+		_ = a.FailDisk(2)
 		spare := NewMemDev(256, tSec)
 		if _, err := a.Reconstruct(p, 2, spare); err != nil {
 			t.Fatal(err)

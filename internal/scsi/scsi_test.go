@@ -23,7 +23,7 @@ func TestAttachAndRoundTrip(t *testing.T) {
 	}
 	var got []byte
 	e.Spawn("t", func(p *sim.Proc) {
-		ad.Write(p, 100, data, nil)
+		_ = ad.Write(p, 100, data, nil)
 		got, _ = ad.Read(p, 100, 8, nil)
 	})
 	e.Run()
@@ -49,7 +49,7 @@ func stringThroughput(t *testing.T, n int) float64 {
 		g.Go("reader", func(p *sim.Proc) {
 			lba := int64(0)
 			for read := 0; read < perDisk; read += 128 * 512 {
-				ad.Read(p, lba, 128, nil)
+				_, _ = ad.Read(p, lba, 128, nil)
 				lba += 128
 			}
 		})
@@ -99,7 +99,7 @@ func TestTwoStringsExceedOne(t *testing.T) {
 			g.Go("reader", func(p *sim.Proc) {
 				lba := int64(0)
 				for read := 0; read < perDisk; read += 128 * 512 {
-					ad.Read(p, lba, 128, nil)
+					_, _ = ad.Read(p, lba, 128, nil)
 					lba += 128
 				}
 			})
@@ -129,7 +129,7 @@ func TestControllerCeiling(t *testing.T) {
 		g.Go("reader", func(p *sim.Proc) {
 			lba := int64(0)
 			for read := 0; read < perDisk; read += 128 * 512 {
-				ad.Read(p, lba, 128, nil)
+				_, _ = ad.Read(p, lba, 128, nil)
 				lba += 128
 			}
 		})
@@ -163,7 +163,7 @@ func TestWriteThroughUpstreamPath(t *testing.T) {
 	data := make([]byte, 64*512)
 	var got []byte
 	e.Spawn("t", func(p *sim.Proc) {
-		ad.Write(p, 0, data, sim.Path{vme})
+		_ = ad.Write(p, 0, data, sim.Path{vme})
 		got, _ = ad.Read(p, 0, 64, sim.Path{vme})
 	})
 	e.Run()

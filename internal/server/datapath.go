@@ -217,14 +217,17 @@ func (b *Board) CreateFS(p *sim.Proc, path string) (*FSFile, error) {
 // disk (no striping, as in the paper's test program), plus the host's
 // per-I/O completion cost.  RAID-II's completions carry no data through
 // host memory.
-func (b *Board) SmallDiskRead(p *sim.Proc, diskIdx int, lba int64, bytes int) {
+func (b *Board) SmallDiskRead(p *sim.Proc, diskIdx int, lba int64, bytes int) error {
 	end := p.Span("datapath", "small-read")
 	defer end()
 	ad := b.Disks[diskIdx]
 	port := (diskIdx / (2 * b.sys.Cfg.DisksPerString)) % len(b.XB.VME)
 	secs := (bytes + ad.SectorSize() - 1) / ad.SectorSize()
-	_, _ = ad.Read(p, lba, secs, b.XB.DiskReadPath(port))
+	if _, err := ad.Read(p, lba, secs, b.XB.DiskReadPath(port)); err != nil {
+		return err
+	}
 	b.sys.Host.PerIO(p)
+	return nil
 }
 
 // EtherRead services a client read in standard mode: the host commands the

@@ -155,12 +155,15 @@ func (r *RAIDI) UserRead(p *sim.Proc, offSectors int64, size int) {
 // SmallDiskRead is RAID-I's Table 2 unit of work: a 4 KB read from one
 // disk, DMA into host memory, a copy to user space, and the host's
 // (heavier) per-I/O completion cost.
-func (r *RAIDI) SmallDiskRead(p *sim.Proc, diskIdx int, lba int64, bytes int) {
+func (r *RAIDI) SmallDiskRead(p *sim.Proc, diskIdx int, lba int64, bytes int) error {
 	ad := r.Disks[diskIdx]
 	secs := (bytes + ad.SectorSize() - 1) / ad.SectorSize()
-	_, _ = ad.Read(p, lba, secs, sim.Path{r.Host.Backplane, r.Host.MemBus})
+	if _, err := ad.Read(p, lba, secs, sim.Path{r.Host.Backplane, r.Host.MemBus}); err != nil {
+		return err
+	}
 	r.Host.Copy(p, bytes)
 	r.Host.PerIO(p)
+	return nil
 }
 
 // NewHostXOR returns a parity engine that computes XOR on the given host

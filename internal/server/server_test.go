@@ -156,7 +156,7 @@ func TestTable2SmallIORates(t *testing.T) {
 	space := b.Disks[0].Sectors() - 8
 	res2 := workload.ClosedLoop(sys.Eng, 15, horizon, func(p *sim.Proc, w int, rng *rand.Rand) int {
 		lba := workload.RandomAligned(rng, space, 8)
-		b.SmallDiskRead(p, w, lba, 4096)
+		_ = b.SmallDiskRead(p, w, lba, 4096)
 		return 4096
 	})
 	iops2 := res2.IOPS()
@@ -172,7 +172,7 @@ func TestTable2SmallIORates(t *testing.T) {
 	space1 := r.Disks[0].Sectors() - 8
 	res1 := workload.ClosedLoop(r.Eng, 15, horizon, func(p *sim.Proc, w int, rng *rand.Rand) int {
 		lba := workload.RandomAligned(rng, space1, 8)
-		r.SmallDiskRead(p, w, lba, 4096)
+		_ = r.SmallDiskRead(p, w, lba, 4096)
 		return 4096
 	})
 	iops1 := res1.IOPS()
@@ -191,7 +191,7 @@ func TestTable2SingleDisk(t *testing.T) {
 	space := b.Disks[0].Sectors() - 8
 	res := workload.ClosedLoop(sys.Eng, 1, horizon, func(p *sim.Proc, w int, rng *rand.Rand) int {
 		lba := workload.RandomAligned(rng, space, 8)
-		b.SmallDiskRead(p, 0, lba, 4096)
+		_ = b.SmallDiskRead(p, 0, lba, 4096)
 		return 4096
 	})
 	if iops := res.IOPS(); iops < 30 || iops > 42 {
@@ -202,7 +202,7 @@ func TestTable2SingleDisk(t *testing.T) {
 	space1 := r.Disks[0].Sectors() - 8
 	res1 := workload.ClosedLoop(r.Eng, 1, horizon, func(p *sim.Proc, w int, rng *rand.Rand) int {
 		lba := workload.RandomAligned(rng, space1, 8)
-		r.SmallDiskRead(p, 0, lba, 4096)
+		_ = r.SmallDiskRead(p, 0, lba, 4096)
 		return 4096
 	})
 	if iops := res1.IOPS(); iops < 23 || iops > 32 {
@@ -228,7 +228,7 @@ func TestEtherPathSlow(t *testing.T) {
 		if err := b.FSWrite(p, f, 0, make([]byte, 1<<20)); err != nil {
 			t.Fatal(err)
 		}
-		b.FS.Sync(p)
+		_ = b.FS.Sync(p)
 		start := p.Now()
 		if err := b.EtherRead(p, f, 0, 1<<20); err != nil {
 			t.Fatal(err)

@@ -20,14 +20,16 @@ import (
 // the file in https://ui.perfetto.dev or chrome://tracing.
 func WriteChrome(w io.Writer, recs ...*Recorder) error {
 	bw := bufio.NewWriter(w)
-	bw.WriteString("{\"traceEvents\":[\n")
+	// bufio errors are sticky: every WriteString after a failure is a
+	// no-op and the final Flush reports the first error.
+	bw.WriteString("{\"traceEvents\":[\n") //lint:allow errdrop sticky bufio error surfaces at the final Flush
 	first := true
 	emit := func(line string) {
 		if !first {
-			bw.WriteString(",\n")
+			bw.WriteString(",\n") //lint:allow errdrop sticky bufio error surfaces at the final Flush
 		}
 		first = false
-		bw.WriteString(line)
+		bw.WriteString(line) //lint:allow errdrop sticky bufio error surfaces at the final Flush
 	}
 	for _, rec := range recs {
 		pid := rec.cfg.Pid
@@ -52,7 +54,7 @@ func WriteChrome(w io.Writer, recs ...*Recorder) error {
 				pid, jstr(rec.resources[c.res].Name), tsUS(c.at), c.busy, c.waiting))
 		}
 	}
-	bw.WriteString("\n]}\n")
+	bw.WriteString("\n]}\n") //lint:allow errdrop sticky bufio error surfaces at the final Flush
 	return bw.Flush()
 }
 

@@ -11,8 +11,8 @@ import (
 func TestFsckDetectsLeakedBlocks(t *testing.T) {
 	e, fs, _ := newUFS(t)
 	run(e, func(p *sim.Proc) {
-		fs.Create(p, 1)
-		fs.WriteAt(p, 1, make([]byte, 64<<10), 0)
+		_ = fs.Create(p, 1)
+		_, _ = fs.WriteAt(p, 1, make([]byte, 64<<10), 0)
 		// Leak: claim a block in the bitmap that no inode references.
 		blk, err := fs.allocBlock(p)
 		if err != nil {
@@ -33,10 +33,10 @@ func TestFsckDetectsLeakedBlocks(t *testing.T) {
 func TestFsckDetectsCrossReference(t *testing.T) {
 	e, fs, _ := newUFS(t)
 	run(e, func(p *sim.Proc) {
-		fs.Create(p, 1)
-		fs.WriteAt(p, 1, make([]byte, 8<<10), 0)
-		fs.Create(p, 2)
-		fs.WriteAt(p, 2, make([]byte, 8<<10), 0)
+		_ = fs.Create(p, 1)
+		_, _ = fs.WriteAt(p, 1, make([]byte, 8<<10), 0)
+		_ = fs.Create(p, 2)
+		_, _ = fs.WriteAt(p, 2, make([]byte, 8<<10), 0)
 		// Point inode 2's first block at inode 1's first block.
 		in1, _ := fs.readInode(p, 1)
 		in2, _ := fs.readInode(p, 2)
@@ -71,8 +71,8 @@ func TestFsckWorkScalesWithVolume(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			fs.Create(p, 1)
-			fs.WriteAt(p, 1, make([]byte, 256<<10), 0)
+			_ = fs.Create(p, 1)
+			_, _ = fs.WriteAt(p, 1, make([]byte, 256<<10), 0)
 			for _, c := range counters {
 				before += c.bytesRead
 			}

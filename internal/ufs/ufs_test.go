@@ -37,7 +37,7 @@ func run(e *sim.Engine, fn func(*sim.Proc)) {
 func TestCreateWriteRead(t *testing.T) {
 	e, fs, _ := newUFS(t)
 	data := make([]byte, 100<<10)
-	rand.New(rand.NewSource(1)).Read(data)
+	_, _ = rand.New(rand.NewSource(1)).Read(data)
 	var got []byte
 	run(e, func(p *sim.Proc) {
 		if err := fs.Create(p, 1); err != nil {
@@ -60,7 +60,7 @@ func TestCreateWriteRead(t *testing.T) {
 func TestCreateErrors(t *testing.T) {
 	e, fs, _ := newUFS(t)
 	run(e, func(p *sim.Proc) {
-		fs.Create(p, 1)
+		_ = fs.Create(p, 1)
 		if err := fs.Create(p, 1); err != ErrExist {
 			t.Fatalf("dup: %v", err)
 		}
@@ -78,14 +78,14 @@ func TestOverwriteInPlaceCausesSmallWrites(t *testing.T) {
 	// read-modify-write path instead of batching into full stripes.
 	e, fs, arr := newUFS(t)
 	run(e, func(p *sim.Proc) {
-		fs.Create(p, 1)
-		fs.WriteAt(p, 1, make([]byte, 1<<20), 0)
+		_ = fs.Create(p, 1)
+		_, _ = fs.WriteAt(p, 1, make([]byte, 1<<20), 0)
 		before := arr.Stats().SmallWrites
 		rng := rand.New(rand.NewSource(2))
 		for i := 0; i < 20; i++ {
 			off := rng.Int63n(1<<20 - 4096)
 			off -= off % 4096
-			fs.WriteAt(p, 1, make([]byte, 4096), off)
+			_, _ = fs.WriteAt(p, 1, make([]byte, 4096), off)
 		}
 		if arr.Stats().SmallWrites-before < 15 {
 			t.Fatalf("expected RMW small writes, got %d", arr.Stats().SmallWrites-before)
@@ -96,8 +96,8 @@ func TestOverwriteInPlaceCausesSmallWrites(t *testing.T) {
 func TestMountPersists(t *testing.T) {
 	e, fs, arr := newUFS(t)
 	run(e, func(p *sim.Proc) {
-		fs.Create(p, 3)
-		fs.WriteAt(p, 3, []byte("persistent"), 0)
+		_ = fs.Create(p, 3)
+		_, _ = fs.WriteAt(p, 3, []byte("persistent"), 0)
 		fs2, err := Mount(p, e, arr)
 		if err != nil {
 			t.Fatal(err)
@@ -116,8 +116,8 @@ func TestFsckCleanVolume(t *testing.T) {
 	e, fs, _ := newUFS(t)
 	run(e, func(p *sim.Proc) {
 		for i := 1; i <= 10; i++ {
-			fs.Create(p, i)
-			fs.WriteAt(p, i, make([]byte, 50<<10), 0)
+			_ = fs.Create(p, i)
+			_, _ = fs.WriteAt(p, i, make([]byte, 50<<10), 0)
 		}
 		r, err := fs.Fsck(p)
 		if err != nil {
@@ -138,8 +138,8 @@ func TestFsckCleanVolume(t *testing.T) {
 func TestSparseRead(t *testing.T) {
 	e, fs, _ := newUFS(t)
 	run(e, func(p *sim.Proc) {
-		fs.Create(p, 1)
-		fs.WriteAt(p, 1, []byte("tail"), 200<<10)
+		_ = fs.Create(p, 1)
+		_, _ = fs.WriteAt(p, 1, []byte("tail"), 200<<10)
 		got, _ := fs.ReadAt(p, 1, 100<<10, 8)
 		for _, b := range got {
 			if b != 0 {
@@ -153,11 +153,11 @@ func TestIndirectBlocks(t *testing.T) {
 	e, fs, _ := newUFS(t)
 	// > 12 direct blocks: 200 KB spans into the indirect range.
 	data := make([]byte, 200<<10)
-	rand.New(rand.NewSource(5)).Read(data)
+	_, _ = rand.New(rand.NewSource(5)).Read(data)
 	var got []byte
 	run(e, func(p *sim.Proc) {
-		fs.Create(p, 1)
-		fs.WriteAt(p, 1, data, 0)
+		_ = fs.Create(p, 1)
+		_, _ = fs.WriteAt(p, 1, data, 0)
 		got, _ = fs.ReadAt(p, 1, 0, len(data))
 	})
 	if !bytes.Equal(got, data) {

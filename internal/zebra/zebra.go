@@ -116,6 +116,8 @@ func (z *Store) Write(p *sim.Proc, name string, off int64, n int) error {
 		off += int64(sz)
 
 		g := sim.NewGroup(e)
+		// Per-server error slots; the stripe fails if any fragment did.
+		errs := make([]error, len(z.boards))
 		// The stripe's data fragments go to rotating servers; parity (same
 		// size as one fragment) to the remaining one.
 		pIdx := z.nextSeg % len(z.boards)
@@ -125,7 +127,7 @@ func (z *Store) Write(p *sim.Proc, name string, off int64, n int) error {
 			if z.cfg.Parity && sIdx == pIdx {
 				b := b
 				g.Go("zebra-parity", func(q *sim.Proc) {
-					z.sendFragment(q, b, files[sIdx], stripeOff, frag)
+					errs[sIdx] = z.sendFragment(q, b, files[sIdx], stripeOff, frag)
 				})
 				continue
 			}
@@ -139,20 +141,28 @@ func (z *Store) Write(p *sim.Proc, name string, off int64, n int) error {
 			b, sIdx, fsz := b, sIdx, fsz
 			fo := stripeOff + int64(fi)*int64(z.cfg.FragmentBytes)
 			g.Go("zebra-frag", func(q *sim.Proc) {
-				z.sendFragment(q, b, files[sIdx], fo, fsz)
+				errs[sIdx] = z.sendFragment(q, b, files[sIdx], fo, fsz)
 			})
 			fi++
 		}
 		g.Wait(p)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
 
 // sendFragment ships one fragment over the Ultranet and appends it to the
 // server's LFS-backed fragment file.
-func (z *Store) sendFragment(p *sim.Proc, b *server.Board, f *server.FSFile, off int64, n int) {
-	z.sys.Ultra.Send(p, z.ep, b.HEP, n)
-	_, _ = f.File.WriteAt(p, make([]byte, n), off)
+func (z *Store) sendFragment(p *sim.Proc, b *server.Board, f *server.FSFile, off int64, n int) error {
+	if _, err := z.sys.Ultra.Send(p, z.ep, b.HEP, n); err != nil {
+		return err
+	}
+	_, err := f.File.WriteAt(p, make([]byte, n), off)
+	return err
 }
 
 // Read fetches n bytes of the named file.  Fragments arrive from all
@@ -170,6 +180,10 @@ func (z *Store) Read(p *sim.Proc, name string, off int64, n int) error {
 
 	window := sim.NewServer(e, "zebra-read-window", 4)
 	g := sim.NewGroup(e)
+	// One error slot per stripe in flight; the read fails if any
+	// fragment of any stripe did.
+	stripeErrs := make([]error, (n+stripeBytes-1)/stripeBytes)
+	si := 0
 	for n > 0 {
 		sz := stripeBytes
 		if sz > n {
@@ -180,11 +194,14 @@ func (z *Store) Read(p *sim.Proc, name string, off int64, n int) error {
 		stripeOff := off
 		off += int64(sz)
 		pIdx := z.nextSeg % len(z.boards)
+		stripe := si
+		si++
 
 		window.Acquire(p)
 		g.Go("zebra-read-stripe", func(q *sim.Proc) {
 			defer window.Release()
 			sg := sim.NewGroup(e)
+			errs := make([]error, len(z.boards))
 			fi := 0
 			for sIdx, b := range z.boards {
 				if z.cfg.Parity && sIdx == pIdx {
@@ -200,15 +217,29 @@ func (z *Store) Read(p *sim.Proc, name string, off int64, n int) error {
 				b, sIdx, fsz := b, sIdx, fsz
 				fo := stripeOff + int64(fi)*int64(z.cfg.FragmentBytes)
 				sg.Go("zebra-read", func(r *sim.Proc) {
-					_, _ = files[sIdx].File.ReadAt(r, fo, fsz)
-					z.sys.Ultra.Send(r, b.HEP, z.ep, fsz)
+					if _, err := files[sIdx].File.ReadAt(r, fo, fsz); err != nil {
+						errs[sIdx] = err
+						return
+					}
+					_, errs[sIdx] = z.sys.Ultra.Send(r, b.HEP, z.ep, fsz)
 				})
 				fi++
 			}
 			sg.Wait(q)
+			for _, err := range errs {
+				if err != nil {
+					stripeErrs[stripe] = err
+					return
+				}
+			}
 		})
 	}
 	g.Wait(p)
+	for _, err := range stripeErrs {
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

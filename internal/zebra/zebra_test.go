@@ -87,7 +87,7 @@ func TestParityNeedsThreeServers(t *testing.T) {
 	}
 	sys.Eng.Spawn("fmt", func(p *sim.Proc) {
 		for _, b := range sys.Boards {
-			b.FormatFS(p)
+			_ = b.FormatFS(p)
 		}
 	})
 	sys.Eng.Run()
