@@ -14,7 +14,8 @@ import (
 // a hard regression gate instead of a tolerance band.
 
 // benchSchema is bumped whenever the JSON shape changes incompatibly.
-const benchSchema = 1
+// Schema 2 added the hostElapsedSeconds fields.
+const benchSchema = 2
 
 type benchPoint struct {
 	Series string  `json:"series"`
@@ -23,15 +24,22 @@ type benchPoint struct {
 	Value  float64 `json:"value"`
 }
 
+// benchExperiment's hostElapsedSeconds is the one non-deterministic field
+// in the report: real (host) time the experiment took, for spotting
+// simulator slowdowns.  It is deliberately the LAST field of the object so
+// the regression gate can strip its lines before diffing and still compare
+// structurally identical text.
 type benchExperiment struct {
-	Name   string       `json:"name"`
-	Config string       `json:"config"`
-	Points []benchPoint `json:"points"`
+	Name               string       `json:"name"`
+	Config             string       `json:"config"`
+	Points             []benchPoint `json:"points"`
+	HostElapsedSeconds float64      `json:"hostElapsedSeconds"`
 }
 
 type benchReport struct {
-	Schema      int               `json:"schema"`
-	Experiments []benchExperiment `json:"experiments"`
+	Schema             int               `json:"schema"`
+	Experiments        []benchExperiment `json:"experiments"`
+	HostElapsedSeconds float64           `json:"hostElapsedSeconds"`
 }
 
 // collector accumulates the points the run functions record.  nil when
@@ -48,6 +56,16 @@ func jsonExperiment(name, config string) {
 	collector.Experiments = append(collector.Experiments, benchExperiment{
 		Name: name, Config: config, Points: []benchPoint{},
 	})
+}
+
+// jsonElapsed records the current experiment's host (wall-clock) time and
+// accumulates the report total.
+func jsonElapsed(sec float64) {
+	if collector == nil || len(collector.Experiments) == 0 {
+		return
+	}
+	collector.Experiments[len(collector.Experiments)-1].HostElapsedSeconds = sec
+	collector.HostElapsedSeconds += sec
 }
 
 // jsonPoint records one data point into the current experiment.

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	raidbench [-trace out.json] [-util] [-json out.json] [-faults] [experiment ...]
+//	raidbench [-trace out.json] [-util] [-json out.json] [-metrics out.prom]
+//	          [-metrics-json out.json] [-faults] [experiment ...]
 //
 // With no arguments every experiment runs.  Experiments: fig5, table1,
 // table2, fig6, fig7, fig8, raid1, client, recovery, scaling, zebra,
@@ -19,7 +20,11 @@
 // -json writes machine-readable results (schema-versioned; experiment
 // name, configuration, and every measured data point) for the CI
 // regression gate, which diffs them byte-for-byte against
-// BENCH_baseline.json.
+// BENCH_baseline.json (host-time fields stripped first).
+// -metrics attaches per-request telemetry to every run and writes one
+// Prometheus text exposition file, each series labeled run="<label>";
+// -metrics-json writes the same registries as versioned JSON, gauge
+// time series included.
 // -faults is shorthand for naming the "faults" experiment.
 //
 // All outputs use simulated timestamps and deterministic values only and
@@ -34,6 +39,7 @@ import (
 
 	"raidii"
 	"raidii/internal/sim"
+	"raidii/internal/telemetry"
 	"raidii/internal/trace"
 )
 
@@ -69,15 +75,29 @@ func main() {
 	util := flag.Bool("util", false, "print per-component utilization tables after each experiment")
 	faults := flag.Bool("faults", false, "shorthand for the fault-injection experiment (same as naming \"faults\")")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file")
+	metricsOut := flag.String("metrics", "", "write per-run telemetry as Prometheus text to this file")
+	metricsJSONOut := flag.String("metrics-json", "", "write per-run telemetry as versioned JSON to this file")
 	flag.Parse()
 
 	var recs []*trace.Recorder
+	var probes []func(string, *sim.Engine)
 	if *traceOut != "" || *util {
 		// Aggregate-only recording is cheap; per-event spans and counters
 		// are kept only when a trace file was requested.
 		events := *traceOut != ""
-		raidii.SetProbe(func(label string, e *sim.Engine) {
+		probes = append(probes, func(label string, e *sim.Engine) {
 			recs = append(recs, trace.Attach(e, trace.Config{Label: label, Pid: len(recs) + 1, Events: events}))
+		})
+	}
+	if *metricsOut != "" || *metricsJSONOut != "" {
+		probes = append(probes, metricsProbe)
+	}
+	if len(probes) > 0 {
+		probes := probes
+		raidii.SetProbe(func(label string, e *sim.Engine) {
+			for _, fn := range probes {
+				fn(label, e)
+			}
 		})
 	}
 	if *jsonOut != "" {
@@ -129,6 +149,7 @@ func main() {
 				fmt.Print(rec.Table(12))
 			}
 		}
+		jsonElapsed(elapsed().Seconds())
 		fmt.Printf("    (%.1fs host time)\n\n", elapsed().Seconds())
 		ran++
 	}
@@ -162,6 +183,21 @@ func main() {
 		}
 		fmt.Printf("wrote %d experiment results to %s (schema %d)\n",
 			len(collector.Experiments), *jsonOut, benchSchema)
+	}
+	if *metricsOut != "" {
+		if err := writeMetricsProm(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote telemetry for %d runs to %s (Prometheus text)\n", len(metricsRuns), *metricsOut)
+	}
+	if *metricsJSONOut != "" {
+		if err := writeMetricsJSON(*metricsJSONOut); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote telemetry for %d runs to %s (JSON schema %d)\n",
+			len(metricsRuns), *metricsJSONOut, telemetry.JSONSchema)
 	}
 }
 
@@ -352,6 +388,7 @@ func runNetFaults() error {
 	fmt.Printf("ring down %v-%v: %.1f MB/s before -> %.1f MB/s during -> %.1f MB/s recovered "+
 		"(%d client retries)\n",
 		r.DownAt, r.UpAt, r.PreFaultMBps, r.DuringMBps, r.RecoveredMBps, r.Retries)
+	printLatency("net-read", r.ReadLatency)
 	jsonPoint("net-pre-fault", 0, "MB/s", r.PreFaultMBps)
 	jsonPoint("net-during-fault", 0, "MB/s", r.DuringMBps)
 	jsonPoint("net-recovered", 0, "MB/s", r.RecoveredMBps)
@@ -369,6 +406,8 @@ func runFileServer() error {
 		r.MeanReadMs, r.MeanWriteMs, r.SegsCleaned, r.FSConsistent)
 	fmt.Printf("hot re-read: %.1f MB/s; cache %d hits / %d misses over the whole run\n",
 		r.ReReadMBps, r.CacheHits, r.CacheMisses)
+	printLatency("fs-read", r.ReadLatency)
+	printLatency("fs-write", r.WriteLatency)
 	jsonPoint("ops-per-sec", 0, "ops/s", r.OpsPerSec)
 	jsonPoint("mean-read", 0, "ms", r.MeanReadMs)
 	jsonPoint("mean-write", 0, "ms", r.MeanWriteMs)
@@ -387,12 +426,18 @@ func runCache() error {
 	for _, pt := range r.Points {
 		fmt.Printf("  %2d MB working set: cached %5.1f MB/s  uncached %5.1f MB/s  hit rate %5.1f%%\n",
 			pt.WorkingSetMB, pt.CachedMBps, pt.UncachedMBps, pt.HitRate*100)
+		fmt.Printf("     cached   p50 %6.2f ms  p99 %6.2f ms  p999 %6.2f ms\n",
+			pt.CachedLat.P50Ms, pt.CachedLat.P99Ms, pt.CachedLat.P999Ms)
+		fmt.Printf("     uncached p50 %6.2f ms  p99 %6.2f ms  p999 %6.2f ms\n",
+			pt.UncachedLat.P50Ms, pt.UncachedLat.P99Ms, pt.UncachedLat.P999Ms)
 	}
 	fmt.Printf("knee at cache capacity (%d MB): hit-dominated phase rides the crossbar/HIPPI, "+
 		"miss-dominated falls to the disk-bound curve\n", r.CacheMB)
 	jsonFigure(r.Fig, "MB/s")
 	for _, pt := range r.Points {
 		jsonPoint("hit-rate", float64(pt.WorkingSetMB), "fraction", pt.HitRate)
+		jsonPoint("cached-p99", float64(pt.WorkingSetMB), "ms", pt.CachedLat.P99Ms)
+		jsonPoint("uncached-p99", float64(pt.WorkingSetMB), "ms", pt.UncachedLat.P99Ms)
 	}
 	return nil
 }

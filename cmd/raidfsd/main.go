@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"raidii"
+	"raidii/internal/telemetry"
 	"raidii/internal/trace"
 )
 
@@ -47,6 +48,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	traceOut := flag.String("trace", "", "on SIGINT/SIGTERM, write the accumulated simulation trace (Chrome JSON) to this file")
 	util := flag.Bool("util", false, "on SIGINT/SIGTERM, print the component utilization table")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus telemetry at http://<addr>/metrics; empty disables")
 	flag.Parse()
 
 	srv, err := raidii.NewServer(raidii.Fig8Geometry())
@@ -56,6 +58,10 @@ func main() {
 	var rec *trace.Recorder
 	if *traceOut != "" || *util {
 		rec = trace.Attach(srv.Sys().Eng, trace.Config{Label: "raidfsd", Pid: 1, Events: *traceOut != ""})
+	}
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.Attach(srv.Sys().Eng)
 	}
 	if _, err := srv.Simulate(func(t *raidii.Task) error { return t.FormatFS() }); err != nil {
 		log.Fatal(err)
@@ -69,6 +75,25 @@ func main() {
 		go func() {
 			log.Printf("raidfsd: pprof at http://%s/debug/pprof/", *pprofAddr)
 			log.Print(http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+	if reg != nil {
+		// Real scrape endpoint for the simulated server's telemetry.  Each
+		// scrape serializes onto the engine via st.mu, like every client
+		// command, so the registry is never read mid-operation.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := telemetry.WritePrometheus(w, reg, telemetry.ExportOptions{Label: "raidfsd"}); err != nil {
+				log.Printf("raidfsd: metrics: %v", err)
+			}
+		})
+		//lint:allow rawgo real metrics HTTP listener on the host; scrapes serialize onto the engine via st.mu
+		go func() {
+			log.Printf("raidfsd: metrics at http://%s/metrics", *metricsAddr)
+			log.Print(http.ListenAndServe(*metricsAddr, mux))
 		}()
 	}
 	if rec != nil {

@@ -14,6 +14,7 @@ import (
 	"raidii/internal/scsi"
 	"raidii/internal/server"
 	"raidii/internal/sim"
+	"raidii/internal/telemetry"
 	"raidii/internal/ufs"
 	"raidii/internal/workload"
 	"raidii/internal/xbus"
@@ -967,6 +968,12 @@ type FileServerResult struct {
 	ReReadMBps  float64
 	CacheHits   uint64
 	CacheMisses uint64
+
+	// Per-request latency distributions of the trace phase, with stage
+	// breakdown (the re-read phase runs under its own request kind and
+	// does not pollute these).
+	ReadLatency  LatencyStats
+	WriteLatency LatencyStats
 }
 
 // FileServerTrace drives the assembled server with a Zipf-skewed
@@ -986,6 +993,7 @@ func FileServerTrace(ops int) (FileServerResult, error) {
 		return out, err
 	}
 	attachProbe("fileserver", sys.Eng)
+	telemetry.Attach(sys.Eng)
 	b := sys.Boards[0]
 	tr := workload.NewTrace(workload.DefaultTraceConfig())
 
@@ -1069,6 +1077,10 @@ func FileServerTrace(ops int) (FileServerResult, error) {
 	var reBytes uint64
 	reStart := sys.Eng.Now()
 	sys.Eng.Spawn("reread", func(p *sim.Proc) {
+		// One "reread" request spans the whole phase, so its FSReads join
+		// it instead of polluting the trace phase's fs-read distribution.
+		req := telemetry.Begin(p, "reread")
+		defer req.End(p, nil)
 		hot := tr.Files()
 		if hot > 24 {
 			hot = 24
@@ -1092,6 +1104,8 @@ func FileServerTrace(ops int) (FileServerResult, error) {
 		st := b.Cache.Stats()
 		out.CacheHits, out.CacheMisses = st.Hits, st.Misses
 	}
+	out.ReadLatency = latencyStats(sys.Eng, "fs-read")
+	out.WriteLatency = latencyStats(sys.Eng, "fs-write")
 
 	sys.Eng.Spawn("check", func(p *sim.Proc) {
 		rep, err := b.FS.Check(p)

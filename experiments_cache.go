@@ -7,6 +7,7 @@ import (
 	"raidii/internal/metrics"
 	"raidii/internal/server"
 	"raidii/internal/sim"
+	"raidii/internal/telemetry"
 	"raidii/internal/workload"
 )
 
@@ -17,6 +18,12 @@ type CacheWorkingSetPoint struct {
 	CachedMBps   float64
 	UncachedMBps float64
 	HitRate      float64 // of the cached run's measurement phase
+
+	// Per-request read latency of each machine's measurement phase: the
+	// cached p50 collapses to crossbar DRAM cost while the working set
+	// fits, and converges on the uncached curve past capacity.
+	CachedLat   LatencyStats
+	UncachedLat LatencyStats
 }
 
 // CacheWorkingSetResult is the full sweep.
@@ -62,6 +69,7 @@ func CacheWorkingSet(cacheMB int, workingSetsMB []int) (CacheWorkingSetResult, e
 				return out, err
 			}
 			attachProbe(fmt.Sprintf("cachews/%dMB/%s", ws, label), sys.Eng)
+			telemetry.Attach(sys.Eng)
 			b := sys.Boards[0]
 			wsBytes := ws << 20
 
@@ -71,6 +79,10 @@ func CacheWorkingSet(cacheMB int, workingSetsMB []int) (CacheWorkingSetResult, e
 			// (up to cache capacity) resident, as a prior streaming
 			// transfer through the board would.
 			sys.Eng.Spawn("warm", func(p *sim.Proc) {
+				// One "warm" request spans the pass, so its HardwareReads
+				// join it instead of skewing the hw-read measurement kind.
+				req := telemetry.Begin(p, "warm")
+				defer req.End(p, nil)
 				const warmReq = 1 << 20
 				for off := 0; off < wsBytes; off += warmReq {
 					n := warmReq
@@ -96,6 +108,7 @@ func CacheWorkingSet(cacheMB int, workingSetsMB []int) (CacheWorkingSetResult, e
 			res.Elapsed = sim.Duration(sys.Eng.Now() - start)
 			if withCache {
 				pt.CachedMBps = res.MBps()
+				pt.CachedLat = latencyStats(sys.Eng, "hw-read")
 				st := b.Cache.Stats()
 				hits := st.Hits - statsBefore.Hits
 				misses := st.Misses - statsBefore.Misses
@@ -104,6 +117,7 @@ func CacheWorkingSet(cacheMB int, workingSetsMB []int) (CacheWorkingSetResult, e
 				}
 			} else {
 				pt.UncachedMBps = res.MBps()
+				pt.UncachedLat = latencyStats(sys.Eng, "hw-read")
 			}
 		}
 		cached.Add(float64(ws), pt.CachedMBps)

@@ -10,6 +10,7 @@ import (
 	"raidii/internal/metrics"
 	"raidii/internal/server"
 	"raidii/internal/sim"
+	"raidii/internal/telemetry"
 	"raidii/internal/workload"
 )
 
@@ -28,6 +29,10 @@ type NetworkFaultTimelineResult struct {
 	DuringMBps    float64 // mean bandwidth while the ring is down
 	RecoveredMBps float64 // mean bandwidth in whole buckets after UpAt
 	Retries       uint64  // client request attempts resent
+
+	// Per-request latency across the whole run, fault window included: the
+	// p999 tail carries the retry/backoff cost of reads caught in the flap.
+	ReadLatency LatencyStats
 }
 
 // NetworkFaultTimeline runs a scripted network fault — the Ultranet ring
@@ -60,6 +65,7 @@ func NetworkFaultTimeline() (NetworkFaultTimelineResult, error) {
 		return out, err
 	}
 	attachProbe("net-fault-timeline", sys.Eng)
+	telemetry.Attach(sys.Eng)
 	b := sys.Boards[0]
 
 	// A client whose memory system is not the bottleneck, so the timeline
@@ -164,5 +170,6 @@ func NetworkFaultTimeline() (NetworkFaultTimelineResult, error) {
 		out.RecoveredMBps = float64(postBytes) / postDur.Seconds() / 1e6
 	}
 	out.Retries = ws.Stats().Retries
+	out.ReadLatency = latencyStats(sys.Eng, "client-read")
 	return out, nil
 }

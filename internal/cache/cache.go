@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"raidii/internal/sim"
+	"raidii/internal/telemetry"
 )
 
 // DefaultLineBytes is the default cache line size: 64 KB, one stripe unit
@@ -250,6 +251,7 @@ type fillRun struct {
 // sector order by the calling process, so LRU state — and therefore the
 // eviction sequence — is independent of fill completion order.
 func (c *Cache) Read(p *sim.Proc, lba int64, n int) []byte {
+	defer telemetry.StageSpan(p, telemetry.StageCache)()
 	out := make([]byte, n*c.secSize)
 	if n <= 0 {
 		return out
@@ -262,11 +264,13 @@ func (c *Cache) Read(p *sim.Proc, lba int64, n int) []byte {
 		if ln, ok := c.table[li]; ok {
 			c.touch(ln)
 			c.stats.Hits++
+			telemetry.CacheHit(p)
 			hitBytes += c.copyOverlap(out, lba, n, li, ln.data)
 			p.Span("cache", "hit")()
 			continue
 		}
 		c.stats.Misses++
+		telemetry.CacheMiss(p)
 		p.Span("cache", "miss")()
 		if len(runs) > 0 && runs[len(runs)-1].lastLine == li-1 {
 			runs[len(runs)-1].lastLine = li
@@ -279,6 +283,7 @@ func (c *Cache) Read(p *sim.Proc, lba int64, n int) []byte {
 		for i := range runs {
 			r := &runs[i]
 			g.Go("cache-fill", func(q *sim.Proc) {
+				telemetry.Adopt(q, p)
 				start := r.firstLine * int64(c.lineSecs)
 				secs := int(r.lastLine-r.firstLine+1) * c.lineSecs
 				if start+int64(secs) > c.devSecs {
@@ -321,6 +326,7 @@ func (c *Cache) Read(p *sim.Proc, lba int64, n int) []byte {
 // place so no stale hit survives.  With staging enabled, lines the write
 // fully covers are also installed.
 func (c *Cache) Write(p *sim.Proc, lba int64, data []byte) {
+	defer telemetry.StageSpan(p, telemetry.StageCache)()
 	c.dev.Write(p, lba, data)
 	c.absorb(p, lba, data)
 }
@@ -328,6 +334,7 @@ func (c *Cache) Write(p *sim.Proc, lba int64, data []byte) {
 // WriteStreaming is Write over the backing store's benchmark-mode
 // streaming path when it has one.
 func (c *Cache) WriteStreaming(p *sim.Proc, lba int64, data []byte) {
+	defer telemetry.StageSpan(p, telemetry.StageCache)()
 	if st, ok := c.dev.(streamer); ok {
 		st.WriteStreaming(p, lba, data)
 	} else {

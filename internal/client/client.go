@@ -23,6 +23,7 @@ import (
 	"raidii/internal/host"
 	"raidii/internal/server"
 	"raidii/internal/sim"
+	"raidii/internal/telemetry"
 )
 
 // Workstation is a HIPPI-attached client machine.
@@ -100,8 +101,11 @@ func (ws *Workstation) withRetry(p *sim.Proc, what string, attempt func(resume i
 				what, time.Duration(p.Now().Sub(start)), try, fault.ErrDeadline, err)
 		}
 		ws.stats.Retries++
+		telemetry.MarkRetried(p)
 		end := p.Span("client", "retry")
+		endStage := telemetry.StageSpan(p, telemetry.StageClient)
 		p.Wait(backoff)
+		endStage()
 		end()
 		backoff = pol.NextBackoff(backoff)
 	}
@@ -132,23 +136,27 @@ type File struct {
 // low-bandwidth path.  Transient network faults are retried under the
 // workstation's policy.
 func (ws *Workstation) Open(p *sim.Proc, boardIdx int, path string) (*File, error) {
+	req := telemetry.Begin(p, "client-open")
 	var f *File
 	err := ws.withRetry(p, "raid_open "+path, func(int) (int, error) {
 		ff, err := ws.openOnce(p, boardIdx, path, false)
 		f = ff
 		return 0, err
 	})
+	req.End(p, err)
 	return f, err
 }
 
 // Create performs raid_open with creation semantics.
 func (ws *Workstation) Create(p *sim.Proc, boardIdx int, path string) (*File, error) {
+	req := telemetry.Begin(p, "client-create")
 	var f *File
 	err := ws.withRetry(p, "raid_create "+path, func(int) (int, error) {
 		ff, err := ws.openOnce(p, boardIdx, path, true)
 		f = ff
 		return 0, err
 	})
+	req.End(p, err)
 	return f, err
 }
 
@@ -187,10 +195,12 @@ func (ws *Workstation) openOnce(p *sim.Proc, boardIdx int, path string, create b
 // whole request, retries and backoff included.  A transient fault costs a
 // retry that resumes past the chunks already delivered, not a failed op.
 func (fl *File) Read(p *sim.Proc, off int64, n int) (time.Duration, error) {
+	req := telemetry.Begin(p, "client-read")
 	start := p.Now()
 	err := fl.ws.withRetry(p, "raid_read "+fl.path, func(resume int) (int, error) {
 		return fl.readOnce(p, off+int64(resume), n-resume)
 	})
+	req.End(p, err)
 	return time.Duration(p.Now().Sub(start)), err
 }
 
@@ -228,6 +238,7 @@ func (fl *File) readOnce(p *sim.Proc, off int64, n int) (int, error) {
 		ready[i] = sim.NewEvent(e)
 		b.XB.Buffers.Acquire(p, c)
 		e.Spawn("client-read-disk", func(q *sim.Proc) {
+			telemetry.Adopt(q, p)
 			_, errs[i] = fl.f.File.ReadAt(q, at, c)
 			ready[i].Signal()
 		})
@@ -263,10 +274,12 @@ func (fl *File) readOnce(p *sim.Proc, off int64, n int) (int, error) {
 // the LFS log.  It returns the simulated duration of the whole request,
 // retries included; retries resume past the chunks already written.
 func (fl *File) Write(p *sim.Proc, off int64, n int) (time.Duration, error) {
+	req := telemetry.Begin(p, "client-write")
 	start := p.Now()
 	err := fl.ws.withRetry(p, "raid_write "+fl.path, func(resume int) (int, error) {
 		return fl.writeOnce(p, off+int64(resume), n-resume)
 	})
+	req.End(p, err)
 	return time.Duration(p.Now().Sub(start)), err
 }
 

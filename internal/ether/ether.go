@@ -11,6 +11,7 @@ import (
 
 	"raidii/internal/fault"
 	"raidii/internal/sim"
+	"raidii/internal/telemetry"
 )
 
 // Config carries the Ethernet parameters.
@@ -34,6 +35,7 @@ type Segment struct {
 	down      bool
 	lossEvery int    // drop every lossEvery-th frame; 0 = none
 	frames    uint64 // frames carried, for the loss period
+	lost      uint64 // frames dropped
 }
 
 // New creates a segment on engine e.
@@ -67,6 +69,7 @@ func (s *Segment) lose() bool {
 // a down wire fails before the frame goes out, a dropped frame fails after
 // its wire time plus one packet time of retransmit-timeout cost.
 func (s *Segment) Send(p *sim.Proc, n int) (int, error) {
+	defer telemetry.StageSpan(p, telemetry.StageNet)()
 	mtu := s.cfg.MTU
 	if mtu <= 0 {
 		mtu = 1500
@@ -85,6 +88,8 @@ func (s *Segment) Send(p *sim.Proc, n int) (int, error) {
 		}
 		s.wire.Transfer(p, f)
 		if s.lose() {
+			s.lost++
+			p.Span("net", "packet-lost:"+s.wire.Name())()
 			fe := p.Span("net", "packet-lost")
 			p.Wait(s.cfg.PerPacket)
 			fe()
@@ -95,6 +100,9 @@ func (s *Segment) Send(p *sim.Proc, n int) (int, error) {
 	}
 	return sent, nil
 }
+
+// LostFrames reports how many frames the wire has dropped.
+func (s *Segment) LostFrames() uint64 { return s.lost }
 
 // PacketTime reports the duration one full frame occupies the wire.
 func (s *Segment) PacketTime() time.Duration {

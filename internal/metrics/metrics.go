@@ -10,43 +10,45 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"time"
 
 	"raidii/internal/sim"
 )
 
-// Latencies collects per-operation durations.
+// Latencies collects per-operation durations on the simulated clock.
+// sim.Duration aliases time.Duration, so existing duration arithmetic keeps
+// working; the signatures document that these are simulated latencies, never
+// host wall-clock measurements.
 type Latencies struct {
-	samples []time.Duration
+	samples []sim.Duration
 }
 
 // Add records one sample.
-func (l *Latencies) Add(d time.Duration) { l.samples = append(l.samples, d) }
+func (l *Latencies) Add(d sim.Duration) { l.samples = append(l.samples, d) }
 
 // N returns the sample count.
 func (l *Latencies) N() int { return len(l.samples) }
 
 // Mean returns the average latency.
-func (l *Latencies) Mean() time.Duration {
+func (l *Latencies) Mean() sim.Duration {
 	if len(l.samples) == 0 {
 		return 0
 	}
-	var sum time.Duration
+	var sum sim.Duration
 	for _, s := range l.samples {
 		sum += s
 	}
-	return sum / time.Duration(len(l.samples))
+	return sum / sim.Duration(len(l.samples))
 }
 
 // Percentile returns the q-th percentile (q in [0,100]) using nearest-rank
 // selection: the smallest sample such that at least q% of the samples are
 // <= it.  Percentile(100) is the maximum; q <= 0 returns the minimum.
-func (l *Latencies) Percentile(q float64) time.Duration {
+func (l *Latencies) Percentile(q float64) sim.Duration {
 	n := len(l.samples)
 	if n == 0 {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), l.samples...)
+	sorted := append([]sim.Duration(nil), l.samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	rank := int(math.Ceil(q / 100 * float64(n)))
 	if rank < 1 {
@@ -59,7 +61,7 @@ func (l *Latencies) Percentile(q float64) time.Duration {
 }
 
 // Min returns the smallest sample, or 0 with no samples.
-func (l *Latencies) Min() time.Duration {
+func (l *Latencies) Min() sim.Duration {
 	if len(l.samples) == 0 {
 		return 0
 	}
@@ -73,7 +75,7 @@ func (l *Latencies) Min() time.Duration {
 }
 
 // Max returns the largest sample, or 0 with no samples.
-func (l *Latencies) Max() time.Duration {
+func (l *Latencies) Max() sim.Duration {
 	if len(l.samples) == 0 {
 		return 0
 	}

@@ -4,7 +4,20 @@ import (
 	"fmt"
 
 	"raidii/internal/sim"
+	"raidii/internal/telemetry"
 )
+
+// goAdopted spawns a group worker that joins the parent proc's request (if
+// any) and charges its work to the RAID stage; the SCSI and disk layers
+// open nested frames of their own, so the raid stage keeps only its
+// exclusive time (XOR, striping bookkeeping).
+func goAdopted(g *sim.Group, parent *sim.Proc, name string, body func(*sim.Proc)) {
+	g.Go(name, func(q *sim.Proc) {
+		telemetry.Adopt(q, parent)
+		defer telemetry.StageSpan(q, telemetry.StageRAID)()
+		body(q)
+	})
+}
 
 // Read reads sectors [lba, lba+n) from the logical address space.  Extents
 // on different devices are issued in parallel; extents on a failed device
@@ -13,6 +26,7 @@ func (a *Array) Read(p *sim.Proc, lba int64, n int) []byte {
 	a.checkRange(lba, n)
 	end := p.Span("raid", "read")
 	defer end()
+	defer telemetry.StageSpan(p, telemetry.StageRAID)()
 	a.inflight++
 	defer func() { a.inflight-- }()
 	if a.arrayLock != nil {
@@ -23,7 +37,7 @@ func (a *Array) Read(p *sim.Proc, lba int64, n int) []byte {
 	g := sim.NewGroup(a.eng)
 	for _, ext := range a.extents(lba, n) {
 		ext := ext
-		g.Go("raid-read", func(q *sim.Proc) {
+		goAdopted(g, p, "raid-read", func(q *sim.Proc) {
 			data := a.readExtent(q, ext)
 			copy(buf[ext.bufOff:], data)
 		})
@@ -51,6 +65,7 @@ func (a *Array) readExtent(p *sim.Proc, ext extent) []byte {
 	switch a.cfg.Level {
 	case Level1:
 		a.stats.DegradedReads++
+		telemetry.MarkDegraded(p)
 		if data, ok := a.devRead(p, devIdx+1, physLBA, ext.secs); ok { // mirror copy
 			return data
 		}
@@ -70,6 +85,7 @@ func (a *Array) reconstructRange(p *sim.Proc, stripe int64, devIdx int, secOff i
 	end := p.Span("raid", "degraded-reconstruct")
 	defer end()
 	a.stats.DegradedReads++
+	telemetry.MarkDegraded(p)
 	base := stripe * int64(a.unitSecs)
 	phys := base + secOff
 	cols := make([][]byte, 0, len(a.devs)-1)
@@ -85,7 +101,7 @@ func (a *Array) reconstructRange(p *sim.Proc, stripe int64, devIdx int, secOff i
 		i := i
 		idx := len(cols)
 		cols = append(cols, nil)
-		g.Go("raid-reconstruct", func(q *sim.Proc) {
+		goAdopted(g, p, "raid-reconstruct", func(q *sim.Proc) {
 			data, ok := a.devRead(q, i, phys, secs)
 			if !ok {
 				//lint:allow simpanic data loss: single-parity arrays cannot reconstruct through two failures, matching the paper's fault model
@@ -111,6 +127,7 @@ func (a *Array) Write(p *sim.Proc, lba int64, data []byte) {
 	}
 	n := len(data) / a.secSize
 	a.checkRange(lba, n)
+	defer telemetry.StageSpan(p, telemetry.StageRAID)()
 	a.inflight++
 	defer func() { a.inflight-- }()
 	if a.arrayLock != nil {
@@ -131,7 +148,7 @@ func (a *Array) Write(p *sim.Proc, lba int64, data []byte) {
 	g := sim.NewGroup(a.eng)
 	for _, stripe := range order {
 		stripe, exts := stripe, groups[stripe]
-		g.Go("raid-write-stripe", func(q *sim.Proc) {
+		goAdopted(g, p, "raid-write-stripe", func(q *sim.Proc) {
 			a.writeStripe(q, stripe, exts, data)
 		})
 	}
@@ -158,7 +175,7 @@ func (a *Array) writeStripe(p *sim.Proc, stripe int64, exts []extent, data []byt
 		g := sim.NewGroup(a.eng)
 		for _, ext := range exts {
 			ext := ext
-			g.Go("w", func(q *sim.Proc) { a.writeExtentRaw(q, ext, data) })
+			goAdopted(g, p, "w", func(q *sim.Proc) { a.writeExtentRaw(q, ext, data) })
 		}
 		g.Wait(p)
 	case Level1:
@@ -173,7 +190,7 @@ func (a *Array) writeStripe(p *sim.Proc, stripe int64, exts []extent, data []byt
 				if a.failed[d] {
 					continue
 				}
-				g.Go("w", func(q *sim.Proc) {
+				goAdopted(g, p, "w", func(q *sim.Proc) {
 					a.devWrite(q, d, phys, chunk)
 				})
 			}
@@ -224,11 +241,11 @@ func (a *Array) writeFullStripe(p *sim.Proc, stripe int64, exts []extent, data [
 			continue
 		}
 		devIdx, base, col := devIdx, base, col
-		g.Go("w", func(q *sim.Proc) {
+		goAdopted(g, p, "w", func(q *sim.Proc) {
 			a.devWrite(q, devIdx, base, col)
 		})
 	}
-	g.Go("wp", func(q *sim.Proc) {
+	goAdopted(g, p, "wp", func(q *sim.Proc) {
 		parity := a.xor.XOR(q, cols...)
 		if a.failed[pdev] {
 			return
@@ -263,7 +280,7 @@ func (a *Array) writeReconstructStripe(p *sim.Proc, stripe int64, exts []extent,
 		}
 		pos := pos
 		devIdx, base := a.loc(stripe, pos)
-		rg.Go("rw-read", func(q *sim.Proc) {
+		goAdopted(rg, p, "rw-read", func(q *sim.Proc) {
 			if data, ok := a.devRead(q, devIdx, base, a.unitSecs); ok {
 				cols[pos] = data
 			}
@@ -307,12 +324,12 @@ func (a *Array) writeReconstructStripe(p *sim.Proc, stripe int64, exts []extent,
 			continue
 		}
 		chunk := data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
-		wg.Go("rw-write", func(q *sim.Proc) {
+		goAdopted(wg, p, "rw-write", func(q *sim.Proc) {
 			a.devWrite(q, devIdx, base+int64(ext.secOff), chunk)
 		})
 	}
 	if !a.failed[pdev] {
-		wg.Go("rw-parity", func(q *sim.Proc) {
+		goAdopted(wg, p, "rw-parity", func(q *sim.Proc) {
 			a.devWrite(q, pdev, pbase, parity)
 		})
 	}
@@ -360,7 +377,7 @@ func (a *Array) writeRMWBatched(p *sim.Proc, stripe int64, exts []extent, data [
 		if a.failed[devIdx] {
 			continue
 		}
-		rg.Go("rmw-rd", func(q *sim.Proc) {
+		goAdopted(rg, p, "rmw-rd", func(q *sim.Proc) {
 			if data, ok := a.devRead(q, devIdx, base+int64(ext.secOff), ext.secs); ok {
 				oldD[i] = data
 			}
@@ -368,7 +385,7 @@ func (a *Array) writeRMWBatched(p *sim.Proc, stripe int64, exts []extent, data [
 	}
 	parityLost := a.failed[pdev]
 	if !parityLost {
-		rg.Go("rmw-rp", func(q *sim.Proc) {
+		goAdopted(rg, p, "rmw-rp", func(q *sim.Proc) {
 			if data, ok := a.devRead(q, pdev, pbase+int64(lo), hi-lo); ok {
 				oldP = data
 			}
@@ -405,12 +422,12 @@ func (a *Array) writeRMWBatched(p *sim.Proc, stripe int64, exts []extent, data [
 			continue
 		}
 		newD := data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
-		wg.Go("rmw-wd", func(q *sim.Proc) {
+		goAdopted(wg, p, "rmw-wd", func(q *sim.Proc) {
 			a.devWrite(q, devIdx, base+int64(ext.secOff), newD)
 		})
 	}
 	if !parityLost {
-		wg.Go("rmw-wp", func(q *sim.Proc) {
+		goAdopted(wg, p, "rmw-wp", func(q *sim.Proc) {
 			a.devWrite(q, pdev, pbase+int64(lo), oldP)
 		})
 	}
@@ -597,6 +614,7 @@ func (a *Array) WriteStreaming(p *sim.Proc, lba int64, data []byte) {
 	}
 	n := len(data) / a.secSize
 	a.checkRange(lba, n)
+	defer telemetry.StageSpan(p, telemetry.StageRAID)()
 	a.inflight++
 	defer func() { a.inflight-- }()
 
@@ -611,7 +629,7 @@ func (a *Array) WriteStreaming(p *sim.Proc, lba int64, data []byte) {
 	g := sim.NewGroup(a.eng)
 	for _, stripe := range order {
 		stripe, exts := stripe, groups[stripe]
-		g.Go("raid-stream-stripe", func(q *sim.Proc) {
+		goAdopted(g, p, "raid-stream-stripe", func(q *sim.Proc) {
 			a.streamStripe(q, stripe, exts, data)
 		})
 	}
@@ -642,13 +660,13 @@ func (a *Array) streamStripe(p *sim.Proc, stripe int64, exts []extent, data []by
 			continue
 		}
 		chunk := data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
-		g.Go("stream-w", func(q *sim.Proc) {
+		goAdopted(g, p, "stream-w", func(q *sim.Proc) {
 			a.devWrite(q, devIdx, base+int64(ext.secOff), chunk)
 		})
 	}
 	// Parity over the written columns' union range, in parallel with the
 	// data writes.
-	g.Go("stream-p", func(q *sim.Proc) {
+	goAdopted(g, p, "stream-p", func(q *sim.Proc) {
 		span := (hi - lo) * a.secSize
 		cols := make([][]byte, 0, len(exts))
 		for _, ext := range exts {

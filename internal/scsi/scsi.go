@@ -15,6 +15,7 @@ import (
 	"raidii/internal/disk"
 	"raidii/internal/fault"
 	"raidii/internal/sim"
+	"raidii/internal/telemetry"
 )
 
 // Config carries the calibrated Cougar/SCSI parameters.
@@ -127,6 +128,7 @@ func (ad *Disk) path(upstream sim.Path) sim.Path {
 func (ad *Disk) Read(p *sim.Proc, lba int64, n int, upstream sim.Path) ([]byte, error) {
 	end := p.Span("scsi", "read")
 	defer end()
+	defer telemetry.StageSpan(p, telemetry.StageSCSI)()
 	var data []byte
 	err := ad.issue(p, func(q *sim.Proc) error {
 		var derr error
@@ -146,6 +148,7 @@ func (ad *Disk) Read(p *sim.Proc, lba int64, n int, upstream sim.Path) ([]byte, 
 func (ad *Disk) Write(p *sim.Proc, lba int64, data []byte, upstream sim.Path) error {
 	end := p.Span("scsi", "write")
 	defer end()
+	defer telemetry.StageSpan(p, telemetry.StageSCSI)()
 	rev := make(sim.Path, 0, len(upstream)+2)
 	rev = append(rev, upstream...)
 	rev = append(rev, ad.ctl.ctlBus, ad.str.Bus)
@@ -163,6 +166,7 @@ func (ad *Disk) issue(p *sim.Proc, op func(*sim.Proc) error) error {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
+			telemetry.MarkRetried(p)
 			endB := p.Span("scsi", "retry")
 			p.Wait(time.Duration(attempt) * cfg.RetryBackoff)
 			endB()

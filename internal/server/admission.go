@@ -5,6 +5,7 @@ import (
 
 	"raidii/internal/fault"
 	"raidii/internal/sim"
+	"raidii/internal/telemetry"
 )
 
 // Admission control bounds each board's concurrently serviced client
@@ -36,17 +37,23 @@ func (b *Board) Admit(p *sim.Proc) error {
 	}
 	if b.adm.TryAcquire() {
 		b.admStats.Admitted++
+		p.Span("server", "admit")()
 		return nil
 	}
 	if b.adm.QueueLen() >= b.admDepth {
 		b.admStats.Shed++
+		telemetry.MarkShed(p)
 		end := p.Span("server", "shed")
 		end()
 		return fmt.Errorf("server: board %d admission queue full: %w", b.Index, fault.ErrServerBusy)
 	}
 	b.admStats.Queued++
+	p.Span("server", "admit-queued")()
+	endWait := telemetry.StageSpan(p, telemetry.StageAdmission)
 	b.adm.Acquire(p)
+	endWait()
 	b.admStats.Admitted++
+	p.Span("server", "admit")()
 	return nil
 }
 

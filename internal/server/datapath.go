@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"raidii/internal/sim"
+	"raidii/internal/telemetry"
 )
 
 // This file implements the board's data movement operations.
@@ -81,6 +82,9 @@ func (b *Board) stripeAligned(offSectors int64, sizeSecs int) []int {
 func (b *Board) HardwareRead(p *sim.Proc, offSectors int64, size int) {
 	end := p.Span("datapath", "hw-read")
 	defer end()
+	// Join the client's request when one is in flight, else measure this
+	// entry point as its own request kind.
+	defer telemetry.Ensure(p, "hw-read")(nil)
 	e := b.sys.Eng
 	secSize := b.Array.SectorSize()
 	chunks := b.chunks(size)
@@ -94,6 +98,7 @@ func (b *Board) HardwareRead(p *sim.Proc, offSectors int64, size int) {
 		ready[i] = sim.NewEvent(e)
 		b.XB.Buffers.Acquire(p, n)
 		e.Spawn("hw-read-disk", func(q *sim.Proc) {
+			telemetry.Adopt(q, p)
 			b.readDev(q, at, secs)
 			ready[i].Signal()
 		})
@@ -115,6 +120,7 @@ func (b *Board) HardwareRead(p *sim.Proc, offSectors int64, size int) {
 func (b *Board) HardwareWrite(p *sim.Proc, offSectors int64, size int) {
 	end := p.Span("datapath", "hw-write")
 	defer end()
+	defer telemetry.Ensure(p, "hw-write")(nil)
 	e := b.sys.Eng
 	secSize := b.Array.SectorSize()
 	g := sim.NewGroup(e)
@@ -129,6 +135,7 @@ func (b *Board) HardwareWrite(p *sim.Proc, offSectors int64, size int) {
 		sim.Path{b.HEP.Out, b.HEP.In}.Send(p, n, 0)
 		secs := secs
 		g.Go("hw-write-disk", func(q *sim.Proc) {
+			telemetry.Adopt(q, p)
 			b.writeDevStreaming(q, at, make([]byte, secs*secSize))
 			b.XB.Buffers.Release(n)
 		})
@@ -143,6 +150,7 @@ func (b *Board) HardwareWrite(p *sim.Proc, offSectors int64, size int) {
 func (b *Board) FSRead(p *sim.Proc, f *FSFile, off int64, size int) error {
 	end := p.Span("datapath", "fs-read")
 	defer end()
+	done := telemetry.Ensure(p, "fs-read")
 	b.sys.Host.CPUWork(p, b.sys.Cfg.FSReadOverhead)
 	e := b.sys.Eng
 	g := sim.NewGroup(e)
@@ -155,6 +163,7 @@ func (b *Board) FSRead(p *sim.Proc, f *FSFile, off int64, size int) error {
 		cursor += int64(n)
 		sem.Acquire(p)
 		g.Go("fsread-chunk", func(q *sim.Proc) {
+			telemetry.Adopt(q, p)
 			defer sem.Release()
 			b.XB.Buffers.Acquire(q, n)
 			_, err := f.File.ReadAt(q, at, n)
@@ -168,6 +177,7 @@ func (b *Board) FSRead(p *sim.Proc, f *FSFile, off int64, size int) error {
 		})
 	}
 	g.Wait(p)
+	done(firstErr)
 	return firstErr
 }
 
@@ -177,10 +187,12 @@ func (b *Board) FSRead(p *sim.Proc, f *FSFile, off int64, size int) error {
 func (b *Board) FSWrite(p *sim.Proc, f *FSFile, off int64, data []byte) error {
 	end := p.Span("datapath", "fs-write")
 	defer end()
+	done := telemetry.Ensure(p, "fs-write")
 	b.sys.Host.CPUWork(p, b.sys.Cfg.FSWriteOverhead)
 	// One crossbar pass from network buffer to LFS segment buffer.
 	b.XB.Memory.Transfer(p, len(data))
 	_, err := f.File.WriteAt(p, data, off)
+	done(err)
 	return err
 }
 
@@ -220,13 +232,16 @@ func (b *Board) CreateFS(p *sim.Proc, path string) (*FSFile, error) {
 func (b *Board) SmallDiskRead(p *sim.Proc, diskIdx int, lba int64, bytes int) error {
 	end := p.Span("datapath", "small-read")
 	defer end()
+	done := telemetry.Ensure(p, "small-read")
 	ad := b.Disks[diskIdx]
 	port := (diskIdx / (2 * b.sys.Cfg.DisksPerString)) % len(b.XB.VME)
 	secs := (bytes + ad.SectorSize() - 1) / ad.SectorSize()
 	if _, err := ad.Read(p, lba, secs, b.XB.DiskReadPath(port)); err != nil {
+		done(err)
 		return err
 	}
 	b.sys.Host.PerIO(p)
+	done(nil)
 	return nil
 }
 
@@ -236,9 +251,11 @@ func (b *Board) SmallDiskRead(p *sim.Proc, diskIdx int, lba int64, bytes int) er
 func (b *Board) EtherRead(p *sim.Proc, f *FSFile, off int64, size int) error {
 	end := p.Span("datapath", "ether-read")
 	defer end()
+	done := telemetry.Ensure(p, "ether-read")
 	h := b.sys.Host
 	h.CPUWork(p, b.sys.Cfg.FSReadOverhead)
 	if _, err := f.File.ReadAt(p, off, size); err != nil {
+		done(err)
 		return err
 	}
 	// Low-bandwidth path: XBUS -> host VME port -> host memory -> copy ->
@@ -248,6 +265,7 @@ func (b *Board) EtherRead(p *sim.Proc, f *FSFile, off int64, size int) error {
 	for _, n := range b.chunks(size) {
 		n := n
 		g.Go("ether-chunk", func(q *sim.Proc) {
+			telemetry.Adopt(q, p)
 			b.XB.HostTransfer(q, n, true)
 			h.DMAIn(q, n)
 			h.CopyAsync(q, n)
@@ -258,6 +276,7 @@ func (b *Board) EtherRead(p *sim.Proc, f *FSFile, off int64, size int) error {
 	}
 	g.Wait(p)
 	h.PerIO(p)
+	done(firstErr)
 	return firstErr
 }
 

@@ -82,6 +82,9 @@ type Engine struct {
 	procSeq   uint64         // process IDs, assigned in spawn order
 	tracer    Tracer         // observability hooks; nil when untraced
 	resources []resourceInfo // every constructed resource, for tracer replay
+
+	meter    any          // opaque metrics registry slot; see meter.go
+	samplers []samplerReg // fixed-interval sample callbacks; see meter.go
 }
 
 // New creates an empty simulation engine at time zero.
@@ -130,6 +133,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 			break
 		}
 		ev := heap.Pop(&e.events).(event)
+		e.fireSamplers(ev.at)
 		e.now = ev.at
 		e.dispatch(ev.proc)
 	}
@@ -143,6 +147,7 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.events).(event)
+	e.fireSamplers(ev.at)
 	e.now = ev.at
 	e.dispatch(ev.proc)
 	return true
@@ -191,6 +196,7 @@ type Proc struct {
 	id       uint64
 	resume   chan struct{}
 	finished bool
+	meterCtx any // opaque per-process annotation; see meter.go
 }
 
 // Spawn starts a new simulated process executing fn.  The process begins at

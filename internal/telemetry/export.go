@@ -1,0 +1,302 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// This file implements the two metric exporters.  Both iterate series in
+// sorted (name, labels) order — never raw map order — and format numbers
+// with fixed rules (integers for counts and nanoseconds, strconv 'g' for
+// gauges), so identical runs export byte-identical documents.  The
+// regression test at the repo root (metrics_determinism_test.go) holds
+// them to that.
+
+// ExportOptions adjusts an export.
+type ExportOptions struct {
+	// Label names the exported run; it becomes the JSON document's label
+	// field and a leading comment in the Prometheus text.
+	Label string
+	// ConstLabels are merged into every exported series — raidbench uses
+	// run="<experiment label>" so series from different runs stay distinct
+	// when concatenated into one exposition.
+	ConstLabels []Label
+}
+
+// familyKind is a Prometheus metric type.
+type familyKind string
+
+const (
+	kindCounter   familyKind = "counter"
+	kindGauge     familyKind = "gauge"
+	kindHistogram familyKind = "histogram"
+)
+
+// help maps known metric names to their HELP text.  Unknown names export
+// without a HELP line, which the exposition format permits.
+var help = map[string]string{
+	metricRequests:     "Completed requests by kind.",
+	metricFailed:       "Requests that completed with an error.",
+	metricDegraded:     "Requests served over a degraded (reconstruct) path.",
+	metricRetried:      "Requests that needed at least one retry.",
+	metricShed:         "Requests refused at least once by admission control.",
+	metricDuration:     "End-to-end request latency in nanoseconds.",
+	metricStageNS:      "Cumulative exclusive per-stage time in nanoseconds.",
+	metricCacheHits:    "Cache line hits observed by requests.",
+	metricCacheMisses:  "Cache line misses observed by requests.",
+	metricRetriesTotal: "Total retry attempts across requests.",
+	metricInflight:     "Requests currently in flight.",
+}
+
+// mergeLabels combines a series' labels with the export's const labels,
+// sorted by key.
+func mergeLabels(labels, extra []Label) []Label {
+	if len(extra) == 0 {
+		return labels
+	}
+	out := make([]Label, 0, len(labels)+len(extra))
+	out = append(out, labels...)
+	out = append(out, extra...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// labelBlock renders {k="v",...} for a sample line, empty for no labels.
+func labelBlock(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return seriesID("", labels)
+}
+
+// withLE appends an le label (histogram bucket bound) to rendered labels.
+func withLE(labels []Label, le string) string {
+	all := make([]Label, 0, len(labels)+1)
+	all = append(all, labels...)
+	all = append(all, Label{Key: "le", Value: le})
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	return seriesID("", all)
+}
+
+// collect returns the registry's series of one kind, grouped into families
+// sorted by metric name, each family's series sorted by label string.
+func collectFamilies[V any](m map[string]V, name func(V) string, labels func(V) []Label) ([]string, map[string][]V) {
+	fams := map[string][]V{}
+	for _, id := range sortedKeys(m) {
+		v := m[id]
+		fams[name(v)] = append(fams[name(v)], v)
+	}
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Within a family the insertion order came from sorted series ids,
+	// which sort by (name, label-block) already.
+	_ = labels
+	return names, fams
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition format
+// (version 0.0.4).  Durations are integer nanoseconds — histogram `le`
+// bounds, `_sum`s and stage counters all carry the _ns suffix in their
+// metric names, so no float formatting enters the output path for them.
+func WritePrometheus(w io.Writer, r *Registry, opts ExportOptions) error {
+	bw := bufio.NewWriter(w)
+	// bufio errors are sticky: every write after a failure is a no-op and
+	// the final Flush reports the first error.
+	if opts.Label != "" {
+		fmt.Fprintf(bw, "# raidii telemetry: %s\n", opts.Label)
+	}
+	fmt.Fprintf(bw, "# sim_time_ns %d\n", int64(r.eng.Now()))
+
+	emitHeader := func(name string, kind familyKind) {
+		if h, ok := help[name]; ok {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, h)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, kind)
+	}
+
+	names, cfams := collectFamilies(r.counters, func(c *Counter) string { return c.name }, func(c *Counter) []Label { return c.labels })
+	for _, n := range names {
+		emitHeader(n, kindCounter)
+		for _, c := range cfams[n] {
+			fmt.Fprintf(bw, "%s%s %s\n", n, labelBlock(mergeLabels(c.labels, opts.ConstLabels)),
+				strconv.FormatUint(c.v, 10))
+		}
+	}
+	names, gfams := collectFamilies(r.gauges, func(g *Gauge) string { return g.name }, func(g *Gauge) []Label { return g.labels })
+	for _, n := range names {
+		emitHeader(n, kindGauge)
+		for _, g := range gfams[n] {
+			fmt.Fprintf(bw, "%s%s %s\n", n, labelBlock(mergeLabels(g.labels, opts.ConstLabels)),
+				strconv.FormatFloat(g.v, 'g', -1, 64))
+		}
+	}
+	names, hfams := collectFamilies(r.hists, func(h *Histogram) string { return h.name }, func(h *Histogram) []Label { return h.labels })
+	for _, n := range names {
+		emitHeader(n, kindHistogram)
+		for _, h := range hfams[n] {
+			labels := mergeLabels(h.labels, opts.ConstLabels)
+			for _, b := range h.Buckets() {
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", n, withLE(labels, strconv.FormatInt(b.LE, 10)), b.Count)
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", n, withLE(labels, "+Inf"), h.count)
+			fmt.Fprintf(bw, "%s_sum%s %d\n", n, labelBlock(labels), h.sum)
+			fmt.Fprintf(bw, "%s_count%s %d\n", n, labelBlock(labels), h.count)
+		}
+	}
+	return bw.Flush()
+}
+
+// JSONSchema is bumped whenever the JSON export shape changes
+// incompatibly.
+const JSONSchema = 1
+
+// JSONLabels is a label set in the JSON export; encoding/json marshals map
+// keys sorted, keeping the document deterministic.
+type JSONLabels map[string]string
+
+// JSONCounter is one exported counter series.
+type JSONCounter struct {
+	Name   string     `json:"name"`
+	Labels JSONLabels `json:"labels,omitempty"`
+	Value  uint64     `json:"value"`
+}
+
+// JSONGauge is one exported gauge series.
+type JSONGauge struct {
+	Name   string     `json:"name"`
+	Labels JSONLabels `json:"labels,omitempty"`
+	Value  float64    `json:"value"`
+}
+
+// JSONBucket is one cumulative histogram bucket (<= LeNs nanoseconds).
+type JSONBucket struct {
+	LeNs  int64  `json:"leNs"`
+	Count uint64 `json:"count"`
+}
+
+// JSONHistogram is one exported histogram series, with its tail quantiles
+// precomputed from the buckets.
+type JSONHistogram struct {
+	Name    string       `json:"name"`
+	Labels  JSONLabels   `json:"labels,omitempty"`
+	Count   uint64       `json:"count"`
+	SumNs   int64        `json:"sumNs"`
+	MinNs   int64        `json:"minNs"`
+	MaxNs   int64        `json:"maxNs"`
+	P50Ns   int64        `json:"p50Ns"`
+	P99Ns   int64        `json:"p99Ns"`
+	P999Ns  int64        `json:"p999Ns"`
+	Buckets []JSONBucket `json:"buckets"`
+}
+
+// JSONPoint is one time-series sample.
+type JSONPoint struct {
+	AtNs  int64   `json:"atNs"`
+	Value float64 `json:"value"`
+}
+
+// JSONSeries is one sampled time series.
+type JSONSeries struct {
+	Name   string      `json:"name"`
+	Points []JSONPoint `json:"points"`
+}
+
+// JSONExport is the versioned JSON export document for one registry.
+type JSONExport struct {
+	Schema     int             `json:"schema"`
+	Label      string          `json:"label,omitempty"`
+	SimTimeNs  int64           `json:"simTimeNs"`
+	IntervalNs int64           `json:"samplerIntervalNs,omitempty"`
+	Counters   []JSONCounter   `json:"counters"`
+	Gauges     []JSONGauge     `json:"gauges"`
+	Histograms []JSONHistogram `json:"histograms"`
+	Series     []JSONSeries    `json:"series,omitempty"`
+}
+
+// jsonLabels converts a label list (plus const labels) to the map form.
+func jsonLabels(labels, extra []Label) JSONLabels {
+	all := mergeLabels(labels, extra)
+	if len(all) == 0 {
+		return nil
+	}
+	out := make(JSONLabels, len(all))
+	for _, l := range all {
+		out[l.Key] = l.Value
+	}
+	return out
+}
+
+// Export builds the registry's JSON document.  Series appear in sorted
+// (name, labels) order; sampler series in first-appearance order.
+func Export(r *Registry, opts ExportOptions) JSONExport {
+	out := JSONExport{
+		Schema:     JSONSchema,
+		Label:      opts.Label,
+		SimTimeNs:  int64(r.eng.Now()),
+		Counters:   []JSONCounter{},
+		Gauges:     []JSONGauge{},
+		Histograms: []JSONHistogram{},
+	}
+	for _, id := range sortedKeys(r.counters) {
+		c := r.counters[id]
+		out.Counters = append(out.Counters, JSONCounter{
+			Name: c.name, Labels: jsonLabels(c.labels, opts.ConstLabels), Value: c.v,
+		})
+	}
+	for _, id := range sortedKeys(r.gauges) {
+		g := r.gauges[id]
+		out.Gauges = append(out.Gauges, JSONGauge{
+			Name: g.name, Labels: jsonLabels(g.labels, opts.ConstLabels), Value: g.v,
+		})
+	}
+	for _, id := range sortedKeys(r.hists) {
+		h := r.hists[id]
+		jh := JSONHistogram{
+			Name:   h.name,
+			Labels: jsonLabels(h.labels, opts.ConstLabels),
+			Count:  h.count,
+			SumNs:  h.sum,
+			MinNs:  int64(h.Min()),
+			MaxNs:  int64(h.Max()),
+			P50Ns:  int64(h.Quantile(0.50)),
+			P99Ns:  int64(h.Quantile(0.99)),
+			P999Ns: int64(h.Quantile(0.999)),
+		}
+		jh.Buckets = make([]JSONBucket, 0, 8)
+		for _, b := range h.Buckets() {
+			jh.Buckets = append(jh.Buckets, JSONBucket{LeNs: b.LE, Count: b.Count})
+		}
+		out.Histograms = append(out.Histograms, jh)
+	}
+	if s := r.sampler; s != nil {
+		out.IntervalNs = int64(s.interval)
+		for _, sr := range s.SeriesList() {
+			js := JSONSeries{Name: sr.Name, Points: make([]JSONPoint, 0, len(sr.Points))}
+			for _, pt := range sr.Points {
+				js.Points = append(js.Points, JSONPoint{AtNs: int64(pt.At), Value: pt.Value})
+			}
+			out.Series = append(out.Series, js)
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the registry's JSON export, indented, with a trailing
+// newline.
+func WriteJSON(w io.Writer, r *Registry, opts ExportOptions) error {
+	data, err := json.MarshalIndent(Export(r, opts), "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("telemetry: write json export: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,287 @@
+package telemetry
+
+import "raidii/internal/sim"
+
+// This file implements the request-scoped context: one *Request rides a
+// simulated process (and, via Adopt, the worker processes spawned on its
+// behalf) from the moment a client or datapath entry point begins it until
+// End folds its latency, stage breakdown and outcomes into the registry.
+//
+// Stage accounting is a per-process stack of open stage frames.  Closing a
+// frame charges its *exclusive* time — the frame's duration minus the time
+// spent in frames nested inside it on the same process — so a SCSI span
+// inside a RAID span splits the time instead of double-counting it.
+// Worker processes adopted into the request carry their own stacks against
+// the shared Request, so overlapping legs each record their true work (see
+// the Stage doc in telemetry.go for the resulting semantics).
+
+// Metric names recorded at End.  All durations are integer nanoseconds.
+const (
+	metricRequests     = "raidii_requests_total"
+	metricFailed       = "raidii_requests_failed_total"
+	metricDegraded     = "raidii_requests_degraded_total"
+	metricRetried      = "raidii_requests_retried_total"
+	metricShed         = "raidii_requests_shed_total"
+	metricDuration     = "raidii_request_duration_ns"
+	metricStageNS      = "raidii_request_stage_ns_total"
+	metricCacheHits    = "raidii_request_cache_hits_total"
+	metricCacheMisses  = "raidii_request_cache_misses_total"
+	metricRetriesTotal = "raidii_request_retries_total"
+	metricInflight     = "raidii_requests_inflight"
+)
+
+// Request accumulates one in-flight request's telemetry.  A nil *Request
+// is valid and inert, so callers never need to check whether telemetry is
+// attached.
+type Request struct {
+	reg   *Registry
+	kind  string
+	start sim.Time
+	done  bool
+
+	stages  [numStages]sim.Duration
+	hits    uint64
+	misses  uint64
+	retries uint64
+
+	degraded bool
+	shed     bool
+}
+
+// frame is one open stage interval on a process's stack.
+type frame struct {
+	stage Stage
+	enter sim.Time
+	child sim.Duration // time covered by frames nested inside this one
+}
+
+// scope is the per-process annotation: the request the process works for
+// plus that process's own stage stack.
+type scope struct {
+	req   *Request
+	stack []frame
+}
+
+// scopeOf returns p's scope, or nil.
+func scopeOf(p *sim.Proc) *scope {
+	sc, _ := p.MeterContext().(*scope)
+	return sc
+}
+
+// reqOf returns the live request p works for, or nil.
+func reqOf(p *sim.Proc) *Request {
+	if sc := scopeOf(p); sc != nil && sc.req != nil && !sc.req.done {
+		return sc.req
+	}
+	return nil
+}
+
+// Begin starts a request of the given kind on p, replacing any previous
+// scope.  It returns nil (inert) when no registry is attached to p's
+// engine.  kind labels every metric the request records ("client-read",
+// "fs-write", ...).
+func Begin(p *sim.Proc, kind string) *Request {
+	reg := From(p.Engine())
+	if reg == nil {
+		return nil
+	}
+	r := &Request{reg: reg, kind: kind, start: p.Now()}
+	p.SetMeterContext(&scope{req: r})
+	reg.Gauge(metricInflight).Add(1)
+	return r
+}
+
+// noopEnsure is returned when Ensure has nothing to close.
+var noopEnsure = func(error) {}
+
+// Ensure begins a request of the given kind if p does not already carry
+// one, returning the closer that ends it.  When p already works for a
+// request (a client began one upstream) the call joins it and the closer
+// is a no-op — so datapath entry points can instrument themselves without
+// double-counting requests that arrived through the client library.
+func Ensure(p *sim.Proc, kind string) func(err error) {
+	if reqOf(p) != nil {
+		return noopEnsure
+	}
+	r := Begin(p, kind)
+	if r == nil {
+		return noopEnsure
+	}
+	return func(err error) { r.End(p, err) }
+}
+
+// Adopt attaches the request carried by parent to child, with a fresh
+// stage stack, so work done by a spawned helper process is charged to the
+// request.  Call it first thing inside the worker's body.  No-op when the
+// parent carries no live request.
+func Adopt(child, parent *sim.Proc) {
+	if r := reqOf(parent); r != nil {
+		child.SetMeterContext(&scope{req: r})
+	}
+}
+
+// noopSpanEnd closes nothing, for processes outside any request.
+var noopSpanEnd = func() {}
+
+// StageSpan opens a stage interval on p and returns its closer.  Close
+// with defer; frames on one process must close in LIFO order.  With no
+// live request on p both open and close are no-ops.
+func StageSpan(p *sim.Proc, st Stage) func() {
+	sc := scopeOf(p)
+	if sc == nil || sc.req == nil || sc.req.done {
+		return noopSpanEnd
+	}
+	sc.stack = append(sc.stack, frame{stage: st, enter: p.Now()})
+	depth := len(sc.stack)
+	return func() {
+		if sc.req.done || len(sc.stack) < depth {
+			return
+		}
+		sc.stack = sc.stack[:depth] // shed any leaked deeper frames
+		f := sc.stack[depth-1]
+		total := p.Now().Sub(f.enter)
+		excl := total - f.child
+		if excl < 0 {
+			excl = 0
+		}
+		sc.req.stages[f.stage] += excl
+		sc.stack = sc.stack[:depth-1]
+		if depth > 1 {
+			sc.stack[depth-2].child += total
+		}
+	}
+}
+
+// CacheHit notes one cache line hit for p's request.
+func CacheHit(p *sim.Proc) {
+	if r := reqOf(p); r != nil {
+		r.hits++
+	}
+}
+
+// CacheMiss notes one cache line miss for p's request.
+func CacheMiss(p *sim.Proc) {
+	if r := reqOf(p); r != nil {
+		r.misses++
+	}
+}
+
+// MarkDegraded notes that p's request was served over a degraded
+// (reconstruct-from-parity or mirror-fallback) path.
+func MarkDegraded(p *sim.Proc) {
+	if r := reqOf(p); r != nil {
+		r.degraded = true
+	}
+}
+
+// MarkRetried notes one retry attempt (client resend or SCSI reissue) on
+// behalf of p's request.
+func MarkRetried(p *sim.Proc) {
+	if r := reqOf(p); r != nil {
+		r.retries++
+	}
+}
+
+// MarkShed notes that an attempt of p's request was refused by admission
+// control.
+func MarkShed(p *sim.Proc) {
+	if r := reqOf(p); r != nil {
+		r.shed = true
+	}
+}
+
+// End completes the request at p's current time: the end-to-end duration
+// feeds the kind's latency histogram, stage times feed per-stage counters,
+// and outcomes feed their counters.  err non-nil additionally counts the
+// request as failed.  End is idempotent and nil-safe; it clears p's scope
+// when p still carries this request.
+func (r *Request) End(p *sim.Proc, err error) {
+	if r == nil || r.done {
+		return
+	}
+	r.done = true
+	if sc := scopeOf(p); sc != nil && sc.req == r {
+		p.SetMeterContext(nil)
+	}
+	reg := r.reg
+	kind := r.kind
+	reg.Gauge(metricInflight).Add(-1)
+	reg.Counter(metricRequests, "kind", kind).Inc()
+	reg.Histogram(metricDuration, "kind", kind).Observe(p.Now().Sub(r.start))
+	for st, d := range r.stages {
+		if d > 0 {
+			reg.Counter(metricStageNS, "kind", kind, "stage", Stage(st).String()).Add(uint64(d))
+		}
+	}
+	if err != nil {
+		reg.Counter(metricFailed, "kind", kind).Inc()
+	}
+	if r.hits > 0 {
+		reg.Counter(metricCacheHits, "kind", kind).Add(r.hits)
+	}
+	if r.misses > 0 {
+		reg.Counter(metricCacheMisses, "kind", kind).Add(r.misses)
+	}
+	if r.degraded {
+		reg.Counter(metricDegraded, "kind", kind).Inc()
+	}
+	if r.retries > 0 {
+		reg.Counter(metricRetried, "kind", kind).Inc()
+		reg.Counter(metricRetriesTotal, "kind", kind).Add(r.retries)
+	}
+	if r.shed {
+		reg.Counter(metricShed, "kind", kind).Inc()
+	}
+}
+
+// StageMean is one stage's share of a kind's requests.
+type StageMean struct {
+	Stage string
+	Total sim.Duration // summed exclusive stage time across all requests
+	Mean  sim.Duration // Total / request count
+}
+
+// LatencySummary condenses one request kind's telemetry for experiment
+// reports: tail quantiles of the end-to-end latency histogram plus the
+// per-stage breakdown.
+type LatencySummary struct {
+	Kind             string
+	N                uint64
+	Mean, P50        sim.Duration
+	P99, P999, Max   sim.Duration
+	Stages           []StageMean
+	Degraded, Shed   uint64
+	Retried, Retries uint64
+}
+
+// Summary reports the latency summary for one request kind, zero-valued if
+// the kind never completed a request.
+func (r *Registry) Summary(kind string) LatencySummary {
+	out := LatencySummary{Kind: kind}
+	h := r.peekHistogram(metricDuration, "kind", kind)
+	if h == nil || h.N() == 0 {
+		return out
+	}
+	out.N = h.N()
+	out.Mean = h.Mean()
+	out.P50 = h.Quantile(0.50)
+	out.P99 = h.Quantile(0.99)
+	out.P999 = h.Quantile(0.999)
+	out.Max = h.Max()
+	for st := Stage(0); st < numStages; st++ {
+		total := sim.Duration(r.peekCounter(metricStageNS, "kind", kind, "stage", st.String()))
+		if total == 0 {
+			continue
+		}
+		out.Stages = append(out.Stages, StageMean{
+			Stage: st.String(),
+			Total: total,
+			Mean:  total / sim.Duration(out.N),
+		})
+	}
+	out.Degraded = r.peekCounter(metricDegraded, "kind", kind)
+	out.Shed = r.peekCounter(metricShed, "kind", kind)
+	out.Retried = r.peekCounter(metricRetried, "kind", kind)
+	out.Retries = r.peekCounter(metricRetriesTotal, "kind", kind)
+	return out
+}

@@ -1,0 +1,58 @@
+// Package telemetry is the simulation's metrics layer: a deterministic
+// registry of counters, gauges and fixed-bucket latency histograms, a
+// request-scoped context that follows one client request end to end through
+// client -> net -> admission -> cache -> raid -> scsi -> disk, a sampler
+// that snapshots gauges into time series at a fixed simulated interval, and
+// two exporters (Prometheus text exposition and versioned JSON) whose
+// output is byte-identical across identical runs.
+//
+// Where the tracing layer (internal/trace, DESIGN.md §8) records what each
+// component did, telemetry aggregates what each *request* experienced:
+// end-to-end latency distributions with tail quantiles, per-stage time
+// breakdown, and outcomes (cache hit/miss, degraded read, retried, shed).
+// Memory is bounded — histograms are 64 fixed log-2 buckets, never sample
+// slices — so the layer is safe to leave attached for million-request runs.
+//
+// # Determinism
+//
+// Every timestamp and duration the package records is simulated time; the
+// registry is only mutated from inside simulated processes (single-threaded
+// by the engine) and sampler callbacks (fired from the event loop); and the
+// exporters iterate in sorted series order, never raw map order.  Identical
+// runs therefore produce byte-identical exports, and CI enforces exactly
+// that (see metrics_determinism_test.go at the repo root and DESIGN.md
+// §13).
+package telemetry
+
+// Stage names one leg of a request's journey through the system.  Stage
+// times are recorded per process as *exclusive* time — a SCSI span nested
+// inside a RAID span charges SCSI, not both — but concurrent worker
+// processes of one request each accrue their own stage time, so summed
+// stage time measures work (like CPU seconds) and can exceed the request's
+// wall-clock latency when legs overlap.
+type Stage int
+
+// The pipeline stages, in the order a remote request traverses them.
+const (
+	StageClient Stage = iota
+	StageNet
+	StageAdmission
+	StageCache
+	StageRAID
+	StageSCSI
+	StageDisk
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"client", "net", "admission", "cache", "raid", "scsi", "disk",
+}
+
+// String returns the stage's label value ("client", "net", ...).
+func (s Stage) String() string {
+	if s < 0 || s >= numStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}

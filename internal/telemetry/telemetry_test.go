@@ -1,0 +1,379 @@
+package telemetry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"raidii/internal/sim"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not zero-valued: n=%d sum=%v", h.N(), h.Sum())
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty Quantile(0.5) = %v, want 0", q)
+	}
+	if b := h.Buckets(); b != nil {
+		t.Fatalf("empty Buckets() = %v, want nil", b)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(1500)
+	if h.N() != 1 || h.Sum() != 1500 || h.Min() != 1500 || h.Max() != 1500 {
+		t.Fatalf("single-sample stats wrong: %+v", h)
+	}
+	// Every quantile of a single sample is that sample (min/max clamping).
+	for _, q := range []float64{0, 0.001, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 1500 {
+			t.Fatalf("Quantile(%g) = %v, want 1500", q, got)
+		}
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// d <= 0 lands in bucket 0; d in [2^(i-1), 2^i) lands in bucket i.
+	cases := []struct {
+		d    sim.Duration
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistogramTopBucket(t *testing.T) {
+	var h Histogram
+	huge := sim.Duration(1<<62 + 1<<61) // near the int64 limit
+	h.Observe(huge)
+	if got := h.Max(); got != huge {
+		t.Fatalf("Max = %v, want %v", got, huge)
+	}
+	// The sample must not be lost: the top value bucket covers it.
+	b := h.Buckets()
+	if len(b) == 0 || b[len(b)-1].Count != 1 {
+		t.Fatalf("huge observation lost from buckets: %v", b)
+	}
+	if got := h.Quantile(0.999); got != huge {
+		t.Fatalf("Quantile(0.999) = %v, want clamped to max %v", got, huge)
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	// 100 samples spread uniformly in bucket 11 ([1024, 2048) ns):
+	// interpolation should land quantiles inside the bucket range in order.
+	for i := 0; i < 100; i++ {
+		h.Observe(sim.Duration(1024 + i*10))
+	}
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.99)
+	if p50 < 1024 || p50 >= 2048 {
+		t.Fatalf("p50 %v outside bucket range [1024, 2048)", p50)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	}
+	if p99 > h.Max() {
+		t.Fatalf("p99 %v above max %v", p99, h.Max())
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(1000)
+	b := h.Buckets()
+	if len(b) == 0 {
+		t.Fatal("no buckets")
+	}
+	var prev uint64
+	for _, bc := range b {
+		if bc.Count < prev {
+			t.Fatalf("cumulative counts decreased: %v", b)
+		}
+		prev = bc.Count
+	}
+	if b[len(b)-1].Count != h.N() {
+		t.Fatalf("last bucket %d != N %d", b[len(b)-1].Count, h.N())
+	}
+	// Inclusive le semantics: the bucket holding 3 ([2,4) ns) has le 3.
+	found := false
+	for _, bc := range b {
+		if bc.LE == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no le=3 bucket for observation 3: %v", b)
+	}
+}
+
+func TestRegistrySeriesIdentity(t *testing.T) {
+	e := sim.New()
+	r := Attach(e)
+	// Same labels in any argument order are one series.
+	c1 := r.Counter("x_total", "a", "1", "b", "2")
+	c2 := r.Counter("x_total", "b", "2", "a", "1")
+	if c1 != c2 {
+		t.Fatal("label order created distinct series")
+	}
+	c1.Inc()
+	if got := r.peekCounter("x_total", "b", "2", "a", "1"); got != 1 {
+		t.Fatalf("peekCounter = %d, want 1", got)
+	}
+	// Attach is idempotent.
+	if Attach(e) != r {
+		t.Fatal("second Attach returned a different registry")
+	}
+	if From(e) != r {
+		t.Fatal("From did not return the attached registry")
+	}
+}
+
+func TestSummaryDoesNotCreateSeries(t *testing.T) {
+	e := sim.New()
+	r := Attach(e)
+	_ = r.Summary("never-seen")
+	if len(r.counters) != 0 || len(r.hists) != 0 {
+		t.Fatalf("Summary grew the registry: %d counters, %d hists",
+			len(r.counters), len(r.hists))
+	}
+}
+
+func TestRequestStageAccounting(t *testing.T) {
+	e := sim.New()
+	r := Attach(e)
+	e.Spawn("req", func(p *sim.Proc) {
+		req := Begin(p, "unit")
+		// 10 ms in raid, with 4 ms of scsi nested inside: exclusive raid
+		// time must be 6 ms.
+		endRAID := StageSpan(p, StageRAID)
+		p.Wait(3 * time.Millisecond)
+		endSCSI := StageSpan(p, StageSCSI)
+		p.Wait(4 * time.Millisecond)
+		endSCSI()
+		p.Wait(3 * time.Millisecond)
+		endRAID()
+		req.End(p, nil)
+	})
+	e.Run()
+	s := r.Summary("unit")
+	if s.N != 1 {
+		t.Fatalf("N = %d, want 1", s.N)
+	}
+	want := map[string]sim.Duration{
+		"raid": 6 * time.Millisecond,
+		"scsi": 4 * time.Millisecond,
+	}
+	got := map[string]sim.Duration{}
+	for _, st := range s.Stages {
+		got[st.Stage] = st.Total
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("stage %s = %v, want %v (all: %v)", k, got[k], v, s.Stages)
+		}
+	}
+	if s.Mean != 10*time.Millisecond {
+		t.Errorf("Mean = %v, want 10ms", s.Mean)
+	}
+}
+
+func TestRequestAdoptAndOutcomes(t *testing.T) {
+	e := sim.New()
+	r := Attach(e)
+	e.Spawn("req", func(p *sim.Proc) {
+		req := Begin(p, "unit")
+		done := sim.NewEvent(e)
+		e.Spawn("worker", func(q *sim.Proc) {
+			Adopt(q, p)
+			end := StageSpan(q, StageDisk)
+			q.Wait(2 * time.Millisecond)
+			end()
+			MarkDegraded(q)
+			CacheHit(q)
+			CacheMiss(q)
+			MarkRetried(q)
+			done.Signal()
+		})
+		done.Wait(p)
+		req.End(p, errors.New("boom"))
+	})
+	e.Run()
+	s := r.Summary("unit")
+	if s.N != 1 || s.Degraded != 1 || s.Retried != 1 || s.Retries != 1 {
+		t.Fatalf("outcomes wrong: %+v", s)
+	}
+	if got := r.peekCounter("raidii_requests_failed_total", "kind", "unit"); got != 1 {
+		t.Fatalf("failed counter = %d, want 1", got)
+	}
+	if got := r.peekCounter("raidii_request_cache_hits_total", "kind", "unit"); got != 1 {
+		t.Fatalf("cache hits = %d, want 1", got)
+	}
+	var found bool
+	for _, st := range s.Stages {
+		if st.Stage == "disk" && st.Total == 2*time.Millisecond {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("adopted worker's disk time missing: %v", s.Stages)
+	}
+}
+
+func TestEnsureJoinsExistingRequest(t *testing.T) {
+	e := sim.New()
+	r := Attach(e)
+	e.Spawn("req", func(p *sim.Proc) {
+		req := Begin(p, "outer")
+		// A datapath entry point under a live request must not start a
+		// second one.
+		done := Ensure(p, "inner")
+		done(nil)
+		req.End(p, nil)
+	})
+	e.Run()
+	if got := r.Summary("inner").N; got != 0 {
+		t.Fatalf("Ensure under a live request recorded %d inner requests", got)
+	}
+	if got := r.Summary("outer").N; got != 1 {
+		t.Fatalf("outer N = %d, want 1", got)
+	}
+	// Without a live request Ensure begins and ends one.
+	e2 := sim.New()
+	r2 := Attach(e2)
+	e2.Spawn("bare", func(p *sim.Proc) {
+		done := Ensure(p, "inner")
+		p.Wait(time.Millisecond)
+		done(nil)
+	})
+	e2.Run()
+	if got := r2.Summary("inner").N; got != 1 {
+		t.Fatalf("bare Ensure N = %d, want 1", got)
+	}
+}
+
+func TestInstrumentationNilSafe(t *testing.T) {
+	e := sim.New() // no registry attached
+	e.Spawn("bare", func(p *sim.Proc) {
+		if Begin(p, "x") != nil {
+			t.Error("Begin without registry should return nil")
+		}
+		end := StageSpan(p, StageRAID)
+		CacheHit(p)
+		MarkDegraded(p)
+		MarkRetried(p)
+		MarkShed(p)
+		end()
+		Ensure(p, "y")(nil)
+		var req *Request
+		req.End(p, nil) // nil receiver must not panic
+	})
+	e.Run()
+}
+
+func TestSamplerRecordsGauges(t *testing.T) {
+	e := sim.New()
+	r := Attach(e)
+	s := r.StartSampler(10 * time.Millisecond)
+	if r.StartSampler(99*time.Millisecond) != s {
+		t.Fatal("StartSampler not idempotent")
+	}
+	if s.Interval() != 10*time.Millisecond {
+		t.Fatalf("Interval = %v, want 10ms (first call fixes it)", s.Interval())
+	}
+	g := r.Gauge("depth")
+	e.Spawn("load", func(p *sim.Proc) {
+		g.Set(1)
+		p.Wait(25 * time.Millisecond)
+		g.Set(3)
+		p.Wait(20 * time.Millisecond)
+	})
+	e.Run()
+	var series *Series
+	for _, sr := range s.SeriesList() {
+		if sr.Name == "depth" {
+			series = sr
+		}
+	}
+	if series == nil {
+		t.Fatal("gauge never sampled")
+	}
+	if len(series.Points) < 4 {
+		t.Fatalf("expected >= 4 ticks over 45ms at 10ms, got %d", len(series.Points))
+	}
+	for i, pt := range series.Points {
+		if want := sim.Time((i + 1) * 10 * int(time.Millisecond)); pt.At != want {
+			t.Fatalf("tick %d at %v, want %v", i, pt.At, want)
+		}
+	}
+	// Value transitions track the gauge: 1 until 25ms, then 3.
+	if series.Points[0].Value != 1 || series.Points[len(series.Points)-1].Value != 3 {
+		t.Fatalf("sampled values wrong: %+v", series.Points)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if StageClient.String() != "client" || StageDisk.String() != "disk" {
+		t.Fatal("stage names wrong")
+	}
+	if Stage(99).String() != "unknown" {
+		t.Fatal("out-of-range stage not 'unknown'")
+	}
+}
+
+func TestExportDeterministic(t *testing.T) {
+	build := func() *Registry {
+		e := sim.New()
+		r := Attach(e)
+		r.StartSampler(5 * time.Millisecond)
+		e.Spawn("w", func(p *sim.Proc) {
+			for i := 0; i < 20; i++ {
+				req := Begin(p, "k")
+				end := StageSpan(p, StageRAID)
+				p.Wait(sim.Duration(i+1) * time.Millisecond / 7)
+				end()
+				req.End(p, nil)
+			}
+		})
+		e.Run()
+		return r
+	}
+	opts := ExportOptions{Label: "t", ConstLabels: []Label{{Key: "run", Value: "t"}}}
+	var a, b strings.Builder
+	if err := WritePrometheus(&a, build(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, build(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("identical runs produced different Prometheus text")
+	}
+	var ja, jb strings.Builder
+	if err := WriteJSON(&ja, build(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&jb, build(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if ja.String() != jb.String() {
+		t.Fatal("identical runs produced different JSON")
+	}
+	if !strings.Contains(ja.String(), `"schema": 1`) {
+		t.Fatalf("JSON export missing schema marker:\n%s", ja.String()[:200])
+	}
+}

@@ -71,5 +71,40 @@ func (rec *Recorder) Table(limit int) string {
 		fmt.Fprintf(&b, "cache: %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
 			hits.Count, misses.Count, rate*100, evicts.Count)
 	}
+	// Admission control, when any board enforced a limit: shed and queued
+	// counts explain a bandwidth sag that no utilization row shows.
+	admitted := rec.spanCount("server", "admit")
+	queued := rec.spanCount("server", "admit-queued")
+	shed := rec.spanCount("server", "shed")
+	if admitted.Count+queued.Count+shed.Count > 0 {
+		fmt.Fprintf(&b, "admission: %d admitted (%d queued %.3fs total wait), %d shed\n",
+			admitted.Count, queued.Count, queued.Total.Seconds(), shed.Count)
+	}
+	// Background parity patrol activity.
+	scrubbed := rec.spanCount("scrub", "stripe")
+	if scrubbed.Count > 0 {
+		repairs := rec.spanCount("scrub", "repair")
+		fmt.Fprintf(&b, "scrub: %d stripes verified, %d repairs\n", scrubbed.Count, repairs.Count)
+	}
+	// Per-port packet loss: the network layers emit one zero-length
+	// net/packet-lost:<port> span per dropping party, so faults attribute
+	// to the ring, an endpoint, or the Ethernet wire by name.
+	type lossRow struct {
+		port  string
+		count uint64
+	}
+	var losses []lossRow
+	for _, s := range rec.spanAgg {
+		if s.Cat == "net" && strings.HasPrefix(s.Name, "packet-lost:") {
+			losses = append(losses, lossRow{port: strings.TrimPrefix(s.Name, "packet-lost:"), count: s.Count})
+		}
+	}
+	if len(losses) > 0 {
+		sort.Slice(losses, func(i, j int) bool { return losses[i].port < losses[j].port })
+		b.WriteString("packet loss by port:\n")
+		for _, l := range losses {
+			fmt.Fprintf(&b, "  %-24s %d lost\n", l.port, l.count)
+		}
+	}
 	return b.String()
 }

@@ -1,0 +1,86 @@
+package raidii
+
+import (
+	"fmt"
+	"strings"
+
+	"raidii/internal/sim"
+	"raidii/internal/telemetry"
+)
+
+// StageShare is one pipeline stage's mean work per request, for the stage
+// breakdown experiments report alongside tail latency.
+type StageShare struct {
+	Stage  string
+	MeanMs float64
+}
+
+// LatencyStats condenses one request kind's telemetry for experiment
+// results: the tail quantiles of the end-to-end latency histogram plus the
+// per-stage work breakdown.  Stage means measure work (per-process
+// exclusive time summed across the request's processes), so overlapped
+// legs can sum past the wall-clock latency — like CPU seconds on a
+// multicore.  Zero-valued when the engine had no telemetry attached or the
+// kind completed no requests.
+type LatencyStats struct {
+	Kind   string
+	N      uint64
+	MeanMs float64
+	P50Ms  float64
+	P99Ms  float64
+	P999Ms float64
+	MaxMs  float64
+	Stages []StageShare
+
+	Degraded uint64 // requests served over a degraded path
+	Shed     uint64 // requests refused at least once by admission control
+	Retried  uint64 // requests that needed at least one retry
+}
+
+// ms converts a simulated duration to milliseconds.
+func ms(d sim.Duration) float64 { return float64(d) / 1e6 }
+
+// latencyStats summarizes one request kind from the engine's telemetry
+// registry (zero-valued when none is attached).
+func latencyStats(e *sim.Engine, kind string) LatencyStats {
+	out := LatencyStats{Kind: kind}
+	reg := telemetry.From(e)
+	if reg == nil {
+		return out
+	}
+	s := reg.Summary(kind)
+	out.N = s.N
+	out.MeanMs = ms(s.Mean)
+	out.P50Ms = ms(s.P50)
+	out.P99Ms = ms(s.P99)
+	out.P999Ms = ms(s.P999)
+	out.MaxMs = ms(s.Max)
+	for _, st := range s.Stages {
+		out.Stages = append(out.Stages, StageShare{Stage: st.Stage, MeanMs: ms(st.Mean)})
+	}
+	out.Degraded = s.Degraded
+	out.Shed = s.Shed
+	out.Retried = s.Retried
+	return out
+}
+
+// String renders the stats as the one- or two-line report raidbench prints
+// under an experiment's bandwidth numbers.
+func (ls LatencyStats) String() string {
+	if ls.N == 0 {
+		return fmt.Sprintf("%s: no latency samples", ls.Kind)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s latency (n=%d): p50 %.2f ms  p99 %.2f ms  p999 %.2f ms  mean %.2f ms  max %.2f ms",
+		ls.Kind, ls.N, ls.P50Ms, ls.P99Ms, ls.P999Ms, ls.MeanMs, ls.MaxMs)
+	if ls.Degraded+ls.Shed+ls.Retried > 0 {
+		fmt.Fprintf(&b, "  (%d degraded, %d shed, %d retried)", ls.Degraded, ls.Shed, ls.Retried)
+	}
+	if len(ls.Stages) > 0 {
+		b.WriteString("\n      stages (mean work/req):")
+		for _, st := range ls.Stages {
+			fmt.Fprintf(&b, " %s %.2fms", st.Stage, st.MeanMs)
+		}
+	}
+	return b.String()
+}
