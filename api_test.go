@@ -16,8 +16,8 @@ func TestBoardScopedOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = srv.Simulate(func(task *Task) error {
-		if task.Boards() != 2 {
-			t.Fatalf("Boards() = %d, want 2", task.Boards())
+		if task.NumBoards() != 2 {
+			t.Fatalf("NumBoards() = %d, want 2", task.NumBoards())
 		}
 		if err := task.FormatFS(); err != nil {
 			return err
@@ -153,7 +153,7 @@ func TestWriteReturnsDuration(t *testing.T) {
 		if err := task.Sync(); err != nil {
 			return err
 		}
-		rd, err := f.Read(0, 8<<20)
+		_, rd, err := f.Read(0, 8<<20)
 		if err != nil {
 			return err
 		}
@@ -276,6 +276,112 @@ func TestFaultPlanValidatedAtAssembly(t *testing.T) {
 		WithFaultPlan(FaultPlan{}.DiskFailAt(time.Second, 0, 99)))
 	if err == nil {
 		t.Fatal("NewServer accepted a fault plan naming a missing disk")
+	}
+}
+
+// TestClusterStripedFileAPI exercises the public Cluster surface: striped
+// create/write/read/open, per-host Tasks through Server(i), and the
+// imperative KillServer/RestoreServer/RebuildServer whole-host fault cycle
+// with cross-server parity absorbing the outage.
+func TestClusterStripedFileAPI(t *testing.T) {
+	cl, err := NewCluster(WithServers(3), WithDisksPerString(1), WithStripeFragmentKB(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.NumServers() != 3 {
+		t.Fatalf("NumServers() = %d, want 3", cl.NumServers())
+	}
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = byte(i * 17)
+	}
+	_, err = cl.Simulate(func(task *ClusterTask) error {
+		if err := task.FormatFS(); err != nil {
+			return err
+		}
+		sb, err := task.StripeBytes()
+		if err != nil {
+			return err
+		}
+		// Three hosts with cross parity: two 64 KB data fragments per stripe.
+		if sb != 128<<10 {
+			t.Errorf("StripeBytes() = %d, want %d", sb, 128<<10)
+		}
+		f, err := task.Create("clip")
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(0, data); err != nil {
+			return err
+		}
+		if err := task.Sync(); err != nil {
+			return err
+		}
+
+		// Open sees the same file; Size is the logical striped size.
+		g, err := task.Open("clip")
+		if err != nil {
+			return err
+		}
+		if g.Name() != "clip" {
+			t.Errorf("Name() = %q, want %q", g.Name(), "clip")
+		}
+		if sz, err := g.Size(); err != nil || sz != int64(len(data)) {
+			t.Errorf("Size() = %d, %v, want %d", sz, err, len(data))
+		}
+		got, dur, err := g.Read(3<<10, 512<<10)
+		if err != nil {
+			return err
+		}
+		if dur <= 0 {
+			t.Error("striped read consumed no simulated time")
+		}
+		if !bytes.Equal(got, data[3<<10:3<<10+512<<10]) {
+			t.Error("striped read returned wrong bytes")
+		}
+		// Reads past end of file come back short, like File.Read.
+		if got, _, err := g.Read(int64(len(data))-4<<10, 64<<10); err != nil || len(got) != 4<<10 {
+			t.Errorf("tail read = %d bytes, %v, want %d", len(got), err, 4<<10)
+		}
+
+		// Server(i) scopes an ordinary single-host Task: the striping layer's
+		// backing files live in each host's board-0 LFS.
+		for i := 0; i < task.NumServers(); i++ {
+			if ents, err := task.Server(i).ReadDir("/"); err != nil || len(ents) == 0 {
+				t.Errorf("server %d board 0 has no striped backing files (%v)", i, err)
+			}
+		}
+
+		// Whole-host fault cycle: reads reconstruct through parity while the
+		// host is dead, a write goes degraded, rebuild repairs it.
+		task.KillServer(1)
+		if !task.ServerDown(1) {
+			t.Error("ServerDown(1) = false after KillServer")
+		}
+		if got, _, err := g.Read(0, 256<<10); err != nil || !bytes.Equal(got, data[:256<<10]) {
+			t.Errorf("degraded read failed: %v", err)
+		}
+		if _, err := g.Write(0, data[:sb]); err != nil {
+			return err
+		}
+		task.RestoreServer(1)
+		stale, err := task.StaleFragments(1)
+		if err != nil {
+			return err
+		}
+		if stale == 0 {
+			t.Error("degraded write left no stale fragments")
+		}
+		if n, err := task.RebuildServer(1); err != nil || n != stale {
+			t.Errorf("RebuildServer = %d, %v, want %d stale fragments rebuilt", n, err, stale)
+		}
+		if got, _, err := g.Read(0, len(data)); err != nil || !bytes.Equal(got, data) {
+			t.Errorf("post-rebuild read failed: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

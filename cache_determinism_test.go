@@ -49,7 +49,7 @@ func TestCacheTraceDeterministic(t *testing.T) {
 					if _, err := f.Write(off, make([]byte, n)); err != nil {
 						return err
 					}
-				} else if _, err := f.Read(off, n); err != nil {
+				} else if _, _, err := f.Read(off, n); err != nil {
 					return err
 				}
 			}

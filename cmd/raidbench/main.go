@@ -9,7 +9,7 @@
 //
 // With no arguments every experiment runs.  Experiments: fig5, table1,
 // table2, fig6, fig7, fig8, raid1, client, recovery, scaling, zebra,
-// rebuild, faults, netfaults, fileserver, cache, ablate.
+// fleet, rebuild, faults, netfaults, fileserver, cache, ablate.
 //
 // -util prints a per-component utilization/queue-wait table after each
 // experiment, naming the bottleneck that shapes the measured curve (and
@@ -116,6 +116,7 @@ func main() {
 		{"recovery", "LFS recovery vs UNIX fsck", cfg16, runRecovery},
 		{"scaling", "XBUS board scaling", "1-4 boards, 24 disks each", runScaling},
 		{"zebra", "Zebra striping across servers", "2-5 single-board servers", runZebra},
+		{"fleet", "multi-server fleet: read scaling and whole-host kill", "1-8 Fig-8 hosts, one Ultranet ring", runFleet},
 		{"rebuild", "degraded mode and disk reconstruction", cfg24, runRebuild},
 		{"faults", "scripted fault plans: timeline and rebuild under load", cfg24, runFaults},
 		{"netfaults", "Ultranet link flap under client reads", cfg16 + " + fast client", runNetFaults},
@@ -335,6 +336,31 @@ func runZebra() error {
 	fmt.Print(fig.Render())
 	fmt.Println("paper (§5.2): striping across servers multiplies single-client bandwidth")
 	jsonFigure(fig, "MB/s")
+	return nil
+}
+
+func runFleet() error {
+	fig, err := raidii.FleetScaling([]int{1, 2, 3, 4, 6, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Print(fig.Render())
+	fmt.Println("paper (§2.1.2, §5.2): striping across whole servers multiplies client bandwidth until the ring saturates")
+	jsonFigure(fig, "MB/s")
+	r, err := raidii.FleetKillTimeline()
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Fig.Render())
+	fmt.Printf("server %d down %v-%v: %.1f MB/s before -> %.1f MB/s during -> %.1f MB/s recovered\n",
+		r.Server, r.DownAt, r.UpAt, r.PreFaultMBps, r.DuringMBps, r.RecoveredMBps)
+	fmt.Printf("repair: %d stale fragments from the degraded write, %d rebuilt from cross-server parity, data intact=%v\n",
+		r.StaleFragments, r.RebuiltFragments, r.DataIntact)
+	jsonPoint("fleet-pre-fault", 0, "MB/s", r.PreFaultMBps)
+	jsonPoint("fleet-during-fault", 0, "MB/s", r.DuringMBps)
+	jsonPoint("fleet-recovered", 0, "MB/s", r.RecoveredMBps)
+	jsonPoint("fleet-stale", 0, "count", float64(r.StaleFragments))
+	jsonPoint("fleet-rebuilt", 0, "count", float64(r.RebuiltFragments))
 	return nil
 }
 

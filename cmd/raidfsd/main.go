@@ -237,7 +237,7 @@ func (st *serverState) dispatch(cmd string, args []string, r *bufio.Reader, w *b
 		fmt.Sscanf(args[1], "%d", &off)
 		fmt.Sscanf(args[2], "%d", &n)
 		var dur time.Duration
-		var m int64
+		var data []byte
 		_, err := st.srv.Simulate(func(t *raidii.Task) error {
 			f, err := t.Open(args[0])
 			if err != nil {
@@ -247,23 +247,22 @@ func (st *serverState) dispatch(cmd string, args []string, r *bufio.Reader, w *b
 			if err != nil {
 				return err
 			}
-			m = size - off
+			m := size - off
 			if m > int64(n) {
 				m = int64(n)
 			}
 			if m < 0 {
 				m = 0
 			}
-			dur, err = f.Read(off, int(m))
+			data, dur, err = f.Read(off, int(m))
 			return err
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "OK %d %d\n", m, dur.Microseconds())
-		// The simulation models the data path; the wire carries zeros of
-		// the right length (contents live in the simulated store).
-		if _, err := w.Write(make([]byte, m)); err != nil {
+		fmt.Fprintf(w, "OK %d %d\n", len(data), dur.Microseconds())
+		// The wire carries the bytes the simulated store actually holds.
+		if _, err := w.Write(data); err != nil {
 			return err
 		}
 	case "MKDIR":

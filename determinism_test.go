@@ -56,7 +56,7 @@ func TestSeededWorkloadDeterministic(t *testing.T) {
 				n := 4096 * (1 + rng.Intn(8))
 				off := rng.Int63n(fileSize - int64(n))
 				if rng.Intn(2) == 0 {
-					d, err := f.Read(off, n)
+					_, d, err := f.Read(off, n)
 					if err != nil {
 						return err
 					}

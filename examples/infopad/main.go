@@ -103,7 +103,7 @@ func main() {
 					}
 					d = dur.Seconds()
 				} else {
-					dur, err := f.Read(0, r.size)
+					_, dur, err := f.Read(0, r.size)
 					if err != nil {
 						return err
 					}

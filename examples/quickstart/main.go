@@ -52,7 +52,7 @@ func main() {
 
 		// Read it back over the high-bandwidth path: array -> XBUS memory
 		// -> HIPPI network buffers, pipelined.
-		rDur, err := f.Read(0, fileSize)
+		_, rDur, err := f.Read(0, fileSize)
 		if err != nil {
 			return err
 		}

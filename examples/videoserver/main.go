@@ -104,7 +104,7 @@ func main() {
 				deadline := playStart + time.Duration(fetch+1)*fetchPeriod
 				off := int64(fetch) * fetchBytes
 				for v := 0; v < viewers; v++ {
-					if _, err := f.Read(off, fetchBytes); err != nil {
+					if _, _, err := f.Read(off, fetchBytes); err != nil {
 						return err
 					}
 				}

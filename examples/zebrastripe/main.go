@@ -1,80 +1,92 @@
-// Zebrastripe demonstrates §5.2: striping a client's file across several
-// RAID-II servers with Zebra-style parity, multiplying single-client
-// bandwidth and surviving the loss of a whole server.
+// Zebrastripe demonstrates §5.2 through the public Cluster API: a client's
+// file striped across several RAID-II server hosts with Zebra-style
+// cross-server parity, multiplying single-client bandwidth and surviving
+// the loss of an entire server.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
-	"time"
 
 	"raidii"
-	"raidii/internal/hippi"
-	"raidii/internal/server"
-	"raidii/internal/sim"
-	"raidii/internal/zebra"
 )
 
 func main() {
-	// Five XBUS boards acting as five stripe servers ("striping
-	// high-bandwidth file accesses over multiple network connections, and
-	// therefore across multiple XBUS boards").
-	cfg := server.Fig8Config()
-	cfg.Boards = 5
-	sys, err := server.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sys.Eng.Spawn("format", func(p *sim.Proc) {
-		for _, b := range sys.Boards {
-			if err := b.FormatFS(p); err != nil {
-				log.Fatal(err)
-			}
-		}
-	})
-	sys.Eng.Run()
-
-	nic := sim.NewLink(sys.Eng, "client-nic", 100, 0)
-	ep := &hippi.Endpoint{Name: "client", Out: nic, In: nic, Setup: 200 * time.Microsecond}
-	z, err := zebra.New(sys, ep, zebra.DefaultConfig())
+	// Five 16-disk servers on one Ultranet ring: each stripe spreads four
+	// data fragments plus one rotating parity fragment across the hosts.
+	cl, err := raidii.NewCluster(
+		raidii.Fig8Geometry(),
+		raidii.WithServers(5),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	const total = 32 << 20
-	var writeDur, readDur sim.Duration
-	sys.Eng.Spawn("client", func(p *sim.Proc) {
-		if err := z.Create(p, "dataset"); err != nil {
-			log.Fatal(err)
-		}
-		start := p.Now()
-		if err := z.Write(p, "dataset", 0, total); err != nil {
-			log.Fatal(err)
-		}
-		if err := z.SyncAll(p); err != nil {
-			log.Fatal(err)
-		}
-		writeDur = p.Now().Sub(start)
+	data := make([]byte, total)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
 
-		start = p.Now()
-		if err := z.Read(p, "dataset", 0, total); err != nil {
-			log.Fatal(err)
+	_, err = cl.Simulate(func(t *raidii.ClusterTask) error {
+		if err := t.FormatFS(); err != nil {
+			return err
 		}
-		readDur = p.Now().Sub(start)
+		f, err := t.Create("dataset")
+		if err != nil {
+			return err
+		}
+
+		wDur, err := f.Write(0, data)
+		if err != nil {
+			return err
+		}
+		if err := t.Sync(); err != nil {
+			return err
+		}
+		fmt.Printf("striped over %d servers (4 data + 1 parity per stripe)\n", t.NumServers())
+		fmt.Printf("client write: %.1f MB in %v (%.1f MB/s)\n",
+			float64(total)/1e6, wDur, float64(total)/wDur.Seconds()/1e6)
+
+		got, rDur, err := f.Read(0, total)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data) {
+			return fmt.Errorf("read returned wrong bytes")
+		}
+		fmt.Printf("client read : %.1f MB in %v (%.1f MB/s)\n",
+			float64(total)/1e6, rDur, float64(total)/rDur.Seconds()/1e6)
+
+		// Kill a whole server.  Reads keep working: each stripe missing a
+		// fragment is reconstructed from the survivors and parity.
+		t.KillServer(2)
+		got, dDur, err := f.Read(0, total)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data) {
+			return fmt.Errorf("degraded read returned wrong bytes")
+		}
+		fmt.Printf("degraded read (server 2 dead): %.1f MB/s, data intact\n",
+			float64(total)/dDur.Seconds()/1e6)
+
+		// Writes during the outage go degraded: the dead host's fragments
+		// are recorded stale and repaired after it returns.
+		if _, err := f.Write(0, data); err != nil {
+			return err
+		}
+		t.RestoreServer(2)
+		n, err := t.RebuildServer(2)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server 2 restored: %d fragments rebuilt from cross-server parity\n", n)
+		return nil
 	})
-	sys.Eng.Run()
-
-	fmt.Printf("striped over %d servers (4 data + 1 parity per stripe)\n", z.Width())
-	fmt.Printf("client write: %.1f MB in %v (%.1f MB/s)\n",
-		float64(total)/1e6, writeDur, float64(total)/writeDur.Seconds()/1e6)
-	fmt.Printf("client read : %.1f MB in %v (%.1f MB/s)\n",
-		float64(total)/1e6, readDur, float64(total)/readDur.Seconds()/1e6)
-
-	// Compare with a single server over the same network (the paper's
-	// single-XBUS bound).
-	one, err := raidii.Zebra([]int{2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("for reference, 2-server striping: %.1f MB/s client write\n", one.Series[0].At(2))
+	fmt.Printf("total simulated time: %v\n", cl.Now())
 }

@@ -313,7 +313,7 @@ func Fig8(sizesKB []int) (*Figure, error) {
 			start := sys.Eng.Now()
 			res := workload.FixedOps(sys.Eng, 1, total/size, func(p *sim.Proc, _ int, rng *rand.Rand) int {
 				off := workload.RandomAligned(rng, fileSize-int64(size), int64(lfs.BlockSize))
-				if err := b.FSRead(p, f, off, size); err != nil {
+				if _, err := b.FSRead(p, f, off, size); err != nil {
 					panic(err)
 				}
 				return size
@@ -603,42 +603,44 @@ func Scaling(boardCounts []int) (*Figure, error) {
 }
 
 // Zebra reproduces the §5.2 direction: a client's log striped with parity
-// across multiple boards, multiplying single-client bandwidth.
+// across multiple server hosts, multiplying single-client bandwidth.
 func Zebra(serverCounts []int) (*Figure, error) {
 	fig := metrics.NewFigure("Zebra striping across servers", "servers", "client MB/s")
 	s := fig.AddSeries("striped write")
 	for _, n := range serverCounts {
 		cfg := server.Fig8Config()
-		cfg.Boards = n
-		sys, err := server.New(cfg)
+		cfg.Servers = n
+		fl, err := server.NewFleet(cfg)
 		if err != nil {
 			return nil, err
 		}
-		attachProbe(fmt.Sprintf("zebra/%dservers", n), sys.Eng)
-		sys.Eng.Spawn("fmt", func(p *sim.Proc) {
-			for _, b := range sys.Boards {
-				if err := b.FormatFS(p); err != nil {
-					panic(err)
+		attachProbe(fmt.Sprintf("zebra/%dservers", n), fl.Eng)
+		fl.Eng.Spawn("fmt", func(p *sim.Proc) {
+			for _, sys := range fl.Servers {
+				for _, b := range sys.Boards {
+					if err := b.FormatFS(p); err != nil {
+						panic(err)
+					}
 				}
 			}
 		})
-		sys.Eng.Run()
-		nic := sim.NewLink(sys.Eng, "client-nic", 100, 0)
+		fl.Eng.Run()
+		nic := sim.NewLink(fl.Eng, "client-nic", 100, 0)
 		ep := &hippi.Endpoint{Name: "client", Out: nic, In: nic, Setup: 200 * time.Microsecond}
 		zcfg := zebra.DefaultConfig()
 		zcfg.Parity = n >= 3
-		z, err := zebra.New(sys, ep, zcfg)
+		z, err := zebra.New(fl, ep, zcfg)
 		if err != nil {
 			return nil, err
 		}
 		const total = 24 << 20
 		var dur sim.Duration
-		sys.Eng.Spawn("t", func(p *sim.Proc) {
+		fl.Eng.Spawn("t", func(p *sim.Proc) {
 			if err := z.Create(p, "stream"); err != nil {
 				panic(err)
 			}
 			start := p.Now()
-			if err := z.Write(p, "stream", 0, total); err != nil {
+			if err := z.Write(p, "stream", 0, make([]byte, total)); err != nil {
 				panic(err)
 			}
 			// The client's data is only stored once the servers' segment
@@ -649,7 +651,7 @@ func Zebra(serverCounts []int) (*Figure, error) {
 			}
 			dur = p.Now().Sub(start)
 		})
-		sys.Eng.Run()
+		fl.Eng.Run()
 		s.Add(float64(n), float64(total)/dur.Seconds()/1e6)
 	}
 	return fig, nil
@@ -814,7 +816,7 @@ func AblationTwoPaths() (AblationResult, error) {
 			panic(err)
 		}
 		start := p.Now()
-		if err := b.FSRead(p, f, 0, n); err != nil {
+		if _, err := b.FSRead(p, f, 0, n); err != nil {
 			panic(err)
 		}
 		out.With = float64(n) / p.Now().Sub(start).Seconds() / 1e6
@@ -1032,7 +1034,7 @@ func FileServerTrace(ops int) (FileServerResult, error) {
 				if err != nil {
 					panic(err)
 				}
-				if err := b.FSRead(p, f, op.Off, op.Size); err != nil {
+				if _, err := b.FSRead(p, f, op.Off, op.Size); err != nil {
 					panic(err)
 				}
 				readLat.Add(p.Now().Sub(t0))
@@ -1090,7 +1092,7 @@ func FileServerTrace(ops int) (FileServerResult, error) {
 			if err != nil {
 				panic(err)
 			}
-			if err := b.FSRead(p, f, 0, tr.SizeOf(i)); err != nil {
+			if _, err := b.FSRead(p, f, 0, tr.SizeOf(i)); err != nil {
 				panic(err)
 			}
 			reBytes += uint64(tr.SizeOf(i))

@@ -70,10 +70,12 @@ func (s Scope) Applies(rel string) bool {
 //     the top-level experiment drivers may panic on programmer error.
 //   - errdrop applies everywhere: a silently swallowed error masks a
 //     fault wherever it occurs, examples and commands included.
-//   - wrapcheck reports only at the internal/server → raidii API
-//     boundary (internal/server and the module root), where an
-//     unwrapped error breaks errors.Is against re-exported sentinels.
-//     The analyzer itself runs over every package to collect its
+//   - wrapcheck reports at the internal/server → raidii API boundary
+//     (internal/server and the module root) and across the Cluster
+//     boundary (internal/zebra, whose striped-store errors surface
+//     through ClusterTask/ClusterFile), where an unwrapped error breaks
+//     errors.Is against re-exported sentinels.  The analyzer itself
+//     runs over every package to collect its
 //     which-functions-return-sentinels facts.
 //   - pairbalance applies to library, command, and experiment code;
 //     tests deliberately drive resources into unbalanced states.
@@ -87,7 +89,7 @@ func DefaultScopes() map[string]Scope {
 		"maporder":    {},
 		"simpanic":    {Include: []string{"internal"}},
 		"errdrop":     {},
-		"wrapcheck":   {Include: []string{".", "internal/server"}},
+		"wrapcheck":   {Include: []string{".", "internal/server", "internal/zebra"}},
 		"pairbalance": {},
 		"allowaudit":  {},
 	}

@@ -97,6 +97,14 @@ const (
 	// Stall duration; senders wait out their stall timeout and fail with
 	// ErrNetTimeout until the endpoint recovers.
 	EndpointStall
+	// ServerDown kills a whole server host: every board HIPPI endpoint on
+	// the host stops answering (transfers fail with ErrLinkDown) until a
+	// ServerUp event.  In a fleet, cross-server parity absorbs the loss.
+	ServerDown
+	// ServerUp restores a host a ServerDown event took out.  Data written
+	// to the stripe while the host was down is stale on it until the
+	// cluster rebuilds the host's fragments from cross-server parity.
+	ServerUp
 )
 
 // String names the kind for trace labels and error messages.
@@ -118,6 +126,10 @@ func (k Kind) String() string {
 		return "packet-loss"
 	case EndpointStall:
 		return "endpoint-stall"
+	case ServerDown:
+		return "server-down"
+	case ServerUp:
+		return "server-up"
 	}
 	return fmt.Sprintf("fault-kind-%d", int(k))
 }
@@ -163,8 +175,11 @@ type Event struct {
 	At    time.Duration // simulated-time trigger
 	After uint64        // operation-count trigger on the target drive (alternative to At)
 
-	Board int // XBUS board index (for PortClientNIC events: client index)
-	Disk  int // device index within the board's array
+	// Server is the server-host index the event targets.  Single-server
+	// systems only accept 0; a fleet routes the event to the named host.
+	Server int
+	Board  int // XBUS board index (for PortClientNIC events: client index)
+	Disk   int // device index within the board's array
 
 	LBA     int64 // LatentSector: first bad sector
 	Sectors int   // LatentSector: extent of the bad range
@@ -250,6 +265,34 @@ func (pl Plan) PacketLossEvery(n int, port NetPort, idx int) Plan {
 func (pl Plan) EndpointStallAt(at time.Duration, port NetPort, idx int, stall time.Duration) Plan {
 	pl.Events = append(pl.Events, Event{Kind: EndpointStall, At: at, Net: port, Board: idx, Stall: stall})
 	return pl
+}
+
+// ServerDownAt kills server host srv at simulated time at: every board
+// HIPPI endpoint on the host stops answering until a ServerUpAt event.
+// Against a single-server system only srv == 0 is valid.
+func (pl Plan) ServerDownAt(at time.Duration, srv int) Plan {
+	pl.Events = append(pl.Events, Event{Kind: ServerDown, At: at, Server: srv})
+	return pl
+}
+
+// ServerUpAt restores server host srv at simulated time at.
+func (pl Plan) ServerUpAt(at time.Duration, srv int) Plan {
+	pl.Events = append(pl.Events, Event{Kind: ServerUp, At: at, Server: srv})
+	return pl
+}
+
+// OnServer returns a copy of the plan with every event retargeted at
+// server host srv, so a board-scoped plan written for a single server
+// composes into a fleet-wide script:
+//
+//	fleetPlan := boardPlan.OnServer(2)
+func (pl Plan) OnServer(srv int) Plan {
+	events := make([]Event, len(pl.Events))
+	copy(events, pl.Events)
+	for i := range events {
+		events[i].Server = srv
+	}
+	return Plan{Events: events}
 }
 
 // Empty reports whether the plan schedules nothing.

@@ -146,8 +146,9 @@ func (b *Board) HardwareWrite(p *sim.Proc, offSectors int64, size int) {
 // FSRead is the Figure 8 LFS read: file system overhead on the host CPU,
 // then the file's blocks stream from the array into HIPPI network buffers
 // in XBUS memory (no network send — matching the paper's measurement).
-// Reads are pipelined chunk by chunk.
-func (b *Board) FSRead(p *sim.Proc, f *FSFile, off int64, size int) error {
+// Reads are pipelined chunk by chunk.  The bytes read are returned; a
+// short result (only at EOF) is shorter than size.
+func (b *Board) FSRead(p *sim.Proc, f *FSFile, off int64, size int) ([]byte, error) {
 	end := p.Span("datapath", "fs-read")
 	defer end()
 	done := telemetry.Ensure(p, "fs-read")
@@ -156,6 +157,8 @@ func (b *Board) FSRead(p *sim.Proc, f *FSFile, off int64, size int) error {
 	g := sim.NewGroup(e)
 	sem := sim.NewServer(e, "fsread-pipe", maxInt(1, b.sys.Cfg.PipelineDepth))
 	var firstErr error
+	out := make([]byte, size)
+	var total int64 // furthest byte delivered into out
 	cursor := off
 	for _, n := range b.chunks(size) {
 		n := n
@@ -166,9 +169,13 @@ func (b *Board) FSRead(p *sim.Proc, f *FSFile, off int64, size int) error {
 			telemetry.Adopt(q, p)
 			defer sem.Release()
 			b.XB.Buffers.Acquire(q, n)
-			_, err := f.File.ReadAt(q, at, n)
+			data, err := f.File.ReadAt(q, at, n)
 			if err != nil && firstErr == nil {
 				firstErr = err
+			}
+			copy(out[at-off:], data)
+			if hi := at - off + int64(len(data)); hi > total {
+				total = hi
 			}
 			// Hand the buffer to the "network buffer" pool: one crossbar
 			// memory pass.
@@ -178,7 +185,7 @@ func (b *Board) FSRead(p *sim.Proc, f *FSFile, off int64, size int) error {
 	}
 	g.Wait(p)
 	done(firstErr)
-	return firstErr
+	return out[:total], firstErr
 }
 
 // FSWrite is the Figure 8 LFS write: file system overhead on the host

@@ -13,7 +13,15 @@ import (
 
 // Check validates one fault event against the system's geometry.
 func (sys *System) Check(ev fault.Event) error {
+	if ev.Server != sys.index {
+		return fmt.Errorf("event targets server %d, not host %d", ev.Server, sys.index)
+	}
 	switch ev.Kind {
+	case fault.ServerDown, fault.ServerUp:
+		if ev.After > 0 {
+			return fmt.Errorf("server down/up faults are time-triggered only")
+		}
+		return nil
 	case fault.LinkDown, fault.LinkUp, fault.PacketLoss, fault.EndpointStall:
 		return sys.checkNet(ev)
 	}
@@ -94,11 +102,12 @@ func (sys *System) checkNet(ev fault.Event) error {
 // netEndpoint resolves the HIPPI endpoint a network event targets.
 func (sys *System) netEndpoint(ev fault.Event) *hippi.Endpoint {
 	if ev.Net == fault.PortClientNIC {
-		if ev.Board >= len(sys.clients) {
+		clients := sys.clientEndpoints()
+		if ev.Board >= len(clients) {
 			//lint:allow simpanic the plan scripted a fault against a client that never attached; Check defers this to fire time by design
-			panic(fmt.Sprintf("server: network fault targets client %d but only %d clients attached", ev.Board, len(sys.clients)))
+			panic(fmt.Sprintf("server: network fault targets client %d but only %d clients attached", ev.Board, len(clients)))
 		}
-		return sys.clients[ev.Board]
+		return clients[ev.Board]
 	}
 	return sys.Boards[ev.Board].HEP
 }
@@ -131,6 +140,12 @@ func (sys *System) Inject(p *sim.Proc, ev fault.Event) {
 		return
 	case fault.EndpointStall:
 		sys.netEndpoint(ev).StallUntil(p.Now().Add(ev.Stall))
+		return
+	case fault.ServerDown:
+		sys.SetDown(true)
+		return
+	case fault.ServerUp:
+		sys.SetDown(false)
 		return
 	}
 	b := sys.Boards[ev.Board]

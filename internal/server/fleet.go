@@ -1,0 +1,78 @@
+package server
+
+import (
+	"fmt"
+
+	"raidii/internal/fault"
+	"raidii/internal/hippi"
+	"raidii/internal/sim"
+)
+
+// Fleet is the paper's §2.1.2 scale-out configuration: several independent
+// RAID-II server hosts attached to one Ultranet ring, sharing a single
+// simulation engine so a fleet-wide run stays one deterministic event
+// sequence.  Every host is a full System — boards, arrays, caches, file
+// systems, admission control — with its resource names prefixed "s0-",
+// "s1-", ... so traces and telemetry stay per-server.  File striping
+// across the hosts lives above this layer, in internal/zebra.
+type Fleet struct {
+	Eng     *sim.Engine
+	Ultra   *hippi.Ultranet
+	Servers []*System
+
+	// clients is the fleet-wide client endpoint registry; every member
+	// host's RegisterClientEndpoint delegates here so PortClientNIC fault
+	// events index one shared attachment-order space.
+	clients []*hippi.Endpoint
+}
+
+// NewFleet assembles cfg.Servers hosts (minimum 1) from one Config on a
+// fresh engine and a shared ring, then arms the fault plan fleet-wide:
+// each event's Server field routes it to the owning host.
+func NewFleet(cfg Config) (*Fleet, error) {
+	n := cfg.Servers
+	if n <= 0 {
+		n = 1
+	}
+	e := sim.New()
+	fl := &Fleet{Eng: e, Ultra: hippi.NewUltranet(e, cfg.HIPPI)}
+	for i := 0; i < n; i++ {
+		hostCfg := cfg
+		hostCfg.Name = fmt.Sprintf("s%d", i)
+		sys, err := assemble(e, fl.Ultra, hostCfg)
+		if err != nil {
+			return nil, fmt.Errorf("server: fleet host %d: %w", i, err)
+		}
+		sys.index = i
+		sys.fleet = fl
+		fl.Servers = append(fl.Servers, sys)
+	}
+	if err := fault.Arm(e, cfg.Faults, fl); err != nil {
+		return nil, err
+	}
+	return fl, nil
+}
+
+// RegisterClientEndpoint records a client workstation's HIPPI endpoint in
+// the fleet-wide registry, returning its PortClientNIC index.
+func (fl *Fleet) RegisterClientEndpoint(ep *hippi.Endpoint) int {
+	fl.clients = append(fl.clients, ep)
+	return len(fl.clients) - 1
+}
+
+// Fleet implements fault.Target: events carry a Server field and are
+// routed to the named host, which validates and performs them exactly as
+// a standalone system would.
+
+// Check validates one fleet-wide fault event.
+func (fl *Fleet) Check(ev fault.Event) error {
+	if ev.Server < 0 || ev.Server >= len(fl.Servers) {
+		return fmt.Errorf("no server %d in a %d-server fleet", ev.Server, len(fl.Servers))
+	}
+	return fl.Servers[ev.Server].Check(ev)
+}
+
+// Inject routes one fault event to its target host.
+func (fl *Fleet) Inject(p *sim.Proc, ev fault.Event) {
+	fl.Servers[ev.Server].Inject(p, ev)
+}

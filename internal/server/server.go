@@ -33,6 +33,28 @@ import (
 
 // Config assembles a RAID-II system.
 type Config struct {
+	// Name prefixes every simulation resource the server creates (XBUS
+	// boards, Cougars, disks, host, Ethernet), so several server hosts can
+	// share one engine without colliding in traces and telemetry.  Empty
+	// for a standalone server; NewFleet assigns "s0", "s1", ...
+	Name string
+
+	// Servers is the number of server hosts a fleet assembles (§2.1.2:
+	// "the bandwidth of the file server can be scaled by ... adding
+	// multiple storage servers on the Ultranet ring").  New builds one
+	// host and ignores it; NewFleet builds this many.
+	Servers int
+
+	// StripeFragmentBytes is the cluster striping fragment size — how many
+	// bytes of a striped file land on one (server, board) pair per stripe
+	// (0 = the zebra package default).  Fleet-level; New ignores it.
+	StripeFragmentBytes int
+
+	// CrossParity stores one parity fragment per cluster stripe so the
+	// loss of a whole server host is survivable (Zebra-style, §5.2).
+	// Effective only in fleets of three or more servers.
+	CrossParity bool
+
 	Boards int // number of XBUS boards
 
 	// Per-board disk attachment: Cougars x strings x disks per string.
@@ -98,6 +120,8 @@ type Config struct {
 // disks), RAID Level 5, 64 KB stripe unit.
 func DefaultConfig() Config {
 	return Config{
+		Servers:           1,
+		CrossParity:       true,
 		Boards:            1,
 		Cougars:           4,
 		DisksPerString:    3,
@@ -124,7 +148,7 @@ func Fig8Config() Config {
 	return c
 }
 
-// System is an assembled RAID-II server.
+// System is an assembled RAID-II server host.
 type System struct {
 	Eng    *sim.Engine
 	Cfg    Config
@@ -133,17 +157,63 @@ type System struct {
 	Ultra  *hippi.Ultranet
 	Boards []*Board
 
+	// index is the host's position in its fleet (0 standalone); fleet is
+	// the owning fleet, nil for a standalone server.
+	index int
+	fleet *Fleet
+
+	// down records a ServerDown fault: the whole host is dead until a
+	// ServerUp event restores it.
+	down bool
+
 	// clients are the HIPPI endpoints of attached client workstations, in
 	// attachment order — the index space PortClientNIC fault events target.
+	// In a fleet the registry lives on the fleet instead.
 	clients []*hippi.Endpoint
 }
 
 // RegisterClientEndpoint records a client workstation's HIPPI endpoint so
 // scripted PortClientNIC fault events can reach it, returning the client's
-// registration index.
+// registration index.  Hosts in a fleet share one fleet-wide index space.
 func (sys *System) RegisterClientEndpoint(ep *hippi.Endpoint) int {
+	if sys.fleet != nil {
+		return sys.fleet.RegisterClientEndpoint(ep)
+	}
 	sys.clients = append(sys.clients, ep)
 	return len(sys.clients) - 1
+}
+
+// clientEndpoints returns the registry PortClientNIC events index into.
+func (sys *System) clientEndpoints() []*hippi.Endpoint {
+	if sys.fleet != nil {
+		return sys.fleet.clients
+	}
+	return sys.clients
+}
+
+// Index returns the host's position in its fleet (0 for a standalone
+// server).
+func (sys *System) Index() int { return sys.index }
+
+// SetDown kills the whole server host (or restores it): every board's
+// HIPPI endpoint stops answering, so transfers touching the host fail with
+// fault.ErrLinkDown until the host comes back.
+func (sys *System) SetDown(down bool) {
+	sys.down = down
+	for _, b := range sys.Boards {
+		b.HEP.SetDown(down)
+	}
+}
+
+// Down reports whether the host is currently dead (a ServerDown fault).
+func (sys *System) Down() bool { return sys.down }
+
+// prefixed applies the host's resource-name prefix.
+func (c Config) prefixed(name string) string {
+	if c.Name == "" {
+		return name
+	}
+	return c.Name + "-" + name
 }
 
 // Board is one XBUS board with its disks, array, and (optionally) file
@@ -202,15 +272,35 @@ func (bd *boundDisk) Write(p *sim.Proc, lba int64, data []byte) error {
 func (bd *boundDisk) Sectors() int64  { return bd.ad.Sectors() }
 func (bd *boundDisk) SectorSize() int { return bd.ad.SectorSize() }
 
-// New assembles a system on a fresh engine.
+// New assembles a standalone system on a fresh engine and arms its fault
+// plan.  Multi-host fleets are assembled by NewFleet instead.
 func New(cfg Config) (*System, error) {
-	e := sim.New()
+	sys, err := assemble(sim.New(), nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := fault.Arm(sys.Eng, cfg.Faults, sys); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// assemble builds one server host on e.  ultra is the shared Ultranet ring
+// fleet members attach to; nil creates a private ring.  Fault plans are
+// NOT armed here — the caller arms them against the right target (the
+// system itself, or the whole fleet).
+func assemble(e *sim.Engine, ultra *hippi.Ultranet, cfg Config) (*System, error) {
+	if ultra == nil {
+		ultra = hippi.NewUltranet(e, cfg.HIPPI)
+	}
+	hostCfg := cfg.Host
+	hostCfg.Name = cfg.prefixed(hostCfg.Name)
 	sys := &System{
 		Eng:   e,
 		Cfg:   cfg,
-		Host:  host.New(e, cfg.Host),
-		Ether: ether.New(e, "ether0", ether.DefaultConfig()),
-		Ultra: hippi.NewUltranet(e, cfg.HIPPI),
+		Host:  host.New(e, hostCfg),
+		Ether: ether.New(e, cfg.prefixed("ether0"), ether.DefaultConfig()),
+		Ultra: ultra,
 	}
 	for b := 0; b < cfg.Boards; b++ {
 		board, err := sys.newBoard(b)
@@ -219,23 +309,20 @@ func New(cfg Config) (*System, error) {
 		}
 		sys.Boards = append(sys.Boards, board)
 	}
-	if err := fault.Arm(e, cfg.Faults, sys); err != nil {
-		return nil, err
-	}
 	return sys, nil
 }
 
 func (sys *System) newBoard(idx int) (*Board, error) {
 	e := sys.Eng
 	cfg := sys.Cfg
-	xb := xbus.New(e, fmt.Sprintf("xbus%d", idx), cfg.XBus)
+	xb := xbus.New(e, cfg.prefixed(fmt.Sprintf("xbus%d", idx)), cfg.XBus)
 	b := &Board{sys: sys, Index: idx, XB: xb}
 	if cfg.AdmissionLimit > 0 {
-		b.adm = sim.NewServer(e, fmt.Sprintf("xbus%d:admit", idx), cfg.AdmissionLimit)
+		b.adm = sim.NewServer(e, cfg.prefixed(fmt.Sprintf("xbus%d:admit", idx)), cfg.AdmissionLimit)
 		b.admDepth = cfg.AdmissionLimit
 	}
 	b.HEP = &hippi.Endpoint{
-		Name:  fmt.Sprintf("xbus%d", idx),
+		Name:  cfg.prefixed(fmt.Sprintf("xbus%d", idx)),
 		Out:   xb.HIPPIS.Out(),
 		In:    xb.HIPPID.In(),
 		Setup: cfg.HIPPI.PacketSetup,
@@ -248,7 +335,7 @@ func (sys *System) newBoard(idx int) (*Board, error) {
 	}
 	diskNo := 0
 	for c := 0; c < nCougars; c++ {
-		ctl := scsi.NewController(e, fmt.Sprintf("xb%d-cougar%d", idx, c), cfg.SCSI)
+		ctl := scsi.NewController(e, cfg.prefixed(fmt.Sprintf("xb%d-cougar%d", idx, c)), cfg.SCSI)
 		b.Cougars = append(b.Cougars, ctl)
 		port := c
 		if c >= cfg.Cougars {
@@ -258,7 +345,7 @@ func (sys *System) newBoard(idx int) (*Board, error) {
 		}
 		for s := 0; s < 2; s++ {
 			for d := 0; d < cfg.DisksPerString; d++ {
-				dr, err := disk.New(e, fmt.Sprintf("xb%d-d%d", idx, diskNo), cfg.DiskSpec)
+				dr, err := disk.New(e, cfg.prefixed(fmt.Sprintf("xb%d-d%d", idx, diskNo)), cfg.DiskSpec)
 				if err != nil {
 					return nil, err
 				}
@@ -327,7 +414,7 @@ func (b *Board) NumDisks() int { return len(b.Disks) }
 // bound through the board's VME port path — ready to hand to
 // Array.Reconstruct when a member disk fails.
 func (b *Board) AttachSpare(cougar, str int) (raid.Dev, error) {
-	dr, err := disk.New(b.sys.Eng, fmt.Sprintf("xb%d-spare", b.Index), b.sys.Cfg.DiskSpec)
+	dr, err := disk.New(b.sys.Eng, b.sys.Cfg.prefixed(fmt.Sprintf("xb%d-spare", b.Index)), b.sys.Cfg.DiskSpec)
 	if err != nil {
 		return nil, err
 	}

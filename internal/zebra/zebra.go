@@ -1,18 +1,28 @@
-// Package zebra implements the §5.2 future-work direction: Zebra-style
-// striping of a client's log across multiple RAID-II servers.  "Its use
-// with RAID-II would provide a mechanism for striping high-bandwidth file
-// accesses over multiple network connections, and therefore across
-// multiple XBUS boards."  Following Hartman & Ousterhout's design, the
-// client batches its writes into log segments, stripes each segment's
-// fragments across the servers, and stores a parity fragment so any single
-// server loss is survivable; servers "perform very simple operations,
-// merely storing blocks of the logical log".
+// Package zebra is the cluster's placement and routing core: Zebra-style
+// striping of files across a fleet of RAID-II servers, the §5.2 future-work
+// direction.  "Its use with RAID-II would provide a mechanism for striping
+// high-bandwidth file accesses over multiple network connections, and
+// therefore across multiple XBUS boards."  Following Hartman & Ousterhout's
+// design, the client cuts a file into fixed-size fragments, places one
+// fragment of every stripe on each server host (rotating the XBUS board
+// within the host), computes one parity fragment per stripe client-side,
+// and rotates the parity fragment across the hosts — so the loss of an
+// entire server is absorbed by reconstruction from the survivors, exactly
+// as a RAID Level 5 array absorbs a disk loss.  Servers "perform very
+// simple operations, merely storing blocks of the logical log".
+//
+// Placement is pure arithmetic (stripe s puts its parity on server s mod N
+// and its k-th data fragment on the k-th remaining server in index order),
+// so reads and writes are idempotent: a retried operation lands on the same
+// (server, board, offset) and the fleet stays deterministic.
 package zebra
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 
+	"raidii/internal/fault"
 	"raidii/internal/hippi"
 	"raidii/internal/server"
 	"raidii/internal/sim"
@@ -20,245 +30,634 @@ import (
 
 // Config selects the striping geometry.
 type Config struct {
-	// FragmentBytes is the size of one stripe fragment (per server).
+	// FragmentBytes is the size of one stripe fragment — the unit a single
+	// (server, board) pair stores per stripe.  Zero picks one LFS segment
+	// of the fleet's configuration: a fragment then occupies exactly one
+	// contiguous log segment on its board, so streaming reads run at
+	// device bandwidth and parity fragments fill segments of their own
+	// instead of punching holes into the data layout.
 	FragmentBytes int
-	// Parity enables one parity fragment per stripe.
+	// Parity stores one parity fragment per stripe so a whole-server loss
+	// is survivable.  Needs at least three servers; smaller fleets fall
+	// back to plain striping.
 	Parity bool
 }
 
-// DefaultConfig stripes 256 KB fragments with parity.
+// DefaultConfig stripes segment-sized fragments with parity.
 func DefaultConfig() Config {
-	return Config{FragmentBytes: 256 << 10, Parity: true}
+	return Config{Parity: true}
 }
 
-// Store is a Zebra client log striped over several RAID-II systems'
-// boards.  All servers must live on the same simulation engine; use
-// server.Config.Boards > 1 and stripe over the boards, which is exactly
-// the "multiple XBUS boards" scaling of §2.1.2.
+// file is one striped file: a data fragment file and (with parity on) a
+// parity fragment file per (server, board) pair, the logical size, and
+// per-server sets of stripes whose fragment on that server missed a write
+// while the host was down.  Data and parity are segregated so each board's
+// data file stays dense — a client streaming a file reads every board
+// sequentially instead of skipping over the rotating parity fragments.
+type file struct {
+	size    int64
+	backing [][]*server.FSFile // [server][board] data fragments
+	parity  [][]*server.FSFile // [server][board] parity fragments (nil without parity)
+	stale   []map[int64]bool   // [server] -> stripe set
+}
+
+// Store stripes files across the hosts of a fleet.
 type Store struct {
-	cfg     Config
-	sys     *server.System
-	boards  []*server.Board
-	files   map[string][]*server.FSFile // per-board backing files
-	ep      *hippi.Endpoint
-	nextSeg int
+	cfg   Config
+	fleet *server.Fleet
+	ep    *hippi.Endpoint // the client's ring endpoint
+	files map[string]*file
 }
 
-// New creates a Zebra store over the system's boards, which must each have
-// a formatted file system.
-func New(sys *server.System, clientEP *hippi.Endpoint, cfg Config) (*Store, error) {
-	if len(sys.Boards) < 2 {
-		return nil, errors.New("zebra: need at least two boards/servers")
+// New creates a store over the fleet's servers, each of which must have a
+// formatted file system on every board.  With fewer than three servers
+// parity is disabled (a parity fragment needs two independent survivors).
+func New(fl *server.Fleet, clientEP *hippi.Endpoint, cfg Config) (*Store, error) {
+	if len(fl.Servers) == 0 {
+		return nil, errors.New("zebra: empty fleet")
 	}
-	if cfg.Parity && len(sys.Boards) < 3 {
-		return nil, errors.New("zebra: parity striping needs at least three servers")
+	if cfg.FragmentBytes <= 0 {
+		cfg.FragmentBytes = fl.Servers[0].Cfg.LFS.SegBytes
 	}
-	for _, b := range sys.Boards {
-		if b.FS == nil {
-			return nil, errors.New("zebra: all boards need a formatted file system")
+	if cfg.Parity && len(fl.Servers) < 3 {
+		cfg.Parity = false
+	}
+	for si, sys := range fl.Servers {
+		for bi, b := range sys.Boards {
+			if b.FS == nil {
+				return nil, fmt.Errorf("zebra: server %d board %d has no formatted file system", si, bi)
+			}
 		}
 	}
-	return &Store{
-		cfg:    cfg,
-		sys:    sys,
-		boards: sys.Boards,
-		files:  make(map[string][]*server.FSFile),
-		ep:     clientEP,
-	}, nil
+	return &Store{cfg: cfg, fleet: fl, ep: clientEP, files: make(map[string]*file)}, nil
 }
+
+// Width returns the number of servers in the stripe group.
+func (z *Store) Width() int { return len(z.fleet.Servers) }
 
 // dataWidth is the number of data fragments per stripe.
 func (z *Store) dataWidth() int {
 	if z.cfg.Parity {
-		return len(z.boards) - 1
+		return z.Width() - 1
 	}
-	return len(z.boards)
+	return z.Width()
 }
 
-// Create opens per-server backing files for a striped file.
+// StripeBytes returns the data bytes one full stripe carries.
+func (z *Store) StripeBytes() int { return z.dataWidth() * z.cfg.FragmentBytes }
+
+// parityServer returns the server holding stripe s's parity fragment, -1
+// when parity is off.
+func (z *Store) parityServer(s int64) int {
+	if !z.cfg.Parity {
+		return -1
+	}
+	return int(s % int64(z.Width()))
+}
+
+// dataServer returns the server holding data fragment k of stripe s: the
+// k-th server in index order, skipping the parity server.
+func (z *Store) dataServer(s int64, k int) int {
+	if p := z.parityServer(s); p >= 0 && k >= p {
+		return k + 1
+	}
+	return k
+}
+
+// dataIndex inverts dataServer: which data fragment server srv holds in a
+// stripe whose parity server is pIdx (srv must not be pIdx).
+func dataIndex(srv, pIdx int) int {
+	if pIdx >= 0 && srv > pIdx {
+		return srv - 1
+	}
+	return srv
+}
+
+// fragLoc places stripe s's fragment on server srv: the board rotates
+// across the host's XBUS boards, and offsets stay dense within the board's
+// data file (or, when srv is the stripe's parity server, its parity file).
+// Keeping the two roles in separate files means a streaming client reads
+// each board's data file strictly sequentially — no gaps where a rotating
+// parity fragment would sit — which is what lets the LFS coalesce the reads
+// into full-bandwidth device transfers.
+func (z *Store) fragLoc(f *file, srv int, s int64) (bf *server.FSFile, board int, off int64) {
+	nb := int64(len(z.fleet.Servers[srv].Boards))
+	b := s % nb
+	if z.parityServer(s) == srv {
+		// Stripes for which srv holds parity on board b form one residue
+		// class mod lcm(nb, width), so the dense index is s / lcm.
+		l := lcm(nb, int64(z.Width()))
+		return f.parity[srv][b], int(b), (s / l) * int64(z.cfg.FragmentBytes)
+	}
+	// Dense data index: stripes t < s on this board, minus those whose
+	// fragment here was parity.
+	idx := s/nb - z.paritiesBefore(s, nb, srv)
+	return f.backing[srv][b], int(b), idx * int64(z.cfg.FragmentBytes)
+}
+
+// paritiesBefore counts stripes t < s that land on s's board of server srv
+// with srv as their parity server — pure arithmetic over the residue class
+// the two rotations share, so placement stays idempotent.
+func (z *Store) paritiesBefore(s, nb int64, srv int) int64 {
+	if !z.cfg.Parity {
+		return 0
+	}
+	n := int64(z.Width())
+	l := lcm(nb, n)
+	// Find the first stripe on this board whose parity server is srv; the
+	// rest recur every lcm stripes.  The loop is over one small period.
+	r := int64(-1)
+	for t := s % nb; t < l; t += nb {
+		if t%n == int64(srv) {
+			r = t
+			break
+		}
+	}
+	if r < 0 || s <= r {
+		return 0
+	}
+	return (s-r-1)/l + 1
+}
+
+func lcm(a, b int64) int64 {
+	x, y := a, b
+	for y != 0 {
+		x, y = y, x%y
+	}
+	return a / x * b
+}
+
+// stripeSize returns how many data bytes of f stripe s holds.
+func (z *Store) stripeSize(f *file, s int64) int {
+	sb := int64(z.StripeBytes())
+	rem := f.size - s*sb
+	if rem <= 0 {
+		return 0
+	}
+	if rem > sb {
+		rem = sb
+	}
+	return int(rem)
+}
+
+// fragSize returns the size of data fragment k in a stripe carrying sz
+// bytes: fragment 0 fills first, so earlier fragments are never shorter
+// than later ones and fragment 0's size bounds the parity fragment.
+func (z *Store) fragSize(sz, k int) int {
+	n := sz - k*z.cfg.FragmentBytes
+	if n < 0 {
+		n = 0
+	}
+	if n > z.cfg.FragmentBytes {
+		n = z.cfg.FragmentBytes
+	}
+	return n
+}
+
+// holdSize returns the fragment size server srv stores for a stripe of sz
+// data bytes with parity server pIdx (the parity fragment matches fragment
+// 0, the largest).
+func (z *Store) holdSize(sz, srv, pIdx int) int {
+	if srv == pIdx {
+		return z.fragSize(sz, 0)
+	}
+	return z.fragSize(sz, dataIndex(srv, pIdx))
+}
+
+// Create opens the per-(server, board) backing files for a striped file.
 func (z *Store) Create(p *sim.Proc, name string) error {
 	if _, ok := z.files[name]; ok {
-		return errors.New("zebra: file exists")
+		return fmt.Errorf("zebra: create %s: file exists", name)
 	}
-	var files []*server.FSFile
-	for i, b := range z.boards {
-		f, err := b.CreateFS(p, fmt.Sprintf("/zebra-%s-frag%d", name, i))
-		if err != nil {
-			return err
-		}
-		files = append(files, f)
-	}
-	z.files[name] = files
-	return nil
-}
-
-// Write appends n bytes of the client's log for the named file: the data
-// are cut into fragments, one parity fragment is computed client-side, and
-// all fragments travel to their servers in parallel over the network —
-// aggregate bandwidth multiplies with the number of servers.
-func (z *Store) Write(p *sim.Proc, name string, off int64, n int) error {
-	files, ok := z.files[name]
-	if !ok {
-		return errors.New("zebra: no such file")
-	}
-	e := z.sys.Eng
-	nd := z.dataWidth()
-	stripeBytes := nd * z.cfg.FragmentBytes
-
-	for n > 0 {
-		sz := stripeBytes
-		if sz > n {
-			sz = n
-		}
-		n -= sz
-		frag := (sz + nd - 1) / nd
-		stripeOff := off
-		off += int64(sz)
-
-		g := sim.NewGroup(e)
-		// Per-server error slots; the stripe fails if any fragment did.
-		errs := make([]error, len(z.boards))
-		// The stripe's data fragments go to rotating servers; parity (same
-		// size as one fragment) to the remaining one.
-		pIdx := z.nextSeg % len(z.boards)
-		z.nextSeg++
-		fi := 0
-		for sIdx, b := range z.boards {
-			if z.cfg.Parity && sIdx == pIdx {
-				b := b
-				g.Go("zebra-parity", func(q *sim.Proc) {
-					errs[sIdx] = z.sendFragment(q, b, files[sIdx], stripeOff, frag)
-				})
-				continue
-			}
-			if fi*z.cfg.FragmentBytes >= sz {
-				break
-			}
-			fsz := frag
-			if rem := sz - fi*z.cfg.FragmentBytes; fsz > rem {
-				fsz = rem
-			}
-			b, sIdx, fsz := b, sIdx, fsz
-			fo := stripeOff + int64(fi)*int64(z.cfg.FragmentBytes)
-			g.Go("zebra-frag", func(q *sim.Proc) {
-				errs[sIdx] = z.sendFragment(q, b, files[sIdx], fo, fsz)
-			})
-			fi++
-		}
-		g.Wait(p)
-		for _, err := range errs {
+	f := &file{}
+	for si, sys := range z.fleet.Servers {
+		var row, prow []*server.FSFile
+		for bi, b := range sys.Boards {
+			bf, err := b.CreateFS(p, fmt.Sprintf("/zebra-%s-s%db%d", name, si, bi))
 			if err != nil {
-				return err
+				return fmt.Errorf("zebra: create %s: %w", name, err)
+			}
+			row = append(row, bf)
+			if z.cfg.Parity {
+				pf, err := b.CreateFS(p, fmt.Sprintf("/zebra-%s-s%db%dp", name, si, bi))
+				if err != nil {
+					return fmt.Errorf("zebra: create %s: %w", name, err)
+				}
+				prow = append(prow, pf)
 			}
 		}
+		f.backing = append(f.backing, row)
+		f.parity = append(f.parity, prow)
+		f.stale = append(f.stale, make(map[int64]bool))
 	}
+	z.files[name] = f
 	return nil
 }
 
-// sendFragment ships one fragment over the Ultranet and appends it to the
-// server's LFS-backed fragment file.
-func (z *Store) sendFragment(p *sim.Proc, b *server.Board, f *server.FSFile, off int64, n int) error {
-	if _, err := z.sys.Ultra.Send(p, z.ep, b.HEP, n); err != nil {
-		return err
+// Size returns the named file's logical size.
+func (z *Store) Size(name string) (int64, error) {
+	f, ok := z.files[name]
+	if !ok {
+		return 0, fmt.Errorf("zebra: no such file %s", name)
 	}
-	_, err := f.File.WriteAt(p, make([]byte, n), off)
-	return err
+	return f.size, nil
 }
 
-// Read fetches n bytes of the named file.  Fragments arrive from all
-// servers in parallel and several stripes are kept in flight, so the
-// client drains the servers' aggregate bandwidth rather than paying
-// per-stripe latency serially.
-func (z *Store) Read(p *sim.Proc, name string, off int64, n int) error {
-	files, ok := z.files[name]
-	if !ok {
-		return errors.New("zebra: no such file")
+// StaleFragments returns how many of server srv's fragments missed writes
+// while the host was down and await RebuildServer.
+func (z *Store) StaleFragments(srv int) int {
+	n := 0
+	for _, f := range z.files {
+		n += len(f.stale[srv])
 	}
-	e := z.sys.Eng
-	nd := z.dataWidth()
-	stripeBytes := nd * z.cfg.FragmentBytes
+	return n
+}
 
-	window := sim.NewServer(e, "zebra-read-window", 4)
+// Write stores data at off, which must be stripe-aligned (the client
+// batches writes into whole log segments, Zebra's central idea).  Each
+// stripe's fragments — including the client-computed parity fragment —
+// travel to their servers in parallel over the ring, so aggregate write
+// bandwidth multiplies with the fleet size.  With parity on, one down
+// server is tolerated: its fragment is recorded stale and rebuilt later.
+func (z *Store) Write(p *sim.Proc, name string, off int64, data []byte) error {
+	f, ok := z.files[name]
+	if !ok {
+		return fmt.Errorf("zebra: no such file %s", name)
+	}
+	sb := int64(z.StripeBytes())
+	if off%sb != 0 {
+		return fmt.Errorf("zebra: write %s: offset %d not stripe-aligned (stripe is %d bytes)", name, off, sb)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	// Several stripes stay in flight (mirroring the read window) so the
+	// per-stripe barrier of the slowest host does not serialize the whole
+	// transfer.
+	e := z.fleet.Eng
+	window := sim.NewServer(e, "zebra-write-window", 4)
 	g := sim.NewGroup(e)
-	// One error slot per stripe in flight; the read fails if any
-	// fragment of any stripe did.
-	stripeErrs := make([]error, (n+stripeBytes-1)/stripeBytes)
-	si := 0
-	for n > 0 {
-		sz := stripeBytes
-		if sz > n {
-			sz = n
+	nStripes := (len(data) + int(sb) - 1) / int(sb)
+	stripeErrs := make([]error, nStripes)
+	for i := 0; i < nStripes; i++ {
+		lo := i * int(sb)
+		hi := lo + int(sb)
+		if hi > len(data) {
+			hi = len(data)
 		}
-		n -= sz
-		frag := (sz + nd - 1) / nd
-		stripeOff := off
-		off += int64(sz)
-		pIdx := z.nextSeg % len(z.boards)
-		stripe := si
-		si++
-
+		i, lo, hi := i, lo, hi
 		window.Acquire(p)
-		g.Go("zebra-read-stripe", func(q *sim.Proc) {
+		g.Go("zebra-write-stripe", func(q *sim.Proc) {
 			defer window.Release()
-			sg := sim.NewGroup(e)
-			errs := make([]error, len(z.boards))
-			fi := 0
-			for sIdx, b := range z.boards {
-				if z.cfg.Parity && sIdx == pIdx {
-					continue
-				}
-				if fi*z.cfg.FragmentBytes >= sz {
-					break
-				}
-				fsz := frag
-				if rem := sz - fi*z.cfg.FragmentBytes; fsz > rem {
-					fsz = rem
-				}
-				b, sIdx, fsz := b, sIdx, fsz
-				fo := stripeOff + int64(fi)*int64(z.cfg.FragmentBytes)
-				sg.Go("zebra-read", func(r *sim.Proc) {
-					if _, err := files[sIdx].File.ReadAt(r, fo, fsz); err != nil {
-						errs[sIdx] = err
-						return
-					}
-					_, errs[sIdx] = z.sys.Ultra.Send(r, b.HEP, z.ep, fsz)
-				})
-				fi++
-			}
-			sg.Wait(q)
-			for _, err := range errs {
-				if err != nil {
-					stripeErrs[stripe] = err
-					return
-				}
-			}
+			stripeErrs[i] = z.writeStripe(q, f, off/sb+int64(i), data[lo:hi])
 		})
 	}
 	g.Wait(p)
 	for _, err := range stripeErrs {
 		if err != nil {
+			return fmt.Errorf("zebra: write %s: %w", name, err)
+		}
+	}
+	if end := off + int64(len(data)); end > f.size {
+		f.size = end
+	}
+	return nil
+}
+
+// writeStripe sends one stripe's fragments to their hosts in parallel.
+func (z *Store) writeStripe(p *sim.Proc, f *file, stripe int64, data []byte) error {
+	n := z.Width()
+	pIdx := z.parityServer(stripe)
+	downCount := 0
+	for s := 0; s < n; s++ {
+		if z.fleet.Servers[s].Down() {
+			downCount++
+		}
+	}
+	if downCount > 0 && (pIdx < 0 || downCount > 1) {
+		return fmt.Errorf("stripe %d: %d servers down, stripe unwritable: %w", stripe, downCount, fault.ErrLinkDown)
+	}
+
+	// Client-side parity: XOR of the data fragments, padded to fragment 0's
+	// size — so any single missing fragment is the XOR of all the others.
+	var parity []byte
+	if pIdx >= 0 {
+		parity = make([]byte, z.fragSize(len(data), 0))
+		for k := 0; k < z.dataWidth(); k++ {
+			lo := k * z.cfg.FragmentBytes
+			for j := 0; j < z.fragSize(len(data), k); j++ {
+				parity[j] ^= data[lo+j]
+			}
+		}
+	}
+
+	g := sim.NewGroup(z.fleet.Eng)
+	errs := make([]error, n)
+	for s := 0; s < n; s++ {
+		payload := parity
+		if s != pIdx {
+			k := dataIndex(s, pIdx)
+			fsz := z.fragSize(len(data), k)
+			if fsz == 0 {
+				continue // tail stripe: this server holds nothing yet
+			}
+			lo := k * z.cfg.FragmentBytes
+			payload = data[lo : lo+fsz]
+		}
+		if z.fleet.Servers[s].Down() {
+			f.stale[s][stripe] = true
+			continue
+		}
+		s, payload := s, payload
+		g.Go("zebra-frag", func(q *sim.Proc) {
+			errs[s] = z.putFragment(q, f, s, stripe, payload)
+		})
+	}
+	g.Wait(p)
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Width returns the number of servers in the stripe group.
-func (z *Store) Width() int { return len(z.boards) }
+// putFragment ships one fragment over the ring and stores it in the
+// (server, board) backing file; success refreshes a stale fragment.
+func (z *Store) putFragment(p *sim.Proc, f *file, srv int, stripe int64, data []byte) error {
+	bf, bi, off := z.fragLoc(f, srv, stripe)
+	b := z.fleet.Servers[srv].Boards[bi]
+	if _, err := z.fleet.Ultra.Send(p, z.ep, b.HEP, len(data)); err != nil {
+		return fmt.Errorf("fragment to s%d: %w", srv, err)
+	}
+	if _, err := bf.File.WriteAt(p, data, off); err != nil {
+		return fmt.Errorf("fragment store on s%d: %w", srv, err)
+	}
+	delete(f.stale[srv], stripe)
+	return nil
+}
 
-// SyncAll flushes every server's file system in parallel, making all
-// striped data durable; the client's write is complete only after this.
-func (z *Store) SyncAll(p *sim.Proc) error {
-	g := sim.NewGroup(z.sys.Eng)
-	errs := make([]error, len(z.boards))
-	for i, b := range z.boards {
-		i, b := i, b
-		g.Go("zebra-sync", func(q *sim.Proc) { errs[i] = b.FS.Sync(q) })
+// getFragment reads one fragment on its server and ships it to the client.
+func (z *Store) getFragment(p *sim.Proc, f *file, srv int, stripe int64, fsz int) ([]byte, error) {
+	bf, bi, off := z.fragLoc(f, srv, stripe)
+	b := z.fleet.Servers[srv].Boards[bi]
+	data, err := bf.File.ReadAt(p, off, fsz)
+	if err != nil {
+		return nil, fmt.Errorf("fragment read on s%d: %w", srv, err)
+	}
+	if _, err := z.fleet.Ultra.Send(p, b.HEP, z.ep, fsz); err != nil {
+		return nil, fmt.Errorf("fragment from s%d: %w", srv, err)
+	}
+	return data, nil
+}
+
+// Read fetches n bytes at off (clamped to the file size) and returns them.
+// Fragments arrive from all servers in parallel and several stripes stay
+// in flight, so the client drains the fleet's aggregate bandwidth rather
+// than paying per-stripe latency serially.  A stripe whose fragment lives
+// on a down (or stale) server is reconstructed from the survivors and the
+// parity fragment — the whole-host analogue of degraded-mode array reads.
+func (z *Store) Read(p *sim.Proc, name string, off int64, n int) ([]byte, error) {
+	f, ok := z.files[name]
+	if !ok {
+		return nil, fmt.Errorf("zebra: no such file %s", name)
+	}
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("zebra: read %s: negative range", name)
+	}
+	if off > f.size {
+		off = f.size
+	}
+	if off+int64(n) > f.size {
+		n = int(f.size - off)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	sb := int64(z.StripeBytes())
+	out := make([]byte, n)
+	first, last := off/sb, (off+int64(n)-1)/sb
+
+	e := z.fleet.Eng
+	// Enough stripes stay in flight that every host sees work even while
+	// another host's fragment of an earlier stripe is still draining — the
+	// per-stripe join otherwise idles the fast hosts behind the slow one.
+	window := sim.NewServer(e, "zebra-read-window", 8)
+	g := sim.NewGroup(e)
+	stripeErrs := make([]error, last-first+1)
+	for s := first; s <= last; s++ {
+		s := s
+		window.Acquire(p)
+		g.Go("zebra-read-stripe", func(q *sim.Proc) {
+			defer window.Release()
+			buf, err := z.readStripe(q, f, s)
+			if err != nil {
+				stripeErrs[s-first] = err
+				return
+			}
+			// Copy the overlap of this stripe into the result.
+			lo := s * sb // stripe's logical start
+			from, to := off-lo, off+int64(n)-lo
+			if from < 0 {
+				from = 0
+			}
+			if to > int64(len(buf)) {
+				to = int64(len(buf))
+			}
+			copy(out[lo+from-off:], buf[from:to])
+		})
+	}
+	g.Wait(p)
+	for _, err := range stripeErrs {
+		if err != nil {
+			return nil, fmt.Errorf("zebra: read %s: %w", name, err)
+		}
+	}
+	return out, nil
+}
+
+// readStripe returns stripe s's data, reconstructing through parity when a
+// server is unavailable.  A fragment fetch that dies mid-flight (the host
+// went down between the liveness check and the transfer) gets one degraded
+// retry — by then the liveness check sees the dead host and routes around
+// it.
+func (z *Store) readStripe(p *sim.Proc, f *file, stripe int64) ([]byte, error) {
+	buf, err := z.tryReadStripe(p, f, stripe)
+	if err != nil && errors.Is(err, fault.ErrLinkDown) {
+		buf, err = z.tryReadStripe(p, f, stripe)
+	}
+	return buf, err
+}
+
+func (z *Store) tryReadStripe(p *sim.Proc, f *file, stripe int64) ([]byte, error) {
+	sz := z.stripeSize(f, stripe)
+	if sz == 0 {
+		return nil, nil
+	}
+	n := z.Width()
+	pIdx := z.parityServer(stripe)
+
+	// Which servers hold a fragment of this stripe, and which of those are
+	// unavailable (host down, or fragment stale from a missed write).
+	unavailable := func(s int) bool {
+		return z.fleet.Servers[s].Down() || f.stale[s][stripe]
+	}
+	missing := -1
+	for s := 0; s < n; s++ {
+		if z.holdSize(sz, s, pIdx) == 0 || !unavailable(s) {
+			continue
+		}
+		if missing >= 0 || pIdx < 0 {
+			return nil, fmt.Errorf("stripe %d unrecoverable: more fragments lost than parity covers: %w", stripe, fault.ErrLinkDown)
+		}
+		missing = s
+	}
+
+	// Fetch every available needed fragment in parallel.  Healthy stripes
+	// skip the parity fragment; degraded stripes need it for the XOR.
+	got := make([][]byte, n)
+	errs := make([]error, n)
+	g := sim.NewGroup(z.fleet.Eng)
+	for s := 0; s < n; s++ {
+		fsz := z.holdSize(sz, s, pIdx)
+		if fsz == 0 || s == missing || (s == pIdx && missing < 0) {
+			continue
+		}
+		s, fsz := s, fsz
+		g.Go("zebra-read-frag", func(q *sim.Proc) {
+			got[s], errs[s] = z.getFragment(q, f, s, stripe, fsz)
+		})
 	}
 	g.Wait(p)
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return nil, err
+		}
+	}
+
+	// Reconstruct the missing fragment: parity is the XOR of the data
+	// fragments, so any single fragment is the XOR of all the others.
+	if missing >= 0 && missing != pIdx {
+		acc := make([]byte, z.fragSize(sz, 0))
+		for s := 0; s < n; s++ {
+			for j, v := range got[s] {
+				acc[j] ^= v
+			}
+		}
+		got[missing] = acc[:z.holdSize(sz, missing, pIdx)]
+	}
+
+	buf := make([]byte, sz)
+	for k := 0; k < z.dataWidth(); k++ {
+		lo := k * z.cfg.FragmentBytes
+		if lo >= sz {
+			break // tail stripe: the remaining servers hold nothing yet
+		}
+		copy(buf[lo:], got[z.dataServer(stripe, k)])
+	}
+	return buf, nil
+}
+
+// RebuildServer reconstructs every stale fragment on server srv from the
+// survivors and rewrites it, returning the number of fragments rebuilt.
+// Call it after a ServerUp restores the host; until then reads route
+// around the stale fragments through parity.
+func (z *Store) RebuildServer(p *sim.Proc, srv int) (int, error) {
+	if srv < 0 || srv >= z.Width() {
+		return 0, fmt.Errorf("zebra: rebuild: no server %d", srv)
+	}
+	if z.fleet.Servers[srv].Down() {
+		return 0, fmt.Errorf("zebra: rebuild s%d: host still down: %w", srv, fault.ErrLinkDown)
+	}
+	names := make([]string, 0, len(z.files))
+	for name := range z.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rebuilt := 0
+	for _, name := range names {
+		f := z.files[name]
+		stripes := make([]int64, 0, len(f.stale[srv]))
+		for s := range f.stale[srv] {
+			stripes = append(stripes, s)
+		}
+		sort.Slice(stripes, func(i, j int) bool { return stripes[i] < stripes[j] })
+		for _, s := range stripes {
+			payload, err := z.reconstructFragment(p, f, srv, s)
+			if err != nil {
+				return rebuilt, fmt.Errorf("zebra: rebuild s%d stripe %d: %w", srv, s, err)
+			}
+			if err := z.putFragment(p, f, srv, s, payload); err != nil {
+				return rebuilt, fmt.Errorf("zebra: rebuild s%d stripe %d: %w", srv, s, err)
+			}
+			rebuilt++
+		}
+	}
+	return rebuilt, nil
+}
+
+// reconstructFragment computes the fragment server srv holds for stripe s
+// as the XOR of every other server's fragment (data or parity alike).
+func (z *Store) reconstructFragment(p *sim.Proc, f *file, srv int, stripe int64) ([]byte, error) {
+	sz := z.stripeSize(f, stripe)
+	pIdx := z.parityServer(stripe)
+	if pIdx < 0 {
+		return nil, errors.New("no parity to reconstruct from")
+	}
+	n := z.Width()
+	got := make([][]byte, n)
+	errs := make([]error, n)
+	g := sim.NewGroup(z.fleet.Eng)
+	for s := 0; s < n; s++ {
+		fsz := z.holdSize(sz, s, pIdx)
+		if s == srv || fsz == 0 {
+			continue
+		}
+		if z.fleet.Servers[s].Down() || f.stale[s][stripe] {
+			return nil, fmt.Errorf("source fragment on s%d unavailable: %w", s, fault.ErrLinkDown)
+		}
+		s, fsz := s, fsz
+		g.Go("zebra-rebuild-frag", func(q *sim.Proc) {
+			got[s], errs[s] = z.getFragment(q, f, s, stripe, fsz)
+		})
+	}
+	g.Wait(p)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	acc := make([]byte, z.fragSize(sz, 0))
+	for s := 0; s < n; s++ {
+		for j, v := range got[s] {
+			acc[j] ^= v
+		}
+	}
+	return acc[:z.holdSize(sz, srv, pIdx)], nil
+}
+
+// SyncAll flushes every board's file system on every server in parallel,
+// making all striped data durable; the client's write is complete only
+// after this.
+func (z *Store) SyncAll(p *sim.Proc) error {
+	g := sim.NewGroup(z.fleet.Eng)
+	total := 0
+	for _, sys := range z.fleet.Servers {
+		total += len(sys.Boards)
+	}
+	errs := make([]error, total)
+	slot := 0
+	for _, sys := range z.fleet.Servers {
+		for _, b := range sys.Boards {
+			i, b := slot, b
+			slot++
+			g.Go("zebra-sync", func(q *sim.Proc) { errs[i] = b.FS.Sync(q) })
+		}
+	}
+	g.Wait(p)
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("zebra: sync: %w", err)
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package zebra
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
@@ -9,67 +10,96 @@ import (
 	"raidii/internal/sim"
 )
 
-// newStriped builds a multi-board RAID-II with formatted file systems and
-// a client endpoint.
-func newStriped(t *testing.T, boards int) (*server.System, *Store) {
+// newFleet builds a striped fleet with formatted file systems on every
+// board of every server, plus a client ring endpoint.
+func newFleet(t *testing.T, servers, boards int) (*server.Fleet, *Store) {
 	t.Helper()
 	cfg := server.Fig8Config()
+	cfg.Servers = servers
 	cfg.Boards = boards
-	sys, err := server.New(cfg)
+	fl, err := server.NewFleet(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Eng.Spawn("fmt", func(p *sim.Proc) {
-		for _, b := range sys.Boards {
-			if err := b.FormatFS(p); err != nil {
-				t.Fatal(err)
+	fl.Eng.Spawn("fmt", func(p *sim.Proc) {
+		for _, sys := range fl.Servers {
+			for _, b := range sys.Boards {
+				if err := b.FormatFS(p); err != nil {
+					t.Fatal(err)
+				}
 			}
 		}
 	})
-	sys.Eng.Run()
-	nic := sim.NewLink(sys.Eng, "client-nic", 100, 0)
+	fl.Eng.Run()
+	nic := sim.NewLink(fl.Eng, "client-nic", 100, 0)
 	ep := &hippi.Endpoint{Name: "client", Out: nic, In: nic, Setup: 200 * time.Microsecond}
-	z, err := New(sys, ep, DefaultConfig())
+	z, err := New(fl, ep, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	return sys, z
+	return fl, z
+}
+
+// pattern fills n deterministic, position-dependent bytes so a misplaced
+// fragment shows up as a byte mismatch, not just a wrong length.
+func pattern(off int64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte((off + int64(i)) * 7)
+	}
+	return out
 }
 
 func TestStripedWriteReadRoundTrip(t *testing.T) {
-	sys, z := newStriped(t, 3)
-	sys.Eng.Spawn("t", func(p *sim.Proc) {
+	fl, z := newFleet(t, 3, 2)
+	fl.Eng.Spawn("t", func(p *sim.Proc) {
 		if err := z.Create(p, "video"); err != nil {
 			t.Fatal(err)
 		}
-		if err := z.Write(p, "video", 0, 4<<20); err != nil {
+		data := pattern(0, 4<<20)
+		if err := z.Write(p, "video", 0, data); err != nil {
 			t.Fatal(err)
 		}
-		if err := z.Read(p, "video", 0, 4<<20); err != nil {
+		got, err := z.Read(p, "video", 0, len(data))
+		if err != nil {
 			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("striped round trip corrupted the data")
+		}
+		// Unaligned sub-range through the middle of the stripe map.
+		sub, err := z.Read(p, "video", 1000, 300000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sub, data[1000:301000]) {
+			t.Fatal("sub-range read corrupted the data")
 		}
 	})
-	sys.Eng.Run()
+	fl.Eng.Run()
 }
 
 func TestMoreServersMoreBandwidth(t *testing.T) {
-	rate := func(boards int) float64 {
-		sys, z := newStriped(t, boards)
+	rate := func(servers int) float64 {
+		fl, z := newFleet(t, servers, 1)
 		var r float64
-		sys.Eng.Spawn("t", func(p *sim.Proc) {
+		fl.Eng.Spawn("t", func(p *sim.Proc) {
 			if err := z.Create(p, "f"); err != nil {
 				t.Fatal(err)
 			}
-			start := p.Now()
-			if err := z.Write(p, "f", 0, 16<<20); err != nil {
+			if err := z.Write(p, "f", 0, pattern(0, 16<<20)); err != nil {
 				t.Fatal(err)
 			}
 			if err := z.SyncAll(p); err != nil {
 				t.Fatal(err)
 			}
+			start := p.Now()
+			if _, err := z.Read(p, "f", 0, 16<<20); err != nil {
+				t.Fatal(err)
+			}
 			r = float64(16<<20) / p.Now().Sub(start).Seconds() / 1e6
 		})
-		sys.Eng.Run()
+		fl.Eng.Run()
 		return r
 	}
 	three, five := rate(3), rate(5)
@@ -78,36 +108,113 @@ func TestMoreServersMoreBandwidth(t *testing.T) {
 	}
 }
 
-func TestParityNeedsThreeServers(t *testing.T) {
-	cfg := server.Fig8Config()
-	cfg.Boards = 2
-	sys, err := server.New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sys.Eng.Spawn("fmt", func(p *sim.Proc) {
-		for _, b := range sys.Boards {
-			_ = b.FormatFS(p)
+func TestDegradedReadReconstructs(t *testing.T) {
+	fl, z := newFleet(t, 4, 1)
+	data := pattern(0, 3<<20)
+	fl.Eng.Spawn("t", func(p *sim.Proc) {
+		if err := z.Create(p, "f"); err != nil {
+			t.Fatal(err)
+		}
+		if err := z.Write(p, "f", 0, data); err != nil {
+			t.Fatal(err)
+		}
+		// Kill one whole host: every stripe now misses either a data
+		// fragment (reconstructed from parity) or its parity fragment.
+		fl.Servers[1].SetDown(true)
+		got, err := z.Read(p, "f", 0, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("degraded read did not reconstruct the dead server's fragments")
+		}
+		// A second host loss exceeds what single parity covers.
+		fl.Servers[2].SetDown(true)
+		if _, err := z.Read(p, "f", 0, len(data)); err == nil {
+			t.Fatal("read with two dead servers should fail")
 		}
 	})
-	sys.Eng.Run()
-	nic := sim.NewLink(sys.Eng, "nic", 100, 0)
-	ep := &hippi.Endpoint{Name: "c", Out: nic, In: nic}
-	if _, err := New(sys, ep, DefaultConfig()); err == nil {
-		t.Fatal("parity striping over two servers should be rejected")
-	}
-	if _, err := New(sys, ep, Config{FragmentBytes: 256 << 10, Parity: false}); err != nil {
-		t.Fatalf("non-parity striping over two servers should work: %v", err)
-	}
+	fl.Eng.Run()
+}
+
+func TestStaleWriteAndRebuild(t *testing.T) {
+	fl, z := newFleet(t, 4, 1)
+	data := pattern(0, 2<<20)
+	fresh := pattern(9, 2<<20)
+	fl.Eng.Spawn("t", func(p *sim.Proc) {
+		if err := z.Create(p, "f"); err != nil {
+			t.Fatal(err)
+		}
+		if err := z.Write(p, "f", 0, data); err != nil {
+			t.Fatal(err)
+		}
+		// Overwrite while a host is down: its fragments go stale but the
+		// write succeeds degraded.
+		fl.Servers[2].SetDown(true)
+		if err := z.Write(p, "f", 0, fresh); err != nil {
+			t.Fatal(err)
+		}
+		if z.StaleFragments(2) == 0 {
+			t.Fatal("writes during the outage should leave stale fragments")
+		}
+		// Reads route around the stale fragments through parity even after
+		// the host is back.
+		fl.Servers[2].SetDown(false)
+		got, err := z.Read(p, "f", 0, len(fresh))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, fresh) {
+			t.Fatal("post-outage read served stale data")
+		}
+		// Rebuild rewrites the stale fragments from the survivors.
+		n, err := z.RebuildServer(p, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 || z.StaleFragments(2) != 0 {
+			t.Fatalf("rebuild left %d stale fragments (rebuilt %d)", z.StaleFragments(2), n)
+		}
+		// Prove the rebuilt fragments are real: kill a different host so
+		// reconstruction must now lean on server 2's copies.
+		fl.Servers[0].SetDown(true)
+		got, err = z.Read(p, "f", 0, len(fresh))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, fresh) {
+			t.Fatal("rebuilt fragments are wrong")
+		}
+	})
+	fl.Eng.Run()
+}
+
+func TestSmallFleetsDropParity(t *testing.T) {
+	// Parity needs three hosts; smaller fleets fall back to plain striping
+	// and a host loss is then fatal for writes.
+	fl, z := newFleet(t, 2, 1)
+	fl.Eng.Spawn("t", func(p *sim.Proc) {
+		if err := z.Create(p, "f"); err != nil {
+			t.Fatal(err)
+		}
+		if err := z.Write(p, "f", 0, pattern(0, 1<<20)); err != nil {
+			t.Fatal(err)
+		}
+		fl.Servers[1].SetDown(true)
+		if err := z.Write(p, "f", 0, pattern(0, 1<<20)); err == nil {
+			t.Fatal("parity-less fleet should refuse degraded writes")
+		}
+	})
+	fl.Eng.Run()
 }
 
 func TestErrorsOnUnknownFile(t *testing.T) {
-	sys, z := newStriped(t, 3)
-	sys.Eng.Spawn("t", func(p *sim.Proc) {
-		if err := z.Write(p, "ghost", 0, 1024); err == nil {
+	fl, z := newFleet(t, 3, 1)
+	fl.Eng.Spawn("t", func(p *sim.Proc) {
+		if err := z.Write(p, "ghost", 0, []byte{1}); err == nil {
 			t.Error("write to unknown file should fail")
 		}
-		if err := z.Read(p, "ghost", 0, 1024); err == nil {
+		if _, err := z.Read(p, "ghost", 0, 1024); err == nil {
 			t.Error("read of unknown file should fail")
 		}
 		if err := z.Create(p, "dup"); err != nil {
@@ -116,6 +223,9 @@ func TestErrorsOnUnknownFile(t *testing.T) {
 		if err := z.Create(p, "dup"); err == nil {
 			t.Error("duplicate create should fail")
 		}
+		if err := z.Write(p, "dup", 1, []byte{1}); err == nil {
+			t.Error("unaligned write should fail")
+		}
 	})
-	sys.Eng.Run()
+	fl.Eng.Run()
 }

@@ -42,7 +42,7 @@ func runMeteredWorkload(t *testing.T) (prom, js string) {
 			n := 4096 * (1 + rng.Intn(8))
 			off := rng.Int63n(fileSize - int64(n))
 			if rng.Intn(2) == 0 {
-				if _, err := f.Read(off, n); err != nil {
+				if _, _, err := f.Read(off, n); err != nil {
 					return err
 				}
 			} else if _, err := f.Write(off, make([]byte, n)); err != nil {
@@ -131,7 +131,7 @@ func TestMetricsSummaryMatchesExport(t *testing.T) {
 			return err
 		}
 		for i := 0; i < 8; i++ {
-			if _, err := f.Read(int64(i)<<17, 1<<17); err != nil {
+			if _, _, err := f.Read(int64(i)<<17, 1<<17); err != nil {
 				return err
 			}
 		}

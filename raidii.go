@@ -15,13 +15,25 @@
 //
 // Quick start:
 //
-//	srv, _ := raidii.NewServer()
-//	srv.Simulate(func(t *raidii.Task) error {
-//		t.FormatFS()
-//		f, _ := t.Create("/data/video.raw")
-//		f.Write(0, make([]byte, 8<<20))
-//		t.Sync()
-//		_, err := f.Read(0, 8<<20)
+//	srv, err := raidii.NewServer()
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	_, err = srv.Simulate(func(t *raidii.Task) error {
+//		if err := t.FormatFS(); err != nil {
+//			return err
+//		}
+//		f, err := t.Create("/data/video.raw")
+//		if err != nil {
+//			return err
+//		}
+//		if _, err := f.Write(0, make([]byte, 8<<20)); err != nil {
+//			return err
+//		}
+//		if err := t.Sync(); err != nil {
+//			return err
+//		}
+//		_, _, err = f.Read(0, 8<<20)
 //		return err
 //	})
 //
@@ -29,6 +41,11 @@
 // the Task-level methods are conveniences for board 0.  Deterministic
 // hardware faults are scripted with a FaultPlan passed to WithFaultPlan,
 // or injected mid-run through the Board handle.
+//
+// NewCluster scales the same machine out the way §2.1.2 intends: several
+// server hosts on one Ultranet ring, files striped across them with
+// cross-server parity (see Cluster).  NewServer remains the single-host
+// special case.
 package raidii
 
 import (
@@ -122,22 +139,27 @@ func WithDisksPerString(n int) Option {
 // control-bus port, as in the Table 1 peak-bandwidth experiment.
 func WithFifthCougar() Option { return func(c *server.Config) { c.FifthCougar = true } }
 
-// WithRAIDLevel selects the array organization (default Level 5).
+// WithRAIDLevel selects the array organization (§2.1: the XBUS board's
+// parity engine implements RAID Level 5; other levels are ablations.
+// Default Level 5).
 func WithRAIDLevel(l int) Option {
 	return func(c *server.Config) { c.RAIDLevel = raid.Level(l) }
 }
 
-// WithStripeUnitKB sets the striping unit (default 64 KB).
+// WithStripeUnitKB sets the striping unit (§3.3: the measured array uses
+// 64 KB stripe units; default 64 KB).
 func WithStripeUnitKB(kb int) Option {
 	return func(c *server.Config) { c.StripeUnitSectors = kb * 1024 / 512 }
 }
 
-// WithSegmentKB sets the LFS segment size (default 960 KB).
+// WithSegmentKB sets the LFS segment size (§3.4: LFS writes the log in
+// 960 KB segments; default 960 KB).
 func WithSegmentKB(kb int) Option {
 	return func(c *server.Config) { c.LFS.SegBytes = kb << 10 }
 }
 
-// WithWrenDisks swaps in the older Wren IV drives of RAID-I.
+// WithWrenDisks swaps in the older Wren IV drives of the §2 RAID-I first
+// prototype, for before/after comparisons.
 func WithWrenDisks() Option {
 	return func(c *server.Config) { c.DiskSpec = disk.WrenIV() }
 }
@@ -149,7 +171,8 @@ func WithWrenDisks() Option {
 // fill from the array at full disk cost, and LFS segment writes stage
 // through it so reads of freshly written data hit memory.  Cache capacity
 // and transfer buffers share the DRAM honestly — an oversized cache fails
-// NewServer.
+// NewServer.  (An extension beyond the paper, which dedicates the §2.1
+// XBUS memory entirely to transfer buffers.)
 func WithCache(bytes int) Option {
 	return func(c *server.Config) { c.CacheBytes = bytes }
 }
@@ -162,8 +185,10 @@ func WithCacheLineKB(kb int) Option {
 }
 
 // WithFaultPlan arms a deterministic fault plan when the server is
-// assembled.  An identical plan on an identical workload yields a
-// byte-identical trace.
+// assembled, exercising the §2.1 redundancy machinery (RAID parity,
+// controller retries, degraded mode).  An identical plan on an identical
+// workload yields a byte-identical trace.  In a Cluster, events carry a
+// server index (FaultPlan.OnServer, ServerDownAt) and route to that host.
 func WithFaultPlan(plan FaultPlan) Option {
 	return func(c *server.Config) { c.Faults = plan }
 }
@@ -177,7 +202,9 @@ func WithNetworkFaults(plan FaultPlan) Option {
 }
 
 // WithClientRetry sets the retry/timeout policy client workstations inherit
-// when they attach.  The zero policy fails requests on the first fault.
+// when they attach, and the policy Cluster file operations use against
+// transient ring faults.  The zero policy fails requests on the first
+// fault.  (An availability extension beyond the paper's measurements.)
 func WithClientRetry(pol RetryPolicy) Option {
 	return func(c *server.Config) { c.ClientRetry = pol }
 }
@@ -185,9 +212,35 @@ func WithClientRetry(pol RetryPolicy) Option {
 // WithAdmissionLimit bounds each board's concurrently serviced client
 // requests: n in service, up to n more waiting FIFO, the rest shed
 // immediately with ErrServerBusy for the client's backoff to absorb.
-// Zero (the default) admits everything.
+// Zero (the default) admits everything.  (An overload-protection extension
+// beyond the paper.)
 func WithAdmissionLimit(n int) Option {
 	return func(c *server.Config) { c.AdmissionLimit = n }
+}
+
+// WithServers sets the number of server hosts a Cluster assembles on its
+// shared Ultranet ring (§2.1.2: "the bandwidth of the file server can be
+// scaled by ... adding multiple storage servers"; default 1).  NewServer
+// ignores it.
+func WithServers(n int) Option {
+	return func(c *server.Config) { c.Servers = n }
+}
+
+// WithStripeFragmentKB sets the cluster striping fragment — the bytes of a
+// striped file one (server, board) pair stores per stripe (§5.2, Zebra's
+// fragment unit).  The default is one LFS segment (960 KB with the paper's
+// configuration), so each fragment occupies a contiguous stretch of a
+// board's log and streams at full device bandwidth.  NewServer ignores it.
+func WithStripeFragmentKB(kb int) Option {
+	return func(c *server.Config) { c.StripeFragmentBytes = kb << 10 }
+}
+
+// WithCrossParity enables or disables the per-stripe parity fragment that
+// lets a Cluster absorb the loss of a whole server host (§5.2, Zebra's
+// parity fragment; default on).  Parity needs at least three servers;
+// smaller fleets stripe without it.  NewServer ignores it.
+func WithCrossParity(on bool) Option {
+	return func(c *server.Config) { c.CrossParity = on }
 }
 
 // Fig8Geometry selects the paper's LFS measurement configuration: 16 disks,
@@ -227,7 +280,7 @@ func (s *Server) Simulate(fn func(t *Task) error) (time.Duration, error) {
 	start := s.sys.Eng.Now()
 	var err error
 	s.sys.Eng.Spawn("task", func(p *sim.Proc) {
-		err = fn(&Task{p: p, srv: s})
+		err = fn(&Task{p: p, sys: s.sys})
 	})
 	end := s.sys.Eng.Run()
 	return end.Sub(start), err
@@ -239,23 +292,25 @@ func (s *Server) Now() time.Duration { return time.Duration(s.sys.Eng.Now()) }
 // Task is the handle model code uses inside Simulate: all file system and
 // data path operations charge simulated time to the calling process.
 // Single-board convenience methods (Create, Open, Mkdir, ...) act on board
-// 0; Board selects any board and exposes the full per-board surface.
+// 0; Board selects any board and exposes the full per-board surface.  In a
+// Cluster, ClusterTask.Server returns one Task per fleet host.
 type Task struct {
 	p   *sim.Proc
-	srv *Server
+	sys *server.System
 }
 
 // Board returns the handle for XBUS board i (0 unless WithBoards was used).
 func (t *Task) Board(i int) *Board {
-	return &Board{t: t, b: t.srv.sys.Boards[i]}
+	return &Board{t: t, b: t.sys.Boards[i]}
 }
 
-// Boards returns the number of XBUS boards in the server.
-func (t *Task) Boards() int { return len(t.srv.sys.Boards) }
+// NumBoards returns the number of XBUS boards in the server.  (Renamed
+// from Boards to keep the count distinct from the Board(i) handle.)
+func (t *Task) NumBoards() int { return len(t.sys.Boards) }
 
 // FormatFS creates the LFS on every board.
 func (t *Task) FormatFS() error {
-	for i := 0; i < t.Boards(); i++ {
+	for i := 0; i < t.NumBoards(); i++ {
 		if err := t.Board(i).FormatFS(); err != nil {
 			return err
 		}
@@ -295,7 +350,7 @@ func (t *Task) Clean(target int) (int, error) { return t.Board(0).Clean(target) 
 
 // Sync makes all completed operations durable on every board.
 func (t *Task) Sync() error {
-	for i := 0; i < t.Boards(); i++ {
+	for i := 0; i < t.NumBoards(); i++ {
 		if err := t.Board(i).Sync(); err != nil {
 			return err
 		}
@@ -305,7 +360,7 @@ func (t *Task) Sync() error {
 
 // Checkpoint writes an LFS checkpoint on every board.
 func (t *Task) Checkpoint() error {
-	for i := 0; i < t.Boards(); i++ {
+	for i := 0; i < t.NumBoards(); i++ {
 		if err := t.Board(i).Checkpoint(); err != nil {
 			return err
 		}
@@ -558,12 +613,13 @@ func (f *File) Write(off int64, data []byte) (time.Duration, error) {
 	return f.t.p.Now().Sub(start), err
 }
 
-// Read moves n bytes at off through the high-bandwidth read path and
-// returns the simulated duration of the transfer.
-func (f *File) Read(off int64, n int) (time.Duration, error) {
+// Read moves n bytes at off through the high-bandwidth read path,
+// returning the bytes read (short only at end of file) and the simulated
+// duration of the transfer.
+func (f *File) Read(off int64, n int) ([]byte, time.Duration, error) {
 	start := f.t.p.Now()
-	err := f.f.Board.FSRead(f.t.p, f.f, off, n)
-	return f.t.p.Now().Sub(start), err
+	data, err := f.f.Board.FSRead(f.t.p, f.f, off, n)
+	return data, f.t.p.Now().Sub(start), err
 }
 
 // ReadEthernet moves n bytes over the low-bandwidth standard-mode path

@@ -36,7 +36,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 		if sz != n {
 			t.Errorf("size = %d, want %d", sz, n)
 		}
-		dur, err := f.Read(0, n)
+		_, dur, err := f.Read(0, n)
 		if err != nil {
 			return err
 		}

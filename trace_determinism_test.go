@@ -44,7 +44,7 @@ func TestTraceDeterministic(t *testing.T) {
 				n := 4096 * (1 + rng.Intn(8))
 				off := rng.Int63n(fileSize - int64(n))
 				if rng.Intn(2) == 0 {
-					if _, err := f.Read(off, n); err != nil {
+					if _, _, err := f.Read(off, n); err != nil {
 						return err
 					}
 				} else if _, err := f.Write(off, make([]byte, n)); err != nil {
