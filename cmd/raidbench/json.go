@@ -14,8 +14,9 @@ import (
 // a hard regression gate instead of a tolerance band.
 
 // benchSchema is bumped whenever the JSON shape changes incompatibly.
-// Schema 2 added the hostElapsedSeconds fields.
-const benchSchema = 2
+// Schema 2 added the hostElapsedSeconds fields; schema 3 added
+// eventsExecuted and eventsPerSecond.
+const benchSchema = 3
 
 type benchPoint struct {
 	Series string  `json:"series"`
@@ -24,21 +25,28 @@ type benchPoint struct {
 	Value  float64 `json:"value"`
 }
 
-// benchExperiment's hostElapsedSeconds is the one non-deterministic field
-// in the report: real (host) time the experiment took, for spotting
-// simulator slowdowns.  It is deliberately the LAST field of the object so
-// the regression gate can strip its lines before diffing and still compare
-// structurally identical text.
+// benchExperiment's eventsExecuted counts simulator events dispatched by
+// every engine the experiment created: deterministic, so it is part of the
+// gated baseline — an event-count drift means simulated behaviour changed
+// even if every measured curve happens to agree.  eventsPerSecond and
+// hostElapsedSeconds are the host-dependent fields: real (wall-clock) cost
+// of the run, for spotting simulator slowdowns.  They are deliberately the
+// LAST fields of the object so the regression gate can strip their lines
+// before diffing and still compare structurally identical text.
 type benchExperiment struct {
 	Name               string       `json:"name"`
 	Config             string       `json:"config"`
 	Points             []benchPoint `json:"points"`
+	EventsExecuted     uint64       `json:"eventsExecuted"`
+	EventsPerSecond    float64      `json:"eventsPerSecond"`
 	HostElapsedSeconds float64      `json:"hostElapsedSeconds"`
 }
 
 type benchReport struct {
 	Schema             int               `json:"schema"`
 	Experiments        []benchExperiment `json:"experiments"`
+	EventsExecuted     uint64            `json:"eventsExecuted"`
+	EventsPerSecond    float64           `json:"eventsPerSecond"`
 	HostElapsedSeconds float64           `json:"hostElapsedSeconds"`
 }
 
@@ -58,13 +66,19 @@ func jsonExperiment(name, config string) {
 	})
 }
 
-// jsonElapsed records the current experiment's host (wall-clock) time and
-// accumulates the report total.
-func jsonElapsed(sec float64) {
+// jsonElapsed records the current experiment's event count and host
+// (wall-clock) time and accumulates the report totals.
+func jsonElapsed(sec float64, events uint64) {
 	if collector == nil || len(collector.Experiments) == 0 {
 		return
 	}
-	collector.Experiments[len(collector.Experiments)-1].HostElapsedSeconds = sec
+	ex := &collector.Experiments[len(collector.Experiments)-1]
+	ex.EventsExecuted = events
+	if sec > 0 {
+		ex.EventsPerSecond = float64(events) / sec
+	}
+	ex.HostElapsedSeconds = sec
+	collector.EventsExecuted += events
 	collector.HostElapsedSeconds += sec
 }
 
@@ -89,6 +103,9 @@ func jsonFigure(fig *metrics.Figure, unit string) {
 
 // writeJSON marshals the report to path.
 func writeJSON(path string) error {
+	if collector.HostElapsedSeconds > 0 {
+		collector.EventsPerSecond = float64(collector.EventsExecuted) / collector.HostElapsedSeconds
+	}
 	data, err := json.MarshalIndent(collector, "", "  ")
 	if err != nil {
 		return err

@@ -35,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"raidii"
@@ -77,7 +79,48 @@ func main() {
 	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	metricsOut := flag.String("metrics", "", "write per-run telemetry as Prometheus text to this file")
 	metricsJSONOut := flag.String("metrics-json", "", "write per-run telemetry as versioned JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap pprof profile taken after the last experiment to this file")
 	flag.Parse()
+
+	// Host-side profiling, mirroring raidfsd's -pprof: the profiles measure
+	// where the host CPU and heap go, never the simulation, so seeded runs
+	// stay reproducible with profiling on.  CI's perf job uploads both so an
+	// engine regression can be triaged without a local reproduction.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			werr := pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", werr)
+			}
+		}()
+	}
 
 	var recs []*trace.Recorder
 	var probes []func(string, *sim.Engine)
@@ -92,7 +135,15 @@ func main() {
 	if *metricsOut != "" || *metricsJSONOut != "" {
 		probes = append(probes, metricsProbe)
 	}
-	if len(probes) > 0 {
+	// Every engine an experiment creates is collected so the per-experiment
+	// event totals (deterministic) and events/second (host throughput) can
+	// be reported; the slice is truncated after each experiment so finished
+	// simulations stay collectable.
+	var engines []*sim.Engine
+	probes = append(probes, func(label string, e *sim.Engine) {
+		engines = append(engines, e)
+	})
+	{
 		probes := probes
 		raidii.SetProbe(func(label string, e *sim.Engine) {
 			for _, fn := range probes {
@@ -150,8 +201,15 @@ func main() {
 				fmt.Print(rec.Table(12))
 			}
 		}
-		jsonElapsed(elapsed().Seconds())
-		fmt.Printf("    (%.1fs host time)\n\n", elapsed().Seconds())
+		var events uint64
+		for i, e := range engines {
+			events += e.EventsExecuted()
+			engines[i] = nil
+		}
+		engines = engines[:0]
+		sec := elapsed().Seconds()
+		jsonElapsed(sec, events)
+		fmt.Printf("    (%d events, %.1fs host time)\n\n", events, sec)
 		ran++
 	}
 	if ran == 0 {

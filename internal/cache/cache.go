@@ -251,7 +251,7 @@ type fillRun struct {
 // sector order by the calling process, so LRU state — and therefore the
 // eviction sequence — is independent of fill completion order.
 func (c *Cache) Read(p *sim.Proc, lba int64, n int) []byte {
-	defer telemetry.StageSpan(p, telemetry.StageCache)()
+	defer telemetry.StageSpan(p, telemetry.StageCache).End()
 	out := make([]byte, n*c.secSize)
 	if n <= 0 {
 		return out
@@ -326,7 +326,7 @@ func (c *Cache) Read(p *sim.Proc, lba int64, n int) []byte {
 // place so no stale hit survives.  With staging enabled, lines the write
 // fully covers are also installed.
 func (c *Cache) Write(p *sim.Proc, lba int64, data []byte) {
-	defer telemetry.StageSpan(p, telemetry.StageCache)()
+	defer telemetry.StageSpan(p, telemetry.StageCache).End()
 	c.dev.Write(p, lba, data)
 	c.absorb(p, lba, data)
 }
@@ -334,7 +334,7 @@ func (c *Cache) Write(p *sim.Proc, lba int64, data []byte) {
 // WriteStreaming is Write over the backing store's benchmark-mode
 // streaming path when it has one.
 func (c *Cache) WriteStreaming(p *sim.Proc, lba int64, data []byte) {
-	defer telemetry.StageSpan(p, telemetry.StageCache)()
+	defer telemetry.StageSpan(p, telemetry.StageCache).End()
 	if st, ok := c.dev.(streamer); ok {
 		st.WriteStreaming(p, lba, data)
 	} else {

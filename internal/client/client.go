@@ -105,7 +105,7 @@ func (ws *Workstation) withRetry(p *sim.Proc, what string, attempt func(resume i
 		end := p.Span("client", "retry")
 		endStage := telemetry.StageSpan(p, telemetry.StageClient)
 		p.Wait(backoff)
-		endStage()
+		endStage.End()
 		end()
 		backoff = pol.NextBackoff(backoff)
 	}

@@ -242,7 +242,7 @@ func (d *Disk) position(p *sim.Proc, lba int64, hit bool) {
 // read covering an armed latent error positions, streams up to the bad
 // sector, and returns fault.ErrMedium.
 func (d *Disk) Read(p *sim.Proc, lba int64, n int, path sim.Path) ([]byte, error) {
-	defer telemetry.StageSpan(p, telemetry.StageDisk)()
+	defer telemetry.StageSpan(p, telemetry.StageDisk).End()
 	d.checkRange(lba, n)
 	if err := d.admit(p); err != nil {
 		return nil, err
@@ -295,7 +295,7 @@ func (d *Disk) Read(p *sim.Proc, lba int64, n int, path sim.Path) ([]byte, error
 // begins once the chunk has arrived and the previous chunk has committed.
 // Writing over an armed latent error remaps the bad sectors.
 func (d *Disk) Write(p *sim.Proc, lba int64, data []byte, path sim.Path) error {
-	defer telemetry.StageSpan(p, telemetry.StageDisk)()
+	defer telemetry.StageSpan(p, telemetry.StageDisk).End()
 	if len(data)%d.spec.SectorSize != 0 {
 		//lint:allow simpanic misaligned buffer is caller corruption; the array layer always writes whole sectors
 		panic("disk: write length not a whole number of sectors")

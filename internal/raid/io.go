@@ -14,7 +14,7 @@ import (
 func goAdopted(g *sim.Group, parent *sim.Proc, name string, body func(*sim.Proc)) {
 	g.Go(name, func(q *sim.Proc) {
 		telemetry.Adopt(q, parent)
-		defer telemetry.StageSpan(q, telemetry.StageRAID)()
+		defer telemetry.StageSpan(q, telemetry.StageRAID).End()
 		body(q)
 	})
 }
@@ -26,7 +26,7 @@ func (a *Array) Read(p *sim.Proc, lba int64, n int) []byte {
 	a.checkRange(lba, n)
 	end := p.Span("raid", "read")
 	defer end()
-	defer telemetry.StageSpan(p, telemetry.StageRAID)()
+	defer telemetry.StageSpan(p, telemetry.StageRAID).End()
 	a.inflight++
 	defer func() { a.inflight-- }()
 	if a.arrayLock != nil {
@@ -127,7 +127,7 @@ func (a *Array) Write(p *sim.Proc, lba int64, data []byte) {
 	}
 	n := len(data) / a.secSize
 	a.checkRange(lba, n)
-	defer telemetry.StageSpan(p, telemetry.StageRAID)()
+	defer telemetry.StageSpan(p, telemetry.StageRAID).End()
 	a.inflight++
 	defer func() { a.inflight-- }()
 	if a.arrayLock != nil {
@@ -614,7 +614,7 @@ func (a *Array) WriteStreaming(p *sim.Proc, lba int64, data []byte) {
 	}
 	n := len(data) / a.secSize
 	a.checkRange(lba, n)
-	defer telemetry.StageSpan(p, telemetry.StageRAID)()
+	defer telemetry.StageSpan(p, telemetry.StageRAID).End()
 	a.inflight++
 	defer func() { a.inflight-- }()
 

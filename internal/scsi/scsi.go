@@ -128,7 +128,7 @@ func (ad *Disk) path(upstream sim.Path) sim.Path {
 func (ad *Disk) Read(p *sim.Proc, lba int64, n int, upstream sim.Path) ([]byte, error) {
 	end := p.Span("scsi", "read")
 	defer end()
-	defer telemetry.StageSpan(p, telemetry.StageSCSI)()
+	defer telemetry.StageSpan(p, telemetry.StageSCSI).End()
 	var data []byte
 	err := ad.issue(p, func(q *sim.Proc) error {
 		var derr error
@@ -148,7 +148,7 @@ func (ad *Disk) Read(p *sim.Proc, lba int64, n int, upstream sim.Path) ([]byte, 
 func (ad *Disk) Write(p *sim.Proc, lba int64, data []byte, upstream sim.Path) error {
 	end := p.Span("scsi", "write")
 	defer end()
-	defer telemetry.StageSpan(p, telemetry.StageSCSI)()
+	defer telemetry.StageSpan(p, telemetry.StageSCSI).End()
 	rev := make(sim.Path, 0, len(upstream)+2)
 	rev = append(rev, upstream...)
 	rev = append(rev, ad.ctl.ctlBus, ad.str.Bus)

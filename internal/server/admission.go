@@ -51,7 +51,7 @@ func (b *Board) Admit(p *sim.Proc) error {
 	p.Span("server", "admit-queued")()
 	endWait := telemetry.StageSpan(p, telemetry.StageAdmission)
 	b.adm.Acquire(p)
-	endWait()
+	endWait.End()
 	b.admStats.Admitted++
 	p.Span("server", "admit")()
 	return nil

@@ -14,6 +14,7 @@ type ChooserServer struct {
 	busy   bool
 	choose func(tags []int64) int
 	queue  []chooserWaiter
+	tags   []int64 // scratch for Release; valid only during the choose call
 
 	busyInt Time
 	lastAdj Time
@@ -67,11 +68,11 @@ func (s *ChooserServer) Release() {
 	}
 	idx := 0
 	if s.choose != nil {
-		tags := make([]int64, len(s.queue))
-		for i, w := range s.queue {
-			tags[i] = w.tag
+		s.tags = s.tags[:0]
+		for _, w := range s.queue {
+			s.tags = append(s.tags, w.tag)
 		}
-		idx = s.choose(tags)
+		idx = s.choose(s.tags)
 		if idx < 0 || idx >= len(s.queue) {
 			idx = 0
 		}

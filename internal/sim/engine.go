@@ -14,10 +14,17 @@
 // from within a currently-running simulated process.  The engine is not
 // safe for concurrent use from arbitrary goroutines; this single-threaded
 // discipline is what makes simulations reproducible.
+//
+// The hot path is engineered so that steady-state scheduling is
+// allocation-free and, where the protocol allows, free of goroutine
+// hand-offs: events live in a value-typed 4-ary heap (queue.go), finished
+// process shells are recycled through a free list instead of spawning fresh
+// goroutines, and a process whose own wake-up is the next runnable event
+// resumes itself without yielding to the scheduler (see Proc.park).
+// DESIGN.md §15 documents the design and its determinism argument.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -25,6 +32,10 @@ import (
 // Time is an absolute simulated time in nanoseconds since the start of the
 // simulation.
 type Time int64
+
+// maxTime is the largest representable simulated time; Run uses it as its
+// deadline, and it stands in for "no pending sampler boundary".
+const maxTime = Time(1<<62 - 1)
 
 // Duration re-exports time.Duration for convenience so that model code can
 // write sim.Duration in signatures without importing time.
@@ -41,43 +52,39 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
 func (t Time) String() string { return Duration(t).String() }
 
-// event is a scheduled resumption of a process.
+// event is a scheduled resumption of a process.  wake snapshots the
+// process's assignment ID at schedule time: process shells are recycled
+// (see Spawn), so a dispatch fires only when the shell still runs the
+// assignment the event was scheduled for.
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among equal timestamps
 	proc *Proc
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	wake uint64 // p.id at schedule time
 }
 
 // Engine is a discrete-event simulation scheduler.
 // The zero value is not usable; create engines with New.
 type Engine struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	yield   chan struct{} // running process -> engine: "I have blocked or finished"
-	dead    chan struct{} // closed on Shutdown; unblocks all parked processes
-	live    int           // processes started but not finished
-	blocked int           // processes parked on a resource or event (not a timer)
-	stopped bool
+	now      Time
+	events   eventQueue
+	seq      uint64
+	executed uint64        // events dispatched since New
+	yield    chan struct{} // running process -> engine: "I have blocked or finished"
+	dead     chan struct{} // closed on Shutdown; unblocks all parked processes
+	live     int           // processes started but not finished
+	stopped  bool
+
+	// Resume fast-path state: running marks that RunUntil's loop is
+	// draining the queue (Step leaves it false), and deadline is that
+	// loop's horizon.  A parking process may consume its own head event
+	// directly only under these bounds; see Proc.park.
+	running  bool
+	deadline Time
+
+	nextSample Time // earliest pending sampler boundary; maxTime when none
+
+	idle []*Proc // finished process shells awaiting reuse
 
 	procSeq   uint64         // process IDs, assigned in spawn order
 	tracer    Tracer         // observability hooks; nil when untraced
@@ -90,8 +97,9 @@ type Engine struct {
 // New creates an empty simulation engine at time zero.
 func New() *Engine {
 	return &Engine{
-		yield: make(chan struct{}),
-		dead:  make(chan struct{}),
+		yield:      make(chan struct{}),
+		dead:       make(chan struct{}),
+		nextSample: maxTime,
 	}
 }
 
@@ -104,6 +112,13 @@ func (e *Engine) Now() Time { return e.now }
 // the modelled system).
 func (e *Engine) Live() int { return e.live }
 
+// EventsExecuted reports the number of events dispatched since the engine
+// was created.  The count is a pure function of the simulated workload —
+// identical runs execute identical event counts — so tools (raidbench)
+// divide it by host time to report engine throughput without perturbing
+// determinism.
+func (e *Engine) EventsExecuted() uint64 { return e.executed }
+
 // schedule enqueues a resumption of p at time at.
 func (e *Engine) schedule(p *Proc, at Time) {
 	if at < e.now {
@@ -111,14 +126,40 @@ func (e *Engine) schedule(p *Proc, at Time) {
 		panic(fmt.Sprintf("sim: scheduling event in the past: %v < %v", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+	e.events.push(event{at: at, seq: e.seq, proc: p, wake: p.id})
+}
+
+// consumeHead removes the earliest pending event and advances the clock to
+// it, firing due samplers first.  Every event leaves the queue through this
+// helper — from fireNext or from the park fast path — so queue behaviour,
+// sampler boundaries and the executed count stay consistent by construction.
+func (e *Engine) consumeHead() event {
+	ev := e.events.pop()
+	if e.nextSample <= ev.at {
+		e.fireSamplers(ev.at)
+	}
+	e.now = ev.at
+	e.executed++
+	return ev
+}
+
+// fireNext pops and dispatches the earliest pending event if its timestamp
+// is at or before deadline, reporting whether one fired.  RunUntil and Step
+// both drain the queue through this single helper.
+func (e *Engine) fireNext(deadline Time) bool {
+	if e.events.len() == 0 || e.events.head().at > deadline {
+		return false
+	}
+	ev := e.consumeHead()
+	e.dispatch(ev.proc, ev.wake)
+	return true
 }
 
 // Run executes events until no more are pending.  It returns the final
 // simulated time.  Processes left parked on resources or events are not an
 // error here (workload generators often outlive the measurement window);
 // call Shutdown to reap them.
-func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+func (e *Engine) Run() Time { return e.RunUntil(maxTime) }
 
 // RunUntil executes events with timestamps <= deadline and returns the
 // simulated time of the last event executed (or deadline if the event queue
@@ -128,35 +169,27 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		//lint:allow simpanic running a shut-down engine is harness misuse, caught at development time
 		panic("sim: engine already shut down")
 	}
-	for len(e.events) > 0 {
-		if e.events[0].at > deadline {
-			break
-		}
-		ev := heap.Pop(&e.events).(event)
-		e.fireSamplers(ev.at)
-		e.now = ev.at
-		e.dispatch(ev.proc)
+	e.running, e.deadline = true, deadline
+	for e.fireNext(deadline) {
 	}
+	e.running = false
 	return e.now
 }
 
 // Step executes exactly one pending event, if any, and reports whether one
-// was executed.  Useful in tests that assert on intermediate states.
+// was executed.  Useful in tests that assert on intermediate states.  The
+// resume fast path stays off during a Step so that a self-rescheduling
+// process cannot consume more than the one event.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
-		return false
-	}
-	ev := heap.Pop(&e.events).(event)
-	e.fireSamplers(ev.at)
-	e.now = ev.at
-	e.dispatch(ev.proc)
-	return true
+	return e.fireNext(maxTime)
 }
 
-// dispatch resumes process p and waits for it to park again or finish.
-func (e *Engine) dispatch(p *Proc) {
-	if p.finished {
-		return // stale wake-up for a process terminated by Shutdown
+// dispatch resumes the process that owns the event and waits for it to park
+// again or finish.  A stale wake-up — the shell was reaped by Shutdown, or
+// recycled onto a new assignment — fires nothing.
+func (e *Engine) dispatch(p *Proc, wake uint64) {
+	if p.finished || p.id != wake {
+		return
 	}
 	p.resume <- struct{}{}
 	<-e.yield
@@ -173,8 +206,10 @@ func (e *Engine) Shutdown() {
 	}
 	e.stopped = true
 	close(e.dead)
-	// Each parked process observes e.dead, panics with killSentinel, is
-	// recovered by its wrapper, and signals the yield channel one final time.
+	// Each live parked process observes e.dead, panics with killSentinel,
+	// is recovered by its run wrapper, and signals the yield channel one
+	// final time.  Idle pooled shells exit silently — they already
+	// finished and were counted.
 	for e.live > 0 {
 		<-e.yield
 		e.live--
@@ -190,10 +225,17 @@ type killSentinel struct{}
 // Proc is a simulated process: a goroutine whose execution is interleaved
 // deterministically by the engine.  Model code receives a *Proc and uses it
 // to wait for simulated time to pass and to interact with resources.
+//
+// A Proc is a shell that may serve several assignments over its lifetime:
+// when an assignment's function returns, the shell parks on the engine's
+// free list and Spawn reuses it — goroutine, resume channel and all — for a
+// later process, under a fresh ID.  Model code never observes the reuse;
+// it only ever sees the Proc during its own assignment.
 type Proc struct {
 	eng      *Engine
 	name     string
 	id       uint64
+	fn       func(*Proc)
 	resume   chan struct{}
 	finished bool
 	meterCtx any // opaque per-process annotation; see meter.go
@@ -208,43 +250,87 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 		panic("sim: Spawn after Shutdown")
 	}
 	e.procSeq++
-	p := &Proc{eng: e, name: name, id: e.procSeq, resume: make(chan struct{})}
+	var p *Proc
+	if n := len(e.idle); n > 0 {
+		p = e.idle[n-1]
+		e.idle[n-1] = nil
+		e.idle = e.idle[:n-1]
+		p.name, p.id, p.fn = name, e.procSeq, fn
+		p.finished = false
+		p.meterCtx = nil
+	} else {
+		p = &Proc{eng: e, name: name, id: e.procSeq, fn: fn, resume: make(chan struct{})}
+		go p.loop()
+	}
 	e.live++
 	if e.tracer != nil {
 		e.tracer.ProcStart(p)
 	}
-	go func() {
-		// The deferred handler is the only exit path that hands control
-		// back to the engine.  It covers normal returns, Shutdown kills
-		// (killSentinel panics), and runtime.Goexit (e.g. t.Fatal inside a
-		// simulated process) — without it any of those would leave the
-		// engine blocked forever waiting for a yield.
-		defer func() {
-			r := recover()
-			killed := false
-			if r != nil {
-				if _, ok := r.(killSentinel); !ok {
-					//lint:allow simpanic re-raise: a real panic in model code must propagate, not be swallowed by the kill path
-					panic(r)
-				}
-				killed = true
+	e.schedule(p, e.now)
+	return p
+}
+
+// loop is the shell goroutine: it waits for the first dispatch of each
+// assignment, runs it, recycles itself, and waits for the next.  The
+// goroutine exits when the engine shuts down or the assignment ends
+// abnormally (Shutdown kill, runtime.Goexit).
+func (p *Proc) loop() {
+	e := p.eng
+	for {
+		select {
+		case <-p.resume: // first dispatch of the current assignment
+		case <-e.dead:
+			// Engine shut down.  An assignment that was scheduled but
+			// never dispatched still counts as live; yield once so
+			// Shutdown's reap loop accounts for it.  An idle pooled
+			// shell just exits.
+			if !p.finished {
+				p.finished = true
+				e.yield <- struct{}{}
 			}
-			if p.finished {
-				return
+			return
+		}
+		if !p.run() {
+			return // killed by Shutdown; yield already signalled
+		}
+		// Finished normally: recycle the shell before yielding, so the
+		// engine can reuse it on the very next Spawn.
+		e.idle = append(e.idle, p)
+		e.yield <- struct{}{}
+	}
+}
+
+// run executes the shell's current assignment and reports whether the shell
+// can be reused.  The deferred handler is the only abnormal exit path that
+// hands control back to the engine: it covers Shutdown kills (killSentinel
+// panics) and runtime.Goexit (e.g. t.Fatal inside a simulated process) —
+// without it either would leave the engine blocked forever waiting for a
+// yield.  Real panics in model code propagate.
+func (p *Proc) run() (reuse bool) {
+	e := p.eng
+	normal := false
+	defer func() {
+		if normal {
+			return // clean finish; bookkeeping already done below
+		}
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinel); !ok {
+				//lint:allow simpanic re-raise: a real panic in model code must propagate, not be swallowed by the kill path
+				panic(r)
 			}
-			// Killed processes skip the finish hook: Shutdown reaps them in
-			// host-scheduler order, which must not leak into trace output.
-			if !killed && e.tracer != nil {
-				e.tracer.ProcFinish(p)
-			}
+			// Killed processes skip the finish hook: Shutdown reaps them
+			// in host-scheduler order, which must not leak into trace
+			// output.  live is decremented by Shutdown's reap loop.
 			p.finished = true
-			if !killed {
-				e.live-- // Shutdown's reap loop accounts for killed procs
-			}
 			e.yield <- struct{}{}
-		}()
-		<-p.resume // wait for first dispatch
-		fn(p)
+			return
+		}
+		// recover() == nil without a clean finish: the assignment left
+		// via runtime.Goexit.  Treat it as a finish so the engine is not
+		// wedged; the goroutine is already unwinding and will not loop.
+		if p.finished {
+			return
+		}
 		if e.tracer != nil {
 			e.tracer.ProcFinish(p)
 		}
@@ -252,8 +338,14 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 		e.live--
 		e.yield <- struct{}{}
 	}()
-	e.schedule(p, e.now)
-	return p
+	p.fn(p)
+	normal = true
+	if e.tracer != nil {
+		e.tracer.ProcFinish(p)
+	}
+	p.finished = true
+	e.live--
+	return true
 }
 
 // At schedules fn to run as a new process at absolute simulated time at.
@@ -278,11 +370,28 @@ func (p *Proc) Now() Time { return p.eng.now }
 // park hands control back to the engine and blocks until resumed.
 // Wake-ups must have been arranged beforehand (a scheduled event, or
 // registration on a resource queue).
+//
+// Fast path: when the next runnable event is this process's own wake-up —
+// the head of the queue, within the engine's current run deadline — the
+// process consumes it directly and keeps running instead of performing the
+// two-way goroutine hand-off.  This fires identical events in identical
+// order with identical sampler boundaries (consumeHead is shared with the
+// scheduler loop), so it is invisible to tracers, samplers and the
+// simulation itself; it merely skips parking a goroutine to immediately
+// resume it.  Only a running process can have scheduled its own next
+// wake-up, so a head event owned by p is necessarily that wake-up.
 func (p *Proc) park() {
-	p.eng.yield <- struct{}{}
+	e := p.eng
+	if e.running && e.events.len() > 0 {
+		if h := e.events.head(); h.proc == p && h.wake == p.id && h.at <= e.deadline {
+			e.consumeHead()
+			return
+		}
+	}
+	e.yield <- struct{}{}
 	select {
 	case <-p.resume:
-	case <-p.eng.dead:
+	case <-e.dead:
 		//lint:allow simpanic killSentinel is the engine's control-flow mechanism for unwinding parked processes at Shutdown
 		panic(killSentinel{})
 	}

@@ -50,13 +50,19 @@ func (e *Engine) AddSampler(interval Duration, fn func(at Time)) {
 		first = first.Add(interval)
 	}
 	e.samplers = append(e.samplers, samplerReg{interval: interval, next: first, fn: fn})
+	if first < e.nextSample {
+		e.nextSample = first
+	}
 }
 
 // fireSamplers invokes every registered sampler for each of its interval
 // boundaries up to and including upTo, in registration order.  Boundary
 // times are pure functions of the interval, so identical runs fire
-// identical sample sequences.
+// identical sample sequences.  It refreshes e.nextSample — the earliest
+// boundary still pending — so the event loop's per-event sampler check is
+// one comparison instead of a walk over the sampler list.
 func (e *Engine) fireSamplers(upTo Time) {
+	next := maxTime
 	for i := range e.samplers {
 		s := &e.samplers[i]
 		for s.next <= upTo {
@@ -64,7 +70,11 @@ func (e *Engine) fireSamplers(upTo Time) {
 			s.next = at.Add(s.interval)
 			s.fn(at)
 		}
+		if s.next < next {
+			next = s.next
+		}
 	}
+	e.nextSample = next
 }
 
 // SetMeterContext attaches an opaque per-process annotation (nil clears).

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refQueue is a container/heap reference model with the ordering contract
+// the engine relied on before PR 9 (pop order: ascending at, seq breaking
+// ties).  The property tests drive it in lockstep with eventQueue so the
+// replacement provably preserves the old ordering on adversarial inputs.
+type refQueue []event
+
+func (h refQueue) Len() int           { return len(h) }
+func (h refQueue) Less(i, j int) bool { return before(&h[i], &h[j]) }
+func (h refQueue) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refQueue) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *refQueue) Pop() any          { old := *h; n := len(old) - 1; e := old[n]; *h = old[:n]; return e }
+
+// TestEventQueueMatchesReference drives the 4-ary heap and the reference
+// binary heap through the same adversarial schedule: long runs of pushes
+// at a handful of distinct timestamps (so almost every comparison is a
+// seq tie-break), interleaved with pop bursts, including repeated
+// drain-to-empty and refill cycles.  Every pop must agree exactly.
+func TestEventQueueMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var q eventQueue
+	ref := &refQueue{}
+	var seq uint64
+	pops := 0
+	for round := 0; round < 200; round++ {
+		for i, n := 0, rng.Intn(40); i < n; i++ {
+			// Only four distinct timestamps: ties dominate.
+			ev := event{at: Time(rng.Intn(4)) * Time(time.Millisecond), seq: seq}
+			seq++
+			q.push(ev)
+			heap.Push(ref, ev)
+		}
+		for i, n := 0, rng.Intn(40); i < n && q.len() > 0; i++ {
+			got := q.pop()
+			want := heap.Pop(ref).(event)
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("pop %d: got (at=%v seq=%d), reference heap says (at=%v seq=%d)",
+					pops, got.at, got.seq, want.at, want.seq)
+			}
+			pops++
+		}
+	}
+	for q.len() > 0 {
+		got := q.pop()
+		want := heap.Pop(ref).(event)
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("drain pop %d: got (at=%v seq=%d), want (at=%v seq=%d)",
+				pops, got.at, got.seq, want.at, want.seq)
+		}
+		pops++
+	}
+	if ref.Len() != 0 {
+		t.Fatalf("reference heap still holds %d events after eventQueue drained", ref.Len())
+	}
+	if pops < 1000 {
+		t.Fatalf("schedule exercised only %d pops; adversarial coverage too thin", pops)
+	}
+}
+
+// TestSameTickChurnFIFO spawns workers that repeatedly reschedule
+// themselves for the same instant — every wake-up in a tick carries an
+// identical timestamp, plus a churner that spawns extra same-tick children
+// mid-tick — and asserts execution order within each tick is exactly
+// schedule order.  This is the engine-level determinism contract the
+// resume fast path and the proc pool must not disturb: among equal
+// timestamps, (at, seq) FIFO order is observable program order.
+func TestSameTickChurnFIFO(t *testing.T) {
+	const workers, ticks = 8, 50
+	var got []int
+	e := New()
+	for w := 0; w < workers; w++ {
+		w := w
+		e.Spawn("worker", func(p *Proc) {
+			for i := 0; i < ticks; i++ {
+				p.Wait(time.Millisecond)
+				got = append(got, w)
+			}
+		})
+	}
+	// The churner wakes with the others each tick, then spawns children
+	// that run later in the SAME tick (zero-length wait), stressing pushes
+	// into an already part-drained tick.
+	e.Spawn("churner", func(p *Proc) {
+		for i := 0; i < ticks; i++ {
+			p.Wait(time.Millisecond)
+			got = append(got, workers)
+			for c := 0; c < 3; c++ {
+				c := c
+				e.Spawn("child", func(q *Proc) {
+					got = append(got, workers+1+c)
+				})
+			}
+		}
+	})
+	e.Run()
+
+	want := make([]int, 0, len(got))
+	for i := 0; i < ticks; i++ {
+		// Per tick: workers 0..7 in spawn order, churner, then its three
+		// children in spawn order.
+		for w := 0; w <= workers; w++ {
+			want = append(want, w)
+		}
+		for c := 0; c < 3; c++ {
+			want = append(want, workers+1+c)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d wake-ups, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wake-up %d: proc %d ran, want proc %d (tick order diverged: %v...)",
+				i, got[i], want[i], got[max(0, i-14):i+1])
+		}
+	}
+}

@@ -15,7 +15,7 @@ type Server struct {
 	name  string
 	cap   int
 	busy  int
-	queue []*Proc
+	queue fifo[*Proc]
 
 	// Utilization accounting.
 	busyInt  Time // integral of busy slots over time
@@ -49,9 +49,9 @@ func (s *Server) Acquire(p *Proc) {
 		}
 		return
 	}
-	s.queue = append(s.queue, p)
+	s.queue.push(p)
 	if t := s.eng.tracer; t != nil {
-		t.ResourceWait(s.name, p, len(s.queue))
+		t.ResourceWait(s.name, p, s.queue.len())
 	}
 	enq := s.eng.now
 	p.park()
@@ -86,11 +86,9 @@ func (s *Server) Release() {
 	if t := s.eng.tracer; t != nil {
 		t.ResourceRelease(s.name, 1)
 	}
-	if len(s.queue) > 0 {
-		head := s.queue[0]
-		s.queue = s.queue[1:]
-		// busy count unchanged: the slot transfers to head.
-		s.eng.schedule(head, s.eng.now)
+	if s.queue.len() > 0 {
+		// busy count unchanged: the slot transfers to the queue head.
+		s.eng.schedule(s.queue.pop(), s.eng.now)
 		return
 	}
 	s.account()
@@ -105,7 +103,7 @@ func (s *Server) Use(p *Proc, d Duration) {
 }
 
 // QueueLen reports the number of processes waiting for a slot.
-func (s *Server) QueueLen() int { return len(s.queue) }
+func (s *Server) QueueLen() int { return s.queue.len() }
 
 // Busy reports the number of slots currently in use.
 func (s *Server) Busy() int { return s.busy }
@@ -256,10 +254,17 @@ func (ev *Event) Signal() {
 		return
 	}
 	ev.fired = true
-	for _, w := range ev.waiters {
+	ev.wake()
+}
+
+// wake schedules every waiter at the current time and empties the waiter
+// list, keeping its backing array for reuse.
+func (ev *Event) wake() {
+	for i, w := range ev.waiters {
 		ev.eng.schedule(w, ev.eng.now)
+		ev.waiters[i] = nil
 	}
-	ev.waiters = nil
+	ev.waiters = ev.waiters[:0]
 }
 
 // Wait blocks p until the event fires (returns immediately if already fired).
@@ -294,8 +299,9 @@ func (g *Group) Done() {
 		panic("sim: Group.Done without matching Add")
 	}
 	if g.n == 0 {
-		g.ev.Signal()
-		g.ev = NewEvent(g.eng) // allow group reuse
+		// Wake the joiners without latching, so the group (and its
+		// event's waiter storage) is immediately reusable.
+		g.ev.wake()
 	}
 }
 
@@ -323,9 +329,9 @@ func (g *Group) Go(name string, fn func(*Proc)) {
 type Store[T any] struct {
 	eng      *Engine
 	capacity int
-	items    []T
-	getters  []storeGetter[T]
-	putters  []storePutter[T]
+	items    fifo[T]
+	getters  fifo[storeGetter[T]]
+	putters  fifo[storePutter[T]]
 	closed   bool
 }
 
@@ -347,7 +353,7 @@ func NewStore[T any](e *Engine, capacity int) *Store[T] {
 }
 
 // Len reports the number of buffered items.
-func (s *Store[T]) Len() int { return len(s.items) }
+func (s *Store[T]) Len() int { return s.items.len() }
 
 // Put inserts an item, blocking while the buffer is full.
 func (s *Store[T]) Put(p *Proc, item T) {
@@ -356,16 +362,15 @@ func (s *Store[T]) Put(p *Proc, item T) {
 		panic("sim: Put on closed Store")
 	}
 	// Hand directly to a waiting getter if any.
-	if len(s.getters) > 0 {
-		g := s.getters[0]
-		s.getters = s.getters[1:]
+	if s.getters.len() > 0 {
+		g := s.getters.pop()
 		*g.dst = item
 		*g.ok = true
 		s.eng.schedule(g.proc, s.eng.now)
 		return
 	}
-	if s.capacity > 0 && len(s.items) >= s.capacity {
-		s.putters = append(s.putters, storePutter[T]{proc: p, item: item})
+	if s.capacity > 0 && s.items.len() >= s.capacity {
+		s.putters.push(storePutter[T]{proc: p, item: item})
 		p.park()
 		if s.closed {
 			//lint:allow simpanic producing into a closed store is a pipeline-shutdown ordering bug in the model, not a recoverable state
@@ -373,21 +378,19 @@ func (s *Store[T]) Put(p *Proc, item T) {
 		}
 		return // the getter that woke us consumed our item directly
 	}
-	s.items = append(s.items, item)
+	s.items.push(item)
 }
 
 // Get removes and returns the oldest item, blocking while the buffer is
 // empty.  ok is false if the store was closed and drained.
 func (s *Store[T]) Get(p *Proc) (item T, ok bool) {
 	for {
-		if len(s.items) > 0 {
-			item = s.items[0]
-			s.items = s.items[1:]
+		if s.items.len() > 0 {
+			item = s.items.pop()
 			// Admit a blocked putter, if any.
-			if len(s.putters) > 0 {
-				put := s.putters[0]
-				s.putters = s.putters[1:]
-				s.items = append(s.items, put.item)
+			if s.putters.len() > 0 {
+				put := s.putters.pop()
+				s.items.push(put.item)
 				s.eng.schedule(put.proc, s.eng.now)
 			}
 			return item, true
@@ -397,7 +400,7 @@ func (s *Store[T]) Get(p *Proc) (item T, ok bool) {
 		}
 		var got T
 		var okFlag bool
-		s.getters = append(s.getters, storeGetter[T]{proc: p, dst: &got, ok: &okFlag})
+		s.getters.push(storeGetter[T]{proc: p, dst: &got, ok: &okFlag})
 		p.park()
 		if okFlag {
 			return got, true
@@ -413,10 +416,9 @@ func (s *Store[T]) Close() {
 		return
 	}
 	s.closed = true
-	for _, g := range s.getters {
-		s.eng.schedule(g.proc, s.eng.now)
+	for s.getters.len() > 0 {
+		s.eng.schedule(s.getters.pop().proc, s.eng.now)
 	}
-	s.getters = nil
 }
 
 // BytesDuration returns the time n bytes take at rate mbPerS (decimal
@@ -434,7 +436,7 @@ type Tokens struct {
 	name  string
 	total int
 	avail int
-	queue []tokenWaiter
+	queue fifo[tokenWaiter]
 }
 
 type tokenWaiter struct {
@@ -459,16 +461,16 @@ func (tk *Tokens) Acquire(p *Proc, n int) {
 		//lint:allow simpanic a request larger than the pool would block forever; deadlock-by-construction is a programming error
 		panic(fmt.Sprintf("sim: token request %d exceeds pool %q size %d", n, tk.name, tk.total))
 	}
-	if len(tk.queue) == 0 && tk.avail >= n {
+	if tk.queue.len() == 0 && tk.avail >= n {
 		tk.avail -= n
 		if t := tk.eng.tracer; t != nil {
 			t.ResourceAcquire(tk.name, p, n, 0, false)
 		}
 		return
 	}
-	tk.queue = append(tk.queue, tokenWaiter{proc: p, n: n})
+	tk.queue.push(tokenWaiter{proc: p, n: n})
 	if t := tk.eng.tracer; t != nil {
-		t.ResourceWait(tk.name, p, len(tk.queue))
+		t.ResourceWait(tk.name, p, tk.queue.len())
 	}
 	enq := tk.eng.now
 	p.park()
@@ -487,7 +489,7 @@ func (tk *Tokens) Reserve(n int) error {
 	if n <= 0 {
 		return fmt.Errorf("sim: reserve of %d units from pool %q", n, tk.name)
 	}
-	if len(tk.queue) > 0 || n > tk.avail {
+	if tk.queue.len() > 0 || n > tk.avail {
 		return fmt.Errorf("sim: cannot reserve %d units of %q (%d of %d available)", n, tk.name, tk.avail, tk.total)
 	}
 	tk.avail -= n
@@ -507,9 +509,8 @@ func (tk *Tokens) Release(n int) {
 		//lint:allow simpanic unbalanced Release corrupts admission accounting; acquire/release pairing is a structural invariant
 		panic(fmt.Sprintf("sim: token pool %q over-released", tk.name))
 	}
-	for len(tk.queue) > 0 && tk.avail >= tk.queue[0].n {
-		w := tk.queue[0]
-		tk.queue = tk.queue[1:]
+	for tk.queue.len() > 0 && tk.avail >= tk.queue.peek().n {
+		w := tk.queue.pop()
 		tk.avail -= w.n
 		tk.eng.schedule(w.proc, tk.eng.now)
 	}

@@ -120,35 +120,49 @@ func Adopt(child, parent *sim.Proc) {
 	}
 }
 
-// noopSpanEnd closes nothing, for processes outside any request.
-var noopSpanEnd = func() {}
+// StageCloser closes one stage interval opened by StageSpan.  It is a
+// plain value — the datapath opens a span on every cache probe, SCSI
+// transfer and parity pass, and the closure StageSpan used to return cost
+// one heap allocation per call on exactly those hot paths.  The zero
+// StageCloser is valid and ends nothing.
+type StageCloser struct {
+	sc    *scope
+	p     *sim.Proc
+	depth int
+}
 
 // StageSpan opens a stage interval on p and returns its closer.  Close
-// with defer; frames on one process must close in LIFO order.  With no
-// live request on p both open and close are no-ops.
-func StageSpan(p *sim.Proc, st Stage) func() {
+// with defer c.End(); frames on one process must close in LIFO order.
+// With no live request on p both open and close are no-ops.
+func StageSpan(p *sim.Proc, st Stage) StageCloser {
 	sc := scopeOf(p)
 	if sc == nil || sc.req == nil || sc.req.done {
-		return noopSpanEnd
+		return StageCloser{}
 	}
 	sc.stack = append(sc.stack, frame{stage: st, enter: p.Now()})
-	depth := len(sc.stack)
-	return func() {
-		if sc.req.done || len(sc.stack) < depth {
-			return
-		}
-		sc.stack = sc.stack[:depth] // shed any leaked deeper frames
-		f := sc.stack[depth-1]
-		total := p.Now().Sub(f.enter)
-		excl := total - f.child
-		if excl < 0 {
-			excl = 0
-		}
-		sc.req.stages[f.stage] += excl
-		sc.stack = sc.stack[:depth-1]
-		if depth > 1 {
-			sc.stack[depth-2].child += total
-		}
+	return StageCloser{sc: sc, p: p, depth: len(sc.stack)}
+}
+
+// End closes the interval, charging the frame's exclusive time to its
+// stage.  Idempotent: a second End (or one after the request completed)
+// does nothing.
+func (c StageCloser) End() {
+	sc := c.sc
+	if sc == nil || sc.req.done || len(sc.stack) < c.depth {
+		return
+	}
+	depth := c.depth
+	sc.stack = sc.stack[:depth] // shed any leaked deeper frames
+	f := sc.stack[depth-1]
+	total := c.p.Now().Sub(f.enter)
+	excl := total - f.child
+	if excl < 0 {
+		excl = 0
+	}
+	sc.req.stages[f.stage] += excl
+	sc.stack = sc.stack[:depth-1]
+	if depth > 1 {
+		sc.stack[depth-2].child += total
 	}
 }
 

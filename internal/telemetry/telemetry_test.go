@@ -164,9 +164,9 @@ func TestRequestStageAccounting(t *testing.T) {
 		p.Wait(3 * time.Millisecond)
 		endSCSI := StageSpan(p, StageSCSI)
 		p.Wait(4 * time.Millisecond)
-		endSCSI()
+		endSCSI.End()
 		p.Wait(3 * time.Millisecond)
-		endRAID()
+		endRAID.End()
 		req.End(p, nil)
 	})
 	e.Run()
@@ -202,7 +202,7 @@ func TestRequestAdoptAndOutcomes(t *testing.T) {
 			Adopt(q, p)
 			end := StageSpan(q, StageDisk)
 			q.Wait(2 * time.Millisecond)
-			end()
+			end.End()
 			MarkDegraded(q)
 			CacheHit(q)
 			CacheMiss(q)
@@ -277,7 +277,7 @@ func TestInstrumentationNilSafe(t *testing.T) {
 		MarkDegraded(p)
 		MarkRetried(p)
 		MarkShed(p)
-		end()
+		end.End()
 		Ensure(p, "y")(nil)
 		var req *Request
 		req.End(p, nil) // nil receiver must not panic
@@ -345,7 +345,7 @@ func TestExportDeterministic(t *testing.T) {
 				req := Begin(p, "k")
 				end := StageSpan(p, StageRAID)
 				p.Wait(sim.Duration(i+1) * time.Millisecond / 7)
-				end()
+				end.End()
 				req.End(p, nil)
 			}
 		})

@@ -35,24 +35,24 @@ func WriteChrome(w io.Writer, recs ...*Recorder) error {
 		pid := rec.cfg.Pid
 		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`,
 			pid, jstr(rec.cfg.Label)))
-		for _, p := range rec.procs {
+		rec.procs.forEach(func(p *procRec) {
 			emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
 				pid, p.id, jstr(p.name)))
-		}
+		})
 		now := rec.eng.Now()
-		for _, p := range rec.procs {
+		rec.procs.forEach(func(p *procRec) {
 			// Processes still running at export time close at now.
 			emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"cat":"proc","name":%s,"ts":%s,"dur":%s}`,
 				pid, p.id, jstr(p.name), tsUS(p.start), durUS(p.end, p.start, now)))
-		}
-		for _, s := range rec.spans {
+		})
+		rec.spans.forEach(func(s *spanRec) {
 			emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"cat":%s,"name":%s,"ts":%s,"dur":%s}`,
 				pid, s.tid, jstr(s.cat), jstr(s.name), tsUS(s.start), durUS(s.end, s.start, now)))
-		}
-		for _, c := range rec.counters {
+		})
+		rec.counters.forEach(func(c *counterRec) {
 			emit(fmt.Sprintf(`{"ph":"C","pid":%d,"name":%s,"ts":%s,"args":{"busy":%d,"queued":%d}}`,
 				pid, jstr(rec.resources[c.res].Name), tsUS(c.at), c.busy, c.waiting))
-		}
+		})
 	}
 	bw.WriteString("\n]}\n") //lint:allow errdrop sticky bufio error surfaces at the final Flush
 	return bw.Flush()

@@ -1,0 +1,56 @@
+package trace
+
+// slab is an append-only store built from fixed-size chunks.  The Recorder
+// keeps its per-event records (processes, spans, counter samples) in slabs
+// instead of flat slices because a flat slice doubles by copying: a
+// million-event trace would re-copy its whole history a dozen times and
+// every grow is an allocation spike in the middle of the hot recording
+// path.  A slab never moves a record once written — appends touch only the
+// last chunk and allocate one new chunk per slabChunk records, so
+// steady-state recording is allocation-free and old chunks stay where the
+// GC first saw them.
+//
+// Records are addressed by dense index in append order, which is exactly
+// the deterministic order the exporters need: iteration via forEach visits
+// records in the order the hooks fired, so Chrome trace output stays
+// byte-identical with what the flat-slice implementation produced.
+type slab[T any] struct {
+	chunks [][]T
+	n      int
+}
+
+// slabChunk is the number of records per chunk.  At the 32-56 byte record
+// sizes the Recorder stores, a chunk lands in the few-hundred-KB range:
+// large enough to amortize allocation to noise, small enough that a short
+// run does not pin megabytes.
+const slabChunk = 8192
+
+// append adds v and returns its index.
+func (s *slab[T]) append(v T) int {
+	last := len(s.chunks) - 1
+	if last < 0 || len(s.chunks[last]) == slabChunk {
+		s.chunks = append(s.chunks, make([]T, 0, slabChunk))
+		last++
+	}
+	s.chunks[last] = append(s.chunks[last], v)
+	i := s.n
+	s.n++
+	return i
+}
+
+// len reports the number of records stored.
+func (s *slab[T]) len() int { return s.n }
+
+// at returns a pointer to record i, valid for the life of the slab.
+func (s *slab[T]) at(i int) *T {
+	return &s.chunks[i/slabChunk][i%slabChunk]
+}
+
+// forEach visits every record in append order.
+func (s *slab[T]) forEach(fn func(*T)) {
+	for _, c := range s.chunks {
+		for i := range c {
+			fn(&c[i])
+		}
+	}
+}

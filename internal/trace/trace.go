@@ -30,7 +30,7 @@ type Config struct {
 // already constructed on e are replayed into the recorder, so attaching
 // after system assembly loses nothing.
 func Attach(e *sim.Engine, cfg Config) *Recorder {
-	r := &Recorder{eng: e, cfg: cfg, procIdx: map[uint64]int{}, resIdx: map[string]int{}, spanIdx: map[string]int{}}
+	r := &Recorder{eng: e, cfg: cfg, procIdx: map[uint64]int{}, resIdx: map[string]int{}, spanIdx: map[spanKey]int{}}
 	e.SetTracer(r)
 	return r
 }
@@ -94,22 +94,33 @@ type counterRec struct {
 	waiting int
 }
 
+// spanKey identifies a span kind for aggregation.  A struct key lets the
+// hot Span hook index the aggregate map without building a concatenated
+// string (which was one heap allocation per span recorded).
+type spanKey struct {
+	cat, name string
+}
+
 // Recorder implements sim.Tracer.  It must only be read (Table, WriteChrome)
 // when the simulation is not running.
+//
+// Per-event records live in slabs (see slab.go) so full-event recording of
+// long runs never re-copies its history and is allocation-free in steady
+// state apart from one chunk allocation per slabChunk records.
 type Recorder struct {
 	eng *sim.Engine
 	cfg Config
 
-	procs   []procRec
+	procs   slab[procRec]
 	procIdx map[uint64]int
-	spans   []spanRec
+	spans   slab[spanRec]
 
 	resources []*Resource
 	resIdx    map[string]int
-	counters  []counterRec
+	counters  slab[counterRec]
 
-	spanAgg []*SpanCount
-	spanIdx map[string]int
+	spanAgg []SpanCount
+	spanIdx map[spanKey]int
 }
 
 // SpanCount aggregates every span sharing a category and name: occurrence
@@ -136,8 +147,7 @@ func (rec *Recorder) ProcStart(p *sim.Proc) {
 	if !rec.cfg.Events {
 		return
 	}
-	rec.procIdx[p.ID()] = len(rec.procs)
-	rec.procs = append(rec.procs, procRec{id: p.ID(), name: p.Name(), start: rec.eng.Now(), end: -1})
+	rec.procIdx[p.ID()] = rec.procs.append(procRec{id: p.ID(), name: p.Name(), start: rec.eng.Now(), end: -1})
 }
 
 // ProcFinish implements sim.Tracer.
@@ -146,7 +156,7 @@ func (rec *Recorder) ProcFinish(p *sim.Proc) {
 		return
 	}
 	if i, ok := rec.procIdx[p.ID()]; ok {
-		rec.procs[i].end = rec.eng.Now()
+		rec.procs.at(i).end = rec.eng.Now()
 	}
 }
 
@@ -176,7 +186,7 @@ func (rec *Recorder) sample(r *Resource) {
 	if !rec.cfg.Events {
 		return
 	}
-	rec.counters = append(rec.counters, counterRec{
+	rec.counters.append(counterRec{
 		res: rec.resIdx[r.Name], at: rec.eng.Now(), busy: r.busy, waiting: r.waiting,
 	})
 }
@@ -215,36 +225,34 @@ func (rec *Recorder) ResourceRelease(name string, units int) {
 // Span implements sim.Tracer.
 func (rec *Recorder) Span(p *sim.Proc, cat, name string, start sim.Time) {
 	if rec.spanIdx == nil {
-		rec.spanIdx = map[string]int{}
+		rec.spanIdx = map[spanKey]int{}
 	}
-	key := cat + "\x00" + name
+	key := spanKey{cat: cat, name: name}
 	i, ok := rec.spanIdx[key]
 	if !ok {
 		i = len(rec.spanAgg)
 		rec.spanIdx[key] = i
-		rec.spanAgg = append(rec.spanAgg, &SpanCount{Cat: cat, Name: name})
+		rec.spanAgg = append(rec.spanAgg, SpanCount{Cat: cat, Name: name})
 	}
 	rec.spanAgg[i].Count++
 	rec.spanAgg[i].Total += rec.eng.Now().Sub(start)
 	if !rec.cfg.Events {
 		return
 	}
-	rec.spans = append(rec.spans, spanRec{tid: p.ID(), cat: cat, name: name, start: start, end: rec.eng.Now()})
+	rec.spans.append(spanRec{tid: p.ID(), cat: cat, name: name, start: start, end: rec.eng.Now()})
 }
 
 // SpanCounts returns the span aggregates in first-occurrence order.
 func (rec *Recorder) SpanCounts() []SpanCount {
 	out := make([]SpanCount, len(rec.spanAgg))
-	for i, s := range rec.spanAgg {
-		out[i] = *s
-	}
+	copy(out, rec.spanAgg)
 	return out
 }
 
 // spanCount returns the aggregate for (cat, name), zero-valued if never seen.
 func (rec *Recorder) spanCount(cat, name string) SpanCount {
-	if i, ok := rec.spanIdx[cat+"\x00"+name]; ok {
-		return *rec.spanAgg[i]
+	if i, ok := rec.spanIdx[spanKey{cat: cat, name: name}]; ok {
+		return rec.spanAgg[i]
 	}
 	return SpanCount{Cat: cat, Name: name}
 }

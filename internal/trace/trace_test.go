@@ -239,3 +239,60 @@ func TestTokensUnitsAccounting(t *testing.T) {
 		t.Errorf("utilization = %v, want 0.75", got)
 	}
 }
+
+// TestChurnTraceByteIdenticalAndFIFO drives an adversarial same-tick churn
+// workload — every worker re-arms for the same instant each tick, so the
+// event queue is all timestamp ties — records it twice with full events,
+// and asserts (a) the Chrome output is byte-identical across runs and
+// (b) the span stream preserves the pre-PR-9 ordering contract: within one
+// timestamp, spans close in worker spawn order.  This pins the rebuilt
+// queue, proc pool and resume fast path to the old observable ordering.
+func TestChurnTraceByteIdenticalAndFIFO(t *testing.T) {
+	const workers, ticks = 6, 20
+	run := func() (string, *Recorder) {
+		e := sim.New()
+		rec := Attach(e, Config{Label: "churn", Pid: 3, Events: true})
+		for w := 0; w < workers; w++ {
+			e.Spawn("worker", func(p *sim.Proc) {
+				for i := 0; i < ticks; i++ {
+					end := p.Span("churn", "tick")
+					p.Wait(time.Millisecond)
+					end()
+				}
+			})
+		}
+		e.Run()
+		var buf bytes.Buffer
+		if err := WriteChrome(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), rec
+	}
+	out1, rec := run()
+	out2, _ := run()
+	if out1 != out2 {
+		t.Fatal("Chrome JSON differs between identical churn runs")
+	}
+	// Spans were recorded close-time ascending; within one close time the
+	// workers must appear in spawn order (ascending tid), because equal
+	// timestamps dispatch in schedule order.
+	var prev *spanRec
+	checked := 0
+	rec.spans.forEach(func(s *spanRec) {
+		if prev != nil {
+			if s.end < prev.end {
+				t.Fatalf("span close times regressed: %v after %v", s.end, prev.end)
+			}
+			if s.end == prev.end && s.tid <= prev.tid {
+				t.Fatalf("same-tick spans out of spawn order at %v: tid %d after %d",
+					s.end, s.tid, prev.tid)
+			}
+			checked++
+		}
+		c := *s
+		prev = &c
+	})
+	if want := workers*ticks - 1; checked != want {
+		t.Fatalf("checked %d span adjacencies, want %d", checked, want)
+	}
+}
