@@ -187,14 +187,19 @@ func TestLatentErrorEscalatesThroughAPI(t *testing.T) {
 	}
 	_, err = srv.Simulate(func(task *Task) error {
 		p := task.p
-		b.Array.Write(p, 0, data)
+		if err := b.Array.Write(p, 0, data); err != nil {
+			return err
+		}
 		// Stripe 0's data column 0 lives on device 0 (left-symmetric
 		// layout), so sector 1 of drive 0 holds bytes the read must cover.
 		task.Board(0).LatentError(0, 1, 1)
 		if task.Board(0).DiskFailed(0) {
 			t.Error("latent error alone must not fail the disk")
 		}
-		got := b.Array.Read(p, 0, nSec)
+		got, err := b.Array.Read(p, 0, nSec)
+		if err != nil {
+			return err
+		}
 		if !bytes.Equal(got, data) {
 			t.Error("read over latent error returned wrong bytes")
 		}
@@ -230,7 +235,9 @@ func TestHotRebuildThroughAPI(t *testing.T) {
 	}
 	_, err = srv.Simulate(func(task *Task) error {
 		p := task.p
-		b.Array.Write(p, 0, data)
+		if err := b.Array.Write(p, 0, data); err != nil {
+			return err
+		}
 		bd := task.Board(0)
 		if err := bd.FailDisk(2); err != nil {
 			return err
@@ -252,7 +259,11 @@ func TestHotRebuildThroughAPI(t *testing.T) {
 		if bd.DiskFailed(2) {
 			t.Fatal("device still failed after rebuild")
 		}
-		if got := b.Array.Read(p, 0, nSec); !bytes.Equal(got, data) {
+		got, err := b.Array.Read(p, 0, nSec)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data) {
 			t.Fatal("rebuilt array returned wrong bytes")
 		}
 		if bd.ArrayStats().RebuildStripes == 0 {
@@ -401,7 +412,9 @@ func TestScriptedDiskFailure(t *testing.T) {
 			t.Fatal("disk failed before its scheduled time")
 		}
 		for i := 0; i < 12; i++ {
-			bd.HardwareRead(int64(i)*(1<<20), 1<<20)
+			if err := bd.HardwareRead(int64(i)*(1<<20), 1<<20); err != nil {
+				return err
+			}
 		}
 		if task.Elapsed() <= failAt {
 			t.Fatalf("workload too short (%v) to cross the fault at %v", task.Elapsed(), failAt)

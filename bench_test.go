@@ -222,7 +222,9 @@ func BenchmarkSimulatorEventRate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		off := workload.RandomAligned(rng, space-2048, 2048)
 		sys.Eng.Spawn("op", func(p *sim.Proc) {
-			board.HardwareRead(p, off, 1<<20)
+			if err := board.HardwareRead(p, off, 1<<20); err != nil {
+				b.Error(err)
+			}
 		})
 		sys.Eng.Run()
 	}

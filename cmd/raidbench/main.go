@@ -5,11 +5,15 @@
 // Usage:
 //
 //	raidbench [-trace out.json] [-util] [-json out.json] [-metrics out.prom]
-//	          [-metrics-json out.json] [-faults] [experiment ...]
+//	          [-metrics-json out.json] [-faults] [-list] [experiment ...]
 //
 // With no arguments every experiment runs.  Experiments: fig5, table1,
 // table2, fig6, fig7, fig8, raid1, client, recovery, scaling, zebra,
-// fleet, rebuild, faults, netfaults, fileserver, cache, ablate.
+// fleet, rebuild, faults, netfaults, fileserver, cache, smallwrite,
+// doublefault, ablate.
+//
+// -list prints every registered experiment with its one-line description
+// and exits without running anything.
 //
 // -util prints a per-component utilization/queue-wait table after each
 // experiment, naming the bottleneck that shapes the measured curve (and
@@ -79,6 +83,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	metricsOut := flag.String("metrics", "", "write per-run telemetry as Prometheus text to this file")
 	metricsJSONOut := flag.String("metrics-json", "", "write per-run telemetry as versioned JSON to this file")
+	list := flag.Bool("list", false, "list registered experiments with their descriptions and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap pprof profile taken after the last experiment to this file")
 	flag.Parse()
@@ -173,7 +178,16 @@ func main() {
 		{"netfaults", "Ultranet link flap under client reads", cfg16 + " + fast client", runNetFaults},
 		{"fileserver", "Zipf-skewed file-server trace (integration)", cfg16 + ", 8 MB cache (16 KB lines)", runFileServer},
 		{"cache", "block cache working-set sweep", cfg24 + ", 8 MB cache (64 KB lines)", runCache},
+		{"smallwrite", "durable 4 KB write latency: NVRAM staging vs synchronous", cfg16 + ", 1 MB NVRAM", runSmallWrite},
+		{"doublefault", "RAID-6 double disk failure: degraded serving and double rebuild", cfg16 + " at RAID-6, small disks", runDoubleFault},
 		{"ablate", "design-choice ablations", cfgMix, runAblate},
+	}
+
+	if *list {
+		for _, ex := range experiments {
+			fmt.Printf("%-12s %s\n", ex.name, ex.desc)
+		}
+		return
 	}
 
 	want := map[string]bool{}
@@ -553,6 +567,41 @@ func runAblate() error {
 	}
 	fmt.Print(fig.Render())
 	jsonFigure(fig, "MB/s")
+	return nil
+}
+
+func runSmallWrite() error {
+	r, err := raidii.SmallWriteLatency()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d durable %d KB writes per machine (read-back verified):\n", r.Ops, r.RecSize>>10)
+	fmt.Println("NVRAM-staged ack:")
+	printLatency("staged", r.Staged)
+	fmt.Println("synchronous (segment seal per write):")
+	printLatency("unstaged", r.Unstaged)
+	fmt.Printf("staging: %d group commits covered %d records, %d writes degraded to sync\n",
+		r.Commits, r.CommitRecords, r.Degraded)
+	jsonPoint("group-commits", 0, "count", float64(r.Commits))
+	return nil
+}
+
+func runDoubleFault() error {
+	r, err := raidii.DoubleFaultTimeline()
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Fig.Render())
+	fmt.Printf("disks failed at %v and %v: %.1f MB/s healthy -> %.1f MB/s double-degraded "+
+		"(%d degraded reads, data intact=%v)\n",
+		r.FirstFailAt, r.SecondFailAt, r.HealthyMBps, r.DoubleDegradedMBps, r.DegradedReads, r.DataIntact)
+	fmt.Printf("both rebuilds: %v; post-rebuild %.1f MB/s (%.0f%% of healthy)\n",
+		r.RebuildDuration, r.PostRebuildMBps, r.RecoveredFrac*100)
+	jsonPoint("dbl-healthy", 0, "MB/s", r.HealthyMBps)
+	jsonPoint("dbl-degraded", 0, "MB/s", r.DoubleDegradedMBps)
+	jsonPoint("dbl-post-rebuild", 0, "MB/s", r.PostRebuildMBps)
+	jsonPoint("dbl-recovered", 0, "fraction", r.RecoveredFrac)
+	jsonPoint("dbl-degraded-reads", 0, "count", float64(r.DegradedReads))
 	return nil
 }
 

@@ -57,16 +57,24 @@ func Fig5(sizesKB []int) (*Figure, error) {
 				total = 4 * size
 			}
 			wr := wr
+			var opErr error
 			res := workload.FixedOps(sys.Eng, outstanding, total/size, func(p *sim.Proc, _ int, rng *rand.Rand) int {
 				align := int64(size / 512)
 				off := workload.RandomAligned(rng, space-align, align)
+				var err error
 				if wr {
-					b.HardwareWrite(p, off, size)
+					err = b.HardwareWrite(p, off, size)
 				} else {
-					b.HardwareRead(p, off, size)
+					err = b.HardwareRead(p, off, size)
+				}
+				if err != nil && opErr == nil {
+					opErr = err
 				}
 				return size
 			})
+			if opErr != nil {
+				return nil, opErr
+			}
 			if wr {
 				writes.Add(float64(kb), res.MBps())
 			} else {
@@ -99,16 +107,24 @@ func Table1() (Table1Result, error) {
 		const req = 1600 << 10
 		var cursor int64
 		wr := wr
+		var opErr error
 		res := workload.FixedOps(sys.Eng, outstanding, 48, func(p *sim.Proc, _ int, _ *rand.Rand) int {
 			off := cursor
 			cursor += int64(req / 512)
+			var err error
 			if wr {
-				b.HardwareWrite(p, off, req)
+				err = b.HardwareWrite(p, off, req)
 			} else {
-				b.HardwareRead(p, off, req)
+				err = b.HardwareRead(p, off, req)
+			}
+			if err != nil && opErr == nil {
+				opErr = err
 			}
 			return req
 		})
+		if opErr != nil {
+			return out, opErr
+		}
 		if wr {
 			out.WriteMBps = res.MBps()
 		} else {
@@ -379,12 +395,18 @@ func RAIDIBaseline() (RAIDIResult, error) {
 	}
 	attachProbe("raid1/user", r.Eng)
 	var cursor int64
+	var opErr error
 	res := workload.FixedOps(r.Eng, 1, 16, func(p *sim.Proc, _ int, _ *rand.Rand) int {
 		const req = 1 << 20
-		r.UserRead(p, cursor, req)
+		if err := r.UserRead(p, cursor, req); err != nil && opErr == nil {
+			opErr = err
+		}
 		cursor += int64(req / 512)
 		return req
 	})
+	if opErr != nil {
+		return out, opErr
+	}
 	out.UserReadMBps = res.MBps()
 
 	// One drive streaming without the host in the way.
@@ -580,6 +602,7 @@ func Scaling(boardCounts []int) (*Figure, error) {
 		attachProbe(fmt.Sprintf("scaling/%dboards", n), sys.Eng)
 		const perBoard = 32 << 20
 		g := sim.NewGroup(sys.Eng)
+		var opErr error
 		for _, b := range sys.Boards {
 			b := b
 			for w := 0; w < outstanding; w++ {
@@ -590,13 +613,18 @@ func Scaling(boardCounts []int) (*Figure, error) {
 						// The host charges per-request control work, which
 						// eventually saturates as boards are added.
 						sys.Host.CPUWork(p, 2*time.Millisecond)
-						b.HardwareRead(p, cursor, 1600<<10)
+						if err := b.HardwareRead(p, cursor, 1600<<10); err != nil && opErr == nil {
+							opErr = err
+						}
 						cursor += (1600 << 10) / 512
 					}
 				})
 			}
 		}
 		end := sys.Eng.Run()
+		if opErr != nil {
+			return nil, opErr
+		}
 		s.Add(float64(n), float64(n*perBoard)/end.Seconds()/1e6)
 	}
 	return fig, nil
@@ -684,13 +712,16 @@ func AblationParityEngine() (AblationResult, error) {
 		}
 		const req = 1472 << 10 // one full stripe
 		var cursor int64
+		var opErr error
 		res := workload.FixedOps(sys.Eng, 2, 24, func(p *sim.Proc, _ int, _ *rand.Rand) int {
 			off := cursor
 			cursor += int64(req / 512)
-			b.HardwareWrite(p, off, req)
+			if err := b.HardwareWrite(p, off, req); err != nil && opErr == nil {
+				opErr = err
+			}
 			return req
 		})
-		return res.MBps(), nil
+		return res.MBps(), opErr
 	}
 	var err error
 	if out.With, err = run(false); err != nil {
@@ -846,12 +877,18 @@ func AblationStripeUnit(unitsKB []int) (*Figure, error) {
 		b := sys.Boards[0]
 		space := b.Array.Sectors()
 		const size = 1 << 20
+		var opErr error
 		res := workload.FixedOps(sys.Eng, outstanding, 24, func(p *sim.Proc, _ int, rng *rand.Rand) int {
 			align := int64(size / 512)
 			off := workload.RandomAligned(rng, space-align, align)
-			b.HardwareRead(p, off, size)
+			if err := b.HardwareRead(p, off, size); err != nil && opErr == nil {
+				opErr = err
+			}
 			return size
 		})
+		if opErr != nil {
+			return nil, opErr
+		}
 		s.Add(float64(kb), res.MBps())
 	}
 	return fig, nil
@@ -881,24 +918,31 @@ func Rebuild() (RebuildResult, error) {
 	b := sys.Boards[0]
 	space := b.Array.Sectors()
 
-	measure := func() float64 {
+	measure := func() (float64, error) {
 		start := sys.Eng.Now()
+		var opErr error
 		res := workload.FixedOps(sys.Eng, outstanding, 24, func(p *sim.Proc, _ int, rng *rand.Rand) int {
 			const size = 1 << 20
 			align := int64(size / 512)
 			off := workload.RandomAligned(rng, space-align, align)
-			b.HardwareRead(p, off, size)
+			if err := b.HardwareRead(p, off, size); err != nil && opErr == nil {
+				opErr = err
+			}
 			return size
 		})
 		res.Elapsed = sim.Duration(sys.Eng.Now() - start)
-		return res.MBps()
+		return res.MBps(), opErr
 	}
 
-	out.NormalReadMBps = measure()
+	if out.NormalReadMBps, err = measure(); err != nil {
+		return out, err
+	}
 	if err := b.Array.FailDisk(3); err != nil {
 		return out, err
 	}
-	out.DegradedReadMBps = measure()
+	if out.DegradedReadMBps, err = measure(); err != nil {
+		return out, err
+	}
 
 	spare, err := b.AttachSpare(0, 0)
 	if err != nil {

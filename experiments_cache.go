@@ -78,6 +78,7 @@ func CacheWorkingSet(cacheMB int, workingSetsMB []int) (CacheWorkingSetResult, e
 			// pool.  On the cached machine this leaves the region's tail
 			// (up to cache capacity) resident, as a prior streaming
 			// transfer through the board would.
+			var opErr error
 			sys.Eng.Spawn("warm", func(p *sim.Proc) {
 				// One "warm" request spans the pass, so its HardwareReads
 				// join it instead of skewing the hw-read measurement kind.
@@ -89,10 +90,15 @@ func CacheWorkingSet(cacheMB int, workingSetsMB []int) (CacheWorkingSetResult, e
 					if n > wsBytes-off {
 						n = wsBytes - off
 					}
-					b.HardwareRead(p, int64(off)/512, n)
+					if err := b.HardwareRead(p, int64(off)/512, n); err != nil && opErr == nil {
+						opErr = err
+					}
 				}
 			})
 			sys.Eng.Run()
+			if opErr != nil {
+				return out, opErr
+			}
 
 			statsBefore := CacheStats{}
 			if b.Cache != nil {
@@ -102,10 +108,15 @@ func CacheWorkingSet(cacheMB int, workingSetsMB []int) (CacheWorkingSetResult, e
 			res := workload.FixedOps(sys.Eng, outstanding, (32<<20)/reqSize, func(p *sim.Proc, _ int, rng *rand.Rand) int {
 				align := int64(reqSize / 512)
 				off := workload.RandomAligned(rng, int64(wsBytes)/512-align, align)
-				b.HardwareRead(p, off, reqSize)
+				if err := b.HardwareRead(p, off, reqSize); err != nil && opErr == nil {
+					opErr = err
+				}
 				return reqSize
 			})
 			res.Elapsed = sim.Duration(sys.Eng.Now() - start)
+			if opErr != nil {
+				return out, opErr
+			}
 			if withCache {
 				pt.CachedMBps = res.MBps()
 				pt.CachedLat = latencyStats(sys.Eng, "hw-read")

@@ -45,25 +45,32 @@ func RebuildUnderLoad() (RebuildUnderLoadResult, error) {
 	const size = 1 << 20
 	const align = int64(size / 512)
 
-	measure := func() float64 {
+	measure := func() (float64, error) {
 		start := sys.Eng.Now()
+		var opErr error
 		res := workload.FixedOps(sys.Eng, outstanding, 24, func(p *sim.Proc, _ int, rng *rand.Rand) int {
 			off := workload.RandomAligned(rng, space-align, align)
-			b.HardwareRead(p, off, size)
+			if err := b.HardwareRead(p, off, size); err != nil && opErr == nil {
+				opErr = err
+			}
 			return size
 		})
 		res.Elapsed = sim.Duration(sys.Eng.Now() - start)
-		return res.MBps()
+		return res.MBps(), opErr
 	}
 
-	out.HealthyMBps = measure()
+	if out.HealthyMBps, err = measure(); err != nil {
+		return out, err
+	}
 
 	const failIdx = 3
 	if err := b.Array.FailDisk(failIdx); err != nil {
 		return out, err
 	}
 	b.Disks[failIdx].Drive.Fail()
-	out.DegradedMBps = measure()
+	if out.DegradedMBps, err = measure(); err != nil {
+		return out, err
+	}
 
 	// Replace the disk and run foreground reads while the rebuild streams in
 	// the background; both contend for the surviving disks and strings.
@@ -80,7 +87,9 @@ func RebuildUnderLoad() (RebuildUnderLoadResult, error) {
 		g.Go("fg-read", func(p *sim.Proc) {
 			for i := 0; i < 8; i++ {
 				off := workload.RandomAligned(rng, space-align, align)
-				b.HardwareRead(p, off, size)
+				if rerr := b.HardwareRead(p, off, size); rerr != nil && err == nil {
+					err = rerr
+				}
 				fgBytes += size
 				if p.Now() > fgEnd {
 					fgEnd = p.Now()
@@ -106,7 +115,9 @@ func RebuildUnderLoad() (RebuildUnderLoadResult, error) {
 	rebuilt := float64(out.RebuildStripes) * float64(b.Array.StripeUnitSectors()) * 512
 	out.RebuildMBps = rebuilt / out.RebuildDuration.Seconds() / 1e6
 
-	out.PostRebuildMBps = measure()
+	if out.PostRebuildMBps, err = measure(); err != nil {
+		return out, err
+	}
 	return out, nil
 }
 
@@ -144,14 +155,20 @@ func FaultTimeline() (FaultTimelineResult, error) {
 	// to the 250 ms bucket it finished in.
 	const bucket = 250 * time.Millisecond
 	var bucketBytes [12]uint64
+	var opErr error
 	res := workload.FixedOps(sys.Eng, outstanding, 56, func(p *sim.Proc, _ int, rng *rand.Rand) int {
 		off := workload.RandomAligned(rng, space-align, align)
-		b.HardwareRead(p, off, size)
+		if err := b.HardwareRead(p, off, size); err != nil && opErr == nil {
+			opErr = err
+		}
 		if i := int(time.Duration(p.Now()) / bucket); i < len(bucketBytes) {
 			bucketBytes[i] += size
 		}
 		return size
 	})
+	if opErr != nil {
+		return out, opErr
+	}
 
 	fig := metrics.NewFigure("Fault timeline: disk failure under streaming reads", "ms", "MB/s")
 	series := fig.AddSeries("1 MB random reads")

@@ -32,10 +32,12 @@ import (
 const DefaultLineBytes = 64 << 10
 
 // Backing is the sector-addressable store beneath the cache — normally a
-// raid.Array; anything implementing the lfs.Device shape works.
+// raid.Array; anything implementing the lfs.Device shape works.  Errors
+// are array-level data loss (raid.ErrArrayFailed), passed through to the
+// caller untouched.
 type Backing interface {
-	Read(p *sim.Proc, lba int64, n int) []byte
-	Write(p *sim.Proc, lba int64, data []byte)
+	Read(p *sim.Proc, lba int64, n int) ([]byte, error)
+	Write(p *sim.Proc, lba int64, data []byte) error
 	Sectors() int64
 	SectorSize() int
 }
@@ -43,7 +45,7 @@ type Backing interface {
 // streamer is the optional benchmark-mode write path of the backing store
 // (raid.Array.WriteStreaming).
 type streamer interface {
-	WriteStreaming(p *sim.Proc, lba int64, data []byte)
+	WriteStreaming(p *sim.Proc, lba int64, data []byte) error
 }
 
 // Config sizes the cache.
@@ -250,11 +252,11 @@ type fillRun struct {
 // the backing store at full disk cost.  Lines are installed in ascending
 // sector order by the calling process, so LRU state — and therefore the
 // eviction sequence — is independent of fill completion order.
-func (c *Cache) Read(p *sim.Proc, lba int64, n int) []byte {
+func (c *Cache) Read(p *sim.Proc, lba int64, n int) ([]byte, error) {
 	defer telemetry.StageSpan(p, telemetry.StageCache).End()
 	out := make([]byte, n*c.secSize)
 	if n <= 0 {
-		return out
+		return out, nil
 	}
 	first := lba / int64(c.lineSecs)
 	last := (lba + int64(n) - 1) / int64(c.lineSecs)
@@ -280,6 +282,7 @@ func (c *Cache) Read(p *sim.Proc, lba int64, n int) []byte {
 	}
 	if len(runs) > 0 {
 		g := sim.NewGroup(c.eng)
+		var firstErr error
 		for i := range runs {
 			r := &runs[i]
 			g.Go("cache-fill", func(q *sim.Proc) {
@@ -289,7 +292,14 @@ func (c *Cache) Read(p *sim.Proc, lba int64, n int) []byte {
 				if start+int64(secs) > c.devSecs {
 					secs = int(c.devSecs - start)
 				}
-				r.data = c.dev.Read(q, start, secs)
+				data, err := c.dev.Read(q, start, secs)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				r.data = data
 			})
 		}
 		// The hit traffic crosses the crossbar while the fills are in
@@ -298,6 +308,9 @@ func (c *Cache) Read(p *sim.Proc, lba int64, n int) []byte {
 			c.mem.Send(p, hitBytes, 0)
 		}
 		g.Wait(p)
+		if firstErr != nil {
+			return nil, firstErr
+		}
 		for _, r := range runs {
 			c.stats.FillBytes += uint64(len(r.data))
 			lineBytes := c.lineSecs * c.secSize
@@ -318,29 +331,37 @@ func (c *Cache) Read(p *sim.Proc, lba int64, n int) []byte {
 		c.mem.Send(p, hitBytes, 0)
 	}
 	c.stats.HitBytes += uint64(hitBytes)
-	return out
+	return out, nil
 }
 
 // Write stores data write-through: the backing store is updated at full
 // cost first, then resident lines overlapping the write are refreshed in
 // place so no stale hit survives.  With staging enabled, lines the write
 // fully covers are also installed.
-func (c *Cache) Write(p *sim.Proc, lba int64, data []byte) {
+func (c *Cache) Write(p *sim.Proc, lba int64, data []byte) error {
 	defer telemetry.StageSpan(p, telemetry.StageCache).End()
-	c.dev.Write(p, lba, data)
+	if err := c.dev.Write(p, lba, data); err != nil {
+		return err
+	}
 	c.absorb(p, lba, data)
+	return nil
 }
 
 // WriteStreaming is Write over the backing store's benchmark-mode
 // streaming path when it has one.
-func (c *Cache) WriteStreaming(p *sim.Proc, lba int64, data []byte) {
+func (c *Cache) WriteStreaming(p *sim.Proc, lba int64, data []byte) error {
 	defer telemetry.StageSpan(p, telemetry.StageCache).End()
+	var err error
 	if st, ok := c.dev.(streamer); ok {
-		st.WriteStreaming(p, lba, data)
+		err = st.WriteStreaming(p, lba, data)
 	} else {
-		c.dev.Write(p, lba, data)
+		err = c.dev.Write(p, lba, data)
+	}
+	if err != nil {
+		return err
 	}
 	c.absorb(p, lba, data)
+	return nil
 }
 
 // absorb applies a completed write to the resident lines.  It charges no

@@ -30,16 +30,17 @@ func newFakeDev(sectors int64, secSize int) *fakeDev {
 	return d
 }
 
-func (d *fakeDev) Read(p *sim.Proc, lba int64, n int) []byte {
+func (d *fakeDev) Read(p *sim.Proc, lba int64, n int) ([]byte, error) {
 	d.reads = append(d.reads, rng{lba, n})
 	out := make([]byte, n*d.secSize)
 	copy(out, d.data[lba*int64(d.secSize):])
-	return out
+	return out, nil
 }
 
-func (d *fakeDev) Write(p *sim.Proc, lba int64, data []byte) {
+func (d *fakeDev) Write(p *sim.Proc, lba int64, data []byte) error {
 	d.writes = append(d.writes, rng{lba, len(data) / d.secSize})
 	copy(d.data[lba*int64(d.secSize):], data)
+	return nil
 }
 
 func (d *fakeDev) Sectors() int64  { return int64(len(d.data) / d.secSize) }
@@ -68,15 +69,15 @@ func TestEvictionUnderCapacityPressure(t *testing.T) {
 	harness(t, 1024, 8, 4, false, func(p *sim.Proc, c *Cache, dev *fakeDev) {
 		// Fill to capacity: lines 0-3.
 		for li := int64(0); li < 4; li++ {
-			c.Read(p, li*8, 8)
+			_, _ = c.Read(p, li*8, 8)
 		}
 		if got := c.Stats(); got.Misses != 4 || got.Evictions != 0 {
 			t.Fatalf("after fill: %+v", got)
 		}
 		// Touch line 0 so line 1 becomes the LRU victim.
-		c.Read(p, 0, 8)
+		_, _ = c.Read(p, 0, 8)
 		// Line 4 evicts exactly one line: the deterministic LRU tail (1).
-		c.Read(p, 4*8, 8)
+		_, _ = c.Read(p, 4*8, 8)
 		st := c.Stats()
 		if st.Evictions != 1 {
 			t.Fatalf("expected 1 eviction, got %+v", st)
@@ -86,12 +87,12 @@ func TestEvictionUnderCapacityPressure(t *testing.T) {
 		}
 		// Victim check: 0 hits, 1 misses.
 		before := c.Stats()
-		c.Read(p, 0, 8)
+		_, _ = c.Read(p, 0, 8)
 		if got := c.Stats(); got.Hits != before.Hits+1 {
 			t.Error("line 0 should have survived (was MRU-touched)")
 		}
 		before = c.Stats()
-		c.Read(p, 1*8, 8)
+		_, _ = c.Read(p, 1*8, 8)
 		if got := c.Stats(); got.Misses != before.Misses+1 {
 			t.Error("line 1 should have been the LRU victim")
 		}
@@ -100,14 +101,14 @@ func TestEvictionUnderCapacityPressure(t *testing.T) {
 
 func TestWriteUpdatesResidentLineNoStaleHit(t *testing.T) {
 	harness(t, 1024, 8, 4, false, func(p *sim.Proc, c *Cache, dev *fakeDev) {
-		c.Read(p, 0, 8) // line 0 resident
+		_, _ = c.Read(p, 0, 8) // line 0 resident
 		fresh := bytes.Repeat([]byte{0xAB}, 4*512)
-		c.Write(p, 2, fresh) // overwrite sectors 2-5 inside the line
+		_ = c.Write(p, 2, fresh) // overwrite sectors 2-5 inside the line
 		if len(dev.writes) != 1 {
 			t.Fatalf("write-through: dev saw %d writes, want 1", len(dev.writes))
 		}
 		before := c.Stats()
-		got := c.Read(p, 0, 8)
+		got, _ := c.Read(p, 0, 8)
 		st := c.Stats()
 		if st.Hits != before.Hits+1 {
 			t.Fatalf("re-read should hit: %+v", st)
@@ -126,13 +127,13 @@ func TestWriteStagingAllocatesFullLinesOnly(t *testing.T) {
 		// A write fully covering line 2 is staged; the partial tail into
 		// line 3 is not.
 		data := bytes.Repeat([]byte{0x5C}, 12*512) // sectors 16-27
-		c.Write(p, 16, data)
+		_ = c.Write(p, 16, data)
 		st := c.Stats()
 		if st.Staged != 1 {
 			t.Fatalf("Staged = %d, want 1", st.Staged)
 		}
 		devReads := len(dev.reads)
-		got := c.Read(p, 16, 8)
+		got, _ := c.Read(p, 16, 8)
 		if len(dev.reads) != devReads {
 			t.Error("read of freshly staged line went to the backing store")
 		}
@@ -141,7 +142,7 @@ func TestWriteStagingAllocatesFullLinesOnly(t *testing.T) {
 		}
 		// The partially covered line 3 must miss.
 		before := c.Stats()
-		c.Read(p, 24, 8)
+		_, _ = c.Read(p, 24, 8)
 		if got := c.Stats(); got.Misses != before.Misses+1 {
 			t.Error("partially written line should not have been allocated")
 		}
@@ -150,7 +151,7 @@ func TestWriteStagingAllocatesFullLinesOnly(t *testing.T) {
 
 func TestNoStagingWhenDisabled(t *testing.T) {
 	harness(t, 1024, 8, 4, false, func(p *sim.Proc, c *Cache, dev *fakeDev) {
-		c.Write(p, 16, bytes.Repeat([]byte{1}, 8*512))
+		_ = c.Write(p, 16, bytes.Repeat([]byte{1}, 8*512))
 		if st := c.Stats(); st.Staged != 0 || c.Lines() != 0 {
 			t.Fatalf("staging disabled but Staged=%d Lines=%d", st.Staged, c.Lines())
 		}
@@ -161,14 +162,14 @@ func TestMissRunCoalescing(t *testing.T) {
 	harness(t, 1024, 8, 8, false, func(p *sim.Proc, c *Cache, dev *fakeDev) {
 		// 4 consecutive missing lines fill with ONE backing read, so the
 		// array parallelizes it across the stripe like an uncached read.
-		c.Read(p, 0, 32)
+		_, _ = c.Read(p, 0, 32)
 		if len(dev.reads) != 1 || dev.reads[0] != (rng{0, 32}) {
 			t.Fatalf("fill reads = %v, want one run of 32 sectors", dev.reads)
 		}
 		// A hit sandwiched between two misses splits the fill into two runs.
-		c.Read(p, 5*8, 8) // make line 5 resident
+		_, _ = c.Read(p, 5*8, 8) // make line 5 resident
 		dev.reads = nil
-		c.Read(p, 4*8, 3*8) // lines 4 (miss), 5 (hit), 6 (miss)
+		_, _ = c.Read(p, 4*8, 3*8) // lines 4 (miss), 5 (hit), 6 (miss)
 		want := []rng{{4 * 8, 8}, {6 * 8, 8}}
 		if len(dev.reads) != 2 || dev.reads[0] != want[0] || dev.reads[1] != want[1] {
 			t.Fatalf("fill reads = %v, want %v", dev.reads, want)
@@ -179,8 +180,8 @@ func TestMissRunCoalescing(t *testing.T) {
 func TestReadReturnsCorrectBytes(t *testing.T) {
 	harness(t, 1024, 8, 4, false, func(p *sim.Proc, c *Cache, dev *fakeDev) {
 		// Unaligned read mixing hits and misses must equal the raw device.
-		c.Read(p, 8, 8) // line 1 resident
-		got := c.Read(p, 3, 20)
+		_, _ = c.Read(p, 8, 8) // line 1 resident
+		got, _ := c.Read(p, 3, 20)
 		want := dev.data[3*512 : 23*512]
 		if !bytes.Equal(got, want) {
 			t.Error("mixed hit/miss read returned wrong bytes")
@@ -191,12 +192,12 @@ func TestReadReturnsCorrectBytes(t *testing.T) {
 func TestTailLineShortFill(t *testing.T) {
 	// Device of 20 sectors with 8-sector lines: line 2 is only 4 sectors.
 	harness(t, 20, 8, 4, false, func(p *sim.Proc, c *Cache, dev *fakeDev) {
-		got := c.Read(p, 16, 4)
+		got, _ := c.Read(p, 16, 4)
 		if !bytes.Equal(got, dev.data[16*512:20*512]) {
 			t.Error("tail-line read returned wrong bytes")
 		}
 		before := c.Stats()
-		got = c.Read(p, 16, 4)
+		got, _ = c.Read(p, 16, 4)
 		if st := c.Stats(); st.Hits != before.Hits+1 {
 			t.Error("tail line should be resident after fill")
 		}
@@ -208,7 +209,7 @@ func TestTailLineShortFill(t *testing.T) {
 
 func TestInvalidateAll(t *testing.T) {
 	harness(t, 1024, 8, 4, false, func(p *sim.Proc, c *Cache, dev *fakeDev) {
-		c.Read(p, 0, 16)
+		_, _ = c.Read(p, 0, 16)
 		if c.Lines() != 2 {
 			t.Fatalf("Lines = %d, want 2", c.Lines())
 		}
@@ -220,7 +221,7 @@ func TestInvalidateAll(t *testing.T) {
 			t.Fatalf("Invalidations = %d, want 2", st.Invalidations)
 		}
 		before := c.Stats()
-		c.Read(p, 0, 8)
+		_, _ = c.Read(p, 0, 8)
 		if st := c.Stats(); st.Misses != before.Misses+1 {
 			t.Error("post-invalidate read must miss")
 		}
@@ -238,9 +239,9 @@ func TestDeterministicEvictionSequence(t *testing.T) {
 			for i := 0; i < 100; i++ {
 				li := int64((i * 37) % 64)
 				if i%3 == 0 {
-					c.Write(p, li*8, make([]byte, 8*512))
+					_ = c.Write(p, li*8, make([]byte, 8*512))
 				} else {
-					c.Read(p, li*8, 8)
+					_, _ = c.Read(p, li*8, 8)
 				}
 			}
 			st = c.Stats()

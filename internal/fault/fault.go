@@ -169,7 +169,8 @@ func (n NetPort) String() string {
 // Event is one scheduled fault.  Exactly one trigger applies: At (simulated
 // time from the start of the run) or AfterOps (total commands the target
 // drive has serviced); AfterOps takes effect when nonzero and is only
-// meaningful for DiskFail and LatentSector.
+// meaningful for DiskFail, LatentSector, and FSCrash (where it counts NVRAM
+// group commits rather than drive commands).
 type Event struct {
 	Kind  Kind
 	At    time.Duration // simulated-time trigger
@@ -235,6 +236,16 @@ func (pl Plan) StringStallAt(at time.Duration, b, d int, stall time.Duration) Pl
 // FSCrashAt crashes board b's file system at simulated time at.
 func (pl Plan) FSCrashAt(at time.Duration, b int) Plan {
 	pl.Events = append(pl.Events, Event{Kind: FSCrash, At: at, Board: b})
+	return pl
+}
+
+// FSCrashAtCommit crashes board b's file system in the middle of its n-th
+// NVRAM group commit (1-based): volatile state and the half-committed
+// segment are lost, while the battery-backed staging log survives for
+// replay at the next mount.  Only boards configured with NVRAM accept
+// commit-triggered crash points.
+func (pl Plan) FSCrashAtCommit(n uint64, b int) Plan {
+	pl.Events = append(pl.Events, Event{Kind: FSCrash, After: n, Board: b})
 	return pl
 }
 
@@ -315,9 +326,21 @@ type Target interface {
 // events are handed to the target immediately.  Arm must be called before
 // the simulation runs past the earliest event time.
 func Arm(e *sim.Engine, pl Plan, tgt Target) error {
+	seenFail := make(map[[3]int]int)
 	for i, ev := range pl.Events {
 		if err := tgt.Check(ev); err != nil {
 			return fmt.Errorf("fault: event %d (%v): %w", i, ev.Kind, err)
+		}
+		// Two failure events for the same drive never both fire — the drive
+		// is already dead when the second arrives — so an overlapping pair in
+		// a double-failure script is a scripting mistake, not a scenario.
+		if ev.Kind == DiskFail {
+			key := [3]int{ev.Server, ev.Board, ev.Disk}
+			if j, dup := seenFail[key]; dup {
+				return fmt.Errorf("fault: event %d (%v): overlapping disk failure: event %d already fails server %d board %d disk %d",
+					i, ev.Kind, j, ev.Server, ev.Board, ev.Disk)
+			}
+			seenFail[key] = i
 		}
 	}
 	for _, ev := range pl.Events {

@@ -108,21 +108,30 @@ func (fs *FS) Check(p *sim.Proc) (*CheckReport, error) {
 		}
 		if in.Ind != 0 {
 			claim(inum, in.Ind, "indirect")
-			buf := fs.readBlock(p, in.Ind)
+			buf, err := fs.readBlock(p, in.Ind)
+			if err != nil {
+				return nil, err
+			}
 			for i := 0; i < PtrsPerBlock; i++ {
 				claim(inum, getI64(buf[i*8:]), fmt.Sprintf("ind[%d]", i))
 			}
 		}
 		if in.DIndTop != 0 {
 			claim(inum, in.DIndTop, "dind-top")
-			top := fs.readBlock(p, in.DIndTop)
+			top, err := fs.readBlock(p, in.DIndTop)
+			if err != nil {
+				return nil, err
+			}
 			for i := 0; i < PtrsPerBlock; i++ {
 				l2 := getI64(top[i*8:])
 				if l2 == 0 {
 					continue
 				}
 				claim(inum, l2, fmt.Sprintf("dind-l2[%d]", i))
-				buf := fs.readBlock(p, l2)
+				buf, err := fs.readBlock(p, l2)
+				if err != nil {
+					return nil, err
+				}
 				for j := 0; j < PtrsPerBlock; j++ {
 					claim(inum, getI64(buf[j*8:]), fmt.Sprintf("dind[%d][%d]", i, j))
 				}

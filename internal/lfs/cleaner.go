@@ -96,7 +96,10 @@ func (fs *FS) blockLive(p *sim.Proc, e summaryEntry, addr int64) (bool, error) {
 		if in.DIndTop == 0 {
 			return false, nil
 		}
-		top := fs.readBlock(p, in.DIndTop)
+		top, err := fs.readBlock(p, in.DIndTop)
+		if err != nil {
+			return false, err
+		}
 		return getI64(top[int(e.Arg2)*8:]) == addr, nil
 	}
 	return false, nil
@@ -111,7 +114,10 @@ func (fs *FS) moveBlock(p *sim.Proc, e summaryEntry, addr int64) error {
 		if err != nil {
 			return err
 		}
-		content := fs.readBlock(p, addr)
+		content, err := fs.readBlock(p, addr)
+		if err != nil {
+			return err
+		}
 		newAddr, err := fs.appendBlock(p, kindData, e.Arg1, e.Arg2, content)
 		if err != nil {
 			return err
@@ -153,7 +159,10 @@ func (fs *FS) moveBlock(p *sim.Proc, e summaryEntry, addr int64) error {
 		if err != nil {
 			return err
 		}
-		content := fs.readBlock(p, addr)
+		content, err := fs.readBlock(p, addr)
+		if err != nil {
+			return err
+		}
 		newAddr, err := fs.appendBlock(p, kindIndirect, e.Arg1, 0, content)
 		if err != nil {
 			return err
@@ -167,7 +176,10 @@ func (fs *FS) moveBlock(p *sim.Proc, e summaryEntry, addr int64) error {
 		if err != nil {
 			return err
 		}
-		content := fs.readBlock(p, addr)
+		content, err := fs.readBlock(p, addr)
+		if err != nil {
+			return err
+		}
 		newAddr, err := fs.appendBlock(p, kindDIndTop, e.Arg1, 0, content)
 		if err != nil {
 			return err
@@ -181,7 +193,10 @@ func (fs *FS) moveBlock(p *sim.Proc, e summaryEntry, addr int64) error {
 		if err != nil {
 			return err
 		}
-		content := fs.readBlock(p, addr)
+		content, err := fs.readBlock(p, addr)
+		if err != nil {
+			return err
+		}
 		newAddr, err := fs.appendBlock(p, kindDIndL2, e.Arg1, e.Arg2, content)
 		if err != nil {
 			return err
@@ -207,7 +222,10 @@ func (fs *FS) cleanSegment(p *sim.Proc, idx int) error {
 	end := p.Span("lfs", "clean-segment")
 	defer end()
 	segAddr := fs.segAddr(idx)
-	raw := fs.dev.Read(p, segAddr*int64(fs.blockSectors), fs.blockSectors)
+	raw, err := fs.dev.Read(p, segAddr*int64(fs.blockSectors), fs.blockSectors)
+	if err != nil {
+		return err
+	}
 	var sum summary
 	if err := sum.unmarshal(raw); err != nil {
 		// Unreadable summary on a non-free segment: treat as empty.

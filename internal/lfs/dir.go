@@ -79,7 +79,10 @@ func (fs *FS) readDirLocked(p *sim.Proc, in *inode) ([]DirEntry, error) {
 		if addr == 0 {
 			continue
 		}
-		blk := fs.readMeta(p, addr)
+		blk, err := fs.readMeta(p, addr)
+		if err != nil {
+			return nil, err
+		}
 		n := int64(BlockSize)
 		if off+n > in.Size {
 			n = in.Size - off
@@ -91,7 +94,9 @@ func (fs *FS) readDirLocked(p *sim.Proc, in *inode) ([]DirEntry, error) {
 
 // writeDir replaces a directory's contents.  Caller holds fs.mu.
 func (fs *FS) writeDir(p *sim.Proc, in *inode, ents []DirEntry) error {
-	fs.freeInodeBlocks(p, in)
+	if err := fs.freeInodeBlocks(p, in); err != nil {
+		return err
+	}
 	data := marshalDir(ents)
 	if len(data) > 0 {
 		if _, err := fs.writeAtLocked(p, in, data, 0); err != nil {
@@ -212,6 +217,22 @@ func (fs *FS) Open(p *sim.Proc, path string) (*File, error) {
 	return &File{fs: fs, inum: in.Inum}, nil
 }
 
+// OpenInum returns a handle to an existing file by inode number.  The
+// NVRAM replay path uses it to reopen files named by staged log records
+// without a path walk.
+func (fs *FS) OpenInum(p *sim.Proc, inum uint32) (*File, error) {
+	fs.mu.Acquire(p)
+	defer fs.mu.Release()
+	in, err := fs.loadInode(p, inum)
+	if err != nil {
+		return nil, err
+	}
+	if in.Mode == ModeDir {
+		return nil, ErrIsDir
+	}
+	return &File{fs: fs, inum: in.Inum}, nil
+}
+
 // Mkdir creates a directory.
 func (fs *FS) Mkdir(p *sim.Proc, path string) error {
 	fs.mu.Acquire(p)
@@ -278,8 +299,7 @@ func (fs *FS) Remove(p *sim.Proc, path string) error {
 	if err := fs.writeDir(p, parent, ents); err != nil {
 		return err
 	}
-	fs.removeInode(p, in)
-	return nil
+	return fs.removeInode(p, in)
 }
 
 // Rename moves a file or directory to a new path.

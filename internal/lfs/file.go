@@ -89,7 +89,9 @@ func (fs *FS) writeAtLocked(p *sim.Proc, in *inode, data []byte, off int64) (int
 			blockBuf = chunk
 		} else {
 			if addr != 0 {
-				blockBuf = fs.readBlock(p, addr)
+				if blockBuf, err = fs.readBlock(p, addr); err != nil {
+					return written, err
+				}
 			} else {
 				blockBuf = make([]byte, BlockSize)
 			}
@@ -251,10 +253,17 @@ func (f *File) readAtRaw(p *sim.Proc, off int64, n int) ([]byte, error) {
 		runs = append(runs, run{addr: pc.addr, blocks: 1, members: []int{i}})
 	}
 	g := sim.NewGroup(fs.eng)
+	var firstErr error
 	for _, r := range runs {
 		r := r
 		g.Go("lfs-read-run", func(q *sim.Proc) {
-			data := fs.dev.Read(q, r.addr*int64(fs.blockSectors), r.blocks*fs.blockSectors)
+			data, rerr := fs.dev.Read(q, r.addr*int64(fs.blockSectors), r.blocks*fs.blockSectors)
+			if rerr != nil {
+				if firstErr == nil {
+					firstErr = rerr
+				}
+				return
+			}
 			for j, pi := range r.members {
 				pc := pieces[pi]
 				copy(out[pc.bufOff:pc.bufOff+pc.n], data[j*BlockSize+pc.off:])
@@ -262,6 +271,9 @@ func (f *File) readAtRaw(p *sim.Proc, off int64, n int) ([]byte, error) {
 		})
 	}
 	g.Wait(p)
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	// Staged and hole pieces.
 	for _, pc := range pieces {
 		if pc.staged != nil {
@@ -286,7 +298,9 @@ func (f *File) Truncate(p *sim.Proc) error {
 	if in.Mode == ModeDir {
 		return ErrIsDir
 	}
-	f.fs.freeInodeBlocks(p, in)
+	if err := f.fs.freeInodeBlocks(p, in); err != nil {
+		return err
+	}
 	in.MTime = int64(p.Now())
 	f.fs.dirtyInode(in)
 	return nil

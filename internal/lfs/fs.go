@@ -8,10 +8,12 @@ import (
 )
 
 // Device is the block store the log lives on — normally a raid.Array, but
-// anything sector-addressable works.
+// anything sector-addressable works.  Errors are array-level data loss
+// (raid.ErrArrayFailed after redundancy is exhausted): the file system
+// propagates them to its callers rather than serving corrupt bytes.
 type Device interface {
-	Read(p *sim.Proc, lba int64, n int) []byte
-	Write(p *sim.Proc, lba int64, data []byte)
+	Read(p *sim.Proc, lba int64, n int) ([]byte, error)
+	Write(p *sim.Proc, lba int64, data []byte) error
 	Sectors() int64
 	SectorSize() int
 }
@@ -110,6 +112,11 @@ type FS struct {
 	seals        *sim.Group
 	sealsPending map[int]bool
 
+	// devErr latches the first error a background segment write hit: the
+	// log on disk is no longer trustworthy past that point, so every later
+	// append, seal, and sync reports it instead of silently losing data.
+	devErr error
+
 	stats Stats
 }
 
@@ -149,7 +156,9 @@ func Format(p *sim.Proc, e *sim.Engine, dev Device, cfg Config) (*FS, error) {
 		MaxInodes:  uint32(cfg.MaxInodes),
 		DeviceBlks: devBlks,
 	}
-	dev.Write(p, 0, sb.marshal())
+	if err := dev.Write(p, 0, sb.marshal()); err != nil {
+		return nil, fmt.Errorf("lfs: format superblock: %w", err)
+	}
 
 	fs := &FS{eng: e, dev: dev, cfg: cfg, sb: sb}
 	fs.initState()
@@ -177,7 +186,10 @@ func Format(p *sim.Proc, e *sim.Engine, dev Device, cfg Config) (*FS, error) {
 // recovery from the most recent valid checkpoint.
 func Mount(p *sim.Proc, e *sim.Engine, dev Device) (*FS, error) {
 	blockSectors0 := BlockSize / dev.SectorSize()
-	raw := dev.Read(p, 0, blockSectors0)
+	raw, err := dev.Read(p, 0, blockSectors0)
+	if err != nil {
+		return nil, fmt.Errorf("lfs: mount superblock: %w", err)
+	}
 	var sb superblock
 	if err := sb.unmarshal(raw); err != nil {
 		return nil, err
@@ -250,11 +262,11 @@ func (fs *FS) segOf(addr int64) int {
 
 // readBlock returns the contents of block addr, consulting the staged
 // (unflushed) segment first.
-func (fs *FS) readBlock(p *sim.Proc, addr int64) []byte {
+func (fs *FS) readBlock(p *sim.Proc, addr int64) ([]byte, error) {
 	if b, ok := fs.pending[addr]; ok {
 		out := make([]byte, BlockSize)
 		copy(out, b)
-		return out
+		return out, nil
 	}
 	return fs.dev.Read(p, addr*int64(fs.blockSectors), fs.blockSectors)
 }
@@ -264,22 +276,25 @@ const metaCacheCap = 4096
 
 // readMeta is readBlock with caching, for metadata (indirect blocks,
 // directory contents) that pointer walks touch repeatedly.
-func (fs *FS) readMeta(p *sim.Proc, addr int64) []byte {
+func (fs *FS) readMeta(p *sim.Proc, addr int64) ([]byte, error) {
 	if b, ok := fs.pending[addr]; ok {
 		out := make([]byte, BlockSize)
 		copy(out, b)
-		return out
+		return out, nil
 	}
 	if b, ok := fs.metaCache[addr]; ok {
 		out := make([]byte, BlockSize)
 		copy(out, b)
-		return out
+		return out, nil
 	}
-	b := fs.dev.Read(p, addr*int64(fs.blockSectors), fs.blockSectors)
+	b, err := fs.dev.Read(p, addr*int64(fs.blockSectors), fs.blockSectors)
+	if err != nil {
+		return nil, err
+	}
 	fs.cacheMeta(addr, b)
 	out := make([]byte, BlockSize)
 	copy(out, b)
-	return out
+	return out, nil
 }
 
 // cacheMeta inserts a block with FIFO eviction.
@@ -316,6 +331,9 @@ func (fs *FS) appendBlock(p *sim.Proc, kind uint32, a1, a2 uint32, content []byt
 	if len(content) != BlockSize {
 		//lint:allow simpanic internal log-append contract; every caller pads to BlockSize before staging
 		panic("lfs: appendBlock needs exactly one block")
+	}
+	if fs.devErr != nil {
+		return 0, fs.devErr
 	}
 	if !fs.cleaning && fs.FreeSegments() < fs.cfg.CleanReserve {
 		// Try to stay ahead of log exhaustion.  Failure to find cleanable
@@ -395,6 +413,9 @@ func (fs *FS) pickFreeSegment() (int, error) {
 // to full length) to the device as one large sequential write — a full
 // stripe on the paper's configuration — and opens the next free segment.
 func (fs *FS) sealSegment(p *sim.Proc) error {
+	if fs.devErr != nil {
+		return fs.devErr
+	}
 	if len(fs.segStaged) == 0 {
 		return nil
 	}
@@ -435,7 +456,15 @@ func (fs *FS) sealSegment(p *sim.Proc) error {
 	fs.seals.Go("lfs-seal", func(q *sim.Proc) {
 		end := q.Span("lfs", "segment-write")
 		defer end()
-		fs.dev.Write(q, sealSeg*int64(fs.blockSectors), buf)
+		if err := fs.dev.Write(q, sealSeg*int64(fs.blockSectors), buf); err != nil {
+			// The segment never reached the array: keep the staged blocks
+			// readable and surface the loss at the next append or sync.
+			if fs.devErr == nil {
+				fs.devErr = fmt.Errorf("lfs: segment write: %w", err)
+			}
+			delete(fs.sealsPending, fs.segOf(sealSeg))
+			return
+		}
 		for i := 0; i < nStaged; i++ {
 			delete(fs.pending, sealSeg+1+int64(i))
 		}
@@ -499,7 +528,7 @@ func (fs *FS) syncLocked(p *sim.Proc) error {
 		return err
 	}
 	fs.seals.Wait(p)
-	return nil
+	return fs.devErr
 }
 
 // Checkpoint makes the file system state recoverable without roll-forward:
@@ -566,6 +595,9 @@ func (fs *FS) checkpointLocked(p *sim.Proc) error {
 		return err
 	}
 	fs.seals.Wait(p)
+	if fs.devErr != nil {
+		return fs.devErr
+	}
 
 	fs.cpSeq++
 	cp := checkpoint{
@@ -581,7 +613,9 @@ func (fs *FS) checkpointLocked(p *sim.Proc) error {
 	if err != nil {
 		return err
 	}
-	fs.dev.Write(p, fs.sb.CPAddr[fs.cpNext]*int64(fs.blockSectors), raw)
+	if err := fs.dev.Write(p, fs.sb.CPAddr[fs.cpNext]*int64(fs.blockSectors), raw); err != nil {
+		return fmt.Errorf("lfs: checkpoint write: %w", err)
+	}
 	fs.cpNext = 1 - fs.cpNext
 	fs.stats.Checkpoints++
 	return nil
@@ -616,7 +650,10 @@ func (fs *FS) recover(p *sim.Proc) error {
 	var best *checkpoint
 	var bestIdx int
 	for i := 0; i < 2; i++ {
-		raw := fs.dev.Read(p, fs.sb.CPAddr[i]*int64(fs.blockSectors), int(fs.sb.CPBlocks)*fs.blockSectors)
+		raw, err := fs.dev.Read(p, fs.sb.CPAddr[i]*int64(fs.blockSectors), int(fs.sb.CPBlocks)*fs.blockSectors)
+		if err != nil {
+			return fmt.Errorf("lfs: checkpoint read: %w", err)
+		}
 		var cp checkpoint
 		if err := cp.unmarshal(raw); err != nil {
 			continue
@@ -641,13 +678,20 @@ func (fs *FS) recover(p *sim.Proc) error {
 		if addr == 0 {
 			continue
 		}
-		fs.unmarshalUsageChunk(chunk, fs.readBlock(p, addr))
+		buf, err := fs.readBlock(p, addr)
+		if err != nil {
+			return fmt.Errorf("lfs: recover usage chunk: %w", err)
+		}
+		fs.unmarshalUsageChunk(chunk, buf)
 	}
 	for chunk, addr := range fs.imapAddrs {
 		if addr == 0 {
 			continue
 		}
-		buf := fs.readBlock(p, addr)
+		buf, err := fs.readBlock(p, addr)
+		if err != nil {
+			return fmt.Errorf("lfs: recover imap chunk: %w", err)
+		}
 		base := chunk * imapChunkEntries
 		for i := 0; i < imapChunkEntries && base+i < len(fs.imap); i++ {
 			fs.imap[base+i] = getI64(buf[i*8:])
@@ -662,12 +706,17 @@ func (fs *FS) recover(p *sim.Proc) error {
 		if idx < 0 || idx >= int(fs.sb.NSegs) {
 			break
 		}
-		raw := fs.dev.Read(p, segAddr*int64(fs.blockSectors), fs.blockSectors)
+		raw, err := fs.dev.Read(p, segAddr*int64(fs.blockSectors), fs.blockSectors)
+		if err != nil {
+			return fmt.Errorf("lfs: roll-forward read: %w", err)
+		}
 		var sum summary
 		if err := sum.unmarshal(raw); err != nil || sum.Seq != expect {
 			break
 		}
-		fs.applyRolledSegment(p, segAddr, &sum)
+		if err := fs.applyRolledSegment(p, segAddr, &sum); err != nil {
+			return err
+		}
 		fs.stats.RollForwardSegs++
 		segAddr = sum.NextSeg
 		expect++
@@ -700,7 +749,7 @@ func (fs *FS) recover(p *sim.Proc) error {
 // Usage accounting for rolled segments is conservative (every described
 // block counted live); the cleaner verifies real liveness before moving
 // anything.
-func (fs *FS) applyRolledSegment(p *sim.Proc, segAddr int64, sum *summary) {
+func (fs *FS) applyRolledSegment(p *sim.Proc, segAddr int64, sum *summary) error {
 	idx := fs.segOf(segAddr)
 	fs.free[idx] = false
 	fs.usageLive[idx] = int32(len(sum.Entries)) * BlockSize
@@ -718,7 +767,10 @@ func (fs *FS) applyRolledSegment(p *sim.Proc, segAddr int64, sum *summary) {
 		case kindImap:
 			if int(e.Arg1) < len(fs.imapAddrs) {
 				fs.imapAddrs[e.Arg1] = addr
-				buf := fs.readBlock(p, addr)
+				buf, err := fs.readBlock(p, addr)
+				if err != nil {
+					return fmt.Errorf("lfs: roll-forward imap chunk: %w", err)
+				}
 				base := int(e.Arg1) * imapChunkEntries
 				for j := 0; j < imapChunkEntries && base+j < len(fs.imap); j++ {
 					fs.imap[base+j] = getI64(buf[j*8:])
@@ -732,6 +784,7 @@ func (fs *FS) applyRolledSegment(p *sim.Proc, segAddr int64, sum *summary) {
 			}
 		}
 	}
+	return nil
 }
 
 // Crash discards all in-memory state, simulating a power failure.  The FS

@@ -18,7 +18,10 @@ func (fs *FS) loadInode(p *sim.Proc, inum uint32) (*inode, error) {
 	if inum == 0 || inum >= fs.sb.MaxInodes || fs.imap[inum] == 0 {
 		return nil, ErrNotExist
 	}
-	buf := fs.readBlock(p, fs.imap[inum])
+	buf, err := fs.readBlock(p, fs.imap[inum])
+	if err != nil {
+		return nil, err
+	}
 	in := &inode{}
 	in.unmarshal(buf)
 	if in.Inum != inum {
@@ -80,7 +83,10 @@ func (fs *FS) rewriteMeta(p *sim.Proc, addr int64, kind, a1, a2 uint32, mutate f
 	if addr == 0 {
 		buf = make([]byte, BlockSize)
 	} else {
-		buf = fs.readMeta(p, addr)
+		var err error
+		if buf, err = fs.readMeta(p, addr); err != nil {
+			return 0, err
+		}
 	}
 	mutate(buf)
 	newAddr, err := fs.appendBlock(p, kind, a1, a2, buf)
@@ -104,7 +110,10 @@ func (fs *FS) getBlockAddr(p *sim.Proc, in *inode, fb int64) (int64, error) {
 		if in.Ind == 0 {
 			return 0, nil
 		}
-		buf := fs.readMeta(p, in.Ind)
+		buf, err := fs.readMeta(p, in.Ind)
+		if err != nil {
+			return 0, err
+		}
 		return getI64(buf[fb*8:]), nil
 	}
 	fb -= PtrsPerBlock
@@ -112,12 +121,18 @@ func (fs *FS) getBlockAddr(p *sim.Proc, in *inode, fb int64) (int64, error) {
 	if in.DIndTop == 0 {
 		return 0, nil
 	}
-	top := fs.readMeta(p, in.DIndTop)
+	top, err := fs.readMeta(p, in.DIndTop)
+	if err != nil {
+		return 0, err
+	}
 	l2addr := getI64(top[l1*8:])
 	if l2addr == 0 {
 		return 0, nil
 	}
-	buf := fs.readMeta(p, l2addr)
+	buf, err := fs.readMeta(p, l2addr)
+	if err != nil {
+		return 0, err
+	}
 	return getI64(buf[l2*8:]), nil
 }
 
@@ -152,7 +167,10 @@ func (fs *FS) setBlockAddr(p *sim.Proc, in *inode, fb int64, addr int64) error {
 	// Level-2 block first.
 	var l2addr int64
 	if in.DIndTop != 0 {
-		top := fs.readMeta(p, in.DIndTop)
+		top, err := fs.readMeta(p, in.DIndTop)
+		if err != nil {
+			return err
+		}
 		l2addr = getI64(top[l1*8:])
 	}
 	newL2, err := fs.rewriteMeta(p, l2addr, kindDIndL2, in.Inum, uint32(l1), func(b []byte) {
@@ -178,13 +196,16 @@ func (fs *FS) setBlockAddr(p *sim.Proc, in *inode, fb int64, addr int64) error {
 
 // freeInodeBlocks kills every block the inode references (data and
 // indirect), for Remove and truncation.
-func (fs *FS) freeInodeBlocks(p *sim.Proc, in *inode) {
+func (fs *FS) freeInodeBlocks(p *sim.Proc, in *inode) error {
 	for i := range in.Direct {
 		fs.killBlock(in.Direct[i])
 		in.Direct[i] = 0
 	}
 	if in.Ind != 0 {
-		buf := fs.readBlock(p, in.Ind)
+		buf, err := fs.readBlock(p, in.Ind)
+		if err != nil {
+			return err
+		}
 		for i := 0; i < PtrsPerBlock; i++ {
 			fs.killBlock(getI64(buf[i*8:]))
 		}
@@ -192,13 +213,19 @@ func (fs *FS) freeInodeBlocks(p *sim.Proc, in *inode) {
 		in.Ind = 0
 	}
 	if in.DIndTop != 0 {
-		top := fs.readBlock(p, in.DIndTop)
+		top, err := fs.readBlock(p, in.DIndTop)
+		if err != nil {
+			return err
+		}
 		for i := 0; i < PtrsPerBlock; i++ {
 			l2 := getI64(top[i*8:])
 			if l2 == 0 {
 				continue
 			}
-			buf := fs.readBlock(p, l2)
+			buf, err := fs.readBlock(p, l2)
+			if err != nil {
+				return err
+			}
 			for j := 0; j < PtrsPerBlock; j++ {
 				fs.killBlock(getI64(buf[j*8:]))
 			}
@@ -209,11 +236,14 @@ func (fs *FS) freeInodeBlocks(p *sim.Proc, in *inode) {
 	}
 	in.Size = 0
 	fs.dirtyInode(in)
+	return nil
 }
 
 // removeInode frees an inode completely.
-func (fs *FS) removeInode(p *sim.Proc, in *inode) {
-	fs.freeInodeBlocks(p, in)
+func (fs *FS) removeInode(p *sim.Proc, in *inode) error {
+	if err := fs.freeInodeBlocks(p, in); err != nil {
+		return err
+	}
 	fs.killBlock(fs.imap[in.Inum])
 	fs.imap[in.Inum] = 0
 	fs.imapDirty[int(in.Inum)/imapChunkEntries] = true
@@ -222,4 +252,5 @@ func (fs *FS) removeInode(p *sim.Proc, in *inode) {
 	if in.Inum < fs.nextInum {
 		fs.nextInum = in.Inum
 	}
+	return nil
 }

@@ -155,7 +155,7 @@ func newSlowishDevice(e *sim.Engine) Device {
 	return &slowishDevice{Device: newDevice(e, 8), eng: e}
 }
 
-func (s *slowishDevice) Read(p *sim.Proc, lba int64, n int) []byte {
+func (s *slowishDevice) Read(p *sim.Proc, lba int64, n int) ([]byte, error) {
 	p.Wait(sim.Duration(15e6)) // 15 ms fixed access latency
 	return s.Device.Read(p, lba, n)
 }

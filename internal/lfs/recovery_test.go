@@ -194,7 +194,9 @@ func TestCorruptCheckpointFallsBack(t *testing.T) {
 		for i := range junk {
 			junk[i] = 0xde
 		}
-		dev.Write(p, fs.sb.CPAddr[latest]*8, junk)
+		if err := dev.Write(p, fs.sb.CPAddr[latest]*8, junk); err != nil {
+			t.Error(err)
+		}
 
 		fs2, err := Mount(p, e, dev)
 		if err != nil {

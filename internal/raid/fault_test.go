@@ -46,9 +46,9 @@ func TestReadEscalatesDeviceErrorToDegraded(t *testing.T) {
 	a, mems := newArray(t, e, 5, Level5)
 	data := patterned(40*tSec, 5)
 	runProc(e, func(p *sim.Proc) {
-		a.Write(p, 0, data)
+		_ = a.Write(p, 0, data)
 		mems[1].Fail()
-		got := a.Read(p, 0, 40)
+		got, _ := a.Read(p, 0, 40)
 		if !bytes.Equal(got, data) {
 			t.Fatal("read through escalated failure returned wrong bytes")
 		}
@@ -74,10 +74,10 @@ func TestWriteSurvivesEscalation(t *testing.T) {
 	base := patterned(40*tSec, 1)
 	update := patterned(40*tSec, 9)
 	runProc(e, func(p *sim.Proc) {
-		a.Write(p, 0, base)
+		_ = a.Write(p, 0, base)
 		mems[2].Fail()
-		a.Write(p, 0, update)
-		got := a.Read(p, 0, 40)
+		_ = a.Write(p, 0, update)
+		got, _ := a.Read(p, 0, 40)
 		if !bytes.Equal(got, update) {
 			t.Fatal("data written during escalation did not read back")
 		}
@@ -95,10 +95,10 @@ func TestLatentErrorEscalatesAndReconstructs(t *testing.T) {
 	a, mems := newArray(t, e, 5, Level5)
 	data := patterned(40*tSec, 2)
 	runProc(e, func(p *sim.Proc) {
-		a.Write(p, 0, data)
+		_ = a.Write(p, 0, data)
 		// Poison one sector on device 0's copy of the data.
 		mems[0].AddLatentError(1, 1)
-		got := a.Read(p, 0, 40)
+		got, _ := a.Read(p, 0, 40)
 		if !bytes.Equal(got, data) {
 			t.Fatal("latent-error read returned wrong bytes")
 		}
@@ -115,9 +115,9 @@ func TestLevel0ErrorReadsZeros(t *testing.T) {
 	a, mems := newArray(t, e, 4, Level0)
 	data := patterned(16*tSec, 3)
 	runProc(e, func(p *sim.Proc) {
-		a.Write(p, 0, data)
+		_ = a.Write(p, 0, data)
 		mems[0].Fail()
-		got := a.Read(p, 0, 16)
+		got, _ := a.Read(p, 0, 16)
 		if len(got) != len(data) {
 			t.Fatal("short read")
 		}
@@ -138,7 +138,7 @@ func TestReplaceDiskBackgroundRebuild(t *testing.T) {
 	a, _ := newArray(t, e, 5, Level5)
 	data := patterned(200*tSec, 7)
 	runProc(e, func(p *sim.Proc) {
-		a.Write(p, 0, data)
+		_ = a.Write(p, 0, data)
 		if err := a.FailDisk(1); err != nil {
 			t.Fatal(err)
 		}
@@ -160,7 +160,7 @@ func TestReplaceDiskBackgroundRebuild(t *testing.T) {
 		if !rb.Done() {
 			t.Fatal("handle not done after Wait")
 		}
-		got := a.Read(p, 0, 200)
+		got, _ := a.Read(p, 0, 200)
 		if !bytes.Equal(got, data) {
 			t.Fatal("rebuilt array returned wrong bytes")
 		}

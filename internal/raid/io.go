@@ -19,11 +19,24 @@ func goAdopted(g *sim.Group, parent *sim.Proc, name string, body func(*sim.Proc)
 	})
 }
 
+// declareLost latches the sticky array-failed state and returns the typed
+// data-loss error with operation context.  Shared mutation is safe under
+// the cooperative scheduler: only one proc runs at a time.
+func (a *Array) declareLost(op string) error {
+	a.lost = true
+	return fmt.Errorf("raid: %s: %w", op, ErrArrayFailed)
+}
+
 // Read reads sectors [lba, lba+n) from the logical address space.  Extents
 // on different devices are issued in parallel; extents on a failed device
-// are reconstructed from the surviving columns and parity.
-func (a *Array) Read(p *sim.Proc, lba int64, n int) []byte {
+// are reconstructed from the surviving columns and parity.  Once failures
+// exceed the level's redundancy the array is failed and every read reports
+// ErrArrayFailed instead of serving zeros for the lost sectors.
+func (a *Array) Read(p *sim.Proc, lba int64, n int) ([]byte, error) {
 	a.checkRange(lba, n)
+	if err := a.errIfLost("read"); err != nil {
+		return nil, err
+	}
 	end := p.Span("raid", "read")
 	defer end()
 	defer telemetry.StageSpan(p, telemetry.StageRAID).End()
@@ -35,31 +48,42 @@ func (a *Array) Read(p *sim.Proc, lba int64, n int) []byte {
 	}
 	buf := make([]byte, n*a.secSize)
 	g := sim.NewGroup(a.eng)
+	var firstErr error
 	for _, ext := range a.extents(lba, n) {
 		ext := ext
 		goAdopted(g, p, "raid-read", func(q *sim.Proc) {
-			data := a.readExtent(q, ext)
+			data, err := a.readExtent(q, ext)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
 			copy(buf[ext.bufOff:], data)
 		})
 	}
 	g.Wait(p)
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	a.stats.Reads++
-	return buf
+	return buf, nil
 }
 
 // readExtent reads one run within a single stripe unit.  A device error
 // escalates (the disk is marked failed) and the extent is served over the
-// degraded path instead, so the caller still gets correct bytes.
-func (a *Array) readExtent(p *sim.Proc, ext extent) []byte {
+// degraded path instead, so the caller still gets correct bytes — or the
+// typed data-loss error when no redundancy remains.
+func (a *Array) readExtent(p *sim.Proc, ext extent) ([]byte, error) {
 	devIdx, base := a.loc(ext.stripe, ext.pos)
 	physLBA := base + int64(ext.secOff)
 	if !a.failed[devIdx] {
 		if data, ok := a.devRead(p, devIdx, physLBA, ext.secs); ok {
-			return data
+			return data, nil
 		}
 		if a.cfg.Level == Level0 {
 			// No redundancy: the sectors are lost and read as zeros.
-			return make([]byte, ext.secs*a.secSize)
+			return make([]byte, ext.secs*a.secSize), nil
 		}
 	}
 	switch a.cfg.Level {
@@ -67,21 +91,26 @@ func (a *Array) readExtent(p *sim.Proc, ext extent) []byte {
 		a.stats.DegradedReads++
 		telemetry.MarkDegraded(p)
 		if data, ok := a.devRead(p, devIdx+1, physLBA, ext.secs); ok { // mirror copy
-			return data
+			return data, nil
 		}
-		//lint:allow simpanic data loss: both members of the mirror pair are gone, matching the paper's fault model
-		panic("raid: double failure is unrecoverable at this level")
+		return nil, a.declareLost("read: both members of a mirror pair lost")
 	case Level3, Level5:
 		return a.reconstructRange(p, ext.stripe, devIdx, int64(ext.secOff), ext.secs)
+	case Level6:
+		a.stats.DegradedReads++
+		telemetry.MarkDegraded(p)
+		return a.reconstruct6(p, ext.stripe, devIdx, int64(ext.secOff), ext.secs)
 	}
-	//lint:allow simpanic unreachable: Level 0 errors are handled above and FailDisk refuses Level 0
-	panic("raid: read from failed device at redundancy-free level")
+	return nil, a.declareLost("read from failed device at redundancy-free level")
 }
 
 // reconstructRange rebuilds the contents device devIdx holds in the given
 // sector range of a stripe by XOR-ing every surviving column (data and
 // parity) over that range.  All surviving columns are read in parallel.
-func (a *Array) reconstructRange(p *sim.Proc, stripe int64, devIdx int, secOff int64, secs int) []byte {
+// A second failure among the sources means the range is unrecoverable at a
+// single-parity level: the array flips to the sticky failed state and the
+// typed error is returned.
+func (a *Array) reconstructRange(p *sim.Proc, stripe int64, devIdx int, secOff int64, secs int) ([]byte, error) {
 	end := p.Span("raid", "degraded-reconstruct")
 	defer end()
 	a.stats.DegradedReads++
@@ -90,13 +119,13 @@ func (a *Array) reconstructRange(p *sim.Proc, stripe int64, devIdx int, secOff i
 	phys := base + secOff
 	cols := make([][]byte, 0, len(a.devs)-1)
 	g := sim.NewGroup(a.eng)
+	var firstErr error
 	for i := range a.devs {
 		if i == devIdx {
 			continue
 		}
 		if a.failed[i] {
-			//lint:allow simpanic data loss: single-parity arrays cannot reconstruct through two failures, matching the paper's fault model
-			panic("raid: double failure is unrecoverable at this level")
+			return nil, a.declareLost("reconstruct: second failure at a single-parity level")
 		}
 		i := i
 		idx := len(cols)
@@ -104,14 +133,19 @@ func (a *Array) reconstructRange(p *sim.Proc, stripe int64, devIdx int, secOff i
 		goAdopted(g, p, "raid-reconstruct", func(q *sim.Proc) {
 			data, ok := a.devRead(q, i, phys, secs)
 			if !ok {
-				//lint:allow simpanic data loss: single-parity arrays cannot reconstruct through two failures, matching the paper's fault model
-				panic("raid: double failure is unrecoverable at this level")
+				if firstErr == nil {
+					firstErr = a.declareLost("reconstruct: source device failed at a single-parity level")
+				}
+				return
 			}
 			cols[idx] = data
 		})
 	}
 	g.Wait(p)
-	return a.xor.XOR(p, cols...)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return a.xor.XOR(p, cols...), nil
 }
 
 // Write writes data (a whole number of sectors) at logical lba.  Stripes
@@ -120,13 +154,16 @@ func (a *Array) reconstructRange(p *sim.Proc, stripe int64, devIdx int, secOff i
 // partial stripes pay the Level 5 small-write penalty: read old data and
 // parity, compute the delta, write new data and parity — the "four disk
 // accesses" the paper cites as the weakness LFS exists to avoid.
-func (a *Array) Write(p *sim.Proc, lba int64, data []byte) {
+func (a *Array) Write(p *sim.Proc, lba int64, data []byte) error {
 	if len(data)%a.secSize != 0 {
 		//lint:allow simpanic misaligned buffer is caller corruption; LFS and the benchmarks always build whole-sector buffers
 		panic("raid: write length not a whole number of sectors")
 	}
 	n := len(data) / a.secSize
 	a.checkRange(lba, n)
+	if err := a.errIfLost("write"); err != nil {
+		return err
+	}
 	defer telemetry.StageSpan(p, telemetry.StageRAID).End()
 	a.inflight++
 	defer func() { a.inflight-- }()
@@ -146,14 +183,21 @@ func (a *Array) Write(p *sim.Proc, lba int64, data []byte) {
 	}
 
 	g := sim.NewGroup(a.eng)
+	var firstErr error
 	for _, stripe := range order {
 		stripe, exts := stripe, groups[stripe]
 		goAdopted(g, p, "raid-write-stripe", func(q *sim.Proc) {
-			a.writeStripe(q, stripe, exts, data)
+			if err := a.writeStripe(q, stripe, exts, data); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		})
 	}
 	g.Wait(p)
+	if firstErr != nil {
+		return firstErr
+	}
 	a.stats.Writes++
+	return nil
 }
 
 // fullStripe reports whether the extents cover every data column entirely.
@@ -169,7 +213,7 @@ func (a *Array) fullStripe(exts []extent) bool {
 	return true
 }
 
-func (a *Array) writeStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) {
+func (a *Array) writeStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) error {
 	switch a.cfg.Level {
 	case Level0:
 		g := sim.NewGroup(a.eng)
@@ -178,6 +222,7 @@ func (a *Array) writeStripe(p *sim.Proc, stripe int64, exts []extent, data []byt
 			goAdopted(g, p, "w", func(q *sim.Proc) { a.writeExtentRaw(q, ext, data) })
 		}
 		g.Wait(p)
+		return nil
 	case Level1:
 		g := sim.NewGroup(a.eng)
 		for _, ext := range exts {
@@ -196,16 +241,25 @@ func (a *Array) writeStripe(p *sim.Proc, stripe int64, exts []extent, data []byt
 			}
 		}
 		g.Wait(p)
+		return a.errIfLost("write")
 	case Level3, Level5:
 		lk := a.lock(stripe)
 		lk.Acquire(p)
+		defer lk.Release()
 		if a.fullStripe(exts) {
-			a.writeFullStripe(p, stripe, exts, data)
-		} else {
-			a.writePartialStripe(p, stripe, exts, data)
+			return a.writeFullStripe(p, stripe, exts, data)
 		}
-		lk.Release()
+		return a.writePartialStripe(p, stripe, exts, data)
+	case Level6:
+		lk := a.lock(stripe)
+		lk.Acquire(p)
+		defer lk.Release()
+		if a.fullStripe(exts) {
+			return a.writeFullStripe6(p, stripe, exts, data)
+		}
+		return a.writePartialStripe6(p, stripe, exts, data)
 	}
+	return nil
 }
 
 // writeExtentRaw writes one extent with no redundancy bookkeeping.
@@ -222,7 +276,7 @@ func (a *Array) writeExtentRaw(p *sim.Proc, ext extent, data []byte) {
 // writeFullStripe computes parity from the new data alone and writes all
 // columns in parallel: "large write operations in disk arrays are
 // efficient since they don't require the reading of old data or parity".
-func (a *Array) writeFullStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) {
+func (a *Array) writeFullStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) error {
 	end := p.Span("raid", "full-stripe-write")
 	defer end()
 	a.stats.FullStripeWrites++
@@ -253,13 +307,14 @@ func (a *Array) writeFullStripe(p *sim.Proc, stripe int64, exts []extent, data [
 		a.devWrite(q, pdev, pbase, parity)
 	})
 	g.Wait(p)
+	return a.errIfLost("write")
 }
 
 // writeReconstructStripe handles a partial-stripe write that covers more
 // than half the data columns: read every unit that is not fully
 // overwritten (in parallel), overlay the new data, compute parity over the
 // whole stripe, and write the new ranges plus parity in parallel.
-func (a *Array) writeReconstructStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) {
+func (a *Array) writeReconstructStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) error {
 	end := p.Span("raid", "reconstruct-write")
 	defer end()
 	a.stats.ReconstructWrites++
@@ -296,7 +351,11 @@ func (a *Array) writeReconstructStripe(p *sim.Proc, stripe int64, exts []extent,
 		}
 		devIdx, _ := a.loc(stripe, pos)
 		if a.failed[devIdx] {
-			cols[pos] = a.reconstructRange(p, stripe, devIdx, 0, a.unitSecs)
+			rebuilt, err := a.reconstructRange(p, stripe, devIdx, 0, a.unitSecs)
+			if err != nil {
+				return err
+			}
+			cols[pos] = rebuilt
 		}
 	}
 	// Overlay the new data.
@@ -334,6 +393,7 @@ func (a *Array) writeReconstructStripe(p *sim.Proc, stripe int64, exts []extent,
 		})
 	}
 	wg.Wait(p)
+	return a.errIfLost("write")
 }
 
 // reconstructWriteApplies reports whether reconstruct-write beats
@@ -351,7 +411,7 @@ func (a *Array) reconstructWriteApplies(exts []extent, stripe int64) bool {
 // are read in parallel, the parity deltas are folded in, and new data and
 // parity are written in parallel — four parallel disk phases total, rather
 // than four serialized accesses per extent.
-func (a *Array) writeRMWBatched(p *sim.Proc, stripe int64, exts []extent, data []byte) {
+func (a *Array) writeRMWBatched(p *sim.Proc, stripe int64, exts []extent, data []byte) error {
 	end := p.Span("raid", "rmw-write")
 	defer end()
 	a.stats.SmallWrites++
@@ -404,7 +464,10 @@ func (a *Array) writeRMWBatched(p *sim.Proc, stripe int64, exts []extent, data [
 			off := (ext.secOff - lo) * a.secSize
 			if a.failed[devIdx] {
 				// Lost column: rebuild its contribution from peers.
-				content := a.reconstructRange(p, stripe, devIdx, int64(ext.secOff), ext.secs)
+				content, err := a.reconstructRange(p, stripe, devIdx, int64(ext.secOff), ext.secs)
+				if err != nil {
+					return err
+				}
 				delta := a.xor.XOR(p, content, newD)
 				a.xor.XORInto(p, oldP[off:off+len(delta)], delta)
 				continue
@@ -417,7 +480,7 @@ func (a *Array) writeRMWBatched(p *sim.Proc, stripe int64, exts []extent, data [
 	wg := sim.NewGroup(a.eng)
 	for _, ext := range exts {
 		ext := ext
-		devIdx, base := a.loc(ext.stripe, ext.pos)
+		devIdx, base := a.loc(stripe, ext.pos)
 		if a.failed[devIdx] {
 			continue
 		}
@@ -432,6 +495,7 @@ func (a *Array) writeRMWBatched(p *sim.Proc, stripe int64, exts []extent, data [
 		})
 	}
 	wg.Wait(p)
+	return a.errIfLost("write")
 }
 
 // writePartialStripe updates a stripe that the request only partially
@@ -439,18 +503,21 @@ func (a *Array) writeRMWBatched(p *sim.Proc, stripe int64, exts []extent, data [
 // wins; otherwise a single batched read-modify-write updates data and
 // parity — "each small write requires four disk accesses: reads of the old
 // data and parity blocks and writes of the new data and parity blocks".
-func (a *Array) writePartialStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) {
+func (a *Array) writePartialStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) error {
 	if a.reconstructWriteApplies(exts, stripe) {
-		a.writeReconstructStripe(p, stripe, exts, data)
-		return
+		return a.writeReconstructStripe(p, stripe, exts, data)
 	}
-	a.writeRMWBatched(p, stripe, exts, data)
+	return a.writeRMWBatched(p, stripe, exts, data)
 }
 
 // Reconstruct rebuilds failed device devIdx onto spare, stripe by stripe,
 // then swaps the spare in and clears the failure.  It returns the number of
-// stripes rebuilt.
+// stripes rebuilt.  At Level 6 the rebuild works double-degraded: each
+// stripe solves through P and Q even while a second device is still down.
 func (a *Array) Reconstruct(p *sim.Proc, devIdx int, spare Dev) (int64, error) {
+	if err := a.errIfLost("reconstruct"); err != nil {
+		return 0, err
+	}
 	if !a.failed[devIdx] {
 		return 0, fmt.Errorf("raid: device %d is not failed", devIdx)
 	}
@@ -488,7 +555,23 @@ func (a *Array) Reconstruct(p *sim.Proc, devIdx int, spare Dev) (int64, error) {
 				}
 				content = data
 			case Level3, Level5:
-				content = a.reconstructRange(q, s, devIdx, 0, a.unitSecs)
+				data, err := a.reconstructRange(q, s, devIdx, 0, a.unitSecs)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				content = data
+			case Level6:
+				data, err := a.reconstruct6(q, s, devIdx, 0, a.unitSecs)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				content = data
 			default:
 				if firstErr == nil {
 					firstErr = fmt.Errorf("raid: cannot reconstruct at %v", a.cfg.Level)
@@ -560,10 +643,11 @@ func (a *Array) ReplaceDisk(devIdx int, spare Dev) (*Rebuild, error) {
 }
 
 // CheckParity scans every stripe and verifies that parity equals the XOR of
-// the data columns; it returns the number of inconsistent stripes.  Only
-// meaningful for levels 3 and 5.
+// the data columns (and, at Level 6, that the Q column matches the
+// Reed-Solomon sum); it returns the number of inconsistent stripes.  Only
+// meaningful for levels 3, 5, and 6.
 func (a *Array) CheckParity(p *sim.Proc) int64 {
-	if a.cfg.Level != Level3 && a.cfg.Level != Level5 {
+	if a.cfg.Level != Level3 && a.cfg.Level != Level5 && a.cfg.Level != Level6 {
 		return 0
 	}
 	var bad int64
@@ -590,11 +674,30 @@ func (a *Array) CheckParity(p *sim.Proc) int64 {
 			bad++
 			continue
 		}
+		mismatch := false
 		for i := range want {
 			if want[i] != got[i] {
-				bad++
+				mismatch = true
 				break
 			}
+		}
+		if !mismatch && a.cfg.Level == Level6 {
+			wantQ := qParity(cols)
+			qdev, qbase := a.qLoc(s)
+			gotQ, err := a.devs[qdev].Read(p, qbase, a.unitSecs)
+			if err != nil {
+				bad++
+				continue
+			}
+			for i := range wantQ {
+				if wantQ[i] != gotQ[i] {
+					mismatch = true
+					break
+				}
+			}
+		}
+		if mismatch {
+			bad++
 		}
 	}
 	return bad
@@ -607,13 +710,16 @@ func (a *Array) CheckParity(p *sim.Proc) int64 {
 // are left with parity that does not protect their untouched columns, so
 // this mode is only for raw bandwidth measurements on scratch regions —
 // the file system always uses Write.
-func (a *Array) WriteStreaming(p *sim.Proc, lba int64, data []byte) {
+func (a *Array) WriteStreaming(p *sim.Proc, lba int64, data []byte) error {
 	if len(data)%a.secSize != 0 {
 		//lint:allow simpanic misaligned buffer is caller corruption; LFS and the benchmarks always build whole-sector buffers
 		panic("raid: write length not a whole number of sectors")
 	}
 	n := len(data) / a.secSize
 	a.checkRange(lba, n)
+	if err := a.errIfLost("streaming write"); err != nil {
+		return err
+	}
 	defer telemetry.StageSpan(p, telemetry.StageRAID).End()
 	a.inflight++
 	defer func() { a.inflight-- }()
@@ -627,22 +733,31 @@ func (a *Array) WriteStreaming(p *sim.Proc, lba int64, data []byte) {
 		groups[ext.stripe] = append(groups[ext.stripe], ext)
 	}
 	g := sim.NewGroup(a.eng)
+	var firstErr error
 	for _, stripe := range order {
 		stripe, exts := stripe, groups[stripe]
 		goAdopted(g, p, "raid-stream-stripe", func(q *sim.Proc) {
-			a.streamStripe(q, stripe, exts, data)
+			if err := a.streamStripe(q, stripe, exts, data); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		})
 	}
 	g.Wait(p)
+	if firstErr != nil {
+		return firstErr
+	}
 	a.stats.Writes++
+	return nil
 }
 
 // streamStripe writes the extents and a parity column computed from them,
 // with the data writes overlapping the parity computation.
-func (a *Array) streamStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) {
+func (a *Array) streamStripe(p *sim.Proc, stripe int64, exts []extent, data []byte) error {
 	if a.fullStripe(exts) {
-		a.writeFullStripe(p, stripe, exts, data)
-		return
+		if a.cfg.Level == Level6 {
+			return a.writeFullStripe6(p, stripe, exts, data)
+		}
+		return a.writeFullStripe(p, stripe, exts, data)
 	}
 	a.stats.StreamingWrites++
 	g := sim.NewGroup(a.eng)
@@ -668,19 +783,32 @@ func (a *Array) streamStripe(p *sim.Proc, stripe int64, exts []extent, data []by
 	// data writes.
 	goAdopted(g, p, "stream-p", func(q *sim.Proc) {
 		span := (hi - lo) * a.secSize
-		cols := make([][]byte, 0, len(exts))
+		cols := make([][]byte, a.dataDisks())
 		for _, ext := range exts {
 			col := make([]byte, span)
 			chunk := data[ext.bufOff : ext.bufOff+ext.secs*a.secSize]
 			copy(col[(ext.secOff-lo)*a.secSize:], chunk)
-			cols = append(cols, col)
+			cols[ext.pos] = col
 		}
-		parity := a.xor.XOR(q, cols...)
+		present := cols[:0:0]
+		for _, c := range cols {
+			if c != nil {
+				present = append(present, c)
+			}
+		}
+		parity := a.xor.XOR(q, present...)
 		pdev, pbase := a.parityLoc(stripe)
-		if a.failed[pdev] {
-			return
+		if !a.failed[pdev] {
+			a.devWrite(q, pdev, pbase+int64(lo), parity)
 		}
-		a.devWrite(q, pdev, pbase+int64(lo), parity)
+		if a.cfg.Level == Level6 {
+			qpar := qParity(cols)
+			qdev, qbase := a.qLoc(stripe)
+			if !a.failed[qdev] {
+				a.devWrite(q, qdev, qbase+int64(lo), qpar)
+			}
+		}
 	})
 	g.Wait(p)
+	return a.errIfLost("streaming write")
 }

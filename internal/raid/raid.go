@@ -6,7 +6,8 @@
 //
 // The array is functional as well as temporal: parity really is the XOR of
 // the data, degraded reads really reconstruct lost contents, and
-// Reconstruct really rebuilds a replacement disk.
+// Reconstruct really rebuilds a replacement disk.  Level 6 adds a
+// Reed-Solomon Q column so the array survives two concurrent failures.
 package raid
 
 import (
@@ -44,7 +45,17 @@ const (
 	// (left-symmetric layout) and serves independent small I/Os in
 	// parallel.
 	Level5 Level = 5
+	// Level6 adds a second, Reed-Solomon-coded parity column (Q) to the
+	// rotated layout, so any two concurrent disk failures remain
+	// recoverable — the P+Q organization of Thomasian's survey.
+	Level6 Level = 6
 )
+
+// ErrArrayFailed is the typed data-loss error: more devices have failed
+// than the level's redundancy covers, so some logical sectors are
+// unrecoverable.  The condition is sticky — once declared, every later
+// read and write reports it rather than serving zeros for lost data.
+var ErrArrayFailed = errors.New("raid: array failed: losses exceed redundancy")
 
 func (l Level) String() string { return fmt.Sprintf("RAID-%d", int(l)) }
 
@@ -106,7 +117,8 @@ type Array struct {
 	unitSecs  int
 	stripes   int64 // number of stripes (rows)
 	failed    map[int]bool
-	stripeLk  map[int64]*sim.Server // Level 5 read-modify-write serialization
+	lost      bool                  // sticky: failures exceeded redundancy
+	stripeLk  map[int64]*sim.Server // Level 5/6 read-modify-write serialization
 	arrayLock *sim.Server           // Level 3 single-request discipline
 
 	inflight int // foreground requests in service; the scrub yields to them
@@ -139,9 +151,12 @@ func New(e *sim.Engine, devs []Dev, cfg Config, xor XOREngine) (*Array, error) {
 		return nil, errors.New("raid: need at least two devices")
 	}
 	switch cfg.Level {
-	case Level0, Level1, Level3, Level5:
+	case Level0, Level1, Level3, Level5, Level6:
 	default:
 		return nil, fmt.Errorf("raid: unknown level %d", int(cfg.Level))
+	}
+	if cfg.Level == Level6 && len(devs) < 4 {
+		return nil, errors.New("raid: level 6 needs at least four devices")
 	}
 	if xor == nil {
 		xor = SoftXOR{}
@@ -191,6 +206,8 @@ func (a *Array) dataDisks() int {
 		return len(a.devs) / 2
 	case Level3, Level5:
 		return len(a.devs) - 1
+	case Level6:
+		return len(a.devs) - 2
 	}
 	//lint:allow simpanic New rejects unknown levels, so this switch is exhaustive
 	panic("raid: unknown level")
@@ -221,7 +238,11 @@ func (a *Array) Stats() Stats { return a.stats }
 
 // FailDisk marks device i failed: reads reconstruct from parity, writes
 // update surviving columns only.  It refuses configurations that cannot
-// survive the failure instead of corrupting later reads.
+// survive the failure instead of corrupting later reads.  A failure beyond
+// the level's redundancy (a second concurrent failure at single-parity
+// levels, a third at Level 6, the mirror peer at Level 1) is still
+// recorded, but flips the array into the sticky failed state: later reads
+// and writes surface ErrArrayFailed instead of serving zeros.
 func (a *Array) FailDisk(i int) error {
 	if a.cfg.Level == Level0 {
 		return errors.New("raid: level 0 cannot survive a failure")
@@ -230,11 +251,47 @@ func (a *Array) FailDisk(i int) error {
 		return fmt.Errorf("raid: no device %d in a %d-wide array", i, len(a.devs))
 	}
 	a.failed[i] = true
+	a.noteRedundancy()
 	return nil
 }
 
 // RepairDisk clears the failed mark after reconstruction.
 func (a *Array) RepairDisk(i int) { delete(a.failed, i) }
+
+// noteRedundancy checks the current failure set against the level's
+// redundancy and latches the sticky array-failed state when exceeded.
+func (a *Array) noteRedundancy() {
+	if a.lost {
+		return
+	}
+	switch a.cfg.Level {
+	case Level0:
+		a.lost = len(a.failed) > 0
+	case Level1:
+		for i := range a.failed {
+			if a.failed[i^1] { // pairs are (0,1), (2,3), ...
+				a.lost = true
+			}
+		}
+	case Level3, Level5:
+		a.lost = len(a.failed) > 1
+	case Level6:
+		a.lost = len(a.failed) > 2
+	}
+}
+
+// Lost reports whether failures have exceeded the level's redundancy; the
+// state is sticky because the data under the extra failure is gone even if
+// the device later returns.
+func (a *Array) Lost() bool { return a.lost }
+
+// errIfLost returns the sticky data-loss error with operation context.
+func (a *Array) errIfLost(op string) error {
+	if a.lost {
+		return fmt.Errorf("raid: %s: %w", op, ErrArrayFailed)
+	}
+	return nil
+}
 
 // escalate handles an error a device returned after the controller's
 // retries were exhausted: the device is marked failed and every later
@@ -248,6 +305,7 @@ func (a *Array) escalate(p *sim.Proc, i int, err error) {
 	}
 	a.failed[i] = true
 	a.stats.DiskFailures++
+	a.noteRedundancy()
 	end := p.Span("fault", fmt.Sprintf("escalate:dev%d", i))
 	end()
 }
@@ -298,22 +356,39 @@ func (a *Array) loc(stripe int64, pos int) (devIdx int, lba int64) {
 	case Level5:
 		pdisk := n - 1 - int(stripe%int64(n))
 		return (pdisk + 1 + pos) % n, off
+	case Level6:
+		// P rotates like Level 5; Q sits immediately to its right and the
+		// data columns follow Q cyclically, so both parity columns and the
+		// data spread evenly across the disks.
+		pdisk := n - 1 - int(stripe%int64(n))
+		return (pdisk + 2 + pos) % n, off
 	}
 	//lint:allow simpanic New rejects unknown levels, so this switch is exhaustive
 	panic("raid: unknown level")
 }
 
-// parityLoc returns the parity device for a stripe (levels 3 and 5).
+// parityLoc returns the parity (P) device for a stripe (levels 3, 5, 6).
 func (a *Array) parityLoc(stripe int64) (devIdx int, lba int64) {
 	off := stripe * int64(a.unitSecs)
 	switch a.cfg.Level {
 	case Level3:
 		return len(a.devs) - 1, off
-	case Level5:
+	case Level5, Level6:
 		return len(a.devs) - 1 - int(stripe%int64(len(a.devs))), off
 	}
-	//lint:allow simpanic callers only consult parity locations at levels 3 and 5
+	//lint:allow simpanic callers only consult parity locations at redundant non-mirror levels
 	panic("raid: no parity at this level")
+}
+
+// qLoc returns the Reed-Solomon (Q) parity device for a stripe (level 6).
+func (a *Array) qLoc(stripe int64) (devIdx int, lba int64) {
+	if a.cfg.Level != Level6 {
+		//lint:allow simpanic callers only consult the Q column at level 6
+		panic("raid: no Q parity at this level")
+	}
+	n := len(a.devs)
+	pdisk := n - 1 - int(stripe%int64(n))
+	return (pdisk + 1) % n, stripe * int64(a.unitSecs)
 }
 
 // lock returns the stripe's writer lock, creating it lazily.

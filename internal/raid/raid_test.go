@@ -52,8 +52,8 @@ func TestRoundTripAllLevels(t *testing.T) {
 			data := patterned(20*tSec, 1)
 			var got []byte
 			runProc(e, func(p *sim.Proc) {
-				a.Write(p, 3, data)
-				got = a.Read(p, 3, 20)
+				_ = a.Write(p, 3, data)
+				got, _ = a.Read(p, 3, 20)
 			})
 			if !bytes.Equal(got, data) {
 				t.Fatal("round trip failed")
@@ -90,7 +90,7 @@ func TestParityConsistentAfterWrites(t *testing.T) {
 			lba := rng.Int63n(a.Sectors() - int64(n))
 			buf := make([]byte, n*tSec)
 			_, _ = rng.Read(buf)
-			a.Write(p, lba, buf)
+			_ = a.Write(p, lba, buf)
 		}
 		if bad := a.CheckParity(p); bad != 0 {
 			t.Errorf("%d inconsistent stripes after random writes", bad)
@@ -106,13 +106,13 @@ func TestDegradedReadReconstructs(t *testing.T) {
 			a, _ := newArray(t, e, 6, level)
 			data := patterned(40*tSec, 9)
 			runProc(e, func(p *sim.Proc) {
-				a.Write(p, 0, data)
+				_ = a.Write(p, 0, data)
 				for fail := 0; fail < a.Width(); fail++ {
 					if level == Level1 && fail%2 == 1 {
 						continue // loc never returns mirror copies
 					}
 					_ = a.FailDisk(fail)
-					got := a.Read(p, 0, 40)
+					got, _ := a.Read(p, 0, 40)
 					a.RepairDisk(fail)
 					if !bytes.Equal(got, data) {
 						t.Errorf("degraded read wrong with disk %d failed", fail)
@@ -129,9 +129,9 @@ func TestWritesWhileDegradedThenReconstruct(t *testing.T) {
 	before := patterned(60*tSec, 2)
 	after := patterned(24*tSec, 5)
 	runProc(e, func(p *sim.Proc) {
-		a.Write(p, 0, before)
+		_ = a.Write(p, 0, before)
 		_ = a.FailDisk(2)
-		a.Write(p, 10, after) // partial and full stripes while degraded
+		_ = a.Write(p, 10, after) // partial and full stripes while degraded
 		spare := NewMemDev(256, tSec)
 		if _, err := a.Reconstruct(p, 2, spare); err != nil {
 			t.Fatal(err)
@@ -140,7 +140,7 @@ func TestWritesWhileDegradedThenReconstruct(t *testing.T) {
 		// repaired array with no degraded paths.
 		want := append([]byte{}, before...)
 		copy(want[10*tSec:], after)
-		got := a.Read(p, 0, 60)
+		got, _ := a.Read(p, 0, 60)
 		if !bytes.Equal(got, want) {
 			t.Fatal("post-reconstruction contents wrong")
 		}
@@ -169,7 +169,7 @@ func TestFullStripeWriteAvoidsReads(t *testing.T) {
 	// One full stripe: dataDisks * unit sectors, aligned.
 	n := a.DataDisks() * tUnit
 	data := patterned(n*tSec, 3)
-	runProc(e, func(p *sim.Proc) { a.Write(p, 0, data) })
+	runProc(e, func(p *sim.Proc) { _ = a.Write(p, 0, data) })
 	st := a.Stats()
 	if st.FullStripeWrites != 1 || st.SmallWrites != 0 {
 		t.Fatalf("stats = %+v, want one full-stripe write", st)
@@ -186,7 +186,7 @@ func TestSmallWriteCostsFourAccesses(t *testing.T) {
 	e := sim.New()
 	a, _ := newArray(t, e, 5, Level5)
 	data := patterned(tSec, 4) // one sector: partial stripe
-	runProc(e, func(p *sim.Proc) { a.Write(p, 0, data) })
+	runProc(e, func(p *sim.Proc) { _ = a.Write(p, 0, data) })
 	st := a.Stats()
 	if st.SmallWrites != 1 {
 		t.Fatalf("stats = %+v, want one small write", st)
@@ -249,7 +249,7 @@ func TestDoubleFailurePanics(t *testing.T) {
 		}
 	}()
 	// Reconstructing stripe 0 needs both failed columns: unrecoverable.
-	a.reconstructRange(nil, 0, 0, 0, 1)
+	_, _ = a.reconstructRange(nil, 0, 0, 0, 1)
 }
 
 func TestMixedSectorSizesRejected(t *testing.T) {
@@ -280,9 +280,9 @@ func TestQuickRandomWritesReadBack(t *testing.T) {
 		_, _ = rng.Read(buf)
 		ok := true
 		runProc(e, func(p *sim.Proc) {
-			a.Write(p, lba, buf)
+			_ = a.Write(p, lba, buf)
 			copy(shadow[lba*tSec:], buf)
-			got := a.Read(p, lba, n)
+			got, _ := a.Read(p, lba, n)
 			ok = bytes.Equal(got, buf)
 		})
 		return ok
@@ -292,7 +292,7 @@ func TestQuickRandomWritesReadBack(t *testing.T) {
 	}
 	// Full-volume comparison against the shadow copy.
 	var vol []byte
-	runProc(e, func(p *sim.Proc) { vol = a.Read(p, 0, int(a.Sectors())) })
+	runProc(e, func(p *sim.Proc) { vol, _ = a.Read(p, 0, int(a.Sectors())) })
 	if !bytes.Equal(vol, shadow) {
 		t.Fatal("array diverged from shadow copy")
 	}
@@ -302,7 +302,7 @@ func TestCheckParityDetectsCorruption(t *testing.T) {
 	e := sim.New()
 	a, mems := newArray(t, e, 5, Level5)
 	runProc(e, func(p *sim.Proc) {
-		a.Write(p, 0, patterned(40*tSec, 8))
+		_ = a.Write(p, 0, patterned(40*tSec, 8))
 		mems[2].Corrupt(100)
 		if bad := a.CheckParity(p); bad != 1 {
 			t.Errorf("CheckParity found %d bad stripes, want 1", bad)
@@ -322,7 +322,7 @@ func TestXORStatsWithEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runProc(e, func(p *sim.Proc) { a.Write(p, 0, patterned(tSec, 1)) })
+	runProc(e, func(p *sim.Proc) { _ = a.Write(p, 0, patterned(tSec, 1)) })
 	if cnt.ops == 0 {
 		t.Fatal("XOR engine not used")
 	}

@@ -46,11 +46,11 @@ func (s *Scrub) Wait(p *sim.Proc) (stripes, repairs uint64) {
 // StartScrub launches one background patrol pass over the array and
 // returns immediately with a handle.  The patrol is low priority: it holds
 // off whenever foreground requests are in flight, so it consumes idle disk
-// time rather than competing with demand traffic.  Only parity levels (3
-// and 5) can be scrubbed.
+// time rather than competing with demand traffic.  Only parity levels (3,
+// 5, and 6) can be scrubbed.
 func (a *Array) StartScrub(cfg ScrubConfig) (*Scrub, error) {
-	if a.cfg.Level != Level3 && a.cfg.Level != Level5 {
-		return nil, fmt.Errorf("raid: parity scrub requires level 3 or 5, not level %d", int(a.cfg.Level))
+	if a.cfg.Level != Level3 && a.cfg.Level != Level5 && a.cfg.Level != Level6 {
+		return nil, fmt.Errorf("raid: parity scrub requires level 3, 5, or 6, not level %d", int(a.cfg.Level))
 	}
 	interval := cfg.Interval
 	if interval <= 0 {
@@ -91,6 +91,9 @@ func (a *Array) StartScrub(cfg ScrubConfig) (*Scrub, error) {
 func (a *Array) scrubStripe(p *sim.Proc, s int64) (verified, repaired bool) {
 	end := p.Span("scrub", "stripe")
 	defer end()
+	if a.cfg.Level == Level6 {
+		return a.scrubStripe6(p, s)
+	}
 	nd := a.dataDisks()
 	// Columns 0..nd-1 are data, column nd is parity.
 	cols := make([][]byte, nd+1)
@@ -141,6 +144,162 @@ func (a *Array) scrubStripe(p *sim.Proc, s int64) (verified, repaired bool) {
 		}
 	}
 	return true, false
+}
+
+// scrubStripe6 verifies one Level 6 stripe.  With up to two columns
+// missing (failed devices or latent read errors) the P+Q solve recovers
+// their contents; latent columns on live devices are rewritten in place.
+// A stripe with both redundancy columns consumed by failed devices has
+// nothing left to verify — the double-degraded rebuild, not the patrol,
+// restores it.
+func (a *Array) scrubStripe6(p *sim.Proc, s int64) (verified, repaired bool) {
+	pdev, qdev, dataDev := a.stripeDevs6(s)
+	base := s * int64(a.unitSecs)
+	nd := a.dataDisks()
+
+	var failedCols int
+	readCol := func(dev int) ([]byte, bool) {
+		if a.failed[dev] {
+			failedCols++
+			return nil, false
+		}
+		a.stats.DiskReads++
+		data, err := a.devs[dev].Read(p, base, a.unitSecs)
+		if err != nil {
+			return nil, true // latent: on a live device, repairable in place
+		}
+		return data, false
+	}
+
+	dataCols := make([][]byte, nd)
+	latent := make(map[int]bool) // device -> unreadable but live
+	var missing []int
+	for pos := 0; pos < nd; pos++ {
+		data, lat := readCol(dataDev[pos])
+		if data == nil {
+			missing = append(missing, pos)
+			if lat {
+				latent[dataDev[pos]] = true
+			}
+			continue
+		}
+		dataCols[pos] = data
+	}
+	pcol, pLat := readCol(pdev)
+	if pcol == nil && pLat {
+		latent[pdev] = true
+	}
+	qcol, qLat := readCol(qdev)
+	if qcol == nil && qLat {
+		latent[qdev] = true
+	}
+	totalMissing := len(missing)
+	if pcol == nil {
+		totalMissing++
+	}
+	if qcol == nil {
+		totalMissing++
+	}
+	if totalMissing > 2 || failedCols >= 2 {
+		return false, false
+	}
+
+	// Solve the missing data columns through whatever parity survives —
+	// the same cases the degraded read path serves.
+	switch len(missing) {
+	case 1:
+		x := missing[0]
+		if pcol != nil {
+			srcs := [][]byte{pcol}
+			for pos, c := range dataCols {
+				if pos != x {
+					srcs = append(srcs, c)
+				}
+			}
+			dataCols[x] = a.xor.XOR(p, srcs...)
+		} else if qcol != nil {
+			rem := make([]byte, len(qcol))
+			copy(rem, qcol)
+			for pos, c := range dataCols {
+				if pos != x && c != nil {
+					gfMulSliceInto(rem, c, gfPow(pos))
+				}
+			}
+			gfDivSlice(rem, gfPow(x))
+			dataCols[x] = rem
+		} else {
+			return false, false
+		}
+	case 2:
+		if pcol == nil || qcol == nil {
+			return false, false
+		}
+		x, y := missing[0], missing[1]
+		pxor := make([]byte, len(pcol))
+		copy(pxor, pcol)
+		qxor := make([]byte, len(qcol))
+		copy(qxor, qcol)
+		for pos, c := range dataCols {
+			if c == nil {
+				continue
+			}
+			a.xor.XORInto(p, pxor, c)
+			gfMulSliceInto(qxor, c, gfPow(pos))
+		}
+		gy := gfPow(y)
+		denom := gfPow(x) ^ gy
+		dx := make([]byte, len(pxor))
+		for i := range dx {
+			dx[i] = gfDiv(gfMul(gy, pxor[i])^qxor[i], denom)
+		}
+		dataCols[x], dataCols[y] = dx, a.xor.XOR(p, pxor, dx)
+	}
+
+	// Rewrite latent columns in place with their solved or recomputed
+	// contents, which remaps the bad sectors underneath.
+	ok := true
+	for _, pos := range missing {
+		if latent[dataDev[pos]] {
+			v, r := a.scrubRewrite(p, dataDev[pos], base, dataCols[pos])
+			ok = ok && v
+			repaired = repaired || r
+		}
+	}
+	wantP := a.xor.XOR(p, dataCols...)
+	wantQ := qParity(dataCols)
+	if pcol == nil && latent[pdev] {
+		v, r := a.scrubRewrite(p, pdev, base, wantP)
+		ok = ok && v
+		repaired = repaired || r
+	}
+	if qcol == nil && latent[qdev] {
+		v, r := a.scrubRewrite(p, qdev, base, wantQ)
+		ok = ok && v
+		repaired = repaired || r
+	}
+	// Verify whatever parity survives against the (solved) data; stale
+	// parity is recomputed and rewritten.
+	if pcol != nil {
+		for i := range wantP {
+			if wantP[i] != pcol[i] {
+				v, r := a.scrubRewrite(p, pdev, base, wantP)
+				ok = ok && v
+				repaired = repaired || r
+				break
+			}
+		}
+	}
+	if qcol != nil {
+		for i := range wantQ {
+			if wantQ[i] != qcol[i] {
+				v, r := a.scrubRewrite(p, qdev, base, wantQ)
+				ok = ok && v
+				repaired = repaired || r
+				break
+			}
+		}
+	}
+	return ok, repaired
 }
 
 // scrubRewrite writes a repaired column back under a repair span.

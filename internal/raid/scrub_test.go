@@ -17,7 +17,7 @@ func TestScrubRepairsLatentSector(t *testing.T) {
 	data := patterned(int(a.Sectors())*tSec, 7)
 	var got []byte
 	runProc(e, func(p *sim.Proc) {
-		a.Write(p, 0, data)
+		_ = a.Write(p, 0, data)
 		mems[2].AddLatentError(0, 2*tUnit)
 		sc, err := a.StartScrub(ScrubConfig{})
 		if err != nil {
@@ -30,7 +30,7 @@ func TestScrubRepairsLatentSector(t *testing.T) {
 		if stripes == 0 {
 			t.Fatal("patrol verified no stripes")
 		}
-		got = a.Read(p, 0, int(a.Sectors()))
+		got, _ = a.Read(p, 0, int(a.Sectors()))
 	})
 	st := a.Stats()
 	if st.ScrubRepairs == 0 || st.ScrubbedStripes == 0 {
@@ -52,7 +52,7 @@ func TestScrubRepairsStaleParity(t *testing.T) {
 	data := patterned(int(a.Sectors())*tSec, 3)
 	var badBefore, badAfter int64
 	runProc(e, func(p *sim.Proc) {
-		a.Write(p, 0, data)
+		_ = a.Write(p, 0, data)
 		mems[3].Corrupt(40) // parity lives on the last device at Level 3
 		badBefore = a.CheckParity(p)
 		sc, err := a.StartScrub(ScrubConfig{Interval: 100 * time.Microsecond})
@@ -78,7 +78,7 @@ func TestScrubSkipsDegradedStripes(t *testing.T) {
 	e := sim.New()
 	a, _ := newArray(t, e, 4, Level5)
 	runProc(e, func(p *sim.Proc) {
-		a.Write(p, 0, patterned(16*tSec, 1))
+		_ = a.Write(p, 0, patterned(16*tSec, 1))
 		if err := a.FailDisk(1); err != nil {
 			t.Fatal(err)
 		}

@@ -13,11 +13,13 @@ func TestWriteStreamingFullStripesStayConsistent(t *testing.T) {
 	// Whole-stripe-aligned streaming writes keep parity valid.
 	n := a.DataDisks() * tUnit * 3 // three full stripes
 	runProc(e, func(p *sim.Proc) {
-		a.WriteStreaming(p, 0, patterned(n*tSec, 6))
+		if err := a.WriteStreaming(p, 0, patterned(n*tSec, 6)); err != nil {
+			t.Error(err)
+		}
 		if bad := a.CheckParity(p); bad != 0 {
 			t.Fatalf("%d bad stripes after full-stripe streaming", bad)
 		}
-		got := a.Read(p, 0, n)
+		got, _ := a.Read(p, 0, n)
 		want := patterned(n*tSec, 6)
 		for i := range got {
 			if got[i] != want[i] {
@@ -39,7 +41,9 @@ func TestWriteStreamingNeverReadsDisks(t *testing.T) {
 	a, _ := newArray(t, e, 5, Level5)
 	runProc(e, func(p *sim.Proc) {
 		// Unaligned: covers partial stripes, still zero reads.
-		a.WriteStreaming(p, 3, patterned(10*tSec, 7))
+		if err := a.WriteStreaming(p, 3, patterned(10*tSec, 7)); err != nil {
+			t.Error(err)
+		}
 	})
 	if st := a.Stats(); st.DiskReads != 0 {
 		t.Fatalf("streaming write issued %d disk reads", st.DiskReads)
@@ -65,7 +69,7 @@ func TestLevel3SingleRequestAtATime(t *testing.T) {
 		g := sim.NewGroup(e)
 		for i := 0; i < 4; i++ {
 			lba := int64(i * 16)
-			g.Go("r", func(p *sim.Proc) { a.Read(p, lba, 1) })
+			g.Go("r", func(p *sim.Proc) { _, _ = a.Read(p, lba, 1) })
 		}
 		return sim.Duration(e.Run())
 	}
@@ -97,13 +101,13 @@ func TestReconstructPipelinedMatchesSerialContent(t *testing.T) {
 	a, _ := newArray(t, e, 5, Level5)
 	data := patterned(200*tSec, 3)
 	runProc(e, func(p *sim.Proc) {
-		a.Write(p, 0, data)
+		_ = a.Write(p, 0, data)
 		_ = a.FailDisk(1)
 		spare := NewMemDev(256, tSec)
 		if _, err := a.Reconstruct(p, 1, spare); err != nil {
 			t.Fatal(err)
 		}
-		got := a.Read(p, 0, 200)
+		got, _ := a.Read(p, 0, 200)
 		for i := range got {
 			if got[i] != data[i] {
 				t.Fatal("pipelined rebuild corrupted data")
@@ -120,13 +124,13 @@ func TestReconstructLevel1(t *testing.T) {
 	a, _ := newArray(t, e, 6, Level1)
 	data := patterned(100*tSec, 4)
 	runProc(e, func(p *sim.Proc) {
-		a.Write(p, 0, data)
+		_ = a.Write(p, 0, data)
 		_ = a.FailDisk(2)
 		spare := NewMemDev(256, tSec)
 		if _, err := a.Reconstruct(p, 2, spare); err != nil {
 			t.Fatal(err)
 		}
-		got := a.Read(p, 0, 100)
+		got, _ := a.Read(p, 0, 100)
 		for i := range got {
 			if got[i] != data[i] {
 				t.Fatal("mirror rebuild corrupted data")

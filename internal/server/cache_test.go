@@ -35,8 +35,8 @@ func TestCacheHitServedWhileDegraded(t *testing.T) {
 	}
 	sys.Eng.Spawn("t", func(p *sim.Proc) {
 		// Write through the cache (staged), then re-read so it is resident.
-		b.Cache.Write(p, 0, payload)
-		if got := b.Cache.Read(p, 0, len(payload)/512); !bytes.Equal(got, payload) {
+		_ = b.Cache.Write(p, 0, payload)
+		if got, _ := b.Cache.Read(p, 0, len(payload)/512); !bytes.Equal(got, payload) {
 			t.Fatal("pre-failure read returned wrong data")
 		}
 		hitsBefore := b.Cache.Stats().Hits
@@ -44,7 +44,7 @@ func TestCacheHitServedWhileDegraded(t *testing.T) {
 		if err := b.Array.FailDisk(3); err != nil {
 			t.Fatal(err)
 		}
-		got := b.Cache.Read(p, 0, len(payload)/512)
+		got, _ := b.Cache.Read(p, 0, len(payload)/512)
 		if !bytes.Equal(got, payload) {
 			t.Fatal("degraded cache hit returned wrong data")
 		}
@@ -55,9 +55,9 @@ func TestCacheHitServedWhileDegraded(t *testing.T) {
 		// A region never cached must miss and reconstruct via parity.
 		missesBefore := b.Cache.Stats().Misses
 		far := int64(2 << 20 / 512)
-		b.Cache.Write(p, far, payload[:64<<10]) // known bytes, write-through
+		_ = b.Cache.Write(p, far, payload[:64<<10]) // known bytes, write-through
 		b.Cache.InvalidateAll()
-		got = b.Cache.Read(p, far, (64<<10)/512)
+		got, _ = b.Cache.Read(p, far, (64<<10)/512)
 		if !bytes.Equal(got, payload[:64<<10]) {
 			t.Fatal("degraded cache miss returned wrong data")
 		}
@@ -82,7 +82,7 @@ func TestCacheDoesNotMaskEscalation(t *testing.T) {
 		// read trips it and the array escalates the device to failed.
 		b.Disks[2].Drive.AddLatentError(0, 4)
 		const secs = (1 << 20) / 512
-		b.Cache.Read(p, 0, secs)
+		_, _ = b.Cache.Read(p, 0, secs)
 		st := b.Array.Stats()
 		if st.DiskFailures != 1 {
 			t.Fatalf("DiskFailures = %d, want 1 (latent error should escalate)", st.DiskFailures)
@@ -99,7 +99,7 @@ func TestCacheDoesNotMaskEscalation(t *testing.T) {
 
 		// Served-from-cache re-read: the hit must not clear the failure.
 		hitsBefore := b.Cache.Stats().Hits
-		b.Cache.Read(p, 0, secs)
+		_, _ = b.Cache.Read(p, 0, secs)
 		if b.Cache.Stats().Hits <= hitsBefore {
 			t.Error("re-read should hit")
 		}
@@ -122,7 +122,7 @@ func TestCacheCrashInvalidates(t *testing.T) {
 	}
 	b := sys.Boards[0]
 	sys.Eng.Spawn("t", func(p *sim.Proc) {
-		b.Cache.Read(p, 0, (512<<10)/512)
+		_, _ = b.Cache.Read(p, 0, (512<<10)/512)
 		if b.Cache.Lines() == 0 {
 			t.Fatal("expected resident lines before crash")
 		}

@@ -17,22 +17,22 @@ import (
 // readDev issues an array read, through the block cache when the board has
 // one: resident lines are served from XBUS DRAM at crossbar cost, missing
 // lines fill from the array at full disk cost.
-func (b *Board) readDev(p *sim.Proc, at int64, secs int) {
+func (b *Board) readDev(p *sim.Proc, at int64, secs int) error {
 	if b.Cache != nil {
-		b.Cache.Read(p, at, secs)
-		return
+		_, err := b.Cache.Read(p, at, secs)
+		return err
 	}
-	b.Array.Read(p, at, secs)
+	_, err := b.Array.Read(p, at, secs)
+	return err
 }
 
 // writeDevStreaming issues a benchmark-mode streaming write, keeping the
 // block cache coherent (and staging freshly written lines) when present.
-func (b *Board) writeDevStreaming(p *sim.Proc, at int64, data []byte) {
+func (b *Board) writeDevStreaming(p *sim.Proc, at int64, data []byte) error {
 	if b.Cache != nil {
-		b.Cache.WriteStreaming(p, at, data)
-		return
+		return b.Cache.WriteStreaming(p, at, data)
 	}
-	b.Array.WriteStreaming(p, at, data)
+	return b.Array.WriteStreaming(p, at, data)
 }
 
 // chunks splits size into pipeline-chunk work items.
@@ -79,16 +79,17 @@ func (b *Board) stripeAligned(offSectors int64, sizeSecs int) []int {
 // memory again.  All of the request's disk reads are issued at once
 // (bounded by XBUS buffer memory); the HIPPI transmits each chunk as soon
 // as it and all earlier chunks have arrived in memory.
-func (b *Board) HardwareRead(p *sim.Proc, offSectors int64, size int) {
+func (b *Board) HardwareRead(p *sim.Proc, offSectors int64, size int) error {
 	end := p.Span("datapath", "hw-read")
 	defer end()
 	// Join the client's request when one is in flight, else measure this
 	// entry point as its own request kind.
-	defer telemetry.Ensure(p, "hw-read")(nil)
+	done := telemetry.Ensure(p, "hw-read")
 	e := b.sys.Eng
 	secSize := b.Array.SectorSize()
 	chunks := b.chunks(size)
 	ready := make([]*sim.Event, len(chunks))
+	var firstErr error
 	cursor := offSectors
 	for i, n := range chunks {
 		i, n := i, n
@@ -99,7 +100,9 @@ func (b *Board) HardwareRead(p *sim.Proc, offSectors int64, size int) {
 		b.XB.Buffers.Acquire(p, n)
 		e.Spawn("hw-read-disk", func(q *sim.Proc) {
 			telemetry.Adopt(q, p)
-			b.readDev(q, at, secs)
+			if err := b.readDev(q, at, secs); err != nil && firstErr == nil {
+				firstErr = err
+			}
 			ready[i].Signal()
 		})
 	}
@@ -110,6 +113,8 @@ func (b *Board) HardwareRead(p *sim.Proc, offSectors int64, size int) {
 		sim.Path{b.HEP.Out, b.HEP.In}.Send(p, n, 0)
 		b.XB.Buffers.Release(n)
 	}
+	done(firstErr)
+	return firstErr
 }
 
 // HardwareWrite performs the Figure 5 write: data originate in XBUS
@@ -117,13 +122,14 @@ func (b *Board) HardwareRead(p *sim.Proc, offSectors int64, size int) {
 // computed and data and parity are written to the array.  Disk writes are
 // issued stripe-aligned as their data arrive, so whole stripes take the
 // full-stripe parity path while the HIPPI keeps streaming.
-func (b *Board) HardwareWrite(p *sim.Proc, offSectors int64, size int) {
+func (b *Board) HardwareWrite(p *sim.Proc, offSectors int64, size int) error {
 	end := p.Span("datapath", "hw-write")
 	defer end()
-	defer telemetry.Ensure(p, "hw-write")(nil)
+	done := telemetry.Ensure(p, "hw-write")
 	e := b.sys.Eng
 	secSize := b.Array.SectorSize()
 	g := sim.NewGroup(e)
+	var firstErr error
 
 	p.Wait(b.HEP.Setup)
 	cursor := offSectors
@@ -136,11 +142,15 @@ func (b *Board) HardwareWrite(p *sim.Proc, offSectors int64, size int) {
 		secs := secs
 		g.Go("hw-write-disk", func(q *sim.Proc) {
 			telemetry.Adopt(q, p)
-			b.writeDevStreaming(q, at, make([]byte, secs*secSize))
+			if err := b.writeDevStreaming(q, at, make([]byte, secs*secSize)); err != nil && firstErr == nil {
+				firstErr = err
+			}
 			b.XB.Buffers.Release(n)
 		})
 	}
 	g.Wait(p)
+	done(firstErr)
+	return firstErr
 }
 
 // FSRead is the Figure 8 LFS read: file system overhead on the host CPU,

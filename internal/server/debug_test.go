@@ -19,7 +19,7 @@ func TestArraySequentialDiagnostics(t *testing.T) {
 	var cursor int64
 	res := workload.FixedOps(sys.Eng, 4, 48, func(p *sim.Proc, _ int, _ *rand.Rand) int {
 		const req = 1600 << 10
-		b.Array.Read(p, cursor, req/512)
+		_, _ = b.Array.Read(p, cursor, req/512)
 		cursor += int64(req / 512)
 		return req
 	})

@@ -107,7 +107,7 @@ func TestDegradedModeSlowerButWorking(t *testing.T) {
 		sys.Eng.Spawn("t", func(p *sim.Proc) {
 			start := p.Now()
 			for i := 0; i < 8; i++ {
-				b.Array.Read(p, int64(i)*2048, 2048) // 1 MB each
+				_, _ = b.Array.Read(p, int64(i)*2048, 2048) // 1 MB each
 			}
 			dur = p.Now().Sub(start)
 		})

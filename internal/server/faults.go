@@ -53,8 +53,8 @@ func (sys *System) Check(ev fault.Event) error {
 			return fmt.Errorf("stall duration must be positive")
 		}
 	case fault.FSCrash:
-		if ev.After > 0 {
-			return fmt.Errorf("fs crashes are time-triggered only")
+		if ev.After > 0 && b.nvlog == nil {
+			return fmt.Errorf("commit-triggered fs crash needs an nvram region on board %d (set Config.NVRAMBytes)", ev.Board)
 		}
 	default:
 		return fmt.Errorf("unknown fault kind %d", int(ev.Kind))
@@ -165,6 +165,10 @@ func (sys *System) Inject(p *sim.Proc, ev fault.Event) {
 	case fault.StringStall:
 		b.Disks[ev.Disk].StallString(p.Now().Add(ev.Stall))
 	case fault.FSCrash:
-		b.Crash()
+		if ev.After > 0 {
+			b.nvlog.armCrashAtCommit(ev.After)
+		} else {
+			b.Crash()
+		}
 	}
 }

@@ -1,0 +1,367 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"raidii/internal/fault"
+	"raidii/internal/sim"
+)
+
+func nvramConfig(nvBytes, commitBytes int) Config {
+	cfg := Fig8Config()
+	cfg.DiskSpec.Cylinders = 120 // small disks keep the tests fast
+	cfg.NVRAMBytes = nvBytes
+	cfg.NVRAMCommitBytes = commitBytes
+	return cfg
+}
+
+// nvPattern fills one staged record's payload deterministically.
+func nvPattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*5 + seed
+	}
+	return b
+}
+
+// TestNVRAMStagedWritesCommitAndReadBack: small writes acknowledge out of
+// the staging region, the background group commit folds them into the LFS,
+// and every byte reads back.
+func TestNVRAMStagedWritesCommitAndReadBack(t *testing.T) {
+	sys, err := New(nvramConfig(1<<20, 64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sys.Boards[0]
+	const rec = 4 << 10
+	const n = 24 // 96 KB staged: crosses the 64 KB commit threshold once
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		if err := b.FormatFS(p); err != nil {
+			t.Fatal(err)
+		}
+		f, err := b.CreateFS(p, "/small")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.FS.Checkpoint(p); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := b.DurableWrite(p, f, int64(i)*rec, nvPattern(rec, byte(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	sys.Eng.Run()
+	st := b.NVRAMStats()
+	if st.Log.Staged != n {
+		t.Fatalf("staged %d records, want %d", st.Log.Staged, n)
+	}
+	if st.Log.Commits == 0 || st.Log.CommitRecords == 0 {
+		t.Fatalf("no background group commit ran: %+v", st.Log)
+	}
+	if st.Log.Degraded != 0 {
+		t.Fatalf("%d writes degraded with a roomy region", st.Log.Degraded)
+	}
+	sys.Eng.Spawn("verify", func(p *sim.Proc) {
+		if err := b.DrainNVRAM(p); err != nil {
+			t.Fatal(err)
+		}
+		f, err := b.OpenFS(p, "/small")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			got, err := b.FSRead(p, f, int64(i)*rec, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, nvPattern(rec, byte(i))) {
+				t.Fatalf("record %d read back wrong after drain", i)
+			}
+		}
+	})
+	sys.Eng.Run()
+	if used := b.NVRAMStats().Region.Used; used != 0 {
+		t.Fatalf("drain left %d bytes staged", used)
+	}
+}
+
+// TestNVRAMCrashKeepsStagedDropsCache is the combined crash-semantics
+// test: one Crash must discard every non-durable cache line AND preserve
+// the battery-backed staging log, whose records then replay at mount.
+func TestNVRAMCrashKeepsStagedDropsCache(t *testing.T) {
+	cfg := nvramConfig(1<<20, 256<<10) // threshold high: records stay staged
+	cfg.CacheBytes = 2 << 20
+	cfg.CacheLineBytes = 64 << 10
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sys.Boards[0]
+	const rec = 4 << 10
+	const n = 8
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		if err := b.FormatFS(p); err != nil {
+			t.Fatal(err)
+		}
+		f, err := b.CreateFS(p, "/staged")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.FS.Checkpoint(p); err != nil {
+			t.Fatal(err)
+		}
+		// Resident cache lines that must NOT survive the crash.
+		if _, err := b.Cache.Read(p, 0, (512<<10)/512); err != nil {
+			t.Fatal(err)
+		}
+		if b.Cache.Lines() == 0 {
+			t.Fatal("expected resident cache lines before crash")
+		}
+		// Staged records that MUST survive the crash.
+		for i := 0; i < n; i++ {
+			if err := b.DurableWrite(p, f, int64(i)*rec, nvPattern(rec, byte(i+1))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := b.NVRAMStats()
+		if st.Log.Staged != n || st.Log.Commits != 0 {
+			t.Fatalf("want %d staged and no commits before crash, got %+v", n, st.Log)
+		}
+
+		b.Crash()
+
+		if b.Cache.Lines() != 0 {
+			t.Error("crash left cache lines resident")
+		}
+		if used := b.NVRAMStats().Region.Used; used != n*rec {
+			t.Errorf("crash kept %d staged bytes, want %d", used, n*rec)
+		}
+
+		if err := b.MountFS(p); err != nil {
+			t.Fatal(err)
+		}
+		if got := b.NVRAMStats().Log.Replayed; got != n {
+			t.Fatalf("replayed %d records, want %d", got, n)
+		}
+		if used := b.NVRAMStats().Region.Used; used != 0 {
+			t.Fatalf("replay left %d bytes staged", used)
+		}
+		g, err := b.OpenFS(p, "/staged")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			got, err := b.FSRead(p, g, int64(i)*rec, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, nvPattern(rec, byte(i+1))) {
+				t.Fatalf("record %d lost across the crash", i)
+			}
+		}
+	})
+	sys.Eng.Run()
+}
+
+// runNVRAMCommitRun performs the acceptance scenario once: stage exactly
+// enough records to trigger one group commit, optionally crashing in the
+// middle of it via the fault plan, then recover and return the full file
+// contents.
+func runNVRAMCommitRun(t *testing.T, crash bool) []byte {
+	t.Helper()
+	cfg := nvramConfig(1<<20, 64<<10)
+	if crash {
+		cfg.Faults = fault.Plan{}.FSCrashAtCommit(1, 0)
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sys.Boards[0]
+	const rec = 4 << 10
+	const n = 16 // 64 KB: the final record trips the commit threshold
+	sys.Eng.Spawn("stage", func(p *sim.Proc) {
+		if err := b.FormatFS(p); err != nil {
+			t.Fatal(err)
+		}
+		f, err := b.CreateFS(p, "/acc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.FS.Checkpoint(p); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := b.DurableWrite(p, f, int64(i)*rec, nvPattern(rec, byte(i)*3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	sys.Eng.Run() // the group commit runs — and, when armed, crashes mid-batch
+
+	st := b.NVRAMStats()
+	if crash {
+		if st.Log.Commits != 0 {
+			t.Fatalf("armed commit completed anyway: %+v", st.Log)
+		}
+		if used := st.Region.Used; used != n*rec {
+			t.Fatalf("mid-commit crash kept %d staged bytes, want %d", used, n*rec)
+		}
+	} else if st.Log.Commits != 1 || st.Log.CommitRecords != n {
+		t.Fatalf("want one clean %d-record commit, got %+v", n, st.Log)
+	}
+
+	var out []byte
+	sys.Eng.Spawn("recover", func(p *sim.Proc) {
+		if crash {
+			if err := b.MountFS(p); err != nil {
+				t.Fatal(err)
+			}
+			if got := b.NVRAMStats().Log.Replayed; got != n {
+				t.Fatalf("replayed %d records, want %d", got, n)
+			}
+		} else if err := b.DrainNVRAM(p); err != nil {
+			t.Fatal(err)
+		}
+		f, err := b.OpenFS(p, "/acc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err = b.FSRead(p, f, 0, n*rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	sys.Eng.Run()
+	return out
+}
+
+// TestNVRAMCrashMidCommitReplaysToIdenticalState is the PR's acceptance
+// test: a crash injected in the middle of a group commit, followed by
+// mount-time replay of the surviving NVRAM records, must end in file
+// contents byte-identical to an uncrashed run of the same workload.
+func TestNVRAMCrashMidCommitReplaysToIdenticalState(t *testing.T) {
+	clean := runNVRAMCommitRun(t, false)
+	crashed := runNVRAMCommitRun(t, true)
+	if !bytes.Equal(clean, crashed) {
+		t.Fatal("crash-replay state diverged from the no-crash run")
+	}
+	// And the recovered bytes are the workload's, not just self-consistent.
+	for i := 0; i < 16; i++ {
+		if !bytes.Equal(crashed[i*4096:(i+1)*4096], nvPattern(4096, byte(i)*3)) {
+			t.Fatalf("record %d wrong after crash replay", i)
+		}
+	}
+}
+
+// TestNVRAMFullDegradesToSyncWrites: when the region cannot hold a record
+// the write falls back to the synchronous path — slower, still durable,
+// counted as degraded.
+func TestNVRAMFullDegradesToSyncWrites(t *testing.T) {
+	// 16 KB region, 64 KB threshold: the region fills before any commit.
+	sys, err := New(nvramConfig(16<<10, 64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sys.Boards[0]
+	const rec = 4 << 10
+	const n = 8
+	sys.Eng.Spawn("t", func(p *sim.Proc) {
+		if err := b.FormatFS(p); err != nil {
+			t.Fatal(err)
+		}
+		f, err := b.CreateFS(p, "/full")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.FS.Checkpoint(p); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := b.DurableWrite(p, f, int64(i)*rec, nvPattern(rec, byte(9+i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := b.NVRAMStats()
+		if st.Log.Staged != 4 || st.Log.Degraded != 4 {
+			t.Fatalf("want 4 staged + 4 degraded, got %+v", st.Log)
+		}
+		if st.Region.Rejected != 4 {
+			t.Fatalf("region rejected %d appends, want 4", st.Region.Rejected)
+		}
+		// Degraded or staged, every write is durable and readable.
+		if err := b.DrainNVRAM(p); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			got, err := b.FSRead(p, f, int64(i)*rec, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, nvPattern(rec, byte(9+i))) {
+				t.Fatalf("record %d wrong after back-pressure", i)
+			}
+		}
+	})
+	sys.Eng.Run()
+}
+
+// TestNVRAMOversizedRegionRejected: a region that would starve the
+// transfer-buffer pool fails assembly rather than overcommitting DRAM.
+func TestNVRAMOversizedRegionRejected(t *testing.T) {
+	if _, err := New(nvramConfig(32<<20, 0)); err == nil {
+		t.Fatal("oversized nvram region accepted")
+	} else if !strings.Contains(err.Error(), "nvram") {
+		t.Errorf("oversize error does not mention nvram: %v", err)
+	}
+}
+
+// Satellite: fault-plan validation.  A plan naming hardware the assembled
+// system does not have, or scripting an impossible pair of events, must be
+// rejected at arm time with a precise message.
+
+func TestFaultPlanRejectsCrashOnMissingBoard(t *testing.T) {
+	cfg := nvramConfig(1<<20, 0)
+	cfg.Faults = fault.Plan{}.FSCrashAt(time.Second, 7)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("crash on unassembled board accepted")
+	} else if !strings.Contains(err.Error(), "no board 7") {
+		t.Errorf("error does not name the missing board: %v", err)
+	}
+}
+
+func TestFaultPlanRejectsCommitCrashWithoutNVRAM(t *testing.T) {
+	cfg := Fig8Config()
+	cfg.DiskSpec.Cylinders = 120
+	cfg.Faults = fault.Plan{}.FSCrashAtCommit(1, 0)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("commit-triggered crash accepted without an nvram region")
+	} else if !strings.Contains(err.Error(), "needs an nvram region") {
+		t.Errorf("error does not explain the missing region: %v", err)
+	}
+}
+
+func TestFaultPlanRejectsOverlappingDiskFailures(t *testing.T) {
+	cfg := Fig8Config()
+	cfg.DiskSpec.Cylinders = 120
+	cfg.Faults = fault.Plan{}.
+		DiskFailAt(time.Second, 0, 3).
+		DiskFailAt(2*time.Second, 0, 3)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("overlapping double failure accepted")
+	} else if !strings.Contains(err.Error(), "overlapping disk failure") {
+		t.Errorf("error does not flag the overlap: %v", err)
+	}
+	// Distinct disks are a legitimate double-failure script.
+	cfg.Faults = fault.Plan{}.
+		DiskFailAt(time.Second, 0, 3).
+		DiskFailAt(2*time.Second, 0, 4)
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("distinct-disk double failure rejected: %v", err)
+	}
+}

@@ -126,10 +126,11 @@ func (x *hostXOR) XORInto(p *sim.Proc, dst, src []byte) {
 // buffer: DMA into kernel memory (part of the array read path), then a
 // kernel-to-user copy with its cache interference.  Chunks pipeline so the
 // measured rate reflects the memory system's steady state.
-func (r *RAIDI) UserRead(p *sim.Proc, offSectors int64, size int) {
+func (r *RAIDI) UserRead(p *sim.Proc, offSectors int64, size int) error {
 	secSize := r.Array.SectorSize()
 	g := sim.NewGroup(r.Eng)
 	sem := sim.NewServer(r.Eng, "raidi-pipe", 2)
+	var firstErr error
 	cursor := offSectors
 	const chunk = 256 << 10
 	for rem := size; rem > 0; {
@@ -144,12 +145,16 @@ func (r *RAIDI) UserRead(p *sim.Proc, offSectors int64, size int) {
 		sem.Acquire(p)
 		g.Go("raidi-chunk", func(q *sim.Proc) {
 			defer sem.Release()
-			r.Array.Read(q, at, secs) // DMA path: backplane + memory bus
-			r.Host.CopyAsync(q, n)    // kernel -> user copy + cache traffic
+			// DMA path: backplane + memory bus.
+			if _, err := r.Array.Read(q, at, secs); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			r.Host.CopyAsync(q, n) // kernel -> user copy + cache traffic
 		})
 	}
 	g.Wait(p)
 	r.Host.PerIO(p)
+	return firstErr
 }
 
 // SmallDiskRead is RAID-I's Table 2 unit of work: a 4 KB read from one

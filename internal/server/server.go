@@ -99,6 +99,17 @@ type Config struct {
 	// CacheLineBytes is the cache line size (0 = cache.DefaultLineBytes).
 	CacheLineBytes int
 
+	// NVRAMBytes carves a battery-backed write-staging region of this size
+	// out of each board's DRAM (0 = no NVRAM).  Small synchronous writes
+	// acknowledge once their record is durable in the region and group
+	// commit into LFS segments in the background; after a crash, MountFS
+	// replays the surviving log before serving.  The carve-out shares the
+	// board's 32 MB with the cache and transfer buffers.
+	NVRAMBytes int
+	// NVRAMCommitBytes is the staged-byte threshold that triggers a group
+	// commit (0 = a 256 KB default).
+	NVRAMCommitBytes int
+
 	// Faults is the deterministic fault plan armed when the system is
 	// assembled; the zero value injects nothing.
 	Faults fault.Plan
@@ -228,6 +239,7 @@ type Board struct {
 	Cache   *cache.Cache // XBUS-resident block cache; nil when not configured
 	FS      *lfs.FS
 	HEP     *hippi.Endpoint // HIPPI endpoint of this board
+	nvlog   *nvlog          // NVRAM write-staging log; nil when not configured
 
 	adm      *sim.Server // bounded client-request admission; nil = unbounded
 	admDepth int
@@ -379,6 +391,13 @@ func (sys *System) newBoard(idx int) (*Board, error) {
 		}
 		b.Cache = cc
 	}
+	if cfg.NVRAMBytes > 0 {
+		nv, err := xb.ReserveNVRAM(cfg.NVRAMBytes)
+		if err != nil {
+			return nil, fmt.Errorf("server: board %d: %w", idx, err)
+		}
+		b.nvlog = newNVLog(b, nv, cfg.NVRAMCommitBytes)
+	}
 	return b, nil
 }
 
@@ -397,13 +416,17 @@ func (b *Board) FormatFS(p *sim.Proc) error {
 // line of the block cache.  DRAM contents do not survive a server crash,
 // so the cache must never satisfy a post-crash read from pre-crash state —
 // the write-through policy means no data are lost, only re-read cost.
-// MountFS recovers the file system from the log.
+// The battery-backed NVRAM staging log is the exception: its records
+// survive and are replayed by MountFS before the board serves again.
 func (b *Board) Crash() {
 	if b.FS != nil {
 		b.FS.Crash()
 	}
 	if b.Cache != nil {
 		b.Cache.InvalidateAll()
+	}
+	if b.nvlog != nil {
+		b.nvlog.crash()
 	}
 }
 
@@ -447,11 +470,18 @@ func (b *Board) ReplaceDisk(devIdx int) (*raid.Rebuild, error) {
 
 // MountFS mounts an existing LFS from the board's array, replaying whatever
 // checkpoint and log tail survive — the recovery path after a crash fault.
+// When the board has an NVRAM staging log, its surviving records are then
+// replayed on top and made durable before the mount returns.
 func (b *Board) MountFS(p *sim.Proc) error {
 	fs, err := lfs.Mount(p, b.sys.Eng, b.Dev())
 	if err != nil {
 		return fmt.Errorf("server: mount board %d: %w", b.Index, err)
 	}
 	b.FS = fs
+	if b.nvlog != nil {
+		if err := b.nvlog.replay(p); err != nil {
+			return fmt.Errorf("server: nvram replay board %d: %w", b.Index, err)
+		}
+	}
 	return nil
 }

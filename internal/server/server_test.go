@@ -48,16 +48,24 @@ func hwRandomRate(t *testing.T, size int, write bool) float64 {
 	}
 	b := sys.Boards[0]
 	space := b.Array.Sectors()
+	var opErr error
 	res := workload.FixedOps(sys.Eng, 4, 24<<20/size, func(p *sim.Proc, _ int, rng *rand.Rand) int {
 		align := int64(size / 512)
 		off := workload.RandomAligned(rng, space-align, align)
+		var err error
 		if write {
-			b.HardwareWrite(p, off, size)
+			err = b.HardwareWrite(p, off, size)
 		} else {
-			b.HardwareRead(p, off, size)
+			err = b.HardwareRead(p, off, size)
+		}
+		if err != nil && opErr == nil {
+			opErr = err
 		}
 		return size
 	})
+	if opErr != nil {
+		t.Fatal(opErr)
+	}
 	return res.MBps()
 }
 
@@ -93,12 +101,18 @@ func TestTable1SequentialRead(t *testing.T) {
 	b := sys.Boards[0]
 	const req = 1600 << 10 // the paper's 1.6 MB sequential requests
 	var cursor int64
+	var opErr error
 	res := workload.FixedOps(sys.Eng, 4, 48, func(p *sim.Proc, _ int, _ *rand.Rand) int {
 		off := cursor
 		cursor += int64(req / 512)
-		b.HardwareRead(p, off, req)
+		if err := b.HardwareRead(p, off, req); err != nil && opErr == nil {
+			opErr = err
+		}
 		return req
 	})
+	if opErr != nil {
+		t.Fatal(opErr)
+	}
 	r := res.MBps()
 	if r < 26 || r > 34 {
 		t.Fatalf("sequential read = %.1f MB/s, want ~31", r)
@@ -115,12 +129,18 @@ func TestTable1SequentialWrite(t *testing.T) {
 	b := sys.Boards[0]
 	const req = 1600 << 10
 	var cursor int64
+	var opErr error
 	res := workload.FixedOps(sys.Eng, 4, 48, func(p *sim.Proc, _ int, _ *rand.Rand) int {
 		off := cursor
 		cursor += int64(req / 512)
-		b.HardwareWrite(p, off, req)
+		if err := b.HardwareWrite(p, off, req); err != nil && opErr == nil {
+			opErr = err
+		}
 		return req
 	})
+	if opErr != nil {
+		t.Fatal(opErr)
+	}
 	w := res.MBps()
 	if w < 19 || w > 27 {
 		t.Fatalf("sequential write = %.1f MB/s, want ~23", w)
@@ -133,12 +153,18 @@ func TestRAIDIBaselineCeiling(t *testing.T) {
 		t.Fatal(err)
 	}
 	var cursor int64
+	var opErr error
 	res := workload.FixedOps(r.Eng, 1, 8, func(p *sim.Proc, _ int, _ *rand.Rand) int {
 		const req = 1 << 20
-		r.UserRead(p, cursor, req)
+		if err := r.UserRead(p, cursor, req); err != nil && opErr == nil {
+			opErr = err
+		}
 		cursor += int64(req / 512)
 		return req
 	})
+	if opErr != nil {
+		t.Fatal(opErr)
+	}
 	rate := res.MBps()
 	if rate < 1.9 || rate > 2.7 {
 		t.Fatalf("RAID-I user-level read = %.2f MB/s, want ~2.3", rate)

@@ -41,7 +41,9 @@ func TestFsckDetectsCrossReference(t *testing.T) {
 		in1, _ := fs.readInode(p, 1)
 		in2, _ := fs.readInode(p, 2)
 		in2.Direct[0] = in1.Direct[0]
-		fs.writeInode(p, 2, in2)
+		if err := fs.writeInode(p, 2, in2); err != nil {
+			t.Error(err)
+		}
 		r, err := fs.Fsck(p)
 		if err != nil {
 			t.Fatal(err)

@@ -29,10 +29,12 @@ const PtrsPerBlock = BlockSize / 8
 
 const ufsMagic = 0x55465331
 
-// Device is the block store (same contract as lfs.Device).
+// Device is the block store (same contract as lfs.Device).  Errors are
+// array-level data loss; they propagate to the caller rather than serving
+// corrupt bytes.
 type Device interface {
-	Read(p *sim.Proc, lba int64, n int) []byte
-	Write(p *sim.Proc, lba int64, data []byte)
+	Read(p *sim.Proc, lba int64, n int) ([]byte, error)
+	Write(p *sim.Proc, lba int64, data []byte) error
 	Sectors() int64
 	SectorSize() int
 }
@@ -109,15 +111,21 @@ func Format(p *sim.Proc, e *sim.Engine, dev Device, nInodes int) (*FS, error) {
 	le.PutUint32(sb[4:], uint32(nInodes))
 	le.PutUint64(sb[8:], uint64(fs.nBlocks))
 	le.PutUint32(sb[16:], crc32.ChecksumIEEE(sb[:16]))
-	fs.writeBlock(p, 0, sb)
+	if err := fs.writeBlock(p, 0, sb); err != nil {
+		return nil, fmt.Errorf("ufs: format superblock: %w", err)
+	}
 
 	// Zero the inode table and bitmap, marking metadata blocks used.
 	zero := make([]byte, BlockSize)
 	for b := fs.inodeStart; b < fs.dataStart; b++ {
-		fs.writeBlock(p, b, zero)
+		if err := fs.writeBlock(p, b, zero); err != nil {
+			return nil, fmt.Errorf("ufs: format metadata: %w", err)
+		}
 	}
 	for b := int64(0); b < fs.dataStart; b++ {
-		fs.setBitmap(p, b, true)
+		if err := fs.setBitmap(p, b, true); err != nil {
+			return nil, fmt.Errorf("ufs: format bitmap: %w", err)
+		}
 	}
 	return fs, nil
 }
@@ -126,7 +134,10 @@ func Format(p *sim.Proc, e *sim.Engine, dev Device, nInodes int) (*FS, error) {
 func Mount(p *sim.Proc, e *sim.Engine, dev Device) (*FS, error) {
 	fs := &FS{eng: e, dev: dev}
 	fs.blockSectors = BlockSize / dev.SectorSize()
-	raw := dev.Read(p, 0, fs.blockSectors)
+	raw, err := dev.Read(p, 0, fs.blockSectors)
+	if err != nil {
+		return nil, fmt.Errorf("ufs: mount superblock: %w", err)
+	}
 	le := binary.LittleEndian
 	if le.Uint32(raw[16:]) != crc32.ChecksumIEEE(raw[:16]) || le.Uint32(raw[0:]) != ufsMagic {
 		return nil, ErrCorrupt
@@ -145,28 +156,34 @@ func Mount(p *sim.Proc, e *sim.Engine, dev Device) (*FS, error) {
 // Stats returns the counters.
 func (fs *FS) Stats() Stats { return fs.stats }
 
-func (fs *FS) readBlock(p *sim.Proc, blk int64) []byte {
+func (fs *FS) readBlock(p *sim.Proc, blk int64) ([]byte, error) {
 	return fs.dev.Read(p, blk*int64(fs.blockSectors), fs.blockSectors)
 }
 
-func (fs *FS) writeBlock(p *sim.Proc, blk int64, data []byte) {
-	fs.dev.Write(p, blk*int64(fs.blockSectors), data)
+func (fs *FS) writeBlock(p *sim.Proc, blk int64, data []byte) error {
+	return fs.dev.Write(p, blk*int64(fs.blockSectors), data)
 }
 
 // setBitmap flips one allocation bit, synchronously (read-modify-write of
 // the bitmap block: the in-place metadata update discipline that makes
 // traditional file systems safe but slow).
-func (fs *FS) setBitmap(p *sim.Proc, blk int64, used bool) {
+func (fs *FS) setBitmap(p *sim.Proc, blk int64, used bool) error {
 	bb := fs.bitmapStart + blk/(BlockSize*8)
 	bit := blk % (BlockSize * 8)
-	raw := fs.readBlock(p, bb)
+	raw, err := fs.readBlock(p, bb)
+	if err != nil {
+		return err
+	}
 	if used {
 		raw[bit/8] |= 1 << (bit % 8)
 	} else {
 		raw[bit/8] &^= 1 << (bit % 8)
 	}
-	fs.writeBlock(p, bb, raw)
+	if err := fs.writeBlock(p, bb, raw); err != nil {
+		return err
+	}
 	fs.stats.MetaWrites++
+	return nil
 }
 
 func (fs *FS) bitmapGet(raw []byte, bit int64) bool {
@@ -176,7 +193,10 @@ func (fs *FS) bitmapGet(raw []byte, bit int64) bool {
 // allocBlock finds and claims a free data block.
 func (fs *FS) allocBlock(p *sim.Proc) (int64, error) {
 	for bb := int64(0); bb < fs.bitmapBlks; bb++ {
-		raw := fs.readBlock(p, fs.bitmapStart+bb)
+		raw, err := fs.readBlock(p, fs.bitmapStart+bb)
+		if err != nil {
+			return 0, err
+		}
 		for i := 0; i < BlockSize*8; i++ {
 			blk := bb*BlockSize*8 + int64(i)
 			if blk >= fs.nBlocks {
@@ -184,7 +204,9 @@ func (fs *FS) allocBlock(p *sim.Proc) (int64, error) {
 			}
 			if raw[i/8]&(1<<(i%8)) == 0 {
 				raw[i/8] |= 1 << (i % 8)
-				fs.writeBlock(p, fs.bitmapStart+bb, raw)
+				if err := fs.writeBlock(p, fs.bitmapStart+bb, raw); err != nil {
+					return 0, err
+				}
 				fs.stats.MetaWrites++
 				return blk, nil
 			}
@@ -198,7 +220,10 @@ func (fs *FS) readInode(p *sim.Proc, inum int) (*inode, error) {
 		return nil, ErrNotExist
 	}
 	blk := fs.inodeStart + int64(inum/inodesPerBlock)
-	raw := fs.readBlock(p, blk)
+	raw, err := fs.readBlock(p, blk)
+	if err != nil {
+		return nil, err
+	}
 	off := (inum % inodesPerBlock) * 128
 	in := &inode{}
 	le := binary.LittleEndian
@@ -213,9 +238,12 @@ func (fs *FS) readInode(p *sim.Proc, inum int) (*inode, error) {
 }
 
 // writeInode updates an inode in place (synchronous metadata write).
-func (fs *FS) writeInode(p *sim.Proc, inum int, in *inode) {
+func (fs *FS) writeInode(p *sim.Proc, inum int, in *inode) error {
 	blk := fs.inodeStart + int64(inum/inodesPerBlock)
-	raw := fs.readBlock(p, blk)
+	raw, err := fs.readBlock(p, blk)
+	if err != nil {
+		return err
+	}
 	off := (inum % inodesPerBlock) * 128
 	le := binary.LittleEndian
 	le.PutUint32(raw[off:], in.Inum)
@@ -225,8 +253,11 @@ func (fs *FS) writeInode(p *sim.Proc, inum int, in *inode) {
 		le.PutUint64(raw[off+16+i*8:], uint64(in.Direct[i]))
 	}
 	le.PutUint64(raw[off+16+NDirect*8:], uint64(in.Ind))
-	fs.writeBlock(p, blk, raw)
+	if err := fs.writeBlock(p, blk, raw); err != nil {
+		return err
+	}
 	fs.stats.MetaWrites++
+	return nil
 }
 
 // Create allocates inode inum (the flat namespace is indexed by number).
@@ -240,8 +271,7 @@ func (fs *FS) Create(p *sim.Proc, inum int) error {
 	if in.Used != 0 {
 		return ErrExist
 	}
-	fs.writeInode(p, inum, &inode{Inum: uint32(inum), Used: 1})
-	return nil
+	return fs.writeInode(p, inum, &inode{Inum: uint32(inum), Used: 1})
 }
 
 // blockOf returns (allocating if alloc) the disk block of file block fb.
@@ -253,7 +283,9 @@ func (fs *FS) blockOf(p *sim.Proc, inum int, in *inode, fb int64, alloc bool) (i
 				return 0, err
 			}
 			in.Direct[fb] = blk
-			fs.writeInode(p, inum, in)
+			if err := fs.writeInode(p, inum, in); err != nil {
+				return 0, err
+			}
 		}
 		return in.Direct[fb], nil
 	}
@@ -270,10 +302,17 @@ func (fs *FS) blockOf(p *sim.Proc, inum int, in *inode, fb int64, alloc bool) (i
 			return 0, err
 		}
 		in.Ind = blk
-		fs.writeInode(p, inum, in)
-		fs.writeBlock(p, blk, make([]byte, BlockSize))
+		if err := fs.writeInode(p, inum, in); err != nil {
+			return 0, err
+		}
+		if err := fs.writeBlock(p, blk, make([]byte, BlockSize)); err != nil {
+			return 0, err
+		}
 	}
-	raw := fs.readBlock(p, in.Ind)
+	raw, err := fs.readBlock(p, in.Ind)
+	if err != nil {
+		return 0, err
+	}
 	le := binary.LittleEndian
 	addr := int64(le.Uint64(raw[fb*8:]))
 	if addr == 0 && alloc {
@@ -282,7 +321,9 @@ func (fs *FS) blockOf(p *sim.Proc, inum int, in *inode, fb int64, alloc bool) (i
 			return 0, err
 		}
 		le.PutUint64(raw[fb*8:], uint64(blk))
-		fs.writeBlock(p, in.Ind, raw)
+		if err := fs.writeBlock(p, in.Ind, raw); err != nil {
+			return 0, err
+		}
 		fs.stats.MetaWrites++
 		addr = blk
 	}
@@ -316,15 +357,22 @@ func (fs *FS) WriteAt(p *sim.Proc, inum int, data []byte, off int64) (int, error
 		if bo == 0 && n == BlockSize {
 			buf = data[written : written+n]
 		} else {
-			buf = fs.readBlock(p, blk)
+			if buf, err = fs.readBlock(p, blk); err != nil {
+				return written, err
+			}
 			copy(buf[bo:], data[written:written+n])
 		}
-		fs.writeBlock(p, blk, buf) // in place: the RAID-5 small-write path
+		// In place: the RAID-5 small-write path.
+		if err := fs.writeBlock(p, blk, buf); err != nil {
+			return written, err
+		}
 		written += n
 	}
 	if off+int64(len(data)) > in.Size {
 		in.Size = off + int64(len(data))
-		fs.writeInode(p, inum, in)
+		if err := fs.writeInode(p, inum, in); err != nil {
+			return written, err
+		}
 	}
 	fs.stats.Writes++
 	return written, nil
@@ -361,7 +409,10 @@ func (fs *FS) ReadAt(p *sim.Proc, inum int, off int64, n int) ([]byte, error) {
 			return nil, err
 		}
 		if blk != 0 {
-			raw := fs.readBlock(p, blk)
+			raw, err := fs.readBlock(p, blk)
+			if err != nil {
+				return nil, err
+			}
 			copy(out[got:got+l], raw[bo:])
 		}
 		got += l
@@ -410,7 +461,10 @@ func (fs *FS) Fsck(p *sim.Proc) (*FsckReport, error) {
 		}
 		if in.Ind != 0 {
 			referenced[in.Ind]++
-			raw := fs.readBlock(p, in.Ind)
+			raw, err := fs.readBlock(p, in.Ind)
+			if err != nil {
+				return nil, err
+			}
 			le := binary.LittleEndian
 			for i := 0; i < PtrsPerBlock; i++ {
 				if a := int64(le.Uint64(raw[i*8:])); a != 0 {
@@ -421,7 +475,10 @@ func (fs *FS) Fsck(p *sim.Proc) (*FsckReport, error) {
 	}
 	// Pass 2: the whole bitmap against the reference counts.
 	for bb := int64(0); bb < fs.bitmapBlks; bb++ {
-		raw := fs.readBlock(p, fs.bitmapStart+bb)
+		raw, err := fs.readBlock(p, fs.bitmapStart+bb)
+		if err != nil {
+			return nil, err
+		}
 		for i := int64(0); i < BlockSize*8; i++ {
 			blk := bb*BlockSize*8 + i
 			if blk >= fs.nBlocks {
@@ -446,7 +503,9 @@ func (fs *FS) Fsck(p *sim.Proc) (*FsckReport, error) {
 		if blk+n > fs.nBlocks {
 			n = fs.nBlocks - blk
 		}
-		fs.dev.Read(p, blk*int64(fs.blockSectors), int(n)*fs.blockSectors)
+		if _, err := fs.dev.Read(p, blk*int64(fs.blockSectors), int(n)*fs.blockSectors); err != nil {
+			return nil, err
+		}
 	}
 	return r, nil
 }

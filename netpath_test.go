@@ -111,7 +111,9 @@ func TestScrubRepairsBeforeDemandRead(t *testing.T) {
 				}
 				stripes, repairs = sc.Wait()
 			}
-			bd.HardwareRead(0, 4<<20)
+			if err := bd.HardwareRead(0, 4<<20); err != nil {
+				return err
+			}
 			st = bd.ArrayStats()
 			return nil
 		})

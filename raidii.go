@@ -59,6 +59,7 @@ import (
 	"raidii/internal/raid"
 	"raidii/internal/server"
 	"raidii/internal/sim"
+	"raidii/internal/xbus"
 )
 
 // FaultPlan scripts deterministic hardware faults — disk failures, latent
@@ -99,6 +100,15 @@ var (
 	ErrServerBusy = fault.ErrServerBusy
 	// ErrDeadline reports a client request abandoned at its deadline.
 	ErrDeadline = fault.ErrDeadline
+	// ErrArrayFailed reports reads or writes against an array whose
+	// concurrent failures exceed its redundancy (two disks at Level 5,
+	// three at Level 6): the data are gone until restored from elsewhere,
+	// and the array refuses to fabricate them.
+	ErrArrayFailed = raid.ErrArrayFailed
+	// ErrNVRAMFull reports a small write the battery-backed staging region
+	// could not admit; DurableWrite absorbs it by degrading to the
+	// synchronous path, so callers only see it through NVRAMStats.
+	ErrNVRAMFull = xbus.ErrNVRAMFull
 )
 
 // RetryPolicy governs client-library retries: attempt budget, exponential
@@ -141,7 +151,8 @@ func WithFifthCougar() Option { return func(c *server.Config) { c.FifthCougar = 
 
 // WithRAIDLevel selects the array organization (§2.1: the XBUS board's
 // parity engine implements RAID Level 5; other levels are ablations.
-// Default Level 5).
+// Default Level 5).  Level 6 adds a Reed-Solomon Q column so the array
+// survives two concurrent disk failures.
 func WithRAIDLevel(l int) Option {
 	return func(c *server.Config) { c.RAIDLevel = raid.Level(l) }
 }
@@ -182,6 +193,26 @@ func WithCache(bytes int) Option {
 // suit sequential streams.
 func WithCacheLineKB(kb int) Option {
 	return func(c *server.Config) { c.CacheLineBytes = kb << 10 }
+}
+
+// WithNVRAM carves a battery-backed write-staging region of the given
+// size (in bytes) out of each board's 32 MB DRAM.  File.WriteDurable
+// acknowledges once its record lands in the region; a background group
+// commit folds batches into LFS segments, and after a crash MountFS
+// replays the surviving records before the board serves again.  When the
+// region fills, writes degrade to the synchronous seal-before-ack path
+// (visible as Degraded in NVRAMStats).  The carve-out shares DRAM with
+// the cache and transfer buffers — an oversized region fails NewServer.
+// (A durability extension in the lineage the paper cites: Baker et al.'s
+// non-volatile write caching on Sprite.)
+func WithNVRAM(bytes int) Option {
+	return func(c *server.Config) { c.NVRAMBytes = bytes }
+}
+
+// WithNVRAMCommitKB sets the staged-byte threshold that triggers an NVRAM
+// group commit (default 256 KB).
+func WithNVRAMCommitKB(kb int) Option {
+	return func(c *server.Config) { c.NVRAMCommitBytes = kb << 10 }
 }
 
 // WithFaultPlan arms a deterministic fault plan when the server is
@@ -375,13 +406,13 @@ func (t *Task) Wait(d time.Duration) { t.p.Wait(d) }
 func (t *Task) Elapsed() time.Duration { return time.Duration(t.p.Now()) }
 
 // HardwareRead performs the raw high-bandwidth-path read of §2.3 on board 0.
-func (t *Task) HardwareRead(offsetBytes int64, size int) {
-	t.Board(0).HardwareRead(offsetBytes, size)
+func (t *Task) HardwareRead(offsetBytes int64, size int) error {
+	return t.Board(0).HardwareRead(offsetBytes, size)
 }
 
 // HardwareWrite performs the raw high-bandwidth-path write of §2.3 on board 0.
-func (t *Task) HardwareWrite(offsetBytes int64, size int) {
-	t.Board(0).HardwareWrite(offsetBytes, size)
+func (t *Task) HardwareWrite(offsetBytes int64, size int) error {
+	return t.Board(0).HardwareWrite(offsetBytes, size)
 }
 
 // ArrayCapacity returns the logical capacity in bytes of board 0's array.
@@ -465,14 +496,15 @@ func (bd *Board) Checkpoint() error {
 }
 
 // HardwareRead performs the Figure 5 hardware system-level read (array ->
-// XBUS memory -> HIPPI loop) without any file system.
-func (bd *Board) HardwareRead(offsetBytes int64, size int) {
-	bd.b.HardwareRead(bd.t.p, offsetBytes/512, size)
+// XBUS memory -> HIPPI loop) without any file system.  Against an array
+// whose failures exceed its redundancy it returns ErrArrayFailed.
+func (bd *Board) HardwareRead(offsetBytes int64, size int) error {
+	return bd.b.HardwareRead(bd.t.p, offsetBytes/512, size)
 }
 
 // HardwareWrite performs the raw high-bandwidth-path write of §2.3.
-func (bd *Board) HardwareWrite(offsetBytes int64, size int) {
-	bd.b.HardwareWrite(bd.t.p, offsetBytes/512, size)
+func (bd *Board) HardwareWrite(offsetBytes int64, size int) error {
+	return bd.b.HardwareWrite(bd.t.p, offsetBytes/512, size)
 }
 
 // ArrayCapacity returns the logical capacity in bytes of the board's array.
@@ -527,6 +559,19 @@ func (bd *Board) CacheStats() CacheStats {
 	}
 	return bd.b.Cache.Stats()
 }
+
+// NVRAMStats combines the battery-backed region's capacity accounting
+// with the staging log's activity counters (staged records, group
+// commits, degraded writes, crash replays).
+type NVRAMStats = server.NVRAMStats
+
+// NVRAMStats returns the board's NVRAM counters.  Without WithNVRAM it is
+// all zeros.
+func (bd *Board) NVRAMStats() NVRAMStats { return bd.b.NVRAMStats() }
+
+// DrainNVRAM synchronously commits everything staged in the board's NVRAM
+// region — the quiesce before a planned shutdown or a read-back verify.
+func (bd *Board) DrainNVRAM() error { return bd.b.DrainNVRAM(bd.t.p) }
 
 // ReplaceDisk attaches a spare drive in place of failed device i and starts
 // a background hot rebuild that contends with foreground traffic; the
@@ -610,6 +655,17 @@ type File struct {
 func (f *File) Write(off int64, data []byte) (time.Duration, error) {
 	start := f.t.p.Now()
 	err := f.f.Board.FSWrite(f.t.p, f.f, off, data)
+	return f.t.p.Now().Sub(start), err
+}
+
+// WriteDurable stores data at off and returns only once the bytes are
+// durable: staged in the board's battery-backed NVRAM when WithNVRAM is
+// configured (microseconds), else written through LFS and sealed to the
+// array before acknowledging (milliseconds — the synchronous small-write
+// penalty the NVRAM staging log exists to hide).
+func (f *File) WriteDurable(off int64, data []byte) (time.Duration, error) {
+	start := f.t.p.Now()
+	err := f.f.Board.DurableWrite(f.t.p, f.f, off, data)
 	return f.t.p.Now().Sub(start), err
 }
 

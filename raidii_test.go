@@ -119,9 +119,10 @@ func TestHardwareOpsViaPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	dur, err := srv.Simulate(func(task *Task) error {
-		task.HardwareWrite(0, 1<<20)
-		task.HardwareRead(0, 1<<20)
-		return nil
+		if err := task.HardwareWrite(0, 1<<20); err != nil {
+			return err
+		}
+		return task.HardwareRead(0, 1<<20)
 	})
 	if err != nil {
 		t.Fatal(err)

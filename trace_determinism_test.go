@@ -98,7 +98,9 @@ func TestFaultTraceDeterministic(t *testing.T) {
 		_, err = srv.Simulate(func(task *Task) error {
 			bd := task.Board(0)
 			for i := 0; i < 10; i++ {
-				bd.HardwareRead(int64(i)*(1<<20), 1<<20)
+				if err := bd.HardwareRead(int64(i)*(1<<20), 1<<20); err != nil {
+					return err
+				}
 			}
 			if !bd.DiskFailed(3) {
 				t.Error("scripted failure did not fire during the traced run")
